@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Methodology ablation: the paper's simulations "do not accurately
+ * model network and bus contention." This bench turns on a finite
+ * ejection port (cycles per inbound packet per node) and measures
+ * how much the contention-free assumption flatters each system — a
+ * hot home node is the natural victim.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace tt;
+using namespace tt::bench;
+
+int
+main()
+{
+    const int scale = envInt("TT_SCALE", 8);
+    const int nodes = envInt("TT_NODES", 32);
+    std::printf("Methodology ablation: ejection-port contention "
+                "(EM3D small, nodes=%d scale=1/%d)\n\n",
+                nodes, scale);
+    std::printf("%-12s %14s %14s %9s %14s\n", "eject cyc/pkt",
+                "DirNNB", "Stache", "relative", "pkts queued(S)");
+
+    double cs = 0;
+    for (Tick eject : {0u, 1u, 2u, 4u, 8u}) {
+        MachineConfig cfg;
+        cfg.core.nodes = nodes;
+        cfg.net.ejectPerPacket = eject;
+        RunOutcome dir, stache;
+        std::uint64_t queued = 0;
+        {
+            auto t = buildDirNNB(cfg);
+            auto a = makeWorkload("em3d", DataSet::Small, scale);
+            dir = runApp(t, *a);
+        }
+        {
+            auto t = buildTyphoonStache(cfg);
+            auto a = makeWorkload("em3d", DataSet::Small, scale);
+            stache = runApp(t, *a);
+            queued = t.m().stats().get("net.eject_queued");
+        }
+        if (cs == 0)
+            cs = dir.checksum;
+        if (dir.checksum != stache.checksum || dir.checksum != cs) {
+            std::printf("CHECKSUM MISMATCH at eject=%llu\n",
+                        (unsigned long long)eject);
+            return 1;
+        }
+        std::printf("%-12llu %14llu %14llu %9.3f %14llu\n",
+                    (unsigned long long)eject,
+                    (unsigned long long)dir.cycles,
+                    (unsigned long long)stache.cycles,
+                    double(stache.cycles) / double(dir.cycles),
+                    (unsigned long long)queued);
+        std::fflush(stdout);
+    }
+    return 0;
+}

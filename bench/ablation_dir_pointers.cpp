@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation A3: the Stache software directory's sharing machinery.
+ * Two measurements: (a) invalidation latency as a writer displaces
+ * 1..31 readers — the fan-out the six-pointer/bit-vector entry must
+ * track; (b) the entry-format transitions (pointer -> bit vector) as
+ * the pointer budget shrinks, confirming format changes do not alter
+ * protocol results.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "tests/helpers.hh"
+
+using namespace tt;
+using namespace tt::bench;
+
+int
+main()
+{
+    std::printf("Ablation A3: directory sharer fan-out "
+                "(Typhoon/Stache, 32 nodes)\n\n");
+    std::printf("%-9s %22s %16s\n", "readers", "write latency (cyc)",
+                "invals sent");
+
+    for (int readers : {1, 2, 4, 6, 8, 16, 31}) {
+        test::StacheRig rig(32);
+        Addr a = rig.stache->shmalloc(4096, 0);
+        Tick writeLat = 0;
+        test::FnApp app([&](Cpu& cpu) -> Task<void> {
+            if (cpu.id() >= 1 && cpu.id() <= readers)
+                co_await cpu.read<int>(a);
+            co_await rig.machine->barrier().wait(cpu);
+            if (cpu.id() == 31) {
+                const Tick t0 = cpu.localTime();
+                co_await cpu.write<int>(a, 1);
+                writeLat = cpu.localTime() - t0;
+            }
+            co_await rig.machine->barrier().wait(cpu);
+        });
+        rig.machine->run(app);
+        std::printf("%-9d %22llu %16llu\n", readers,
+                    (unsigned long long)writeLat,
+                    (unsigned long long)rig.machine->stats().get(
+                        "stache.invals_sent"));
+    }
+
+    std::printf("\nPointer-budget sweep (6 readers; entry format "
+                "vs. results):\n\n");
+    std::printf("%-9s %-10s %16s\n", "pointers", "format",
+                "final sharers");
+    for (int ptrs : {1, 2, 4, 6}) {
+        StacheParams sp;
+        sp.dirPointers = ptrs;
+        test::StacheRig rig(32, CoreParams{}, TyphoonParams{}, sp);
+        Addr a = rig.stache->shmalloc(4096, 0);
+        test::FnApp app([&](Cpu& cpu) -> Task<void> {
+            if (cpu.id() >= 1 && cpu.id() <= 6)
+                co_await cpu.read<int>(a);
+            co_await rig.machine->barrier().wait(cpu);
+        });
+        rig.machine->run(app);
+        auto v = rig.stache->inspect(a);
+        const bool bitvec = (v.raw >> 61) & 1;
+        std::printf("%-9d %-10s %16zu\n", ptrs,
+                    bitvec ? "bitvec" : "pointer", v.sharers.size());
+        if (v.sharers.size() != 6) {
+            std::printf("SHARER COUNT WRONG\n");
+            return 1;
+        }
+    }
+    return 0;
+}

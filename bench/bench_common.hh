@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared bench plumbing: environment-variable knobs and run helpers.
+ *
+ *  TT_SCALE   divide problem sizes by this factor (default 4; set 1
+ *             for the paper's full Table 3 sizes)
+ *  TT_NODES   target machine size (default 32, the paper's)
+ *  TT_APPS    comma list filtering which apps run (fig3)
+ *  TT_ITERS   override application iteration count (0 = default)
+ */
+
+#ifndef TT_BENCH_COMMON_HH
+#define TT_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.hh"
+#include "config/builders.hh"
+
+namespace tt::bench
+{
+
+inline int
+envInt(const char* name, int def)
+{
+    const char* v = std::getenv(name);
+    return v ? std::atoi(v) : def;
+}
+
+inline std::vector<std::string>
+envList(const char* name, std::vector<std::string> def)
+{
+    const char* v = std::getenv(name);
+    if (!v)
+        return def;
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    return out;
+}
+
+struct RunOutcome
+{
+    Tick cycles = 0;
+    double checksum = 0;
+    std::uint64_t workUnits = 0;
+};
+
+/** Run @p app on @p target; returns cycles + checksum. */
+inline RunOutcome
+runApp(TargetMachine& target, BenchApp& app)
+{
+    const RunResult r = target.run(app);
+    return RunOutcome{r.execTime, app.checksum(), app.workUnits()};
+}
+
+} // namespace tt::bench
+
+#endif // TT_BENCH_COMMON_HH

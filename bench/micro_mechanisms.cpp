@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Host-performance micro-benchmarks of the simulator's mechanisms:
+ * event-queue throughput, network delivery, coroutine task overhead,
+ * cache/TLB model probes, active-message round trips, and whole
+ * protocol transactions. These bound how fast full-application
+ * simulations can run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+#include "tests/helpers.hh"
+
+using namespace tt;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            eq.scheduleIn(i, [] {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CoroutineTaskChain(benchmark::State& state)
+{
+    struct Fn
+    {
+        static Task<int>
+        leaf()
+        {
+            co_return 1;
+        }
+        static Task<int>
+        chain(int depth)
+        {
+            if (depth == 0)
+                co_return co_await leaf();
+            co_return co_await chain(depth - 1);
+        }
+    };
+    for (auto _ : state) {
+        int out = 0;
+        spawnDetached(
+            [](int& o) -> Task<void> {
+                o = co_await Fn::chain(64);
+            }(out),
+            [](std::exception_ptr) {});
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_CoroutineTaskChain);
+
+void
+BM_CacheModelProbeFill(benchmark::State& state)
+{
+    CacheModel c(256 * 1024, 4, 32, 1);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.probeRead(a));
+        c.fill(a, LineState::Shared);
+        a = (a + 4096 + 32) & 0xFFFFFF;
+    }
+}
+BENCHMARK(BM_CacheModelProbeFill);
+
+void
+BM_NetworkMessageDelivery(benchmark::State& state)
+{
+    EventQueue eq;
+    StatSet stats;
+    Network net(eq, 2, NetworkParams{}, stats);
+    std::uint64_t delivered = 0;
+    net.setReceiver(0, [&](Message&&) { ++delivered; });
+    net.setReceiver(1, [&](Message&&) { ++delivered; });
+    for (auto _ : state) {
+        Message m;
+        m.src = 0;
+        m.dst = 1;
+        m.handler = 1;
+        m.data.assign(32, 0);
+        net.send(std::move(m), eq.now());
+        eq.run();
+    }
+    benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_NetworkMessageDelivery);
+
+void
+BM_StacheRemoteMissTransaction(benchmark::State& state)
+{
+    // Full protocol transaction: fault -> GetRO -> DataRO -> resume.
+    test::StacheRig rig(2);
+    const std::size_t blocks = 1 << 14;
+    Addr a = rig.stache->shmalloc(blocks * 32, 0);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        const std::size_t begin = i;
+        state.ResumeTiming();
+        test::FnApp app([&](Cpu& cpu) -> Task<void> {
+            if (cpu.id() != 1)
+                co_return;
+            for (std::size_t k = 0; k < 512; ++k)
+                co_await cpu.read<int>(
+                    a + ((begin + k) % blocks) * 32);
+        });
+        rig.machine->run(app);
+        i += 512;
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_StacheRemoteMissTransaction);
+
+void
+BM_DirNNBRemoteMissTransaction(benchmark::State& state)
+{
+    test::DirRig rig(2);
+    const std::size_t blocks = 1 << 14;
+    Addr a = rig.mem->shmalloc(blocks * 32, 1);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        const std::size_t begin = i;
+        state.ResumeTiming();
+        test::FnApp app([&](Cpu& cpu) -> Task<void> {
+            if (cpu.id() != 0)
+                co_return;
+            for (std::size_t k = 0; k < 512; ++k)
+                co_await cpu.read<int>(
+                    a + ((begin + k) % blocks) * 32);
+        });
+        rig.machine->run(app);
+        i += 512;
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DirNNBRemoteMissTransaction);
+
+void
+BM_WholeAppTinyEm3d(benchmark::State& state)
+{
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.core.nodes = 8;
+        auto t = buildTyphoonStache(cfg);
+        auto a = makeWorkload("em3d", DataSet::Tiny);
+        const RunResult r = t.run(*a);
+        benchmark::DoNotOptimize(r.execTime);
+    }
+}
+BENCHMARK(BM_WholeAppTinyEm3d);
+
+} // namespace
+
+BENCHMARK_MAIN();

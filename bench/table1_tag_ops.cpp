@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Table 1: the nine operations on tagged memory blocks, with their
+ * simulated Typhoon costs — plus the section 6 miss-path audit ("the
+ * NP executes only 14 instructions to request a missing block, 30
+ * instructions for the remote node to respond with the data, and 20
+ * instructions when the data arrives"), measured on real Stache
+ * handler activations. Google-benchmark micro-benchmarks of the host
+ * simulator's tag-operation throughput follow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "stache/stache.hh"
+#include "tests/helpers.hh"
+
+using namespace tt;
+
+namespace
+{
+
+/** Measure the charged cost of each Table 1 primitive. */
+void
+printTable1()
+{
+    test::StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 0);
+
+    NpCtx ctx(*rig.mem, 0, 0, /*setup=*/false);
+    auto cost = [&](auto&& fn) {
+        const Tick before = ctx.charged();
+        fn();
+        return ctx.charged() - before;
+    };
+
+    std::uint8_t buf[32] = {};
+    const Tick tReadTag = cost([&] { ctx.readTag(a); });
+    const Tick tSetRW = cost([&] { ctx.setRW(a); });
+    const Tick tSetRO = cost([&] { ctx.setRO(a); });
+    const Tick tInval = cost([&] { ctx.invalidate(a); });
+    const Tick tForceR = cost([&] { ctx.forceRead(a, buf, 32); });
+    const Tick tForceW = cost([&] { ctx.forceWrite(a, buf, 32); });
+    ctx.setRW(a);
+
+    std::printf("Table 1: operations on tagged memory blocks "
+                "(simulated Typhoon cost, NP cycles)\n\n");
+    std::printf("  %-12s %-52s %s\n", "operation", "description",
+                "cost");
+    std::printf("  %-12s %-52s %s\n", "read", //
+                "load with tag check (hit: +0; local miss: +29; fault:"
+                " handler path)",
+                "-");
+    std::printf("  %-12s %-52s %s\n", "write",
+                "store with tag check (same charging as read)", "-");
+    std::printf("  %-12s %-52s %llu\n", "force-read",
+                "load without tag check (32B via BXB)",
+                (unsigned long long)tForceR);
+    std::printf("  %-12s %-52s %llu\n", "force-write",
+                "store without tag check (32B via BXB)",
+                (unsigned long long)tForceW);
+    std::printf("  %-12s %-52s %llu\n", "read-tag",
+                "return value of tag (RTLB memory-mapped)",
+                (unsigned long long)tReadTag);
+    std::printf("  %-12s %-52s %llu\n", "set-RW",
+                "set tag to ReadWrite", (unsigned long long)tSetRW);
+    std::printf("  %-12s %-52s %llu\n", "set-RO",
+                "set tag to ReadOnly (+CPU copy downgrade)",
+                (unsigned long long)tSetRO);
+    std::printf("  %-12s %-52s %llu\n", "invalidate",
+                "set tag Invalid + invalidate local CPU copies",
+                (unsigned long long)tInval);
+    std::printf("  %-12s %-52s %llu\n", "resume",
+                "resume suspended thread (unmask bus request)",
+                (unsigned long long)rig.tp.resumeCost);
+}
+
+/** The 14/30/20 miss-path audit on live Stache handlers. */
+void
+printMissPathAudit()
+{
+    TyphoonParams tp;
+    tp.perHandlerStats = true;
+    test::StacheRig rig(2, CoreParams{}, tp);
+    Addr a = rig.stache->shmalloc(256 * 4096, 0);
+
+    // Warm-up: map the pages and warm the NP TLBs / D-cache (the
+    // paper's instruction counts are warm fast-path numbers), then
+    // measure a fresh stream of block faults on the warm pages.
+    test::FnApp warm([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        for (int i = 0; i < 8; ++i)
+            co_await cpu.read<int>(a + i * 4096);
+    });
+    rig.machine->run(warm);
+    rig.machine->stats().reset();
+
+    test::FnApp app([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        for (int blk = 1; blk < 64; ++blk)
+            for (int i = 0; i < 8; ++i)
+                co_await cpu.read<int>(a + i * 4096 + blk * 32);
+    });
+    rig.machine->run(app);
+
+    auto& st = rig.machine->stats();
+    std::printf("\nMiss-path NP instruction audit (paper section 6: "
+                "14 request / 30 respond / 20 arrival)\n\n");
+    std::printf("  %-34s %6.1f cycles (paper: 14 instructions)\n",
+                "request handler (BAF -> GetRO)",
+                st.average("np.handler.baf").mean());
+    std::printf("  %-34s %6.1f cycles (paper: 30 instructions)\n",
+                "home handler (GetRO -> DataRO)",
+                st.average("np.handler." +
+                           std::to_string(Stache::kGetRO))
+                    .mean());
+    std::printf("  %-34s %6.1f cycles (paper: 20 instructions)\n",
+                "arrival handler (DataRO -> resume)",
+                st.average("np.handler." +
+                           std::to_string(Stache::kDataRO))
+                    .mean());
+}
+
+// ---- host-simulator micro-benchmarks --------------------------------
+
+void
+BM_TagOpReadTag(benchmark::State& state)
+{
+    test::StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    NpCtx ctx(*rig.mem, 0, 0, true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ctx.readTag(a));
+}
+BENCHMARK(BM_TagOpReadTag);
+
+void
+BM_TagOpSetInvalidate(benchmark::State& state)
+{
+    test::StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    NpCtx ctx(*rig.mem, 0, 0, true);
+    for (auto _ : state) {
+        ctx.invalidate(a);
+        ctx.setRW(a);
+    }
+}
+BENCHMARK(BM_TagOpSetInvalidate);
+
+void
+BM_ForceWrite32(benchmark::State& state)
+{
+    test::StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    NpCtx ctx(*rig.mem, 0, 0, true);
+    std::uint8_t buf[32] = {1, 2, 3};
+    for (auto _ : state)
+        ctx.forceWrite(a, buf, 32);
+}
+BENCHMARK(BM_ForceWrite32);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    printTable1();
+    printMissPathAudit();
+    std::printf("\nHost micro-benchmarks of the simulated ops:\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

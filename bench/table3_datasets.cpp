@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 3: the application data sets, plus each workload's measured
+ * shared-memory footprint and work-unit count as instantiated by this
+ * reproduction (tiny variants included for reference).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace tt;
+
+int
+main()
+{
+    std::printf("Table 3: application data sets\n\n");
+    std::printf("  %-10s %-28s %-28s\n", "app", "small data set",
+                "large data set");
+    for (const auto& w : workloadTable())
+        std::printf("  %-10s %-28s %-28s\n", w.app.c_str(),
+                    w.smallDesc.c_str(), w.largeDesc.c_str());
+
+    std::printf("\nInstantiated footprints (shared pages allocated on"
+                " a 4-node machine, tiny + small):\n\n");
+    std::printf("  %-10s %-7s %12s %14s\n", "app", "set",
+                "shared KB", "work units");
+    for (const auto& w : workloadTable()) {
+        for (DataSet ds : {DataSet::Tiny, DataSet::Small}) {
+            MachineConfig cfg;
+            cfg.core.nodes = 4;
+            auto t = buildTyphoonStache(cfg);
+            auto a = makeWorkload(w.app, ds);
+            a->setup(t.m());
+            std::uint64_t pages = 0;
+            for (int n = 0; n < 4; ++n)
+                pages += t.typhoon->physOf(n).allocatedPages();
+            std::printf("  %-10s %-7s %12llu %14llu\n", w.app.c_str(),
+                        dataSetName(ds),
+                        (unsigned long long)(pages * 4),
+                        (unsigned long long)a->workUnits());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark applications: a common base with
+ * checksum/work accounting, block-partitioned index ranges, and a
+ * chunked shared array whose per-owner chunks can be placed
+ * explicitly (used identically by both targets so layouts match).
+ */
+
+#ifndef TT_APPS_APP_UTILS_HH
+#define TT_APPS_APP_UTILS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+#include "core/memsys.hh"
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+/**
+ * Benchmark application base: every app reports a numeric checksum
+ * (identical across memory systems for the same workload — the
+ * end-to-end coherence check) and a work-unit count for
+ * per-unit-cost metrics (e.g. EM3D cycles/edge).
+ */
+class BenchApp : public App
+{
+  public:
+    virtual double checksum() const = 0;
+    virtual std::uint64_t workUnits() const = 0;
+};
+
+/** [begin, end) of block-partitioned index range for @p pid. */
+struct IndexRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+};
+
+inline IndexRange
+blockRange(std::size_t count, int nproc, int pid)
+{
+    const std::size_t base = count / nproc;
+    const std::size_t extra = count % nproc;
+    const std::size_t lo =
+        pid * base + std::min<std::size_t>(pid, extra);
+    return IndexRange{lo, lo + base + (static_cast<std::size_t>(pid) <
+                                               extra
+                                           ? 1
+                                           : 0)};
+}
+
+/** Owner of index @p i under blockRange partitioning. */
+inline int
+ownerOf(std::size_t i, std::size_t count, int nproc)
+{
+    const std::size_t base = count / nproc;
+    const std::size_t extra = count % nproc;
+    const std::size_t cut = extra * (base + 1);
+    if (i < cut)
+        return static_cast<int>(i / (base + 1));
+    return static_cast<int>(extra + (i - cut) / base);
+}
+
+/**
+ * A shared array of T split into one page-aligned chunk per owner.
+ * Both memory systems allocate through the same interface, so the
+ * layout (and therefore the reference stream) is identical; only the
+ * page-home policy differs.
+ */
+template <typename T>
+class ChunkedArray
+{
+  public:
+    ChunkedArray() = default;
+
+    /**
+     * Allocate @p count elements partitioned across @p nproc owners.
+     * @p alloc is invoked once per chunk as alloc(bytes, owner) and
+     * returns the chunk base (so callers can route to shmalloc with
+     * kNoNode homes, owner-pinned homes, or a custom allocator).
+     */
+    template <typename AllocFn>
+    ChunkedArray(std::size_t count, int nproc, AllocFn&& alloc)
+        : _count(count), _nproc(nproc)
+    {
+        _bases.resize(nproc);
+        _starts.resize(nproc + 1);
+        for (int p = 0; p < nproc; ++p) {
+            const IndexRange r = blockRange(count, nproc, p);
+            _starts[p] = r.begin;
+            _bases[p] =
+                r.size() ? alloc(r.size() * sizeof(T), p) : 0;
+        }
+        _starts[_nproc] = count;
+    }
+
+    std::size_t size() const { return _count; }
+
+    Addr
+    addrOf(std::size_t i) const
+    {
+        tt_assert(i < _count, "ChunkedArray index out of range: ", i);
+        const int p = ownerOf(i, _count, _nproc);
+        return _bases[p] + (i - _starts[p]) * sizeof(T);
+    }
+
+    Cpu::ReadAwaitable<T>
+    get(Cpu& cpu, std::size_t i) const
+    {
+        return cpu.read<T>(addrOf(i));
+    }
+
+    Cpu::WriteAwaitable<T>
+    put(Cpu& cpu, std::size_t i, T v) const
+    {
+        return cpu.write<T>(addrOf(i), v);
+    }
+
+    void
+    poke(MemorySystem& ms, std::size_t i, const T& v) const
+    {
+        ms.poke(addrOf(i), &v, sizeof(T));
+    }
+
+    T
+    peek(MemorySystem& ms, std::size_t i) const
+    {
+        T v;
+        ms.peek(addrOf(i), &v, sizeof(T));
+        return v;
+    }
+
+  private:
+    std::size_t _count = 0;
+    int _nproc = 1;
+    std::vector<Addr> _bases;
+    std::vector<std::size_t> _starts;
+};
+
+} // namespace tt
+
+#endif // TT_APPS_APP_UTILS_HH

@@ -1,0 +1,178 @@
+#include "apps/appbt.hh"
+
+namespace tt
+{
+
+void
+AppbtApp::setup(Machine& m)
+{
+    _machine = &m;
+    MemorySystem& ms = m.memsys();
+    const std::size_t cells =
+        static_cast<std::size_t>(_p.n) * _p.n * _p.n;
+    _u = ms.shmalloc(cells * 5 * 8);
+    _rhs = ms.shmalloc(cells * 5 * 8);
+    for (int z = 0; z < _p.n; ++z) {
+        for (int y = 0; y < _p.n; ++y) {
+            for (int x = 0; x < _p.n; ++x) {
+                for (int k = 0; k < 5; ++k) {
+                    const double v =
+                        1.0 + 0.01 * ((x * 7 + y * 5 + z * 3 + k) % 37);
+                    ms.poke(at(_u, x, y, z, k), &v, 8);
+                }
+            }
+        }
+    }
+}
+
+Task<void>
+AppbtApp::body(Cpu& cpu)
+{
+    const int P = _machine->nodes();
+    const int n = _p.n;
+    // z-slab partitioning.
+    const IndexRange zr = blockRange(n, P, cpu.id());
+    const int z0 = static_cast<int>(zr.begin);
+    const int z1 = static_cast<int>(zr.end);
+
+    auto readU = [&](int x, int y, int z,
+                     int k) -> Cpu::ReadAwaitable<double> {
+        return cpu.read<double>(at(_u, x, y, z, k));
+    };
+
+    for (int it = 0; it < _p.iterations; ++it) {
+        // --- RHS: 7-point stencil over 5-vectors -------------------
+        for (int z = z0; z < z1; ++z) {
+            for (int y = 0; y < n; ++y) {
+                for (int x = 0; x < n; ++x) {
+                    for (int k = 0; k < 5; ++k) {
+                        double acc =
+                            -6.0 * co_await readU(x, y, z, k);
+                        if (x > 0)
+                            acc += co_await readU(x - 1, y, z, k);
+                        if (x < n - 1)
+                            acc += co_await readU(x + 1, y, z, k);
+                        if (y > 0)
+                            acc += co_await readU(x, y - 1, z, k);
+                        if (y < n - 1)
+                            acc += co_await readU(x, y + 1, z, k);
+                        if (z > 0)
+                            acc += co_await readU(x, y, z - 1, k);
+                        if (z < n - 1)
+                            acc += co_await readU(x, y, z + 1, k);
+                        co_await cpu.write<double>(
+                            at(_rhs, x, y, z, k), 0.05 * acc);
+                        cpu.advance(8);
+                    }
+                    cpu.advance(60); // 5x5 block assembly FLOPs
+                }
+            }
+        }
+        co_await _machine->barrier().wait(cpu);
+
+        // --- x and y line solves: local to the slab ----------------
+        for (int pass = 0; pass < 2; ++pass) {
+            for (int z = z0; z < z1; ++z) {
+                for (int a = 0; a < n; ++a) {
+                    for (int b = 1; b < n; ++b) {
+                        const int x = pass == 0 ? b : a;
+                        const int y = pass == 0 ? a : b;
+                        const int px = pass == 0 ? x - 1 : x;
+                        const int py = pass == 0 ? y : y - 1;
+                        for (int k = 0; k < 5; ++k) {
+                            const double prev =
+                                co_await cpu.read<double>(
+                                    at(_rhs, px, py, z, k));
+                            const double cur =
+                                co_await cpu.read<double>(
+                                    at(_rhs, x, y, z, k));
+                            co_await cpu.write<double>(
+                                at(_rhs, x, y, z, k),
+                                cur - 0.4 * prev);
+                            cpu.advance(4);
+                        }
+                        cpu.advance(80); // 5x5 block solve FLOPs
+                    }
+                }
+            }
+            co_await _machine->barrier().wait(cpu);
+        }
+
+        // --- z line solve: pipelined across slabs ------------------
+        // Forward elimination, ascending z across processors.
+        for (int stage = 0; stage < P; ++stage) {
+            if (stage == cpu.id()) {
+                for (int z = std::max(z0, 1); z < z1; ++z) {
+                    for (int y = 0; y < n; ++y) {
+                        for (int x = 0; x < n; ++x) {
+                            for (int k = 0; k < 5; ++k) {
+                                const double below =
+                                    co_await cpu.read<double>(
+                                        at(_rhs, x, y, z - 1, k));
+                                const double cur =
+                                    co_await cpu.read<double>(
+                                        at(_rhs, x, y, z, k));
+                                co_await cpu.write<double>(
+                                    at(_rhs, x, y, z, k),
+                                    cur - 0.4 * below);
+                                cpu.advance(4);
+                            }
+                            cpu.advance(80);
+                        }
+                    }
+                }
+            }
+            co_await _machine->barrier().wait(cpu);
+        }
+        // Back substitution, descending z, updates the solution.
+        for (int stage = P - 1; stage >= 0; --stage) {
+            if (stage == cpu.id()) {
+                for (int z = z1 - 1; z >= z0; --z) {
+                    for (int y = 0; y < n; ++y) {
+                        for (int x = 0; x < n; ++x) {
+                            for (int k = 0; k < 5; ++k) {
+                                double above = 0;
+                                if (z < n - 1)
+                                    above = co_await cpu.read<double>(
+                                        at(_u, x, y, z + 1, k));
+                                const double r =
+                                    co_await cpu.read<double>(
+                                        at(_rhs, x, y, z, k));
+                                const double u0 =
+                                    co_await cpu.read<double>(
+                                        at(_u, x, y, z, k));
+                                co_await cpu.write<double>(
+                                    at(_u, x, y, z, k),
+                                    0.9 * u0 + r - 0.3 * above);
+                                cpu.advance(6);
+                            }
+                            cpu.advance(80);
+                        }
+                    }
+                }
+            }
+            co_await _machine->barrier().wait(cpu);
+        }
+    }
+}
+
+void
+AppbtApp::finish(Machine& m)
+{
+    MemorySystem& ms = m.memsys();
+    double sum = 0;
+    for (int z = 0; z < _p.n; ++z) {
+        for (int y = 0; y < _p.n; ++y) {
+            for (int x = 0; x < _p.n; ++x) {
+                for (int k = 0; k < 5; ++k) {
+                    double v;
+                    ms.peek(at(_u, x, y, z, k), &v, 8);
+                    sum += v;
+                }
+            }
+        }
+    }
+    _checksum = sum;
+}
+
+} // namespace tt

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Appbt: the NAS BT kernel — multiple independent systems of
+ * non-diagonally-dominant block-tridiagonal equations with 5x5
+ * blocks, solved by ADI sweeps over a 3-D grid. Our kernel keeps the
+ * computation/communication structure: a 7-point-stencil RHS phase
+ * over 5-vectors, local x/y line solves, and pipelined z-line solves
+ * across the z-slab partitioning (forward elimination up, back
+ * substitution down), barriers between phases.
+ */
+
+#ifndef TT_APPS_APPBT_HH
+#define TT_APPS_APPBT_HH
+
+#include "apps/app_utils.hh"
+
+namespace tt
+{
+
+class AppbtApp : public BenchApp
+{
+  public:
+    struct Params
+    {
+        int n = 12; ///< grid dimension (12^3 small, 24^3 large)
+        int iterations = 2;
+        std::uint64_t seed = 0xB7ULL;
+    };
+
+    explicit AppbtApp(Params p) : _p(p) {}
+
+    std::string name() const override { return "appbt"; }
+    void setup(Machine& m) override;
+    Task<void> body(Cpu& cpu) override;
+    void finish(Machine& m) override;
+    double checksum() const override { return _checksum; }
+
+    /** Result extraction: component k of the solution at (x,y,z). */
+    double
+    solutionAt(MemorySystem& ms, int x, int y, int z, int k) const
+    {
+        double v;
+        ms.peek(at(_u, x, y, z, k), &v, 8);
+        return v;
+    }
+
+    /** Cell updates performed. */
+    std::uint64_t
+    workUnits() const override
+    {
+        return static_cast<std::uint64_t>(_p.n) * _p.n * _p.n *
+               _p.iterations;
+    }
+
+  private:
+    /** Address of component k of cell (x,y,z) in array base. */
+    Addr
+    at(Addr base, int x, int y, int z, int k) const
+    {
+        const Addr idx =
+            ((static_cast<Addr>(z) * _p.n + y) * _p.n + x) * 5 + k;
+        return base + idx * 8;
+    }
+
+    Params _p;
+    Addr _u = 0;   ///< solution 5-vectors
+    Addr _rhs = 0; ///< right-hand-side 5-vectors
+    Machine* _machine = nullptr;
+    double _checksum = 0;
+};
+
+} // namespace tt
+
+#endif // TT_APPS_APPBT_HH

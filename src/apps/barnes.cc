@@ -1,0 +1,302 @@
+#include "apps/barnes.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace tt
+{
+
+void
+BarnesApp::setup(Machine& m)
+{
+    _machine = &m;
+    MemorySystem& ms = m.memsys();
+    const int P = m.nodes();
+    const int n = _p.nbodies;
+
+    auto alloc = [&](std::size_t bytes, int) -> Addr {
+        return ms.shmalloc(bytes, kNoNode);
+    };
+    for (auto* arr : {&_px, &_py, &_pz, &_vx, &_vy, &_vz, &_mass,
+                      &_ax, &_ay, &_az})
+        *arr = ChunkedArray<double>(n, P, alloc);
+
+    _maxCells = static_cast<std::size_t>(2 * n) + 64;
+    _cellData = ms.shmalloc(_maxCells * 5 * 8);
+    _cellChild = ms.shmalloc(_maxCells * 8 * 4);
+
+    // Plummer-ish deterministic initial conditions.
+    Rng rng(_p.seed);
+    for (int i = 0; i < n; ++i) {
+        const double r = 0.1 + 2.0 * rng.uniform();
+        const double phi = 6.2831853 * rng.uniform();
+        const double cz = 2.0 * rng.uniform() - 1.0;
+        const double sz = std::sqrt(1.0 - cz * cz);
+        _px.poke(ms, i, r * sz * std::cos(phi));
+        _py.poke(ms, i, r * sz * std::sin(phi));
+        _pz.poke(ms, i, r * cz);
+        _vx.poke(ms, i, 0.1 * (rng.uniform() - 0.5));
+        _vy.poke(ms, i, 0.1 * (rng.uniform() - 0.5));
+        _vz.poke(ms, i, 0.1 * (rng.uniform() - 0.5));
+        _mass.poke(ms, i, 1.0 / n);
+    }
+}
+
+/**
+ * Build the octree from current body positions (host-side structure;
+ * the resulting arrays are written into shared memory with real,
+ * charged stores by processor 0 inside body()).
+ */
+void
+BarnesApp::buildTreeHost(MemorySystem& ms)
+{
+    const int n = _p.nbodies;
+    std::vector<double> px(n), py(n), pz(n), mass(n);
+    for (int i = 0; i < n; ++i) {
+        px[i] = _px.peek(ms, i);
+        py[i] = _py.peek(ms, i);
+        pz[i] = _pz.peek(ms, i);
+        mass[i] = _mass.peek(ms, i);
+    }
+
+    double lo = px[0], hi = px[0];
+    for (int i = 0; i < n; ++i) {
+        for (double v : {px[i], py[i], pz[i]}) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    const double root_size = (hi - lo) * 1.0001 + 1e-9;
+
+    _hostTree.clear();
+    _hostTree.push_back(HostCell{
+        (lo + hi) / 2, (lo + hi) / 2, (lo + hi) / 2, 0, root_size,
+        {-1, -1, -1, -1, -1, -1, -1, -1}});
+    // Geometric centers during insertion; converted to mass centroids
+    // afterwards.
+    std::vector<std::array<double, 3>> center{{{(lo + hi) / 2,
+                                                (lo + hi) / 2,
+                                                (lo + hi) / 2}}};
+
+    auto octant = [&](int cell, int b) {
+        return (px[b] > center[cell][0] ? 1 : 0) |
+               (py[b] > center[cell][1] ? 2 : 0) |
+               (pz[b] > center[cell][2] ? 4 : 0);
+    };
+
+    for (int b = 0; b < n; ++b) {
+        int cell = 0;
+        for (;;) {
+            const int oct = octant(cell, b);
+            const std::int32_t ch = _hostTree[cell].child[oct];
+            if (ch == -1) {
+                _hostTree[cell].child[oct] = encodeBody(b);
+                break;
+            }
+            if (ch < -1) {
+                // Occupied by a body: split into a subcell.
+                const int other = decodeBody(ch);
+                const double s = _hostTree[cell].size / 2;
+                HostCell sub{};
+                sub.size = s;
+                sub.mass = 0;
+                std::array<double, 3> c = center[cell];
+                c[0] += (oct & 1) ? s / 2 : -s / 2;
+                c[1] += (oct & 2) ? s / 2 : -s / 2;
+                c[2] += (oct & 4) ? s / 2 : -s / 2;
+                for (auto& x : sub.child)
+                    x = -1;
+                const int idx = static_cast<int>(_hostTree.size());
+                tt_assert(static_cast<std::size_t>(idx) < _maxCells,
+                          "octree overflow");
+                _hostTree.push_back(sub);
+                center.push_back(c);
+                _hostTree[cell].child[oct] =
+                    static_cast<std::int32_t>(idx);
+                // Degenerate coincident points: nudge via depth cap.
+                if (s < 1e-12) {
+                    _hostTree[idx].child[0] = encodeBody(other);
+                    _hostTree[idx].child[1] = encodeBody(b);
+                    break;
+                }
+                const int o2 = octant(idx, other);
+                _hostTree[idx].child[o2] = encodeBody(other);
+                cell = idx;
+                continue; // retry inserting b into the new subcell
+            }
+            cell = ch;
+        }
+    }
+
+    // Bottom-up center-of-mass accumulation (post-order via indices:
+    // children always have larger indices than parents).
+    for (int c = static_cast<int>(_hostTree.size()) - 1; c >= 0; --c) {
+        double m = 0, cx = 0, cy = 0, cz = 0;
+        for (std::int32_t ch : _hostTree[c].child) {
+            if (ch == -1)
+                continue;
+            double wm, wx, wy, wz;
+            if (ch < -1) {
+                const int b = decodeBody(ch);
+                wm = mass[b];
+                wx = px[b];
+                wy = py[b];
+                wz = pz[b];
+            } else {
+                wm = _hostTree[ch].mass;
+                wx = _hostTree[ch].cx;
+                wy = _hostTree[ch].cy;
+                wz = _hostTree[ch].cz;
+            }
+            m += wm;
+            cx += wm * wx;
+            cy += wm * wy;
+            cz += wm * wz;
+        }
+        _hostTree[c].mass = m;
+        if (m > 0) {
+            _hostTree[c].cx = cx / m;
+            _hostTree[c].cy = cy / m;
+            _hostTree[c].cz = cz / m;
+        }
+    }
+    _nCells = static_cast<int>(_hostTree.size());
+}
+
+Task<void>
+BarnesApp::body(Cpu& cpu)
+{
+    Machine& m = *_machine;
+    MemorySystem& ms = m.memsys();
+    const int P = m.nodes();
+    const IndexRange mine = blockRange(_p.nbodies, P, cpu.id());
+
+    for (int it = 0; it < _p.iterations; ++it) {
+        // --- tree phase: proc 0 publishes the octree ----------------
+        if (cpu.id() == 0) {
+            buildTreeHost(ms);
+            for (int c = 0; c < _nCells; ++c) {
+                const HostCell& hc = _hostTree[c];
+                const Addr d = _cellData + static_cast<Addr>(c) * 40;
+                co_await cpu.write<double>(d + 0, hc.cx);
+                co_await cpu.write<double>(d + 8, hc.cy);
+                co_await cpu.write<double>(d + 16, hc.cz);
+                co_await cpu.write<double>(d + 24, hc.mass);
+                co_await cpu.write<double>(d + 32, hc.size);
+                const Addr k = _cellChild + static_cast<Addr>(c) * 32;
+                for (int o = 0; o < 8; ++o)
+                    co_await cpu.write<std::int32_t>(o * 4 + k,
+                                                     hc.child[o]);
+                cpu.advance(12);
+            }
+        }
+        co_await m.barrier().wait(cpu);
+
+        // --- force phase: concurrent read-shared tree walks ---------
+        for (std::size_t b = mine.begin; b < mine.end; ++b) {
+            const double bx = co_await _px.get(cpu, b);
+            const double by = co_await _py.get(cpu, b);
+            const double bz = co_await _pz.get(cpu, b);
+            double fx = 0, fy = 0, fz = 0;
+
+            std::vector<std::int32_t> stack{0};
+            while (!stack.empty()) {
+                const std::int32_t nodeId = stack.back();
+                stack.pop_back();
+
+                double cx, cy, cz, cmass;
+                bool open = false;
+                if (nodeId < -1) {
+                    const int ob = decodeBody(nodeId);
+                    if (static_cast<std::size_t>(ob) == b)
+                        continue;
+                    cx = co_await _px.get(cpu, ob);
+                    cy = co_await _py.get(cpu, ob);
+                    cz = co_await _pz.get(cpu, ob);
+                    cmass = co_await _mass.get(cpu, ob);
+                } else {
+                    const Addr d =
+                        _cellData + static_cast<Addr>(nodeId) * 40;
+                    cx = co_await cpu.read<double>(d + 0);
+                    cy = co_await cpu.read<double>(d + 8);
+                    cz = co_await cpu.read<double>(d + 16);
+                    cmass = co_await cpu.read<double>(d + 24);
+                    const double size =
+                        co_await cpu.read<double>(d + 32);
+                    const double dx = cx - bx, dy = cy - by,
+                                 dz = cz - bz;
+                    const double dist2 =
+                        dx * dx + dy * dy + dz * dz + 1e-9;
+                    open = size * size >
+                           _p.theta * _p.theta * dist2;
+                    cpu.advance(12);
+                }
+                if (open) {
+                    const Addr k = _cellChild +
+                                   static_cast<Addr>(nodeId) * 32;
+                    for (int o = 0; o < 8; ++o) {
+                        const std::int32_t ch =
+                            co_await cpu.read<std::int32_t>(k + o * 4);
+                        if (ch != -1)
+                            stack.push_back(ch);
+                    }
+                    cpu.advance(8);
+                    continue;
+                }
+                // Accumulate the interaction.
+                const double dx = cx - bx, dy = cy - by, dz = cz - bz;
+                const double dist2 = dx * dx + dy * dy + dz * dz + 1e-4;
+                const double inv = 1.0 / std::sqrt(dist2);
+                const double f = cmass * inv * inv * inv;
+                fx += f * dx;
+                fy += f * dy;
+                fz += f * dz;
+                cpu.advance(18); // ~the paper's per-interaction FLOPs
+            }
+            co_await _ax.put(cpu, b, fx);
+            co_await _ay.put(cpu, b, fy);
+            co_await _az.put(cpu, b, fz);
+        }
+        co_await m.barrier().wait(cpu);
+
+        // --- update phase: leapfrog on own bodies --------------------
+        for (std::size_t b = mine.begin; b < mine.end; ++b) {
+            const double ax = co_await _ax.get(cpu, b);
+            const double ay = co_await _ay.get(cpu, b);
+            const double az = co_await _az.get(cpu, b);
+            double vx = co_await _vx.get(cpu, b);
+            double vy = co_await _vy.get(cpu, b);
+            double vz = co_await _vz.get(cpu, b);
+            vx += ax * _p.dt;
+            vy += ay * _p.dt;
+            vz += az * _p.dt;
+            co_await _vx.put(cpu, b, vx);
+            co_await _vy.put(cpu, b, vy);
+            co_await _vz.put(cpu, b, vz);
+            const double nx = co_await _px.get(cpu, b) + vx * _p.dt;
+            const double ny = co_await _py.get(cpu, b) + vy * _p.dt;
+            const double nz = co_await _pz.get(cpu, b) + vz * _p.dt;
+            co_await _px.put(cpu, b, nx);
+            co_await _py.put(cpu, b, ny);
+            co_await _pz.put(cpu, b, nz);
+            cpu.advance(20);
+        }
+        co_await m.barrier().wait(cpu);
+    }
+}
+
+void
+BarnesApp::finish(Machine& m)
+{
+    MemorySystem& ms = m.memsys();
+    double sum = 0;
+    for (int i = 0; i < _p.nbodies; ++i) {
+        sum += _px.peek(ms, i) + _py.peek(ms, i) + _pz.peek(ms, i) +
+               0.1 * (_vx.peek(ms, i) + _vy.peek(ms, i) +
+                      _vz.peek(ms, i));
+    }
+    _checksum = sum;
+}
+
+} // namespace tt

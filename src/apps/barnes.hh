@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Barnes: gravitational N-body simulation with the Barnes-Hut
+ * O(N log N) algorithm (SPLASH). Bodies live in shared arrays
+ * partitioned across processors; each iteration an octree of mass
+ * centroids is written into shared arrays by processor 0 (the
+ * structure itself is computed host-side — a documented substitution
+ * for SPLASH's parallel tree build, which is a small fraction of
+ * runtime), then all processors compute forces on their bodies by
+ * concurrently traversing the shared tree (the dominant, read-shared
+ * phase) and integrate their own bodies.
+ */
+
+#ifndef TT_APPS_BARNES_HH
+#define TT_APPS_BARNES_HH
+
+#include <vector>
+
+#include "apps/app_utils.hh"
+
+namespace tt
+{
+
+class BarnesApp : public BenchApp
+{
+  public:
+    struct Params
+    {
+        int nbodies = 2048;
+        int iterations = 2;
+        double theta = 0.8; ///< opening criterion
+        double dt = 0.02;
+        std::uint64_t seed = 0xBA12ULL;
+    };
+
+    explicit BarnesApp(Params p) : _p(p) {}
+
+    std::string name() const override { return "barnes"; }
+    void setup(Machine& m) override;
+    Task<void> body(Cpu& cpu) override;
+    void finish(Machine& m) override;
+    double checksum() const override { return _checksum; }
+
+    /** Result extraction: body @p i position and velocity. */
+    struct BodyState
+    {
+        double px, py, pz, vx, vy, vz;
+    };
+
+    BodyState
+    bodyState(MemorySystem& ms, int i) const
+    {
+        return BodyState{_px.peek(ms, i), _py.peek(ms, i),
+                         _pz.peek(ms, i), _vx.peek(ms, i),
+                         _vy.peek(ms, i), _vz.peek(ms, i)};
+    }
+
+    /** Body-force computations performed. */
+    std::uint64_t
+    workUnits() const override
+    {
+        return static_cast<std::uint64_t>(_p.nbodies) * _p.iterations;
+    }
+
+  private:
+    struct HostCell
+    {
+        double cx, cy, cz; ///< center of mass
+        double mass;
+        double size;
+        std::int32_t child[8]; ///< cell index, ~(body index), or -1
+    };
+
+    /**
+     * Child-slot encoding: -1 = empty; >= 0 = cell index; <= -2 =
+     * body, encoded as ~(body+1) so body 0 does not collide with the
+     * empty sentinel.
+     */
+    static std::int32_t encodeBody(int b) { return ~(b + 1); }
+    static int decodeBody(std::int32_t c) { return ~c - 1; }
+
+    void buildTreeHost(MemorySystem& ms);
+
+    Params _p;
+    Machine* _machine = nullptr;
+
+    // Shared body state (block-partitioned, one array per component).
+    ChunkedArray<double> _px, _py, _pz, _vx, _vy, _vz, _mass;
+    ChunkedArray<double> _ax, _ay, _az;
+
+    // Shared tree arrays (written by proc 0 each iteration).
+    std::size_t _maxCells = 0;
+    Addr _cellData = 0;  ///< 5 doubles per cell: com xyz, mass, size
+    Addr _cellChild = 0; ///< 8 x int32 per cell
+    int _nCells = 0;     ///< host-side count for the current tree
+
+    std::vector<HostCell> _hostTree;
+    double _checksum = 0;
+};
+
+} // namespace tt
+
+#endif // TT_APPS_BARNES_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * EM3D: electromagnetic wave propagation on a bipartite graph (paper
+ * section 4, Program 1). E-node values are recomputed from neighbor
+ * H-node values, then vice versa, owners-compute, one barrier per
+ * half-step. Runs in three modes:
+ *
+ *  - Transparent: plain shared-memory program (DirNNB or Stache);
+ *  - Update: the custom delayed-update protocol (Typhoon only) —
+ *    endStep() replaces invalidation traffic with pushed values.
+ *
+ * The graph (adjacency + weights) is private per-process data, as in
+ * the Split-C original where each processor holds its own node and
+ * edge lists; only the value arrays are shared.
+ */
+
+#ifndef TT_APPS_EM3D_HH
+#define TT_APPS_EM3D_HH
+
+#include <memory>
+#include <vector>
+
+#include "apps/app_utils.hh"
+#include "custom/em3d_protocol.hh"
+
+namespace tt
+{
+
+class Em3dApp : public BenchApp
+{
+  public:
+    struct Params
+    {
+        int nNodes = 64000;      ///< total graph nodes (E + H)
+        int degree = 10;         ///< edges per node
+        double remoteFrac = 0.2; ///< fraction of edges to remote nodes
+        int iterations = 4;
+        std::uint64_t seed = 0xE3DULL;
+    };
+
+    enum class Mode { Transparent, Update };
+
+    explicit Em3dApp(Params p, Mode mode = Mode::Transparent,
+                     Em3dUpdateProtocol* proto = nullptr)
+        : _p(p), _mode(mode), _proto(proto)
+    {
+        tt_assert(mode == Mode::Transparent || proto,
+                  "update mode needs the custom protocol");
+    }
+
+    std::string
+    name() const override
+    {
+        return _mode == Mode::Update ? "em3d-update" : "em3d";
+    }
+
+    void setup(Machine& m) override;
+    Task<void> body(Cpu& cpu) override;
+    void finish(Machine& m) override;
+
+    double checksum() const override { return _checksum; }
+
+    /** Result extraction: value of E node / H node @p i. */
+    double
+    eValueAt(MemorySystem& ms, int i) const
+    {
+        return _eVal.peek(ms, i);
+    }
+
+    double
+    hValueAt(MemorySystem& ms, int i) const
+    {
+        return _hVal.peek(ms, i);
+    }
+
+    int numE() const { return _nE; }
+    int numH() const { return _nH; }
+
+    /** Edge computations performed (for cycles/edge, Figure 4). */
+    std::uint64_t
+    workUnits() const override
+    {
+        return static_cast<std::uint64_t>(_p.nNodes) * _p.degree *
+               _p.iterations;
+    }
+
+  private:
+    Task<void> halfStep(Cpu& cpu, bool e_phase);
+
+    Params _p;
+    Mode _mode;
+    Em3dUpdateProtocol* _proto;
+    Em3dUpdateProtocol::Kind _allocKind = Em3dUpdateProtocol::kE;
+
+    int _nE = 0, _nH = 0;
+    ChunkedArray<double> _eVal, _hVal;
+    // Edge weights live in the shared heap, as in Program 1's e_node
+    // structs (read-only after setup: pure capacity traffic).
+    ChunkedArray<double> _eW, _hW; // node x degree
+    // Adjacency is private per-process structure (the per-processor
+    // node/edge lists of the Split-C original).
+    std::vector<std::uint32_t> _eAdj, _hAdj; // node x degree
+    Machine* _machine = nullptr;
+    double _checksum = 0;
+};
+
+} // namespace tt
+
+#endif // TT_APPS_EM3D_HH

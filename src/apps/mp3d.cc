@@ -1,0 +1,146 @@
+#include "apps/mp3d.hh"
+
+#include "sim/random.hh"
+
+namespace tt
+{
+
+void
+Mp3dApp::setup(Machine& m)
+{
+    _machine = &m;
+    MemorySystem& ms = m.memsys();
+    const int P = m.nodes();
+    const int cells = _p.cellDim * _p.cellDim * _p.cellDim;
+
+    auto alloc = [&](std::size_t bytes, int) -> Addr {
+        return ms.shmalloc(bytes, kNoNode);
+    };
+    for (auto* arr : {&_mx, &_my, &_mz, &_mvx, &_mvy, &_mvz})
+        *arr = ChunkedArray<I64>(_p.nmol, P, alloc);
+    for (int par = 0; par < 2; ++par) {
+        _cCount[par] = ChunkedArray<I64>(cells, P, alloc);
+        _cVx[par] = ChunkedArray<I64>(cells, P, alloc);
+        _cVy[par] = ChunkedArray<I64>(cells, P, alloc);
+        _cVz[par] = ChunkedArray<I64>(cells, P, alloc);
+    }
+
+    _cellLocks.clear();
+    for (int c = 0; c < cells; ++c) {
+        _cellLocks.push_back(std::make_unique<SimLock>(
+            m.eq(), m.params().lockLatency));
+    }
+
+    Rng rng(_p.seed);
+    for (int i = 0; i < _p.nmol; ++i) {
+        _mx.poke(ms, i, static_cast<I64>(rng.below(kSpace)));
+        _my.poke(ms, i, static_cast<I64>(rng.below(kSpace)));
+        _mz.poke(ms, i, static_cast<I64>(rng.below(kSpace)));
+        _mvx.poke(ms, i, rng.range(-4096, 4096));
+        _mvy.poke(ms, i, rng.range(-4096, 4096));
+        _mvz.poke(ms, i, rng.range(-4096, 4096) + 8192); // streamwise
+    }
+}
+
+Task<void>
+Mp3dApp::body(Cpu& cpu)
+{
+    Machine& m = *_machine;
+    const int P = m.nodes();
+    const int cells = _p.cellDim * _p.cellDim * _p.cellDim;
+    const IndexRange mine = blockRange(_p.nmol, P, cpu.id());
+    const IndexRange myCells = blockRange(cells, P, cpu.id());
+
+    for (int it = 0; it < _p.iterations; ++it) {
+        const int cur = it & 1;
+        const int prev = cur ^ 1;
+
+        // Clear this step's accumulators (cell-partitioned).
+        for (std::size_t c = myCells.begin; c < myCells.end; ++c) {
+            co_await _cCount[cur].put(cpu, c, 0);
+            co_await _cVx[cur].put(cpu, c, 0);
+            co_await _cVy[cur].put(cpu, c, 0);
+            co_await _cVz[cur].put(cpu, c, 0);
+            cpu.advance(4);
+        }
+        co_await m.barrier().wait(cpu);
+
+        // Move phase: each molecule collides against the previous
+        // step's field, moves, and accumulates into its new cell.
+        for (std::size_t i = mine.begin; i < mine.end; ++i) {
+            I64 x = co_await _mx.get(cpu, i);
+            I64 y = co_await _my.get(cpu, i);
+            I64 z = co_await _mz.get(cpu, i);
+            I64 vx = co_await _mvx.get(cpu, i);
+            I64 vy = co_await _mvy.get(cpu, i);
+            I64 vz = co_await _mvz.get(cpu, i);
+
+            // Collision: mix with the previous-step mean cell
+            // velocity (deterministic, integer).
+            const int c0 = cellOf(x, y, z);
+            const I64 cnt = co_await _cCount[prev].get(cpu, c0);
+            if (cnt > 1) {
+                const I64 ux = co_await _cVx[prev].get(cpu, c0) / cnt;
+                const I64 uy = co_await _cVy[prev].get(cpu, c0) / cnt;
+                const I64 uz = co_await _cVz[prev].get(cpu, c0) / cnt;
+                vx = (3 * vx + ux) / 4;
+                vy = (3 * vy + uy) / 4;
+                vz = (3 * vz + uz) / 4;
+                cpu.advance(24);
+            }
+
+            // Move with reflecting walls (specular), periodic in z.
+            auto reflect = [&](I64& pos, I64& vel) {
+                pos += vel;
+                if (pos < 0) {
+                    pos = -pos;
+                    vel = -vel;
+                } else if (pos >= kSpace) {
+                    pos = 2 * (kSpace - 1) - pos;
+                    vel = -vel;
+                }
+            };
+            reflect(x, vx);
+            reflect(y, vy);
+            z = (z + vz) & (kSpace - 1);
+            cpu.advance(16);
+
+            co_await _mx.put(cpu, i, x);
+            co_await _my.put(cpu, i, y);
+            co_await _mz.put(cpu, i, z);
+            co_await _mvx.put(cpu, i, vx);
+            co_await _mvy.put(cpu, i, vy);
+            co_await _mvz.put(cpu, i, vz);
+
+            // Accumulate into the (shared, contended) cell state.
+            const int c1 = cellOf(x, y, z);
+            SimLock& lk = *_cellLocks[c1];
+            co_await lk.acquire(cpu);
+            const I64 n = co_await _cCount[cur].get(cpu, c1);
+            co_await _cCount[cur].put(cpu, c1, n + 1);
+            const I64 sx = co_await _cVx[cur].get(cpu, c1);
+            co_await _cVx[cur].put(cpu, c1, sx + vx);
+            const I64 sy = co_await _cVy[cur].get(cpu, c1);
+            co_await _cVy[cur].put(cpu, c1, sy + vy);
+            const I64 sz = co_await _cVz[cur].get(cpu, c1);
+            co_await _cVz[cur].put(cpu, c1, sz + vz);
+            lk.release(cpu);
+            cpu.advance(8);
+        }
+        co_await m.barrier().wait(cpu);
+    }
+}
+
+void
+Mp3dApp::finish(Machine& m)
+{
+    MemorySystem& ms = m.memsys();
+    I64 acc = 0;
+    for (int i = 0; i < _p.nmol; ++i) {
+        acc += _mx.peek(ms, i) + _my.peek(ms, i) + _mz.peek(ms, i);
+        acc += _mvx.peek(ms, i) + _mvy.peek(ms, i) + _mvz.peek(ms, i);
+    }
+    _checksum = static_cast<double>(acc);
+}
+
+} // namespace tt

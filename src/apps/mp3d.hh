@@ -1,0 +1,99 @@
+/**
+ * @file
+ * MP3D: rarefied hypersonic flow simulation (SPLASH) — the
+ * notoriously communication-bound benchmark of this era. Molecules
+ * (owner-partitioned) fly through a shared 3-D space-cell lattice;
+ * every move updates the molecule's current cell's occupancy and
+ * momentum accumulators, producing heavy, irregular write sharing of
+ * the cell array. Collisions exchange momentum with the cell's
+ * previous-step field. State is fixed-point (int64) so accumulation
+ * commutes exactly and results are bit-identical across targets.
+ */
+
+#ifndef TT_APPS_MP3D_HH
+#define TT_APPS_MP3D_HH
+
+#include <memory>
+#include <vector>
+
+#include "apps/app_utils.hh"
+#include "core/sync.hh"
+
+namespace tt
+{
+
+class Mp3dApp : public BenchApp
+{
+  public:
+    using I64 = std::int64_t;
+
+    struct Params
+    {
+        int nmol = 10000;
+        int cellDim = 8;    ///< space lattice is cellDim^3 cells
+        int iterations = 3;
+        std::uint64_t seed = 0x3D3DULL;
+    };
+
+    explicit Mp3dApp(Params p) : _p(p) {}
+
+    std::string name() const override { return "mp3d"; }
+    void setup(Machine& m) override;
+    Task<void> body(Cpu& cpu) override;
+    void finish(Machine& m) override;
+    double checksum() const override { return _checksum; }
+
+    /** Result extraction: position/velocity of molecule @p i. */
+    struct Molecule
+    {
+        I64 x, y, z, vx, vy, vz;
+    };
+
+    Molecule
+    molecule(MemorySystem& ms, int i) const
+    {
+        return Molecule{_mx.peek(ms, i),  _my.peek(ms, i),
+                        _mz.peek(ms, i),  _mvx.peek(ms, i),
+                        _mvy.peek(ms, i), _mvz.peek(ms, i)};
+    }
+
+    static I64 spaceSpan() { return kSpace; }
+
+    /** Molecule moves performed. */
+    std::uint64_t
+    workUnits() const override
+    {
+        return static_cast<std::uint64_t>(_p.nmol) * _p.iterations;
+    }
+
+  private:
+    static constexpr I64 kSpace = 1 << 20; ///< fixed-point lattice span
+
+    int
+    cellOf(I64 x, I64 y, I64 z) const
+    {
+        const int d = _p.cellDim;
+        auto clamp = [&](I64 v) {
+            const I64 c = (v * d) / kSpace;
+            return static_cast<int>(std::min<I64>(d - 1,
+                                                  std::max<I64>(0, c)));
+        };
+        return (clamp(z) * d + clamp(y)) * d + clamp(x);
+    }
+
+    Params _p;
+    Machine* _machine = nullptr;
+
+    // Molecule state (owner-partitioned).
+    ChunkedArray<I64> _mx, _my, _mz, _mvx, _mvy, _mvz;
+    // Double-buffered cell accumulators: [parity][cell].
+    ChunkedArray<I64> _cCount[2], _cVx[2], _cVy[2], _cVz[2];
+    // One lock per cell (modeled synchronization primitive).
+    std::vector<std::unique_ptr<SimLock>> _cellLocks;
+
+    double _checksum = 0;
+};
+
+} // namespace tt
+
+#endif // TT_APPS_MP3D_HH

@@ -1,0 +1,80 @@
+#include "apps/ocean.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace tt
+{
+
+void
+OceanApp::setup(Machine& m)
+{
+    _machine = &m;
+    MemorySystem& ms = m.memsys();
+    const int dim = _p.n + 2;
+    _grid = ms.shmalloc(static_cast<std::size_t>(dim) * dim * 8);
+
+    // Boundary conditions and a smooth deterministic interior field.
+    for (int r = 0; r < dim; ++r) {
+        for (int c = 0; c < dim; ++c) {
+            double v;
+            const bool boundary =
+                r == 0 || c == 0 || r == dim - 1 || c == dim - 1;
+            if (boundary)
+                v = std::sin(0.1 * r) + std::cos(0.07 * c);
+            else
+                v = 0.01 * ((r * 31 + c * 17) % 64);
+            ms.poke(at(r, c), &v, 8);
+        }
+    }
+}
+
+Task<void>
+OceanApp::body(Cpu& cpu)
+{
+    const int P = _machine->nodes();
+    // Interior rows 1..n block-partitioned across processors.
+    const IndexRange rows = blockRange(_p.n, P, cpu.id());
+    const int r0 = static_cast<int>(rows.begin) + 1;
+    const int r1 = static_cast<int>(rows.end) + 1;
+
+    for (int it = 0; it < _p.iterations; ++it) {
+        for (int color = 0; color < 2; ++color) {
+            for (int r = r0; r < r1; ++r) {
+                for (int c = 1 + (r + color) % 2; c <= _p.n; c += 2) {
+                    const double up =
+                        co_await cpu.read<double>(at(r - 1, c));
+                    const double down =
+                        co_await cpu.read<double>(at(r + 1, c));
+                    const double left =
+                        co_await cpu.read<double>(at(r, c - 1));
+                    const double right =
+                        co_await cpu.read<double>(at(r, c + 1));
+                    const double v = 0.25 * (up + down + left + right);
+                    co_await cpu.write<double>(at(r, c), v);
+                    cpu.advance(6); // 3 adds, multiply, index math
+                }
+            }
+            co_await _machine->barrier().wait(cpu);
+        }
+    }
+}
+
+void
+OceanApp::finish(Machine& m)
+{
+    MemorySystem& ms = m.memsys();
+    double sum = 0;
+    const int dim = _p.n + 2;
+    for (int r = 0; r < dim; ++r) {
+        for (int c = 0; c < dim; ++c) {
+            double v;
+            ms.peek(at(r, c), &v, 8);
+            sum += v;
+        }
+    }
+    _checksum = sum;
+}
+
+} // namespace tt

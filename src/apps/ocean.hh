@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ocean: hydrodynamic simulation of a 2-D cross-section of a cuboidal
+ * ocean basin (SPLASH). The kernel is the red-black Gauss-Seidel
+ * relaxation that dominates the SPLASH code: an (n+2)^2 grid with
+ * fixed boundaries, row-partitioned, neighbor rows shared at
+ * partition boundaries, one barrier per color per sweep.
+ */
+
+#ifndef TT_APPS_OCEAN_HH
+#define TT_APPS_OCEAN_HH
+
+#include "apps/app_utils.hh"
+
+namespace tt
+{
+
+class OceanApp : public BenchApp
+{
+  public:
+    struct Params
+    {
+        int n = 98;         ///< interior grid dimension (Table 3)
+        int iterations = 4; ///< red-black sweeps
+        std::uint64_t seed = 0x0CEAULL;
+    };
+
+    explicit OceanApp(Params p) : _p(p) {}
+
+    std::string name() const override { return "ocean"; }
+    void setup(Machine& m) override;
+    Task<void> body(Cpu& cpu) override;
+    void finish(Machine& m) override;
+    double checksum() const override { return _checksum; }
+
+    /** Result extraction: grid point (r, c), 0 <= r,c <= n+1. */
+    double
+    gridAt(MemorySystem& ms, int r, int c) const
+    {
+        double v;
+        ms.peek(at(r, c), &v, 8);
+        return v;
+    }
+
+    /** Interior point relaxations performed. */
+    std::uint64_t
+    workUnits() const override
+    {
+        return static_cast<std::uint64_t>(_p.n) * _p.n * _p.iterations;
+    }
+
+  private:
+    Addr at(int r, int c) const
+    {
+        return _grid + (static_cast<Addr>(r) * (_p.n + 2) + c) * 8;
+    }
+
+    Params _p;
+    Addr _grid = 0;
+    Machine* _machine = nullptr;
+    double _checksum = 0;
+};
+
+} // namespace tt
+
+#endif // TT_APPS_OCEAN_HH

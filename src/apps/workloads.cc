@@ -1,0 +1,101 @@
+#include "apps/workloads.hh"
+
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+const char*
+dataSetName(DataSet d)
+{
+    switch (d) {
+      case DataSet::Tiny:
+        return "tiny";
+      case DataSet::Small:
+        return "small";
+      case DataSet::Large:
+        return "large";
+    }
+    return "?";
+}
+
+std::vector<WorkloadInfo>
+workloadTable()
+{
+    return {
+        {"appbt", "12x12x12", "24x24x24"},
+        {"barnes", "2048 bodies", "8192 bodies"},
+        {"mp3d", "10,000 mols", "50,000 mols"},
+        {"ocean", "98x98 grid", "386x386 grid"},
+        {"em3d", "64,000 nodes, degree 10",
+         "192,000 nodes, degree 15"},
+    };
+}
+
+Em3dApp::Params
+em3dParams(DataSet ds, double remote_frac, int scale)
+{
+    Em3dApp::Params p;
+    switch (ds) {
+      case DataSet::Tiny:
+        p.nNodes = 2048;
+        p.degree = 4;
+        break;
+      case DataSet::Small:
+        p.nNodes = 64000 / scale;
+        p.degree = 10;
+        break;
+      case DataSet::Large:
+        p.nNodes = 192000 / scale;
+        p.degree = 15;
+        break;
+    }
+    p.remoteFrac = remote_frac;
+    p.iterations = 4;
+    return p;
+}
+
+std::unique_ptr<BenchApp>
+makeWorkload(const std::string& app, DataSet ds, int scale)
+{
+    const bool small = ds == DataSet::Small;
+    const bool tiny = ds == DataSet::Tiny;
+    if (app == "appbt") {
+        AppbtApp::Params p;
+        p.n = tiny ? 6 : (small ? 12 : 24);
+        if (scale > 1 && !tiny)
+            p.n = std::max(6, p.n / scale);
+        p.iterations = 2;
+        return std::make_unique<AppbtApp>(p);
+    }
+    if (app == "barnes") {
+        BarnesApp::Params p;
+        p.nbodies = tiny ? 256 : (small ? 2048 : 8192) / scale;
+        p.iterations = 2;
+        return std::make_unique<BarnesApp>(p);
+    }
+    if (app == "mp3d") {
+        Mp3dApp::Params p;
+        p.nmol = tiny ? 512 : (small ? 10000 : 50000) / scale;
+        p.cellDim = tiny ? 4 : (small ? 8 : 14);
+        p.iterations = 3;
+        return std::make_unique<Mp3dApp>(p);
+    }
+    if (app == "ocean") {
+        OceanApp::Params p;
+        p.n = tiny ? 18 : (small ? 98 : 386);
+        if (scale > 1 && !tiny)
+            p.n = std::max(18, p.n / scale);
+        p.iterations = 4;
+        return std::make_unique<OceanApp>(p);
+    }
+    if (app == "em3d") {
+        return std::make_unique<Em3dApp>(
+            em3dParams(tiny ? DataSet::Tiny
+                            : (small ? DataSet::Small : DataSet::Large),
+                       0.2, scale));
+    }
+    tt_fatal("unknown workload: ", app);
+}
+
+} // namespace tt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The application data sets of Table 3, plus reduced "tiny" variants
+ * used by integration tests and quick bench runs. The small data sets
+ * are scaled for a 4 KB cache and fit entirely in the larger caches,
+ * exactly as in the paper's methodology (section 6).
+ */
+
+#ifndef TT_APPS_WORKLOADS_HH
+#define TT_APPS_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_utils.hh"
+#include "apps/appbt.hh"
+#include "apps/barnes.hh"
+#include "apps/em3d.hh"
+#include "apps/mp3d.hh"
+#include "apps/ocean.hh"
+
+namespace tt
+{
+
+enum class DataSet { Tiny, Small, Large };
+
+const char* dataSetName(DataSet d);
+
+/** Table 3 entry. */
+struct WorkloadInfo
+{
+    std::string app;
+    std::string smallDesc;
+    std::string largeDesc;
+};
+
+/** The five applications of Table 3, in paper order. */
+std::vector<WorkloadInfo> workloadTable();
+
+/**
+ * Instantiate an application with its Table 3 data set. @p scale
+ * divides the problem size (benches use it for quick runs); 1 = the
+ * paper's sizes.
+ */
+std::unique_ptr<BenchApp> makeWorkload(const std::string& app,
+                                       DataSet ds, int scale = 1);
+
+/** EM3D with an explicit remote-edge fraction (Figure 4 sweeps). */
+Em3dApp::Params em3dParams(DataSet ds, double remote_frac,
+                           int scale = 1);
+
+} // namespace tt
+
+#endif // TT_APPS_WORKLOADS_HH

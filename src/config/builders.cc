@@ -1,0 +1,111 @@
+#include "config/builders.hh"
+
+#include <iomanip>
+
+namespace tt
+{
+
+TargetMachine
+buildDirNNB(const MachineConfig& cfg)
+{
+    TargetMachine t;
+    t.machine = std::make_unique<Machine>(cfg.core);
+    t.network = std::make_unique<Network>(
+        t.machine->eq(), cfg.core.nodes, cfg.net, t.machine->stats());
+    t.dir = std::make_unique<DirMemSystem>(*t.machine, *t.network,
+                                           cfg.dir);
+    t.machine->setMemSystem(t.dir.get());
+    return t;
+}
+
+TargetMachine
+buildTyphoonStache(const MachineConfig& cfg)
+{
+    TargetMachine t;
+    t.machine = std::make_unique<Machine>(cfg.core);
+    t.network = std::make_unique<Network>(
+        t.machine->eq(), cfg.core.nodes, cfg.net, t.machine->stats());
+    t.typhoon = std::make_unique<TyphoonMemSystem>(
+        *t.machine, *t.network, cfg.typhoon);
+    t.protocol =
+        std::make_unique<Stache>(*t.machine, *t.typhoon, cfg.stache);
+    t.machine->setMemSystem(t.typhoon.get());
+    return t;
+}
+
+TargetMachine
+buildTyphoonEm3dUpdate(const MachineConfig& cfg)
+{
+    TargetMachine t;
+    t.machine = std::make_unique<Machine>(cfg.core);
+    t.network = std::make_unique<Network>(
+        t.machine->eq(), cfg.core.nodes, cfg.net, t.machine->stats());
+    t.typhoon = std::make_unique<TyphoonMemSystem>(
+        *t.machine, *t.network, cfg.typhoon);
+    auto proto = std::make_unique<Em3dUpdateProtocol>(
+        *t.machine, *t.typhoon, cfg.stache);
+    t.em3d = proto.get();
+    t.protocol = std::move(proto);
+    t.machine->setMemSystem(t.typhoon.get());
+    return t;
+}
+
+TargetMachine
+buildTyphoonMigratory(const MachineConfig& cfg)
+{
+    TargetMachine t;
+    t.machine = std::make_unique<Machine>(cfg.core);
+    t.network = std::make_unique<Network>(
+        t.machine->eq(), cfg.core.nodes, cfg.net, t.machine->stats());
+    t.typhoon = std::make_unique<TyphoonMemSystem>(
+        *t.machine, *t.network, cfg.typhoon);
+    auto proto = std::make_unique<MigratoryProtocol>(
+        *t.machine, *t.typhoon, cfg.stache);
+    t.migratory = proto.get();
+    t.protocol = std::move(proto);
+    t.machine->setMemSystem(t.typhoon.get());
+    return t;
+}
+
+void
+printTable2(std::ostream& os, const MachineConfig& cfg)
+{
+    auto row = [&](const char* name, auto value, const char* unit) {
+        os << "  " << std::left << std::setw(34) << name << value
+           << " " << unit << "\n";
+    };
+    os << "Table 2: simulation parameters\n";
+    os << "Common\n";
+    row("Nodes", cfg.core.nodes, "");
+    row("CPU cache", cfg.core.cacheSize / 1024, "KB, 4-way, random");
+    row("Block size", cfg.core.blockSize, "bytes");
+    row("CPU TLB", cfg.core.tlbEntries, "ent., fully assoc., FIFO");
+    row("Page size", cfg.core.pageSize, "bytes");
+    row("Local cache miss", cfg.core.localMissLatency, "cycles");
+    row("Local writeback", 0, "cycles (perfect write buffer)");
+    row("TLB miss", cfg.core.tlbMissLatency, "cycles");
+    row("Network latency", cfg.net.latency, "cycles");
+    row("Barrier latency", cfg.core.barrierLatency, "cycles");
+    os << "DirNNB only\n";
+    row("Remote miss issue", cfg.dir.remoteMissIssue, "cycles");
+    row("Remote miss finish", cfg.dir.remoteMissFinish, "cycles");
+    row("Replacement (shared/excl)", cfg.dir.replaceShared, "");
+    row("  .. exclusive", cfg.dir.replaceExclusive, "cycles");
+    row("Remote invalidate", cfg.dir.invProcess, "cycles + repl");
+    row("Directory op base", cfg.dir.dirOpBase, "cycles");
+    row("  + block received", cfg.dir.dirBlockRecv, "cycles");
+    row("  + per message sent", cfg.dir.dirPerMsg, "cycles");
+    row("  + block sent", cfg.dir.dirBlockSend, "cycles");
+    os << "Typhoon only\n";
+    row("NP TLB / RTLB", cfg.typhoon.rtlbEntries,
+        "ent., fully assoc., FIFO");
+    row("(R)TLB miss", cfg.typhoon.npTlbMissLatency, "cycles");
+    row("NP D-cache", cfg.typhoon.npDcacheSize / 1024, "KB, 2-way");
+    row("NP dispatch", cfg.typhoon.dispatchCost, "cycles");
+    row("BAF detect", cfg.typhoon.bafDetectCost, "cycles");
+    row("Resume", cfg.typhoon.resumeCost, "cycles");
+    row("Block transfer (BXB)", cfg.typhoon.blockXferCost,
+        "cycles / 32B");
+}
+
+} // namespace tt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Machine assembly: one call builds a complete target system —
+ * nodes, network, memory system, and protocol — for each of the
+ * paper's configurations: the DirNNB baseline, Typhoon/Stache, and
+ * Typhoon with the custom EM3D update protocol.
+ */
+
+#ifndef TT_CONFIG_BUILDERS_HH
+#define TT_CONFIG_BUILDERS_HH
+
+#include <memory>
+#include <ostream>
+
+#include "core/machine.hh"
+#include "custom/em3d_protocol.hh"
+#include "custom/migratory.hh"
+#include "dir/dir_mem_system.hh"
+#include "net/network.hh"
+#include "stache/stache.hh"
+#include "typhoon/typhoon_mem_system.hh"
+
+namespace tt
+{
+
+/** Everything Table 2 configures, in one bag. */
+struct MachineConfig
+{
+    CoreParams core;
+    NetworkParams net;
+    DirParams dir;
+    TyphoonParams typhoon;
+    StacheParams stache;
+};
+
+/** Print the active configuration in the shape of Table 2. */
+void printTable2(std::ostream& os, const MachineConfig& cfg);
+
+/** An assembled target machine (move-only). */
+struct TargetMachine
+{
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<Network> network;
+
+    // Exactly one of the following is populated.
+    std::unique_ptr<DirMemSystem> dir;
+    std::unique_ptr<TyphoonMemSystem> typhoon;
+    std::unique_ptr<Stache> protocol; ///< Stache or Em3dUpdateProtocol
+
+    Em3dUpdateProtocol* em3d = nullptr; ///< set for the update target
+    MigratoryProtocol* migratory = nullptr; ///< set for that target
+
+    Machine& m() { return *machine; }
+    RunResult run(App& app) { return machine->run(app); }
+};
+
+/** The all-hardware DirNNB baseline. */
+TargetMachine buildDirNNB(const MachineConfig& cfg = {});
+
+/** Typhoon running transparent shared memory via Stache. */
+TargetMachine buildTyphoonStache(const MachineConfig& cfg = {});
+
+/** Typhoon running Stache plus the custom EM3D update protocol. */
+TargetMachine buildTyphoonEm3dUpdate(const MachineConfig& cfg = {});
+
+/** Typhoon running the migratory-sharing custom protocol. */
+TargetMachine buildTyphoonMigratory(const MachineConfig& cfg = {});
+
+} // namespace tt
+
+#endif // TT_CONFIG_BUILDERS_HH

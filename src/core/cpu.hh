@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The simulated computation processor. Application code runs as
+ * coroutines; each Cpu tracks its own local time, which may run a
+ * bounded quantum ahead of global event time for purely local work
+ * (cache hits, computation) — the WWT-style conservative window.
+ * Any globally visible action synchronizes through the event queue.
+ */
+
+#ifndef TT_CORE_CPU_HH
+#define TT_CORE_CPU_HH
+
+#include <coroutine>
+#include <cstring>
+
+#include "core/memsys.hh"
+#include "core/params.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class Cpu
+{
+  public:
+    Cpu(EventQueue& eq, const CoreParams& params, NodeId id,
+        StatSet& stats)
+        : _eq(eq), _params(params), _stats(stats), _id(id)
+    {
+    }
+
+    Cpu(const Cpu&) = delete;
+    Cpu& operator=(const Cpu&) = delete;
+
+    NodeId id() const { return _id; }
+    EventQueue& eq() { return _eq; }
+    StatSet& stats() { return _stats; }
+    const CoreParams& params() const { return _params; }
+
+    /** Bind the target memory system (after machine assembly). */
+    void bindMemSystem(MemorySystem* ms) { _memsys = ms; }
+    MemorySystem& memsys() { return *_memsys; }
+
+    /** This CPU's local time (absolute ticks of its progress). */
+    Tick localTime() const { return _localTime; }
+
+    /** Advance local time by @p cycles of local work. */
+    void advance(Tick cycles) { _localTime += cycles; }
+
+    /** Pull local time forward to @p t (resume from an event). */
+    void syncTo(Tick t)
+    {
+        if (t > _localTime)
+            _localTime = t;
+    }
+
+    /** True iff local time has outrun the quantum window. */
+    bool
+    needYield() const
+    {
+        return _localTime > _eq.now() + _params.quantum;
+    }
+
+    /**
+     * Completion upcall from the memory system for a slow-path
+     * access; must be invoked from an event at the completion tick.
+     */
+    void
+    completeAccess(MemRequest& req)
+    {
+        syncTo(_eq.now());
+        auto h = req.waiter;
+        req.waiter = nullptr;
+        tt_assert(h, "completeAccess with no waiter");
+        h.resume();
+    }
+
+    // ---- awaitables ---------------------------------------------------
+
+    /** co_await cpu.compute(n): n cycles of local computation. */
+    struct ComputeAwaitable
+    {
+        Cpu& cpu;
+
+        bool
+        await_ready()
+        {
+            return !cpu.needYield();
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            cpu.yieldAt(cpu._localTime, h);
+        }
+
+        void await_resume() {}
+    };
+
+    ComputeAwaitable
+    compute(Tick cycles)
+    {
+        advance(cycles);
+        _stats.counter("cpu.compute_cycles").inc(cycles);
+        return ComputeAwaitable{*this};
+    }
+
+    /** Untyped access awaitable; the typed wrappers build on it. */
+    struct AccessAwaitable
+    {
+        Cpu& cpu;
+        MemRequest req;
+        bool slow = false;
+
+        bool
+        await_ready()
+        {
+            // The load/store instruction itself.
+            cpu.advance(1);
+            req.issueTime = cpu._localTime;
+            AccessOutcome out = cpu.memsys().access(&req);
+            if (out.inlineDone) {
+                cpu.advance(out.cycles);
+                return !cpu.needYield();
+            }
+            slow = true;
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            if (slow)
+                req.waiter = h;
+            else
+                cpu.yieldAt(cpu._localTime, h);
+        }
+
+        void await_resume() {}
+    };
+
+    /** co_await cpu.read<T>(a): tag-checked load of a T. */
+    template <typename T>
+    struct ReadAwaitable : AccessAwaitable
+    {
+        T value{};
+
+        ReadAwaitable(Cpu& c, Addr a)
+            : AccessAwaitable{c,
+                              MemRequest{&c, a, sizeof(T), MemOp::Read,
+                                         &value, 0, nullptr}}
+        {
+        }
+
+        T await_resume() { return value; }
+    };
+
+    /** co_await cpu.write<T>(a, v): tag-checked store of a T. */
+    template <typename T>
+    struct WriteAwaitable : AccessAwaitable
+    {
+        T value;
+
+        WriteAwaitable(Cpu& c, Addr a, T v)
+            : AccessAwaitable{c,
+                              MemRequest{&c, a, sizeof(T), MemOp::Write,
+                                         &value, 0, nullptr}},
+              value(v)
+        {
+        }
+    };
+
+    template <typename T>
+    ReadAwaitable<T>
+    read(Addr a)
+    {
+        _stats.counter("cpu.loads").inc();
+        return ReadAwaitable<T>(*this, a);
+    }
+
+    template <typename T>
+    WriteAwaitable<T>
+    write(Addr a, T v)
+    {
+        _stats.counter("cpu.stores").inc();
+        return WriteAwaitable<T>(*this, a, v);
+    }
+
+    /** Force this CPU to rejoin the event queue at its local time. */
+    void
+    yieldAt(Tick when, std::coroutine_handle<> h)
+    {
+        _eq.schedule(when < _eq.now() ? _eq.now() : when, [this, h] {
+            syncTo(_eq.now());
+            h.resume();
+        });
+    }
+
+  private:
+    EventQueue& _eq;
+    const CoreParams& _params;
+    StatSet& _stats;
+    MemorySystem* _memsys = nullptr;
+    NodeId _id;
+    Tick _localTime = 0;
+};
+
+} // namespace tt
+
+#endif // TT_CORE_CPU_HH

@@ -1,0 +1,62 @@
+#include "core/machine.hh"
+
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+RunResult
+Machine::run(App& app)
+{
+    tt_assert(_memsys, "no memory system installed");
+    app.setup(*this);
+
+    const int n = nodes();
+    RunResult result;
+    result.cpuFinish.assign(n, kTickMax);
+    int finished = 0;
+    std::exception_ptr firstError;
+
+    // Scheduling at the current tick (not 0) lets one machine run
+    // several apps back-to-back (warm-up + measured runs).
+    for (int i = 0; i < n; ++i) {
+        Cpu* c = _cpus[i].get();
+        _eq.schedule(_eq.now(), [this, &app, c, i, &result, &finished,
+                                 &firstError] {
+            spawnDetached(
+                app.body(*c),
+                [c, i, &result, &finished,
+                 &firstError](std::exception_ptr ep) {
+                    result.cpuFinish[i] = c->localTime();
+                    ++finished;
+                    if (ep && !firstError)
+                        firstError = ep;
+                });
+        });
+    }
+
+    _eq.run();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    if (finished != n) {
+        for (int i = 0; i < n; ++i) {
+            if (result.cpuFinish[i] == kTickMax)
+                tt_warn("cpu ", i, " never finished (deadlock)");
+        }
+        tt_panic("event queue drained with ", n - finished,
+                 " unfinished processors — protocol deadlock");
+    }
+
+    result.execTime = 0;
+    for (Tick t : result.cpuFinish)
+        if (t > result.execTime)
+            result.execTime = t;
+    result.events = _eq.executed();
+
+    app.finish(*this);
+    return result;
+}
+
+} // namespace tt

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The assembled target machine: N processing nodes over one event
+ * queue, a memory system, and the application-run harness.
+ */
+
+#ifndef TT_CORE_MACHINE_HH
+#define TT_CORE_MACHINE_HH
+
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cpu.hh"
+#include "core/memsys.hh"
+#include "core/params.hh"
+#include "core/sync.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace tt
+{
+
+class Machine;
+
+/**
+ * A parallel application. setup() allocates and initializes shared
+ * data at zero simulated cost; body() is the per-processor SPMD
+ * coroutine; finish() extracts/validates results after the run.
+ */
+class App
+{
+  public:
+    virtual ~App() = default;
+    virtual std::string name() const = 0;
+    virtual void setup(Machine& m) { (void)m; }
+    virtual Task<void> body(Cpu& cpu) = 0;
+    virtual void finish(Machine& m) { (void)m; }
+};
+
+/** Outcome of Machine::run(). */
+struct RunResult
+{
+    Tick execTime = 0;            ///< max over CPUs of finish time
+    std::vector<Tick> cpuFinish;  ///< per-CPU finish times
+    std::uint64_t events = 0;     ///< events executed by the kernel
+};
+
+class Machine
+{
+  public:
+    explicit Machine(const CoreParams& params)
+        : _params(params),
+          _rng(params.seed),
+          _barrier(_eq, params.nodes, params.barrierLatency)
+    {
+        _cpus.reserve(params.nodes);
+        for (int i = 0; i < params.nodes; ++i) {
+            _cpus.push_back(
+                std::make_unique<Cpu>(_eq, _params, i, _stats));
+        }
+    }
+
+    const CoreParams& params() const { return _params; }
+    EventQueue& eq() { return _eq; }
+    StatSet& stats() { return _stats; }
+    Rng& rng() { return _rng; }
+    int nodes() const { return _params.nodes; }
+
+    Cpu& cpu(int i) { return *_cpus.at(i); }
+
+    /** The application-level global barrier. */
+    Barrier& barrier() { return _barrier; }
+
+    /** Install the memory system (not owned). */
+    void
+    setMemSystem(MemorySystem* ms)
+    {
+        _memsys = ms;
+        for (auto& c : _cpus)
+            c->bindMemSystem(ms);
+    }
+
+    MemorySystem& memsys() { return *_memsys; }
+
+    /**
+     * Run @p app to completion on all nodes. Throws if any node's
+     * coroutine threw, or panics if the event queue drains with
+     * unfinished processors (a protocol deadlock).
+     */
+    RunResult run(App& app);
+
+  private:
+    CoreParams _params;
+    EventQueue _eq;
+    StatSet _stats;
+    Rng _rng;
+    std::vector<std::unique_ptr<Cpu>> _cpus;
+    Barrier _barrier;
+    MemorySystem* _memsys = nullptr;
+};
+
+} // namespace tt
+
+#endif // TT_CORE_MACHINE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The boundary between simulated CPUs and a target memory system.
+ * Both targets (the DirNNB hardware-coherence baseline and
+ * Typhoon + user-level protocols) implement MemorySystem.
+ */
+
+#ifndef TT_CORE_MEMSYS_HH
+#define TT_CORE_MEMSYS_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class Cpu;
+
+/** Kind of a tag-checked processor access. */
+enum class MemOp : std::uint8_t { Read, Write };
+
+/**
+ * One processor load/store presented to the memory system. The
+ * request object lives in the awaiting coroutine's frame and remains
+ * valid until the memory system completes it.
+ */
+struct MemRequest
+{
+    Cpu* cpu = nullptr;
+    Addr vaddr = 0;
+    std::uint32_t size = 0;
+    MemOp op = MemOp::Read;
+    /** Read: filled at completion. Write: source bytes. */
+    void* buf = nullptr;
+    /** CPU local time when the access issued. */
+    Tick issueTime = 0;
+    /** Set by the awaitable before suspension on the slow path. */
+    std::coroutine_handle<> waiter;
+};
+
+/** Immediate outcome of presenting an access. */
+struct AccessOutcome
+{
+    /**
+     * True: the access completed synchronously (data transferred);
+     * @c cycles is the extra latency beyond the load/store
+     * instruction itself. False: the memory system keeps the request
+     * pointer and will resume the CPU via Cpu::completeAccess().
+     */
+    bool inlineDone = false;
+    Tick cycles = 0;
+};
+
+/**
+ * A complete target memory system: timing and data for every
+ * tag-checked access, plus shared-segment allocation.
+ */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /** Present a processor access; see AccessOutcome. */
+    virtual AccessOutcome access(MemRequest* req) = 0;
+
+    /**
+     * Allocate @p bytes of shared memory (page-granular under the
+     * hood). @p home pins the pages' home node; kNoNode distributes
+     * pages round-robin. Costless (application setup time).
+     */
+    virtual Addr shmalloc(std::size_t bytes, NodeId home = kNoNode) = 0;
+
+    /** Home node of the page containing @p va. */
+    virtual NodeId homeOf(Addr va) const = 0;
+
+    /**
+     * Debug/verification backdoors reading or writing the
+     * authoritative copy with zero simulated cost. Only meaningful at
+     * quiescence (setup, or after all CPUs have synchronized).
+     */
+    virtual void peek(Addr va, void* buf, std::size_t len) = 0;
+    virtual void poke(Addr va, const void* buf, std::size_t len) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace tt
+
+#endif // TT_CORE_MEMSYS_HH

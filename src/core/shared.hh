@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Typed helpers over the shared segment: a GArray<T> wraps a
+ * shared-memory allocation and exposes awaitable element accessors,
+ * the idiom application kernels use for every shared reference.
+ */
+
+#ifndef TT_CORE_SHARED_HH
+#define TT_CORE_SHARED_HH
+
+#include <cstddef>
+
+#include "core/cpu.hh"
+#include "core/memsys.hh"
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+/**
+ * A shared-memory array of T. Elements must not straddle coherence
+ * blocks (satisfied for power-of-two-sized scalar T on aligned
+ * allocations, which shmalloc guarantees).
+ */
+template <typename T>
+class GArray
+{
+  public:
+    GArray() = default;
+
+    GArray(MemorySystem& ms, std::size_t count, NodeId home = kNoNode)
+        : _base(ms.shmalloc(count * sizeof(T), home)), _count(count)
+    {
+    }
+
+    /** Wrap an existing allocation. */
+    GArray(Addr base, std::size_t count) : _base(base), _count(count) {}
+
+    Addr base() const { return _base; }
+    std::size_t size() const { return _count; }
+    Addr addrOf(std::size_t i) const { return _base + i * sizeof(T); }
+
+    /** co_await arr.get(cpu, i). */
+    Cpu::ReadAwaitable<T>
+    get(Cpu& cpu, std::size_t i) const
+    {
+        tt_assert(i < _count, "GArray read out of range: ", i, " >= ",
+                  _count);
+        return cpu.read<T>(addrOf(i));
+    }
+
+    /** co_await arr.put(cpu, i, v). */
+    Cpu::WriteAwaitable<T>
+    put(Cpu& cpu, std::size_t i, T v) const
+    {
+        tt_assert(i < _count, "GArray write out of range: ", i, " >= ",
+                  _count);
+        return cpu.write<T>(addrOf(i), v);
+    }
+
+    /** Zero-cost backdoor initialization (setup time only). */
+    void
+    pokeAll(MemorySystem& ms, const T* src, std::size_t n) const
+    {
+        tt_assert(n <= _count, "pokeAll overflow");
+        ms.poke(_base, src, n * sizeof(T));
+    }
+
+    void
+    poke(MemorySystem& ms, std::size_t i, const T& v) const
+    {
+        ms.poke(addrOf(i), &v, sizeof(T));
+    }
+
+    T
+    peek(MemorySystem& ms, std::size_t i) const
+    {
+        T v;
+        ms.peek(addrOf(i), &v, sizeof(T));
+        return v;
+    }
+
+  private:
+    Addr _base = 0;
+    std::size_t _count = 0;
+};
+
+} // namespace tt
+
+#endif // TT_CORE_SHARED_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Synchronization primitives for simulated applications: a reusable
+ * global barrier (Table 2: 11-cycle barrier network, as on the CM-5)
+ * and a queued lock with a fixed modeled cost. Both are
+ * memory-system-independent so the two targets are charged equally
+ * for synchronization, per the paper's methodology.
+ */
+
+#ifndef TT_CORE_SYNC_HH
+#define TT_CORE_SYNC_HH
+
+#include <coroutine>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "core/cpu.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+/**
+ * Reusable sense-reversing global barrier across @p nproc CPUs.
+ * All participants resume at max(arrival times) + barrier latency.
+ */
+class Barrier
+{
+  public:
+    Barrier(EventQueue& eq, int nproc, Tick latency)
+        : _eq(eq), _nproc(nproc), _latency(latency)
+    {
+        _waiters.reserve(nproc);
+    }
+
+    struct Awaitable
+    {
+        Barrier& b;
+        Cpu& cpu;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            b.arrive(cpu, h);
+        }
+
+        void await_resume() {}
+    };
+
+    /** co_await barrier.wait(cpu). */
+    Awaitable wait(Cpu& cpu) { return Awaitable{*this, cpu}; }
+
+    /** Number of completed barrier episodes. */
+    std::uint64_t episodes() const { return _episodes; }
+
+  private:
+    void
+    arrive(Cpu& cpu, std::coroutine_handle<> h)
+    {
+        if (cpu.localTime() > _maxArrive)
+            _maxArrive = cpu.localTime();
+        _waiters.emplace_back(&cpu, h);
+        if (static_cast<int>(_waiters.size()) < _nproc)
+            return;
+
+        // Last arriver releases everyone.
+        const Tick release =
+            std::max(_maxArrive, _eq.now()) + _latency;
+        auto batch = std::move(_waiters);
+        _waiters.clear();
+        _maxArrive = 0;
+        ++_episodes;
+        _eq.schedule(release, [batch = std::move(batch)] {
+            for (auto& [cpu, handle] : batch) {
+                cpu->syncTo(cpu->eq().now());
+                handle.resume();
+            }
+        });
+    }
+
+    EventQueue& _eq;
+    int _nproc;
+    Tick _latency;
+    Tick _maxArrive = 0;
+    std::uint64_t _episodes = 0;
+    std::vector<std::pair<Cpu*, std::coroutine_handle<>>> _waiters;
+};
+
+/**
+ * A queued mutual-exclusion lock. Acquire charges half the modeled
+ * lock cost; release charges the other half and hands the lock to the
+ * next waiter, who resumes no earlier than the releaser's time.
+ */
+class SimLock
+{
+  public:
+    explicit SimLock(EventQueue& eq, Tick latency)
+        : _eq(eq), _halfCost(latency / 2)
+    {
+    }
+
+    struct Awaitable
+    {
+        SimLock& lk;
+        Cpu& cpu;
+
+        bool
+        await_ready()
+        {
+            cpu.advance(lk._halfCost);
+            if (!lk._held) {
+                lk._held = true;
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            lk._queue.emplace_back(&cpu, h);
+        }
+
+        void await_resume() {}
+    };
+
+    /** co_await lock.acquire(cpu). Must later call release(cpu). */
+    Awaitable acquire(Cpu& cpu) { return Awaitable{*this, cpu}; }
+
+    /** Release; plain call (charges the releasing CPU). */
+    void
+    release(Cpu& cpu)
+    {
+        tt_assert(_held, "release of unheld lock");
+        cpu.advance(_halfCost);
+        if (_queue.empty()) {
+            _held = false;
+            return;
+        }
+        auto [next, h] = _queue.front();
+        _queue.pop_front();
+        // Ownership transfers; the next holder resumes once the
+        // release has globally happened.
+        const Tick when = std::max(cpu.localTime(), next->localTime());
+        _eq.schedule(std::max(when, _eq.now()), [next = next, h = h] {
+            next->syncTo(next->eq().now());
+            h.resume();
+        });
+    }
+
+    bool held() const { return _held; }
+
+  private:
+    EventQueue& _eq;
+    Tick _halfCost;
+    bool _held = false;
+    std::deque<std::pair<Cpu*, std::coroutine_handle<>>> _queue;
+};
+
+} // namespace tt
+
+#endif // TT_CORE_SYNC_HH

@@ -1,0 +1,22 @@
+#include "core/tempest.hh"
+
+namespace tt
+{
+
+const char*
+accessTagName(AccessTag t)
+{
+    switch (t) {
+      case AccessTag::Invalid:
+        return "Invalid";
+      case AccessTag::ReadOnly:
+        return "ReadOnly";
+      case AccessTag::ReadWrite:
+        return "ReadWrite";
+      case AccessTag::Busy:
+        return "Busy";
+    }
+    return "?";
+}
+
+} // namespace tt

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The Tempest interface (paper section 2): the user-level mechanisms a
+ * program, compiler, or runtime library composes into shared-memory
+ * policy. Four mechanism families:
+ *
+ *  1. low-overhead active messages,
+ *  2. bulk node-to-node data transfer,
+ *  3. user-level virtual-memory management,
+ *  4. fine-grain access control — per-block tags with the nine
+ *     operations of Table 1.
+ *
+ * Protocol libraries (Stache, the EM3D update protocol, user code)
+ * program exclusively against these abstractions; Typhoon
+ * (src/typhoon) is the hardware implementation.
+ */
+
+#ifndef TT_CORE_TEMPEST_HH
+#define TT_CORE_TEMPEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/memsys.hh"
+#include "net/message.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/**
+ * Fine-grain access tag of a memory block (section 2.4). Busy has
+ * Invalid semantics but lets protocol software distinguish blocks
+ * needing special handling, e.g. outstanding prefetches (section 5.4).
+ */
+enum class AccessTag : std::uint8_t
+{
+    Invalid = 0,
+    ReadOnly = 1,
+    ReadWrite = 2,
+    Busy = 3,
+};
+
+const char* accessTagName(AccessTag t);
+
+/** Description of a block access fault delivered to a user handler. */
+struct BlockFault
+{
+    Addr va = 0;          ///< faulting virtual address
+    MemOp op = MemOp::Read;
+    AccessTag tag = AccessTag::Invalid; ///< tag that caused the fault
+    std::uint8_t mode = 0;              ///< page mode of the page
+};
+
+/**
+ * Execution context of a user-level handler — on Typhoon, the NP with
+ * its caches and TLBs. Provides the Tempest operations together with
+ * instruction-cost accounting: every primitive charges its own cost;
+ * plain computation in handler code is charged via charge().
+ *
+ * All addresses are virtual addresses in this node's address space.
+ */
+class TempestCtx
+{
+  public:
+    virtual ~TempestCtx() = default;
+
+    virtual NodeId nodeId() const = 0;
+
+    /** Charge @p instructions cycles of plain handler computation. */
+    virtual void charge(std::uint32_t instructions) = 0;
+
+    /** Cycles charged so far by this handler activation. */
+    virtual Tick charged() const = 0;
+
+    // --- Table 1: fine-grain access control ----------------------------
+    /** read-tag: current tag of the block containing @p va. */
+    virtual AccessTag readTag(Addr va) = 0;
+    /** set-RW: tag the block ReadWrite. */
+    virtual void setRW(Addr va) = 0;
+    /** set-RO: tag the block ReadOnly. */
+    virtual void setRO(Addr va) = 0;
+    /** set Busy (Invalid semantics, software-visible distinction). */
+    virtual void setBusy(Addr va) = 0;
+    /**
+     * invalidate: tag the block Invalid and invalidate any local
+     * CPU-cached copies (section 5.4).
+     */
+    virtual void invalidate(Addr va) = 0;
+    /** force-read: load bypassing the tag check. */
+    virtual void forceRead(Addr va, void* buf, std::uint32_t len) = 0;
+    /** force-write: store bypassing the tag check. */
+    virtual void forceWrite(Addr va, const void* buf,
+                            std::uint32_t len) = 0;
+    /** resume: restart the suspended computation thread. */
+    virtual void resume() = 0;
+    /**
+     * True iff the computation thread is suspended on an access
+     * whose address falls inside the block containing @p block_va.
+     * Lets handlers for asynchronously arriving data (prefetch
+     * replies) decide whether a resume is due.
+     */
+    virtual bool threadSuspendedOn(Addr block_va) const = 0;
+    /**
+     * True iff the local CPU holds the block's line owned-dirty (the
+     * NP can observe this on the bus). Heuristic input for adaptive
+     * protocols: a clean/absent line after eager writeback loses the
+     * information.
+     */
+    virtual bool cpuCopyDirty(Addr va) = 0;
+    /**
+     * Bulk tag initialization of every block in the page containing
+     * @p va (one RTLB entry write). The page-grain idiom protocol
+     * page-fault handlers rely on.
+     */
+    virtual void setPageTags(Addr va, AccessTag t) = 0;
+
+    // --- messaging ------------------------------------------------------
+    /**
+     * Send an active message. Charges send-queue store costs (one
+     * word per cycle, section 5.1); the message departs at the
+     * handler's currently-charged time. Deadlock-free protocols send
+     * requests on VNet::Request (low receiver priority) and replies
+     * on VNet::Response (section 5.1).
+     */
+    virtual void send(NodeId dst, HandlerId handler,
+                      std::span<const Word> args,
+                      const void* data = nullptr,
+                      std::uint32_t data_len = 0,
+                      VNet vnet = VNet::Request) = 0;
+
+    // --- virtual memory management ---------------------------------------
+    virtual PAddr allocPhysPage() = 0;
+    virtual void freePhysPage(PAddr pa) = 0;
+    virtual void mapPage(Addr va, PAddr pa, std::uint8_t mode) = 0;
+    virtual void unmapPage(Addr va) = 0;
+    /**
+     * Remap the physical page under @p old_va to @p new_va (section
+     * 2.3: stache replacement "remaps the page at the new virtual
+     * address"). Equivalent to unmap + map of the same frame; tags
+     * reset to Invalid.
+     */
+    virtual void remapPage(Addr old_va, Addr new_va,
+                           std::uint8_t mode) = 0;
+    /** True iff the page containing @p va is mapped on this node. */
+    virtual bool pageMapped(Addr va) const = 0;
+    /**
+     * Page-level write permission (section 2.3: "a write to a
+     * read-only page suspends the current computational thread and
+     * invokes a user-level handler"). Pages map writable by default.
+     */
+    virtual bool pageWritable(Addr va) const = 0;
+    virtual void setPageWritable(Addr va, bool writable) = 0;
+
+    /**
+     * Per-page uninterpreted user state (the RTLB's 48 bits: by
+     * convention a 16-bit home node id plus a pointer-sized handle to
+     * an arbitrary user structure, e.g. a Stache directory vector).
+     */
+    virtual std::uint64_t pageUserWord(Addr va) const = 0;
+    virtual void setPageUserWord(Addr va, std::uint64_t w) = 0;
+
+    /**
+     * Account one handler data access to a protocol structure through
+     * the NP data cache; @p key is any stable address-like value
+     * identifying the datum (timing only — the structure itself is a
+     * host object).
+     */
+    virtual void structAccess(std::uint64_t key) = 0;
+
+    // --- bulk transfer ----------------------------------------------------
+    /**
+     * Start an asynchronous bulk transfer of @p len bytes from local
+     * @p src_va to @p dst_va on @p dst (section 2.2 / 5.2). Data is
+     * packetized into maximum-size packets carrying 64 data bytes.
+     * When the last packet has been written at the destination, the
+     * destination NP invokes @p done_handler there (0 = none); the
+     * source NP's completion is observable via bulkPending().
+     */
+    virtual void bulkTransfer(Addr src_va, NodeId dst, Addr dst_va,
+                              std::uint32_t len,
+                              HandlerId done_handler = 0) = 0;
+};
+
+/** User-level handler invoked by an arriving active message. */
+using MsgHandler = std::function<void(TempestCtx&, const Message&)>;
+
+/** User-level handler invoked on a block access fault. */
+using FaultHandler = std::function<void(TempestCtx&, const BlockFault&)>;
+
+/**
+ * User-level handler invoked when the computation thread touches an
+ * unmapped shared page (coarse-grain management, section 2.3).
+ */
+using PageFaultHandler =
+    std::function<void(TempestCtx&, Addr va, MemOp op)>;
+
+/**
+ * Per-node registration surface of the Tempest interface. A protocol
+ * library installs its handlers through this at setup time.
+ */
+class Tempest
+{
+  public:
+    virtual ~Tempest() = default;
+
+    virtual NodeId nodeId() const = 0;
+
+    virtual void registerMsgHandler(HandlerId id, MsgHandler h) = 0;
+
+    /**
+     * Install the block-fault handler for accesses of kind @p op to
+     * pages whose mode is @p mode (the Typhoon dispatch selects the
+     * handler from page mode + access type + tag; the tag is
+     * delivered in the BlockFault).
+     */
+    virtual void registerFaultHandler(std::uint8_t mode, MemOp op,
+                                      FaultHandler h) = 0;
+
+    virtual void registerPageFaultHandler(PageFaultHandler h) = 0;
+
+    /** Direct (zero-cost, setup-time) access to a handler context. */
+    virtual TempestCtx& setupCtx() = 0;
+};
+
+} // namespace tt
+
+#endif // TT_CORE_TEMPEST_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The custom delayed-update protocol for EM3D (paper section 4) —
+ * the paper's showcase of user-level protocol customization.
+ *
+ * Two new page types are layered over Stache: custom home pages and
+ * custom stache pages. Graph values live on custom home pages whose
+ * tags stay ReadWrite at the home forever, so owner-compute writes
+ * never fault and remote copies go stale *within* a step by design.
+ * A consumer's first read faults and registers the copy on the home's
+ * per-block copy list (and bumps the consumer's expected-update
+ * count); copies are never invalidated. At the end of each half-step
+ * the producer's endStep() sends only the modified values — no
+ * invalidations, no acknowledgments — and consumers simply count
+ * arriving updates until all of their stached blocks are refreshed (a
+ * fuzzy barrier in the handlers).
+ *
+ * Values are grouped per kind (E values vs. H values) because the
+ * two half-steps of EM3D flush and await different value sets.
+ */
+
+#ifndef TT_CUSTOM_EM3D_PROTOCOL_HH
+#define TT_CUSTOM_EM3D_PROTOCOL_HH
+
+#include <array>
+#include <coroutine>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stache/stache.hh"
+
+namespace tt
+{
+
+class Em3dUpdateProtocol : public Stache
+{
+  public:
+    /** Value kinds: the bipartite halves of the EM3D graph. */
+    enum Kind : int { kE = 0, kH = 1 };
+
+    /** Page modes for the custom pages. */
+    static constexpr std::uint8_t kModeCustomHome = 3;
+    static constexpr std::uint8_t kModeCustomStache = 4;
+
+    /** Active-message handler ids of the custom protocol. */
+    enum Handlers : HandlerId
+    {
+        kCGetRO = 0x200, ///< consumer -> home: register + fetch
+        kCData,          ///< home -> consumer: data + registration ack
+        kCUpdate,        ///< home -> consumer: refreshed block values
+        kCFlush,         ///< CPU -> own NP: send updates for a kind
+    };
+
+    Em3dUpdateProtocol(Machine& m, TyphoonMemSystem& ms,
+                       StacheParams p = {});
+
+    std::string protocolName() const override { return "Em3dUpdate"; }
+
+    /**
+     * Allocate value storage on custom home pages at @p home. All
+     * blocks start ReadWrite at the home and stay that way.
+     */
+    Addr allocCustom(std::size_t bytes, NodeId home, Kind kind);
+
+    /**
+     * End-of-half-step: flush this node's modified @p kind values to
+     * all registered consumers, then wait until all of this node's
+     * own stached @p kind blocks have been refreshed (update
+     * counting). Callers follow with the machine barrier, which
+     * bounds skew to one half-step.
+     */
+    struct EndStepAwaitable;
+    EndStepAwaitable endStep(Cpu& cpu, Kind kind);
+
+    // --- introspection ----------------------------------------------------
+    std::uint32_t expectedUpdates(NodeId n, Kind k) const;
+    std::size_t copyListSize(Addr blk) const;
+
+  private:
+    void onCustomPageFault(TempestCtx& ctx, Addr va, MemOp op);
+    void onCustomReadFault(TempestCtx& ctx, const BlockFault& f);
+    void onCGet(TempestCtx& ctx, const Message& msg);
+    void onCData(TempestCtx& ctx, const Message& msg);
+    void onCUpdate(TempestCtx& ctx, const Message& msg);
+    void onCFlush(TempestCtx& ctx, const Message& msg);
+    void maybeRelease(NodeId n, Kind k);
+
+    struct CopyList
+    {
+        std::vector<NodeId> consumers;
+    };
+
+    struct NodeUpd
+    {
+        std::array<std::uint32_t, 2> expected{{0, 0}};
+        std::array<std::uint32_t, 2> arrived{{0, 0}};
+        std::array<std::coroutine_handle<>, 2> waiter{};
+        std::array<Cpu*, 2> waiterCpu{};
+    };
+
+    /** vpn -> kind for custom pages (home and stache sides). */
+    std::unordered_map<std::uint64_t, int> _customKind;
+    /** home blocks with registered copies, per home node and kind. */
+    std::vector<std::array<std::vector<Addr>, 2>> _flushList;
+    std::unordered_map<Addr, CopyList> _copies;
+    std::vector<NodeUpd> _upd;
+    Addr _nextCustomVa = 0x7000'0000;
+
+  public:
+    /** Awaitable for the update-counting fuzzy barrier. */
+    struct EndStepAwaitable
+    {
+        Em3dUpdateProtocol& proto;
+        Cpu& cpu;
+        Kind kind;
+
+        bool
+        await_ready()
+        {
+            NodeUpd& u = proto._upd[cpu.id()];
+            if (u.arrived[kind] >= u.expected[kind]) {
+                u.arrived[kind] -= u.expected[kind];
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            NodeUpd& u = proto._upd[cpu.id()];
+            u.waiter[kind] = h;
+            u.waiterCpu[kind] = &cpu;
+        }
+
+        void await_resume() {}
+    };
+};
+
+} // namespace tt
+
+#endif // TT_CUSTOM_EM3D_PROTOCOL_HH

@@ -1,0 +1,92 @@
+#include "custom/migratory.hh"
+
+namespace tt
+{
+
+void
+MigratoryProtocol::homeRequest(TempestCtx& ctx, Addr blk,
+                               NodeId requester, bool wantRW,
+                               bool upgrade)
+{
+    Pattern& p = _pattern[blk];
+    // The pattern bits live in the directory entry's spare state
+    // bits (the 64-bit entry has room), so reading them costs the
+    // same NP D-cache line the base protocol touches anyway.
+    ctx.structAccess(entryKey(blk));
+    ctx.charge(3); // classification bookkeeping
+
+    if (wantRW) {
+        // An explicit write request: ownership moves (or stays).
+        if (p.lastOwner != kNoNode && p.lastOwner != requester) {
+            if (++p.migrations >= _threshold)
+                p.migratory = true;
+        }
+        p.lastOwner = requester;
+        p.readSinceWrite = false;
+        p.promoted = false;
+        Stache::homeRequest(ctx, blk, requester, true, upgrade);
+        return;
+    }
+
+    // Read request.
+    if (p.migratory && requester != ctx.nodeId()) {
+        // Promote: hand out a writable copy; the follow-up write
+        // hits locally. Whether the *previous* owner actually wrote
+        // is fed back by onOwnerDataReturned() when its copy is
+        // recalled — a clean return demotes the block.
+        _stats.counter("migratory.promotions").inc();
+        p.lastOwner = requester;
+        p.promoted = true;
+        p.readSinceWrite = false;
+        Stache::homeRequest(ctx, blk, requester, /*wantRW=*/true,
+                            /*upgrade=*/false);
+        return;
+    }
+
+    if (p.readSinceWrite) {
+        // Second read with no intervening write: the block is being
+        // read-shared; keep it declassified.
+        p.migratory = false;
+        p.migrations = 0;
+    }
+    p.readSinceWrite = true;
+    Stache::homeRequest(ctx, blk, requester, false, upgrade);
+}
+
+void
+MigratoryProtocol::onOwnerDataReturned(Addr blk, NodeId from,
+                                       bool modified)
+{
+    auto it = _pattern.find(blk);
+    if (it == _pattern.end())
+        return;
+    Pattern& p = it->second;
+    (void)from;
+    if (modified)
+        return; // genuine migratory use: keep the classification
+    if (p.migratory) {
+        // A promoted (or explicit) owner returned the block clean:
+        // the write never came, so promotion is wasted ping-pong.
+        p.migratory = false;
+        p.migrations = 0;
+        p.promoted = false;
+        _stats.counter("migratory.demotions").inc();
+    }
+}
+
+std::size_t
+MigratoryProtocol::migratoryBlocks() const
+{
+    std::size_t n = 0;
+    for (const auto& [blk, p] : _pattern)
+        n += p.migratory;
+    return n;
+}
+
+std::uint64_t
+MigratoryProtocol::promotions() const
+{
+    return _stats.get("migratory.promotions");
+}
+
+} // namespace tt

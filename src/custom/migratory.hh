@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A second user-level custom protocol: migratory-sharing
+ * optimization, in the Cox/Fowler & Stenström et al. style, built —
+ * like Stache itself — purely from Tempest mechanisms. It
+ * demonstrates the paper's central thesis from another angle: the
+ * *home-side software* classifies each block's sharing pattern at
+ * runtime and reshapes the protocol accordingly, something a
+ * hard-wired controller cannot do per-application.
+ *
+ * Detection (per block, at the home): read-modify-write migration
+ * looks like GetRW/upgrade requests from alternating nodes, each
+ * preceded by that node's read. After `threshold` ownership
+ * migrations between distinct nodes — with no intervening run of
+ * pure readers — a block is classified migratory, and subsequent
+ * read requests are *promoted*: the home hands out a writable copy
+ * immediately, so the requester's following write hits locally and
+ * the upgrade round trip (request + invalidation + grant) vanishes.
+ * Two consecutive reads by different nodes declassify the block
+ * (it is being read-shared, where promotion would cause needless
+ * ping-ponging).
+ */
+
+#ifndef TT_CUSTOM_MIGRATORY_HH
+#define TT_CUSTOM_MIGRATORY_HH
+
+#include <unordered_map>
+
+#include "stache/stache.hh"
+
+namespace tt
+{
+
+class MigratoryProtocol : public Stache
+{
+  public:
+    MigratoryProtocol(Machine& m, TyphoonMemSystem& ms,
+                      StacheParams p = {}, int threshold = 2)
+        : Stache(m, ms, p), _threshold(threshold)
+    {
+    }
+
+    std::string protocolName() const override { return "Migratory"; }
+
+    /** Blocks currently classified migratory. */
+    std::size_t migratoryBlocks() const;
+    /** Promotions performed (reads granted writable copies). */
+    std::uint64_t promotions() const;
+
+  protected:
+    void homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
+                     bool wantRW, bool upgrade) override;
+    void onOwnerDataReturned(Addr blk, NodeId from,
+                             bool modified) override;
+
+  private:
+    struct Pattern
+    {
+        NodeId lastOwner = kNoNode;
+        int migrations = 0;        ///< distinct-node ownership moves
+        bool readSinceWrite = false;
+        bool migratory = false;
+        bool promoted = false; ///< current owner got RW from a read
+    };
+
+    std::unordered_map<Addr, Pattern> _pattern;
+    int _threshold;
+};
+
+} // namespace tt
+
+#endif // TT_CUSTOM_MIGRATORY_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A dynamic bitset of node ids — the full-map sharer vector of a
+ * DirNNB directory entry.
+ */
+
+#ifndef TT_DIR_NODE_SET_HH
+#define TT_DIR_NODE_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class NodeSet
+{
+  public:
+    NodeSet() = default;
+    explicit NodeSet(int nodes) : _nodes(nodes), _bits((nodes + 63) / 64)
+    {
+    }
+
+    void
+    add(NodeId n)
+    {
+        check(n);
+        _bits[n >> 6] |= 1ull << (n & 63);
+    }
+
+    void
+    remove(NodeId n)
+    {
+        check(n);
+        _bits[n >> 6] &= ~(1ull << (n & 63));
+    }
+
+    bool
+    contains(NodeId n) const
+    {
+        check(n);
+        return (_bits[n >> 6] >> (n & 63)) & 1;
+    }
+
+    void
+    clear()
+    {
+        for (auto& w : _bits)
+            w = 0;
+    }
+
+    bool
+    empty() const
+    {
+        for (auto w : _bits)
+            if (w)
+                return false;
+        return true;
+    }
+
+    int
+    count() const
+    {
+        int c = 0;
+        for (auto w : _bits)
+            c += __builtin_popcountll(w);
+        return c;
+    }
+
+    /** Enumerate members into a vector (ascending). */
+    std::vector<NodeId>
+    members() const
+    {
+        std::vector<NodeId> out;
+        for (std::size_t w = 0; w < _bits.size(); ++w) {
+            std::uint64_t bits = _bits[w];
+            while (bits) {
+                const int b = __builtin_ctzll(bits);
+                out.push_back(static_cast<NodeId>(w * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+        return out;
+    }
+
+  private:
+    void
+    check(NodeId n) const
+    {
+        tt_assert(n >= 0 && n < _nodes, "node id out of range: ", n);
+    }
+
+    int _nodes = 0;
+    std::vector<std::uint64_t> _bits;
+};
+
+} // namespace tt
+
+#endif // TT_DIR_NODE_SET_HH

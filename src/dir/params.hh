@@ -1,0 +1,45 @@
+/**
+ * @file
+ * DirNNB cost model (Table 2, "DirNNB Only"). The remote miss cost is
+ * composed from its parts: issue overhead at the requester, optional
+ * replacement cost, network hops, the home directory operation, and
+ * the completion cost at the requester:
+ *
+ *   remote miss = 23 + (5|16 if replacement) + network/directory + 34
+ *   directory op = 16 + 11 if block received + 5 per message sent
+ *                  + 11 if block sent
+ *   remote invalidate = 8 + (5|16 if replacement)
+ */
+
+#ifndef TT_DIR_PARAMS_HH
+#define TT_DIR_PARAMS_HH
+
+#include "sim/types.hh"
+
+namespace tt
+{
+
+struct DirParams
+{
+    Tick remoteMissIssue = 23;   ///< requester-side launch overhead
+    Tick remoteMissFinish = 34;  ///< requester-side completion
+    Tick replaceShared = 5;      ///< evicting a shared (clean) line
+    Tick replaceExclusive = 16;  ///< evicting an exclusive line
+    Tick invProcess = 8;         ///< remote invalidate, base
+    Tick dirOpBase = 16;         ///< directory operation, base
+    Tick dirBlockRecv = 11;      ///< +if a block arrives at the dir
+    Tick dirPerMsg = 5;          ///< +per message the dir sends
+    Tick dirBlockSend = 11;      ///< +if the dir sends a block
+
+    /**
+     * Page placement policy for kNoNode allocations: false =
+     * round-robin (IVY-style fixed distributed manager, the paper's
+     * configuration); true = first-touch (the Stenstrom et al.
+     * improvement the paper discusses) — ablation A1.
+     */
+    bool firstTouch = false;
+};
+
+} // namespace tt
+
+#endif // TT_DIR_PARAMS_HH

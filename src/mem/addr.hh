@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Address manipulation helpers. Block and page sizes are runtime
+ * configuration (the paper's fine-grain blocks are "typically 32-128
+ * bytes"; pages are 4 KB), so helpers take the size explicitly.
+ */
+
+#ifndef TT_MEM_ADDR_HH
+#define TT_MEM_ADDR_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/** True iff @p v is a nonzero power of two. */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Round @p a down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Round @p a up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Block-frame address (block-aligned) of @p a. */
+constexpr Addr
+blockAlign(Addr a, std::uint32_t block_size)
+{
+    return alignDown(a, block_size);
+}
+
+/** Page number of @p a. */
+constexpr std::uint64_t
+pageNum(Addr a, std::uint32_t page_size)
+{
+    return a / page_size;
+}
+
+/** Byte offset of @p a within its page. */
+constexpr std::uint64_t
+pageOffset(Addr a, std::uint32_t page_size)
+{
+    return a & (page_size - 1);
+}
+
+/** Index of the block containing @p a within its page. */
+constexpr std::uint32_t
+blockInPage(Addr a, std::uint32_t page_size, std::uint32_t block_size)
+{
+    return static_cast<std::uint32_t>(pageOffset(a, page_size) /
+                                      block_size);
+}
+
+/** True iff [a, a+len) stays within one block. */
+constexpr bool
+withinOneBlock(Addr a, std::uint32_t len, std::uint32_t block_size)
+{
+    return blockAlign(a, block_size) ==
+           blockAlign(a + len - 1, block_size);
+}
+
+} // namespace tt
+
+#endif // TT_MEM_ADDR_HH

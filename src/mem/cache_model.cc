@@ -1,0 +1,187 @@
+#include "mem/cache_model.hh"
+
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+CacheModel::CacheModel(std::uint64_t size_bytes, std::uint32_t assoc,
+                       std::uint32_t block_size, std::uint64_t seed)
+    : _sizeBytes(size_bytes),
+      _assoc(assoc),
+      _blockSize(block_size),
+      _rng(seed)
+{
+    tt_assert(isPow2(size_bytes) && isPow2(block_size),
+              "cache size/block size must be powers of two");
+    tt_assert(assoc > 0, "associativity must be positive");
+    const std::uint64_t lines = size_bytes / block_size;
+    tt_assert(lines % assoc == 0, "lines not divisible by assoc");
+    _numSets = static_cast<std::uint32_t>(lines / assoc);
+    tt_assert(isPow2(_numSets), "number of sets must be a power of two");
+    _lines.resize(lines);
+}
+
+std::uint32_t
+CacheModel::setIndex(Addr a) const
+{
+    return static_cast<std::uint32_t>((a / _blockSize) & (_numSets - 1));
+}
+
+CacheModel::Line*
+CacheModel::find(Addr a)
+{
+    const Addr blk = blockAlign(a, _blockSize);
+    Line* set = &_lines[static_cast<std::size_t>(setIndex(a)) * _assoc];
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        if (set[w].state != LineState::Invalid && set[w].tag == blk)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheModel::Line*
+CacheModel::find(Addr a) const
+{
+    return const_cast<CacheModel*>(this)->find(a);
+}
+
+bool
+CacheModel::probeRead(Addr a) const
+{
+    return find(a) != nullptr;
+}
+
+bool
+CacheModel::probeWrite(Addr a)
+{
+    Line* l = find(a);
+    if (l && l->state == LineState::Owned) {
+        l->dirty = true;
+        return true;
+    }
+    return false;
+}
+
+bool
+CacheModel::presentShared(Addr a) const
+{
+    const Line* l = find(a);
+    return l && l->state == LineState::Shared;
+}
+
+bool
+CacheModel::present(Addr a) const
+{
+    return find(a) != nullptr;
+}
+
+bool
+CacheModel::probeDirty(Addr a) const
+{
+    const Line* l = find(a);
+    return l && l->state == LineState::Owned && l->dirty;
+}
+
+CacheResult
+CacheModel::fill(Addr a, LineState state)
+{
+    tt_assert(state != LineState::Invalid, "cannot fill Invalid");
+    CacheResult res;
+    if (Line* l = find(a)) {
+        l->state = state;
+        if (state == LineState::Shared)
+            l->dirty = false;
+        res.hit = true;
+        return res;
+    }
+
+    const Addr blk = blockAlign(a, _blockSize);
+    Line* set = &_lines[static_cast<std::size_t>(setIndex(a)) * _assoc];
+
+    // Prefer an invalid way; otherwise evict a random way.
+    Line* victim = nullptr;
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        if (set[w].state == LineState::Invalid) {
+            victim = &set[w];
+            break;
+        }
+    }
+    if (!victim) {
+        victim = &set[_rng.below(_assoc)];
+        res.victimValid = true;
+        res.victimAddr = victim->tag;
+        res.victimOwned = victim->state == LineState::Owned;
+        res.victimDirty = victim->dirty;
+    }
+
+    victim->tag = blk;
+    victim->state = state;
+    victim->dirty = false;
+    return res;
+}
+
+LineState
+CacheModel::invalidate(Addr a, bool* was_dirty)
+{
+    Line* l = find(a);
+    if (!l) {
+        if (was_dirty)
+            *was_dirty = false;
+        return LineState::Invalid;
+    }
+    const LineState prior = l->state;
+    if (was_dirty)
+        *was_dirty = l->dirty;
+    l->state = LineState::Invalid;
+    l->dirty = false;
+    return prior;
+}
+
+bool
+CacheModel::downgrade(Addr a, bool* was_dirty)
+{
+    Line* l = find(a);
+    if (!l || l->state != LineState::Owned) {
+        if (was_dirty)
+            *was_dirty = false;
+        return false;
+    }
+    if (was_dirty)
+        *was_dirty = l->dirty;
+    l->state = LineState::Shared;
+    l->dirty = false;
+    return true;
+}
+
+bool
+CacheModel::upgrade(Addr a, bool dirty)
+{
+    Line* l = find(a);
+    if (!l)
+        return false;
+    l->state = LineState::Owned;
+    l->dirty = dirty;
+    return true;
+}
+
+void
+CacheModel::flushAll()
+{
+    for (auto& l : _lines) {
+        l.state = LineState::Invalid;
+        l.dirty = false;
+    }
+}
+
+std::size_t
+CacheModel::validLines() const
+{
+    std::size_t n = 0;
+    for (const auto& l : _lines)
+        if (l.state != LineState::Invalid)
+            ++n;
+    return n;
+}
+
+} // namespace tt

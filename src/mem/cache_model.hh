@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Timing model of a processor data cache: set-associative, random
+ * replacement (Table 2: "4-way assoc., random repl.", 32-byte blocks).
+ *
+ * The model tracks tags and line states only; block data always lives
+ * in the owning node's simulated memory. Line states are a MOESI-lite
+ * trio sufficient for both target systems:
+ *  - Shared: clean, readable; a store must go to the bus (upgrade).
+ *  - Owned:  exclusive and writable; may be dirty.
+ * A store that hits a Shared line is an "upgrade" bus transaction that
+ * the coherence machinery (DirNNB directory or Typhoon NP snooping)
+ * must authorize.
+ */
+
+#ifndef TT_MEM_CACHE_MODEL_HH
+#define TT_MEM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/** State of one cache line. */
+enum class LineState : std::uint8_t { Invalid, Shared, Owned };
+
+/** Result of a cache lookup or fill. */
+struct CacheResult
+{
+    bool hit = false;
+    /** Fill only: a valid line was evicted. */
+    bool victimValid = false;
+    /** Fill only: block address of the evicted line. */
+    Addr victimAddr = 0;
+    /** Fill only: evicted line was Owned (exclusive). */
+    bool victimOwned = false;
+    /** Fill only: evicted line was dirty (needs writeback). */
+    bool victimDirty = false;
+};
+
+/**
+ * Set-associative cache tag array with random replacement.
+ */
+class CacheModel
+{
+  public:
+    /**
+     * @param size_bytes   total capacity (power of two)
+     * @param assoc        ways per set
+     * @param block_size   line size in bytes (power of two)
+     * @param seed         replacement RNG seed
+     */
+    CacheModel(std::uint64_t size_bytes, std::uint32_t assoc,
+               std::uint32_t block_size, std::uint64_t seed);
+
+    /** Read lookup: hits on Shared or Owned. Does not fill. */
+    bool probeRead(Addr a) const;
+
+    /** Write lookup: hits only on Owned lines; marks them dirty. */
+    bool probeWrite(Addr a);
+
+    /** True iff the line is present in state Shared (not Owned). */
+    bool presentShared(Addr a) const;
+
+    /** True iff the line is present at all. */
+    bool present(Addr a) const;
+
+    /** True iff the line is present, Owned, and dirty. */
+    bool probeDirty(Addr a) const;
+
+    /**
+     * Install a line in @p state, evicting a random victim if the set
+     * is full. Re-filling a present line just updates its state.
+     */
+    CacheResult fill(Addr a, LineState state);
+
+    /**
+     * Remove a line if present.
+     * @return the prior state (Invalid if absent); sets @p was_dirty.
+     */
+    LineState invalidate(Addr a, bool* was_dirty = nullptr);
+
+    /**
+     * Downgrade an Owned line to Shared (remote read of a modified
+     * block). @return true iff the line was present and Owned.
+     */
+    bool downgrade(Addr a, bool* was_dirty = nullptr);
+
+    /** Upgrade a Shared line to Owned (after a sanctioned bus upgrade). */
+    bool upgrade(Addr a, bool dirty);
+
+    /** Drop every line (e.g. page remap under Stache replacement). */
+    void flushAll();
+
+    std::uint32_t blockSize() const { return _blockSize; }
+    std::uint64_t sizeBytes() const { return _sizeBytes; }
+    std::uint32_t assoc() const { return _assoc; }
+    std::uint32_t numSets() const { return _numSets; }
+
+    /** Count of currently valid lines (for tests). */
+    std::size_t validLines() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0; // full block address, simplifies victim reporting
+        LineState state = LineState::Invalid;
+        bool dirty = false;
+    };
+
+    std::uint32_t setIndex(Addr a) const;
+    Line* find(Addr a);
+    const Line* find(Addr a) const;
+
+    std::uint64_t _sizeBytes;
+    std::uint32_t _assoc;
+    std::uint32_t _blockSize;
+    std::uint32_t _numSets;
+    std::vector<Line> _lines; // numSets x assoc
+    Rng _rng;
+};
+
+} // namespace tt
+
+#endif // TT_MEM_CACHE_MODEL_HH

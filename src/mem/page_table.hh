@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-node page table mapping virtual pages of the shared segment to
+ * local physical pages. User-level code (Stache, custom protocols)
+ * manipulates these mappings through the Tempest VM-management calls;
+ * the paper's model is a conventional flat paged address space whose
+ * shared-heap mappings are owned by user software (section 2.3).
+ */
+
+#ifndef TT_MEM_PAGE_TABLE_HH
+#define TT_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/**
+ * One virtual-page mapping. @c mode is the Typhoon RTLB "page mode": a
+ * small user-defined value that selects which set of fault handlers
+ * covers the page (e.g. Stache home page vs. stache page vs. custom
+ * EM3D pages).
+ */
+struct PageMapping
+{
+    PAddr ppage = 0;       ///< physical page base address
+    std::uint8_t mode = 0; ///< user-level page mode (4 bits in Typhoon)
+    bool writable = true;  ///< page-level write permission
+};
+
+/**
+ * Forward (VA -> PA) page table for one node, with a reverse view
+ * (PA -> VA) used by the NP's reverse TLB to recover virtual page
+ * numbers from snooped bus addresses.
+ */
+class PageTable
+{
+  public:
+    explicit PageTable(std::uint32_t page_size) : _pageSize(page_size)
+    {
+        tt_assert(isPow2(page_size), "page size must be a power of two");
+    }
+
+    std::uint32_t pageSize() const { return _pageSize; }
+
+    /** Map virtual page of @p va to physical page of @p pa. */
+    void
+    map(Addr va, PAddr pa, std::uint8_t mode, bool writable = true)
+    {
+        const std::uint64_t vpn = pageNum(va, _pageSize);
+        const std::uint64_t ppn = pageNum(pa, _pageSize);
+        tt_assert(!_fwd.count(vpn), "double-mapping vpn ", vpn);
+        tt_assert(!_rev.count(ppn), "physical page mapped twice: ", ppn);
+        _fwd[vpn] = PageMapping{ppn * _pageSize, mode, writable};
+        _rev[ppn] = vpn * _pageSize;
+    }
+
+    /** Remove the mapping covering @p va. */
+    void
+    unmap(Addr va)
+    {
+        const std::uint64_t vpn = pageNum(va, _pageSize);
+        auto it = _fwd.find(vpn);
+        tt_assert(it != _fwd.end(), "unmapping unmapped vpn ", vpn);
+        _rev.erase(pageNum(it->second.ppage, _pageSize));
+        _fwd.erase(it);
+    }
+
+    /** Lookup the mapping covering @p va; nullptr if unmapped. */
+    const PageMapping*
+    lookup(Addr va) const
+    {
+        auto it = _fwd.find(pageNum(va, _pageSize));
+        return it == _fwd.end() ? nullptr : &it->second;
+    }
+
+    /** Translate @p va to a physical address; panics if unmapped. */
+    PAddr
+    translate(Addr va) const
+    {
+        const PageMapping* m = lookup(va);
+        tt_assert(m, "translate of unmapped va ", va);
+        return m->ppage + pageOffset(va, _pageSize);
+    }
+
+    /**
+     * Reverse-translate a physical address to its virtual address;
+     * @return false if the physical page is not mapped.
+     */
+    bool
+    reverse(PAddr pa, Addr* va_out) const
+    {
+        auto it = _rev.find(pageNum(pa, _pageSize));
+        if (it == _rev.end())
+            return false;
+        *va_out = it->second + pageOffset(pa, _pageSize);
+        return true;
+    }
+
+    /** Update the page mode of an existing mapping. */
+    void
+    setMode(Addr va, std::uint8_t mode)
+    {
+        auto it = _fwd.find(pageNum(va, _pageSize));
+        tt_assert(it != _fwd.end(), "setMode on unmapped va ", va);
+        it->second.mode = mode;
+    }
+
+    std::size_t mappedPages() const { return _fwd.size(); }
+
+  private:
+    std::uint32_t _pageSize;
+    std::unordered_map<std::uint64_t, PageMapping> _fwd; // vpn -> mapping
+    std::unordered_map<std::uint64_t, Addr> _rev;        // ppn -> va base
+};
+
+} // namespace tt
+
+#endif // TT_MEM_PAGE_TABLE_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Simulated physical memory: sparse paged byte storage plus a physical
+ * page allocator. Each Typhoon node owns one PhysMem; the DirNNB
+ * baseline uses a single PhysMem as its (logically distributed) global
+ * store.
+ */
+
+#ifndef TT_MEM_PHYS_MEM_HH
+#define TT_MEM_PHYS_MEM_HH
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/**
+ * Sparse byte-addressable memory with page-granular backing and a
+ * simple bump-plus-freelist page allocator.
+ */
+class PhysMem
+{
+  public:
+    explicit PhysMem(std::uint32_t page_size) : _pageSize(page_size)
+    {
+        tt_assert(isPow2(page_size), "page size must be a power of two");
+    }
+
+    std::uint32_t pageSize() const { return _pageSize; }
+
+    /**
+     * Allocate a fresh, zeroed physical page.
+     * @return its base physical address.
+     */
+    PAddr
+    allocPage()
+    {
+        std::uint64_t ppn;
+        if (!_freeList.empty()) {
+            ppn = _freeList.back();
+            _freeList.pop_back();
+        } else {
+            ppn = _nextPpn++;
+        }
+        auto& page = _pages[ppn];
+        page = std::make_unique<std::uint8_t[]>(_pageSize);
+        std::memset(page.get(), 0, _pageSize);
+        return ppn * _pageSize;
+    }
+
+    /**
+     * Allocate a zeroed page at a caller-chosen base address. Used by
+     * address-keyed stores (e.g. the DirNNB global memory, keyed by
+     * virtual address); do not mix with the bump allocator on the
+     * same instance unless the address ranges are disjoint.
+     */
+    void
+    allocPageAt(PAddr base)
+    {
+        const std::uint64_t ppn = base / _pageSize;
+        tt_assert(!_pages.count(ppn), "page already allocated at ",
+                  base);
+        auto& page = _pages[ppn];
+        page = std::make_unique<std::uint8_t[]>(_pageSize);
+        std::memset(page.get(), 0, _pageSize);
+    }
+
+    /** Release a page previously returned by allocPage(). */
+    void
+    freePage(PAddr base)
+    {
+        const std::uint64_t ppn = base / _pageSize;
+        auto it = _pages.find(ppn);
+        tt_assert(it != _pages.end(), "freeing unallocated page ", base);
+        _pages.erase(it);
+        _freeList.push_back(ppn);
+    }
+
+    /** True iff the page containing @p pa is allocated. */
+    bool
+    pageAllocated(PAddr pa) const
+    {
+        return _pages.count(pa / _pageSize) != 0;
+    }
+
+    /** Copy @p len bytes at physical address @p pa into @p buf. */
+    void
+    read(PAddr pa, void* buf, std::size_t len) const
+    {
+        const std::uint8_t* src = locate(pa, len);
+        std::memcpy(buf, src, len);
+    }
+
+    /** Copy @p len bytes from @p buf to physical address @p pa. */
+    void
+    write(PAddr pa, const void* buf, std::size_t len)
+    {
+        std::uint8_t* dst =
+            const_cast<std::uint8_t*>(locate(pa, len));
+        std::memcpy(dst, buf, len);
+    }
+
+    /** Typed convenience accessors (must not cross a page boundary). */
+    template <typename T>
+    T
+    readT(PAddr pa) const
+    {
+        T v;
+        read(pa, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeT(PAddr pa, const T& v)
+    {
+        write(pa, &v, sizeof(T));
+    }
+
+    /** Number of currently allocated pages. */
+    std::size_t allocatedPages() const { return _pages.size(); }
+
+  private:
+    const std::uint8_t*
+    locate(PAddr pa, std::size_t len) const
+    {
+        const std::uint64_t ppn = pa / _pageSize;
+        const std::uint64_t off = pa & (_pageSize - 1);
+        tt_assert(off + len <= _pageSize,
+                  "physical access crosses page boundary at ", pa);
+        auto it = _pages.find(ppn);
+        tt_assert(it != _pages.end(), "access to unallocated page: pa=",
+                  pa);
+        return it->second.get() + off;
+    }
+
+    std::uint32_t _pageSize;
+    std::uint64_t _nextPpn = 1; // keep paddr 0 unused as a null-ish value
+    std::vector<std::uint64_t> _freeList;
+    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
+        _pages;
+};
+
+} // namespace tt
+
+#endif // TT_MEM_PHYS_MEM_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Network message type. Tempest messages are active messages: the
+ * first word names the receive handler; the rest are arguments,
+ * optionally followed by a block-data payload. Typhoon's network
+ * (CM-5-derived, section 5) carries packets of at most twenty 32-bit
+ * words on two independent virtual networks used for deadlock-free
+ * request/response protocols.
+ */
+
+#ifndef TT_NET_MESSAGE_HH
+#define TT_NET_MESSAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/** Handler identifier: the "handler PC" of an active message. */
+using HandlerId = std::uint32_t;
+
+/** The two virtual networks (section 5.1: deadlock avoidance). */
+enum class VNet : std::uint8_t
+{
+    Request = 0,  ///< lower scheduling priority at the receiver
+    Response = 1, ///< higher scheduling priority
+};
+
+/** Maximum words per packet (paper: twenty 32-bit words). */
+constexpr std::uint32_t kMaxPacketWords = 20;
+
+/**
+ * An active message. Word accounting: 1 word for the handler id,
+ * plus args.size() words, plus ceil(data.size()/4) words of payload.
+ * Messages wider than one packet are legal and are charged as
+ * multiple packets by the network (used by 64/128-byte-block
+ * configurations and by bulk transfer).
+ */
+struct Message
+{
+    NodeId src = kNoNode;
+    NodeId dst = kNoNode;
+    VNet vnet = VNet::Request;
+    HandlerId handler = 0;
+    std::vector<Word> args;
+    std::vector<std::uint8_t> data;
+
+    /** Total size in network words. */
+    std::uint32_t
+    sizeWords() const
+    {
+        return 1 + static_cast<std::uint32_t>(args.size()) +
+               static_cast<std::uint32_t>((data.size() + 3) / 4);
+    }
+
+    /** Number of packets this message occupies on a link. */
+    std::uint32_t
+    packets() const
+    {
+        return (sizeWords() + kMaxPacketWords - 1) / kMaxPacketWords;
+    }
+
+    /** Convenience: push a 64-bit value as two words. */
+    void
+    pushAddr(std::uint64_t v)
+    {
+        args.push_back(static_cast<Word>(v));
+        args.push_back(static_cast<Word>(v >> 32));
+    }
+
+    /** Convenience: read a 64-bit value from args[i], args[i+1]. */
+    std::uint64_t
+    addrArg(std::size_t i) const
+    {
+        tt_assert(i + 1 < args.size(), "addrArg out of range");
+        return static_cast<std::uint64_t>(args[i]) |
+               (static_cast<std::uint64_t>(args[i + 1]) << 32);
+    }
+};
+
+} // namespace tt
+
+#endif // TT_NET_MESSAGE_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Point-to-point interconnect model. Per Table 2 the network is a
+ * fixed-latency fabric (11 cycles); an optional per-packet injection
+ * occupancy serializes a node's outbound traffic, and multi-packet
+ * messages pay one injection slot per packet. Contention inside the
+ * fabric is not modeled, matching the paper's methodology.
+ */
+
+#ifndef TT_NET_NETWORK_HH
+#define TT_NET_NETWORK_HH
+
+#include <functional>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/** Network configuration. */
+struct NetworkParams
+{
+    Tick latency = 11;          ///< end-to-end packet latency (Table 2)
+    Tick injectPerPacket = 1;   ///< outbound serialization per packet
+    /**
+     * Optional inbound (ejection-port) serialization per packet. The
+     * paper's methodology does not model contention; 0 (default)
+     * reproduces that. Nonzero values model a finite ejection
+     * bandwidth at each node — see bench/ablation_contention.
+     */
+    Tick ejectPerPacket = 0;
+};
+
+/**
+ * The interconnect. Each node registers one receiver (its NP or its
+ * hardware directory controller); send() delivers the message to the
+ * destination's receiver at send-time + latency, honoring per-node
+ * injection serialization.
+ */
+class Network
+{
+  public:
+    using Receiver = std::function<void(Message&&)>;
+
+    Network(EventQueue& eq, int nodes, NetworkParams params,
+            StatSet& stats)
+        : _eq(eq),
+          _params(params),
+          _stats(stats),
+          _receivers(nodes),
+          _linkFree(nodes, 0),
+          _ejectFree(nodes, 0)
+    {
+    }
+
+    int nodes() const { return static_cast<int>(_receivers.size()); }
+    const NetworkParams& params() const { return _params; }
+
+    /** Install the message receiver for @p node. */
+    void
+    setReceiver(NodeId node, Receiver r)
+    {
+        _receivers.at(node) = std::move(r);
+    }
+
+    /**
+     * Send @p msg, departing the source at absolute tick @p when
+     * (callers inside events pass the current charged time). Local
+     * (src == dst) messages short-circuit the fabric: they are
+     * delivered after the injection cost only.
+     */
+    void
+    send(Message msg, Tick when)
+    {
+        tt_assert(msg.dst >= 0 && msg.dst < nodes(),
+                  "message to bad node ", msg.dst);
+        tt_assert(_receivers[msg.dst], "no receiver at node ", msg.dst);
+
+        const std::uint32_t pkts = msg.packets();
+        _stats.counter("net.messages").inc();
+        _stats.counter("net.packets").inc(pkts);
+        _stats.counter("net.words").inc(msg.sizeWords());
+        _stats.counter(msg.vnet == VNet::Request ? "net.req_messages"
+                                                 : "net.resp_messages")
+            .inc();
+
+        // Injection serialization at the source.
+        Tick& free = _linkFree[msg.src >= 0 ? msg.src : msg.dst];
+        const Tick depart =
+            std::max(when, free) + _params.injectPerPacket * pkts;
+        free = depart;
+
+        Tick arrive =
+            msg.src == msg.dst ? depart : depart + _params.latency;
+
+        if (_params.ejectPerPacket) {
+            // Finite ejection bandwidth: packets queue at the
+            // destination port.
+            Tick& efree = _ejectFree[msg.dst];
+            if (efree > arrive)
+                _stats.counter("net.eject_queued").inc();
+            arrive = std::max(arrive, efree) +
+                     _params.ejectPerPacket * pkts;
+            if (arrive > efree)
+                efree = arrive;
+        }
+
+        // The closure owns the message.
+        _eq.schedule(arrive,
+                     [this, m = std::move(msg)]() mutable {
+                         _receivers[m.dst](std::move(m));
+                     });
+    }
+
+  private:
+    EventQueue& _eq;
+    NetworkParams _params;
+    StatSet& _stats;
+    std::vector<Receiver> _receivers;
+    std::vector<Tick> _linkFree;
+    std::vector<Tick> _ejectFree;
+};
+
+} // namespace tt
+
+#endif // TT_NET_NETWORK_HH

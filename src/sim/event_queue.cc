@@ -1,0 +1,53 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace tt
+{
+
+bool
+EventQueue::step()
+{
+    if (_heap.empty())
+        return false;
+    // Move the closure out before popping so the entry can safely
+    // schedule new events (which may reallocate the heap).
+    Entry e = std::move(const_cast<Entry&>(_heap.top()));
+    _heap.pop();
+    _now = e.when;
+    ++_executed;
+    e.cb();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    _stopRequested = false;
+    while (!_stopRequested && step()) {
+    }
+    return _now;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    _stopRequested = false;
+    while (!_stopRequested && !_heap.empty() && _heap.top().when <= limit) {
+        step();
+    }
+    return _now;
+}
+
+void
+EventQueue::reset()
+{
+    while (!_heap.empty())
+        _heap.pop();
+    _now = 0;
+    _nextSeq = 0;
+    _executed = 0;
+    _stopRequested = false;
+}
+
+} // namespace tt

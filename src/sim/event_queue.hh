@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Discrete-event simulation core. A single global-ordered queue of
+ * (tick, sequence, closure) triples drives the whole target machine;
+ * ties break deterministically on insertion order so every run is
+ * exactly reproducible.
+ */
+
+#ifndef TT_SIM_EVENT_QUEUE_HH
+#define TT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Events are closures scheduled at absolute ticks. run() pops events in
+ * (tick, insertion-sequence) order until the queue drains or a stop is
+ * requested. Scheduling in the past is a simulator bug (panic).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time (tick of the most recently popped event). */
+    Tick now() const { return _now; }
+
+    /** Schedule @p cb to run at absolute tick @p when. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        tt_assert(when >= _now, "scheduling event in the past: ", when,
+                  " < ", _now);
+        _heap.push(Entry{when, _nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(_now + delta, std::move(cb));
+    }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _heap.size(); }
+
+    bool empty() const { return _heap.empty(); }
+
+    /**
+     * Run until the queue drains or stop() is called.
+     * @return the tick of the last executed event.
+     */
+    Tick run();
+
+    /**
+     * Run events with tick <= @p limit.
+     * @return the tick of the last executed event.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Execute at most one event. @return false if the queue was empty. */
+    bool step();
+
+    /** Request that run() return after the current event completes. */
+    void stop() { _stopRequested = true; }
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Reset time and drop all pending events. Only meaningful between
+     * complete simulations.
+     */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry& o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        _heap;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+    bool _stopRequested = false;
+};
+
+} // namespace tt
+
+#endif // TT_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,61 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tt
+{
+namespace log_detail
+{
+
+namespace
+{
+int g_verbosity = 1;
+} // namespace
+
+int
+verbosity()
+{
+    return g_verbosity;
+}
+
+void
+setVerbosity(int level)
+{
+    g_verbosity = level;
+}
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    // Throwing (rather than abort()) lets unit tests assert on panics;
+    // uncaught, it still terminates the process with a core-style trace.
+    throw std::logic_error("tt panic: " + msg);
+}
+
+void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    throw std::runtime_error("tt fatal: " + msg);
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    if (g_verbosity >= 1)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string& msg)
+{
+    if (g_verbosity >= 2)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace log_detail
+} // namespace tt

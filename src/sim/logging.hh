@@ -1,0 +1,85 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for simulator bugs,
+ * fatal() for user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef TT_SIM_LOGGING_HH
+#define TT_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tt
+{
+
+namespace log_detail
+{
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char* file, int line,
+                            const std::string& msg);
+[[noreturn]] void fatalImpl(const char* file, int line,
+                            const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+/** Global verbosity: 0 = silent, 1 = warn, 2 = inform. */
+int verbosity();
+void setVerbosity(int level);
+
+} // namespace log_detail
+
+/** Set global log verbosity (0 silent, 1 warnings, 2 everything). */
+inline void
+setLogVerbosity(int level)
+{
+    log_detail::setVerbosity(level);
+}
+
+} // namespace tt
+
+/**
+ * Report an internal simulator bug and abort. Use for conditions that
+ * can never happen regardless of user input.
+ */
+#define tt_panic(...)                                                      \
+    ::tt::log_detail::panicImpl(__FILE__, __LINE__,                        \
+                                ::tt::log_detail::concat(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+#define tt_fatal(...)                                                      \
+    ::tt::log_detail::fatalImpl(__FILE__, __LINE__,                        \
+                                ::tt::log_detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning about possibly incorrect behaviour. */
+#define tt_warn(...)                                                       \
+    ::tt::log_detail::warnImpl(::tt::log_detail::concat(__VA_ARGS__))
+
+/** Informational status message. */
+#define tt_inform(...)                                                     \
+    ::tt::log_detail::informImpl(::tt::log_detail::concat(__VA_ARGS__))
+
+/** Panic unless a simulator invariant holds. */
+#define tt_assert(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            tt_panic("assertion failed: ", #cond, " ",                     \
+                     ::tt::log_detail::concat(__VA_ARGS__));               \
+        }                                                                  \
+    } while (0)
+
+#endif // TT_SIM_LOGGING_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic model component (random cache replacement, workload
+ * generators) owns its own Rng seeded from the machine seed, so results
+ * are bit-reproducible regardless of module execution order.
+ */
+
+#ifndef TT_SIM_RANDOM_HH
+#define TT_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace tt
+{
+
+/**
+ * xoshiro256** generator with a SplitMix64 seeder. Small, fast, and
+ * high quality; good enough for replacement policies and synthetic
+ * workloads.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x1995'0421'beefcafeULL)
+    {
+        // SplitMix64 expansion of the seed into four lanes.
+        std::uint64_t x = seed;
+        for (auto& lane : _s) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            lane = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for simulation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t _s[4];
+};
+
+} // namespace tt
+
+#endif // TT_SIM_RANDOM_HH

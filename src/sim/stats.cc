@@ -1,0 +1,37 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace tt
+{
+
+void
+StatSet::dump(std::ostream& os) const
+{
+    for (const auto& [name, c] : _counters)
+        os << std::left << std::setw(48) << name << c.value() << "\n";
+    for (const auto& [name, a] : _averages) {
+        os << std::left << std::setw(48) << name << "mean=" << a.mean()
+           << " n=" << a.count() << " min=" << a.min()
+           << " max=" << a.max() << "\n";
+    }
+    for (const auto& [name, h] : _histograms) {
+        os << std::left << std::setw(48) << name
+           << "mean=" << h.summary().mean()
+           << " n=" << h.summary().count()
+           << " overflow=" << h.overflow() << "\n";
+    }
+}
+
+void
+StatSet::reset()
+{
+    for (auto& [name, c] : _counters)
+        c.reset();
+    for (auto& [name, a] : _averages)
+        a.reset();
+    for (auto& [name, h] : _histograms)
+        h.reset();
+}
+
+} // namespace tt

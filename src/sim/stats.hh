@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Lightweight named-statistics registry, in the spirit of gem5's stats
+ * package. Components register scalar counters, averages, and
+ * histograms under hierarchical dotted names; a StatSet can be dumped
+ * as text or queried programmatically by tests and benches.
+ */
+
+#ifndef TT_SIM_STATS_HH
+#define TT_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+/** A monotonically increasing scalar counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t delta = 1) { _value += delta; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running sample mean/min/max over observed values. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+        if (v < _min || _count == 1)
+            _min = v;
+        if (v > _max || _count == 1)
+            _max = v;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double sum() const { return _sum; }
+    std::uint64_t count() const { return _count; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+
+    void
+    reset()
+    {
+        _sum = 0;
+        _count = 0;
+        _min = 0;
+        _max = 0;
+    }
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+    double _min = 0;
+    double _max = 0;
+};
+
+/** Fixed-width linear histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width = 1.0, std::size_t buckets = 32)
+        : _width(bucket_width), _buckets(buckets, 0)
+    {
+        tt_assert(bucket_width > 0 && buckets > 0,
+                  "bad histogram configuration");
+    }
+
+    void
+    sample(double v)
+    {
+        _avg.sample(v);
+        auto idx = static_cast<std::size_t>(v / _width);
+        if (idx >= _buckets.size())
+            ++_overflow;
+        else
+            ++_buckets[idx];
+    }
+
+    const std::vector<std::uint64_t>& buckets() const { return _buckets; }
+    std::uint64_t overflow() const { return _overflow; }
+    const Average& summary() const { return _avg; }
+
+    void
+    reset()
+    {
+        for (auto& b : _buckets)
+            b = 0;
+        _overflow = 0;
+        _avg.reset();
+    }
+
+  private:
+    double _width;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _overflow = 0;
+    Average _avg;
+};
+
+/**
+ * A registry of named statistics. Components ask for counters by name;
+ * repeated requests return the same object, so parallel components can
+ * share aggregate stats or use per-node name prefixes.
+ */
+class StatSet
+{
+  public:
+    Counter& counter(const std::string& name) { return _counters[name]; }
+    Average& average(const std::string& name) { return _averages[name]; }
+
+    Histogram&
+    histogram(const std::string& name, double width = 1.0,
+              std::size_t buckets = 32)
+    {
+        auto it = _histograms.find(name);
+        if (it == _histograms.end()) {
+            it = _histograms
+                     .emplace(name, Histogram(width, buckets))
+                     .first;
+        }
+        return it->second;
+    }
+
+    /** Look up a counter value; 0 if never registered. */
+    std::uint64_t
+    get(const std::string& name) const
+    {
+        auto it = _counters.find(name);
+        return it == _counters.end() ? 0 : it->second.value();
+    }
+
+    bool
+    hasCounter(const std::string& name) const
+    {
+        return _counters.count(name) != 0;
+    }
+
+    /** Dump everything, sorted by name, one stat per line. */
+    void dump(std::ostream& os) const;
+
+    void reset();
+
+  private:
+    std::map<std::string, Counter> _counters;
+    std::map<std::string, Average> _averages;
+    std::map<std::string, Histogram> _histograms;
+};
+
+} // namespace tt
+
+#endif // TT_SIM_STATS_HH

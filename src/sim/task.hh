@@ -1,0 +1,225 @@
+/**
+ * @file
+ * C++20 coroutine plumbing for execution-driven simulation.
+ *
+ * Application code for the simulated machine is written as ordinary
+ * C++ algorithms in coroutines returning Task<T>. Awaiting a Task uses
+ * symmetric transfer, so arbitrarily deep call chains (e.g. recursive
+ * Barnes-Hut tree walks) run without growing the native stack.
+ *
+ * A Task is lazy and single-shot: it starts when first awaited and
+ * resumes its awaiter when it completes. The root of each simulated
+ * processor's call tree is driven by spawnDetached(), which hands
+ * completion (or a captured exception) to a callback.
+ */
+
+#ifndef TT_SIM_TASK_HH
+#define TT_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+template <typename T>
+class Task;
+
+namespace coro_detail
+{
+
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation = std::noop_coroutine();
+    std::exception_ptr exception;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            // Symmetric transfer back to whoever awaited us.
+            return h.promise().continuation;
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase
+{
+    // Storage for the result; T must be default-constructible or we
+    // could use aligned storage — default-constructible is fine for
+    // the simulator's value types.
+    T value{};
+
+    Task<T> get_return_object();
+
+    template <typename U>
+    void
+    return_value(U&& v)
+    {
+        value = std::forward<U>(v);
+    }
+};
+
+template <>
+struct Promise<void> : PromiseBase
+{
+    Task<void> get_return_object();
+    void return_void() {}
+};
+
+} // namespace coro_detail
+
+/**
+ * A lazily-started coroutine returning T. Await it exactly once.
+ */
+template <typename T>
+class [[nodiscard]] Task
+{
+  public:
+    using promise_type = coro_detail::Promise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : _h(h) {}
+
+    Task(Task&& o) noexcept : _h(std::exchange(o._h, nullptr)) {}
+
+    Task&
+    operator=(Task&& o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            _h = std::exchange(o._h, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return _h != nullptr; }
+    bool done() const { return _h && _h.done(); }
+
+    /** Awaiter implementing symmetric transfer into the child task. */
+    struct Awaiter
+    {
+        Handle h;
+
+        bool await_ready() const noexcept { return !h || h.done(); }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> awaiting) noexcept
+        {
+            h.promise().continuation = awaiting;
+            return h;
+        }
+
+        T
+        await_resume()
+        {
+            auto& p = h.promise();
+            if (p.exception)
+                std::rethrow_exception(p.exception);
+            if constexpr (!std::is_void_v<T>)
+                return std::move(p.value);
+        }
+    };
+
+    Awaiter
+    operator co_await() const& noexcept
+    {
+        return Awaiter{_h};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (_h) {
+            _h.destroy();
+            _h = nullptr;
+        }
+    }
+
+    Handle _h = nullptr;
+};
+
+namespace coro_detail
+{
+
+template <typename T>
+Task<T>
+Promise<T>::get_return_object()
+{
+    return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+Promise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+/**
+ * Fire-and-forget driver coroutine; the frame self-destructs on
+ * completion because final_suspend never suspends.
+ */
+struct Detached
+{
+    struct promise_type
+    {
+        Detached get_return_object() { return {}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+};
+
+inline Detached
+drive(Task<void> t, std::function<void(std::exception_ptr)> done)
+{
+    std::exception_ptr ep;
+    try {
+        co_await t;
+    } catch (...) {
+        ep = std::current_exception();
+    }
+    done(ep);
+}
+
+} // namespace coro_detail
+
+/**
+ * Start @p t immediately (on the current native stack) and invoke
+ * @p done when it finishes — with the captured exception, if any.
+ * Ownership of the task moves into the driver frame.
+ */
+inline void
+spawnDetached(Task<void> t, std::function<void(std::exception_ptr)> done)
+{
+    coro_detail::drive(std::move(t), std::move(done));
+}
+
+} // namespace tt
+
+#endif // TT_SIM_TASK_HH

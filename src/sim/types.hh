@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of the
+ * Tempest/Typhoon simulator.
+ */
+
+#ifndef TT_SIM_TYPES_HH
+#define TT_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace tt
+{
+
+/** Simulated time, in target processor cycles. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no tick" / "never". */
+constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** Virtual address in the simulated (per-process, SPMD) address space. */
+using Addr = std::uint64_t;
+
+/** Physical address within one node's local memory. */
+using PAddr = std::uint64_t;
+
+/** Identity of a processing node (CPU + NP + memory). */
+using NodeId = std::int32_t;
+
+/** Sentinel node id: "no node" / "let the system choose". */
+constexpr NodeId kNoNode = -1;
+
+/** A 32-bit network/NP word, matching the CM-5-style network. */
+using Word = std::uint32_t;
+
+} // namespace tt
+
+#endif // TT_SIM_TYPES_HH

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * The Stache software directory entry — bit-faithful to section 3:
+ * 64 bits per block, "two bytes for state and six one-byte pointers.
+ * If more than six pointers are required, the current implementation
+ * uses the first four pointers as a bit vector. For systems larger
+ * than 32 nodes, the four node pointers contain the address of a
+ * larger auxiliary data structure."
+ *
+ * Layout of the 64-bit word:
+ *   bits 63..48  state halfword:
+ *     63..62  stable state (Idle / Shared / Excl)
+ *     61      bit-vector mode
+ *     60      aux-structure mode
+ *     59..48  sharer count (pointer/bitvec modes) or owner id (Excl)
+ *   bits 47..0  six 8-bit pointers (pointer mode),
+ *               or bits 31..0 = sharer bit vector (bitvec mode),
+ *               or bits 31..0 = aux structure index (aux mode)
+ */
+
+#ifndef TT_STACHE_DIR_ENTRY_HH
+#define TT_STACHE_DIR_ENTRY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dir/node_set.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/** Side table for entries that overflow the inline formats. */
+struct StacheAuxTable
+{
+    std::unordered_map<std::uint32_t, NodeSet> sets;
+    std::uint32_t next = 1;
+};
+
+class StacheDirEntry
+{
+  public:
+    enum class State : std::uint8_t { Idle = 0, Shared = 1, Excl = 2 };
+
+    StacheDirEntry() = default;
+
+    /** Raw 64-bit image (tests assert on the packing). */
+    std::uint64_t raw() const { return _bits; }
+
+    State
+    state() const
+    {
+        return static_cast<State>(_bits >> 62);
+    }
+
+    bool bitvecMode() const { return (_bits >> 61) & 1; }
+    bool auxMode() const { return (_bits >> 60) & 1; }
+
+    /** Owner node (Excl state only). */
+    NodeId
+    owner() const
+    {
+        tt_assert(state() == State::Excl, "owner() on non-Excl entry");
+        return static_cast<NodeId>((_bits >> 48) & 0xFFF);
+    }
+
+    /** Become exclusively owned by @p n; drops all sharer info. */
+    void
+    setExcl(NodeId n, StacheAuxTable& aux)
+    {
+        releaseAux(aux);
+        _bits = (std::uint64_t{2} << 62) |
+                ((static_cast<std::uint64_t>(n) & 0xFFF) << 48);
+    }
+
+    /** Become Idle (home-only); drops all sharer info. */
+    void
+    setIdle(StacheAuxTable& aux)
+    {
+        releaseAux(aux);
+        _bits = 0;
+    }
+
+    int
+    sharerCount(const StacheAuxTable& aux) const
+    {
+        if (state() != State::Shared)
+            return 0;
+        if (auxMode())
+            return auxSet(aux).count();
+        return static_cast<int>((_bits >> 48) & 0xFFF);
+    }
+
+    /**
+     * Add @p n as a sharer (transitioning Idle->Shared if needed).
+     * @p max_pointers is the inline pointer budget (paper: 6);
+     * @p nodes the machine size, which picks the overflow format.
+     */
+    void
+    addSharer(NodeId n, int max_pointers, int nodes,
+              StacheAuxTable& aux)
+    {
+        tt_assert(state() != State::Excl,
+                  "addSharer on exclusive entry");
+        if (state() == State::Idle)
+            _bits = std::uint64_t{1} << 62; // Shared, count 0
+
+        if (auxMode()) {
+            auxSetMut(aux).add(n);
+            return;
+        }
+        if (bitvecMode()) {
+            if (contains(n, aux))
+                return;
+            _bits |= std::uint64_t{1} << n;
+            setCount(count() + 1);
+            return;
+        }
+        // Pointer mode.
+        if (contains(n, aux))
+            return;
+        const int c = count();
+        const bool fits_ptr = c < max_pointers && n <= 0xFF &&
+                              max_pointers <= 6;
+        if (fits_ptr) {
+            _bits = (_bits & ~(std::uint64_t{0xFF} << (8 * c))) |
+                    (static_cast<std::uint64_t>(n) << (8 * c));
+            setCount(c + 1);
+            return;
+        }
+        // Overflow: to bit vector when the machine fits in 32 bits,
+        // else to the auxiliary structure.
+        std::vector<NodeId> current = members(aux);
+        current.push_back(n);
+        if (nodes <= 32) {
+            std::uint64_t bv = 0;
+            for (NodeId s : current)
+                bv |= std::uint64_t{1} << s;
+            _bits = (std::uint64_t{1} << 62) | (std::uint64_t{1} << 61) |
+                    bv;
+            setCount(static_cast<int>(current.size()));
+        } else {
+            const std::uint32_t idx = aux.next++;
+            NodeSet set(nodes);
+            for (NodeId s : current)
+                set.add(s);
+            aux.sets.emplace(idx, std::move(set));
+            _bits = (std::uint64_t{1} << 62) | (std::uint64_t{1} << 60) |
+                    idx;
+        }
+    }
+
+    /** Remove a sharer if present; collapses Shared->Idle when empty. */
+    void
+    removeSharer(NodeId n, StacheAuxTable& aux)
+    {
+        if (state() != State::Shared || !contains(n, aux))
+            return;
+        if (auxMode()) {
+            auxSetMut(aux).remove(n);
+            if (auxSet(aux).empty())
+                setIdle(aux);
+            return;
+        }
+        if (bitvecMode()) {
+            _bits &= ~(std::uint64_t{1} << n);
+            setCount(count() - 1);
+            if (count() == 0)
+                setIdle(aux);
+            return;
+        }
+        // Pointer mode: compact the pointer list.
+        std::vector<NodeId> current = members(aux);
+        std::erase(current, n);
+        _bits = current.empty() ? 0 : (std::uint64_t{1} << 62);
+        int i = 0;
+        for (NodeId s : current)
+            _bits |= static_cast<std::uint64_t>(s) << (8 * i++);
+        if (!current.empty())
+            setCount(static_cast<int>(current.size()));
+    }
+
+    bool
+    contains(NodeId n, const StacheAuxTable& aux) const
+    {
+        if (state() != State::Shared)
+            return false;
+        if (auxMode())
+            return auxSet(aux).contains(n);
+        if (bitvecMode())
+            return (_bits >> n) & 1;
+        const int c = count();
+        for (int i = 0; i < c; ++i) {
+            if (static_cast<NodeId>((_bits >> (8 * i)) & 0xFF) == n)
+                return true;
+        }
+        return false;
+    }
+
+    std::vector<NodeId>
+    members(const StacheAuxTable& aux) const
+    {
+        std::vector<NodeId> out;
+        if (state() != State::Shared)
+            return out;
+        if (auxMode())
+            return auxSet(aux).members();
+        if (bitvecMode()) {
+            for (int i = 0; i < 32; ++i)
+                if ((_bits >> i) & 1)
+                    out.push_back(i);
+            return out;
+        }
+        const int c = count();
+        for (int i = 0; i < c; ++i)
+            out.push_back(
+                static_cast<NodeId>((_bits >> (8 * i)) & 0xFF));
+        return out;
+    }
+
+  private:
+    int count() const { return static_cast<int>((_bits >> 48) & 0xFFF); }
+
+    void
+    setCount(int c)
+    {
+        _bits = (_bits & ~(std::uint64_t{0xFFF} << 48)) |
+                (static_cast<std::uint64_t>(c & 0xFFF) << 48);
+    }
+
+    const NodeSet&
+    auxSet(const StacheAuxTable& aux) const
+    {
+        auto it = aux.sets.find(static_cast<std::uint32_t>(
+            _bits & 0xFFFF'FFFF));
+        tt_assert(it != aux.sets.end(), "dangling aux index");
+        return it->second;
+    }
+
+    NodeSet&
+    auxSetMut(StacheAuxTable& aux)
+    {
+        return const_cast<NodeSet&>(auxSet(aux));
+    }
+
+    void
+    releaseAux(StacheAuxTable& aux)
+    {
+        if (state() == State::Shared && auxMode())
+            aux.sets.erase(
+                static_cast<std::uint32_t>(_bits & 0xFFFF'FFFF));
+    }
+
+    std::uint64_t _bits = 0;
+};
+
+} // namespace tt
+
+#endif // TT_STACHE_DIR_ENTRY_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Stache configuration. The protocol itself (section 3) preallocates
+ * 64 bits of directory state per block — two bytes of state plus six
+ * one-byte pointers, overflowing to a 32-bit bit vector and then to
+ * an auxiliary structure — and replaces stache pages FIFO.
+ */
+
+#ifndef TT_STACHE_PARAMS_HH
+#define TT_STACHE_PARAMS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tt
+{
+
+struct StacheParams
+{
+    /**
+     * Directory pointers per entry before overflowing to the bit
+     * vector (paper: six one-byte pointers). Ablation A3 sweeps this.
+     */
+    int dirPointers = 6;
+
+    /**
+     * Stache page pool per node: how many local pages may cache
+     * remote data before FIFO replacement kicks in. The paper uses
+     * "as much of local memory as an application chooses"; the
+     * default is effectively unbounded.
+     */
+    std::uint32_t maxStachePages = 1u << 20;
+
+    // Handler instruction budgets for protocol bookkeeping beyond the
+    // primitives (tuned so the fast paths match the paper's 14/30/20
+    // instruction counts; see bench/table1_tag_ops).
+    std::uint32_t faultHandlerWork = 2;  ///< BAF handler bookkeeping
+    std::uint32_t homeHandlerWork = 4;   ///< home request decode/update
+    std::uint32_t dataHandlerWork = 2;   ///< data-arrival bookkeeping
+    std::uint32_t pageFaultWork = 10;    ///< page-fault handler logic
+};
+
+} // namespace tt
+
+#endif // TT_STACHE_PARAMS_HH

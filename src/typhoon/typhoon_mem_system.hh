@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Typhoon: the hardware implementation of the Tempest interface
+ * (paper section 5).
+ *
+ * Each node couples a commodity CPU (cache + TLB timing models, local
+ * physical memory, a user-managed page table) with a network
+ * interface processor (NP). The NP snoops the memory bus to enforce
+ * per-block access tags held in a reverse TLB (RTLB): permitted
+ * accesses complete at memory speed; violations suspend the CPU
+ * ("relinquish and retry" + masked bus request) and enter the NP's
+ * block-access-fault (BAF) buffer. A hardware-assisted dispatch loop
+ * runs user-level handlers to completion — priority order: response
+ * virtual network, BAF, request virtual network — charging one cycle
+ * per NP instruction.
+ *
+ * The policy layer (Stache, custom protocols) is installed as a
+ * ShmProtocol and a set of registered message/fault handlers; Typhoon
+ * itself implements mechanism only.
+ */
+
+#ifndef TT_TYPHOON_TYPHOON_MEM_SYSTEM_HH
+#define TT_TYPHOON_TYPHOON_MEM_SYSTEM_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/machine.hh"
+#include "core/memsys.hh"
+#include "core/tempest.hh"
+#include "mem/cache_model.hh"
+#include "mem/page_table.hh"
+#include "mem/phys_mem.hh"
+#include "mem/tlb_model.hh"
+#include "net/network.hh"
+#include "typhoon/params.hh"
+
+namespace tt
+{
+
+class TyphoonMemSystem;
+
+/**
+ * The protocol library installed on Typhoon: owns shared-segment
+ * allocation policy and the authoritative-copy backdoors.
+ */
+class ShmProtocol
+{
+  public:
+    virtual ~ShmProtocol() = default;
+    virtual Addr shmalloc(std::size_t bytes, NodeId home) = 0;
+    virtual NodeId homeOf(Addr va) const = 0;
+    virtual void peek(Addr va, void* buf, std::size_t len) = 0;
+    virtual void poke(Addr va, const void* buf, std::size_t len) = 0;
+    virtual std::string protocolName() const = 0;
+};
+
+class TyphoonMemSystem : public MemorySystem
+{
+  public:
+    TyphoonMemSystem(Machine& m, Network& net, TyphoonParams params);
+    ~TyphoonMemSystem() override;
+
+    // --- MemorySystem ---------------------------------------------------
+    AccessOutcome access(MemRequest* req) override;
+    Addr shmalloc(std::size_t bytes, NodeId home = kNoNode) override;
+    NodeId homeOf(Addr va) const override;
+    void peek(Addr va, void* buf, std::size_t len) override;
+    void poke(Addr va, const void* buf, std::size_t len) override;
+    std::string name() const override;
+
+    /** Install the user-level protocol (Stache etc.); not owned. */
+    void setProtocol(ShmProtocol* p) { _protocol = p; }
+
+    /** The per-node Tempest registration interface. */
+    Tempest& tempest(NodeId n);
+
+    /**
+     * App-level operation: the computation processor sends an active
+     * message via memory-mapped stores (section 5.1), charging the
+     * CPU one cycle per word. dst == self short-circuits the network
+     * into the local NP. Fire-and-forget: no suspension.
+     */
+    void cpuSend(Cpu& cpu, NodeId dst, HandlerId h,
+                 std::vector<Word> args,
+                 std::vector<std::uint8_t> data = {});
+
+    // --- introspection (tests/benches) -----------------------------------
+    CacheModel& cpuCacheOf(NodeId n);
+    PhysMem& physOf(NodeId n);
+    PageTable& pageTableOf(NodeId n);
+    AccessTag tagOf(NodeId n, Addr va) const;
+    bool npIdle(NodeId n) const;
+
+    /** One protocol trace record (enabled via traceCapacity). */
+    struct TraceEvent
+    {
+        enum class Kind : std::uint8_t
+        {
+            MsgHandler,  ///< active-message handler ran; id = handler
+            FaultHandler,///< BAF handler ran; id = fault mode
+            PageFault,   ///< page-fault handler ran on the CPU
+            Resume,      ///< the suspended thread was restarted
+            BulkPacket,  ///< bulk engine injected a packet
+        };
+        Tick tick = 0;
+        NodeId node = kNoNode;
+        Kind kind = Kind::MsgHandler;
+        std::uint32_t id = 0;
+        Tick charged = 0;
+    };
+
+    /** The trace ring (oldest first). Empty unless traceCapacity>0. */
+    const std::deque<TraceEvent>& trace() const { return _trace; }
+    void clearTrace() { _trace.clear(); }
+    /** True iff all NPs are idle with empty queues and no BAF. */
+    bool quiescent() const;
+    const TyphoonParams& params() const { return _p; }
+
+  private:
+    friend class NpCtx;
+    friend class TyphoonTempest;
+
+    /** Per-page tag block (the RTLB's backing state). */
+    struct PageTags
+    {
+        std::vector<AccessTag> tags; ///< one per block in the page
+        std::uint64_t userWord = 0;  ///< 48-bit uninterpreted state
+    };
+
+    /** Block access fault record (the BAF buffer entry). */
+    struct Baf
+    {
+        BlockFault fault;
+        Tick postedAt = 0;
+    };
+
+    struct Node
+    {
+        // CPU side.
+        std::unique_ptr<CacheModel> cpuCache;
+        std::unique_ptr<TlbModel> cpuTlb;
+        std::unique_ptr<PhysMem> phys;
+        std::unique_ptr<PageTable> pt;
+        MemRequest* suspended = nullptr;
+
+        // NP side.
+        std::unique_ptr<CacheModel> npDcache;
+        std::unique_ptr<TlbModel> npTlb;
+        std::unique_ptr<TlbModel> rtlb;
+        std::unordered_map<std::uint64_t, PageTags> tags; // by ppn
+        std::deque<Message> respQ;
+        std::deque<Message> reqQ;
+        std::optional<Baf> baf;
+        bool npBusy = false;
+        std::unordered_map<HandlerId, MsgHandler> msgHandlers;
+        std::unordered_map<std::uint16_t, FaultHandler> faultHandlers;
+        PageFaultHandler pageFaultHandler;
+
+        // Bulk transfer engine.
+        struct Bulk
+        {
+            Addr srcVa;
+            NodeId dst;
+            Addr dstVa;
+            std::uint32_t remaining;
+            HandlerId doneHandler;
+        };
+        std::deque<Bulk> bulkQ;
+    };
+
+    static std::uint16_t
+    faultKey(std::uint8_t mode, MemOp op)
+    {
+        return static_cast<std::uint16_t>(mode) << 1 |
+               (op == MemOp::Write ? 1 : 0);
+    }
+
+    // CPU access pipeline.
+    struct PipeResult
+    {
+        enum class Kind { Done, PageFault, BlockFault } kind;
+        Tick cost = 0;
+        BlockFault fault{};
+    };
+    PipeResult pipeline(NodeId node, MemRequest* req);
+    void retryAccess(NodeId node, Tick when);
+    void deliverPageFault(NodeId node, MemRequest* req, Tick when);
+    void postBaf(NodeId node, const BlockFault& f, Tick when);
+
+    // NP engine.
+    void npDeliver(NodeId node, Message&& msg);
+    void npPump(NodeId node, Tick when);
+    void npRunBulkStep(NodeId node, Tick start);
+    void registerBuiltinHandlers(NodeId node);
+
+    // Tag access helpers (zero-cost; timing charged by callers).
+    PageTags& pageTags(NodeId node, std::uint64_t ppn);
+    AccessTag blockTag(NodeId node, PAddr pa) const;
+    void setBlockTag(NodeId node, PAddr pa, AccessTag t);
+
+    void traceEvent(NodeId node, TraceEvent::Kind kind,
+                    std::uint32_t id, Tick charged);
+
+    Machine& _m;
+    Network& _net;
+    TyphoonParams _p;
+    const CoreParams& _cp;
+    StatSet& _stats;
+    ShmProtocol* _protocol = nullptr;
+    std::vector<Node> _nodes;
+    std::vector<std::unique_ptr<Tempest>> _tempest;
+    std::deque<TraceEvent> _trace;
+
+    /** Built-in handler ids (top of the id space). */
+    static constexpr HandlerId kBulkDataHandler = 0xFFFF'0001;
+};
+
+/**
+ * Handler execution context: implements TempestCtx with Typhoon's
+ * charging model. One is created per handler activation (or per
+ * setup-time call via Tempest::setupCtx(), where charges are
+ * discarded).
+ */
+class NpCtx : public TempestCtx
+{
+  public:
+    NpCtx(TyphoonMemSystem& ms, NodeId node, Tick start,
+          bool setup = false)
+        : _ms(ms), _node(node), _start(start), _setup(setup)
+    {
+    }
+
+    NodeId nodeId() const override { return _node; }
+    void charge(std::uint32_t instructions) override;
+    Tick charged() const override { return _t; }
+
+    AccessTag readTag(Addr va) override;
+    void setRW(Addr va) override;
+    void setRO(Addr va) override;
+    void setBusy(Addr va) override;
+    void invalidate(Addr va) override;
+    void forceRead(Addr va, void* buf, std::uint32_t len) override;
+    void forceWrite(Addr va, const void* buf,
+                    std::uint32_t len) override;
+    void resume() override;
+    bool threadSuspendedOn(Addr block_va) const override;
+    bool cpuCopyDirty(Addr va) override;
+
+    void send(NodeId dst, HandlerId handler,
+              std::span<const Word> args, const void* data,
+              std::uint32_t data_len, VNet vnet) override;
+
+    PAddr allocPhysPage() override;
+    void freePhysPage(PAddr pa) override;
+    void mapPage(Addr va, PAddr pa, std::uint8_t mode) override;
+    void unmapPage(Addr va) override;
+    void remapPage(Addr old_va, Addr new_va,
+                   std::uint8_t mode) override;
+    bool pageMapped(Addr va) const override;
+    bool pageWritable(Addr va) const override;
+    void setPageWritable(Addr va, bool writable) override;
+    std::uint64_t pageUserWord(Addr va) const override;
+    void setPageUserWord(Addr va, std::uint64_t w) override;
+    void structAccess(std::uint64_t key) override;
+    void bulkTransfer(Addr src_va, NodeId dst, Addr dst_va,
+                      std::uint32_t len,
+                      HandlerId done_handler = 0) override;
+    void setPageTags(Addr va, AccessTag t) override;
+
+  private:
+    void tagTiming(Addr va);
+    PAddr translate(Addr va) const;
+
+    TyphoonMemSystem& _ms;
+    NodeId _node;
+    Tick _start;
+    bool _setup;
+    Tick _t = 0;
+};
+
+} // namespace tt
+
+#endif // TT_TYPHOON_TYPHOON_MEM_SYSTEM_HH

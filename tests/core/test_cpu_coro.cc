@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests of the CPU coroutine integration against a scripted mock
+ * memory system: local-time accounting, inline vs. slow-path
+ * completion, and the quantum yield mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "core/cpu.hh"
+#include "core/machine.hh"
+#include "core/shared.hh"
+
+namespace tt
+{
+namespace
+{
+
+/**
+ * Mock memory system: flat backing store; accesses below kSlowBase
+ * complete inline with a fixed cost, accesses at/above it complete
+ * through the event queue after a fixed delay.
+ */
+class MockMem : public MemorySystem
+{
+  public:
+    static constexpr Addr kSlowBase = 0x100000;
+
+    explicit MockMem(EventQueue& eq) : _eq(eq) {}
+
+    Tick inlineCost = 0;
+    Tick slowDelay = 100;
+    int slowCount = 0;
+
+    AccessOutcome
+    access(MemRequest* req) override
+    {
+        if (req->vaddr < kSlowBase) {
+            transfer(req);
+            return {true, inlineCost};
+        }
+        ++slowCount;
+        _eq.schedule(req->issueTime + slowDelay, [this, req] {
+            transfer(req);
+            req->cpu->completeAccess(*req);
+        });
+        return {false, 0};
+    }
+
+    Addr
+    shmalloc(std::size_t bytes, NodeId) override
+    {
+        Addr a = _next;
+        _next += (bytes + 63) & ~63ull;
+        return a;
+    }
+
+    NodeId homeOf(Addr) const override { return 0; }
+
+    void
+    peek(Addr va, void* buf, std::size_t len) override
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            static_cast<std::uint8_t*>(buf)[i] = _store[va + i];
+    }
+
+    void
+    poke(Addr va, const void* buf, std::size_t len) override
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            _store[va + i] = static_cast<const std::uint8_t*>(buf)[i];
+    }
+
+    std::string name() const override { return "mock"; }
+
+  private:
+    void
+    transfer(MemRequest* req)
+    {
+        if (req->op == MemOp::Read)
+            peek(req->vaddr, req->buf, req->size);
+        else
+            poke(req->vaddr, req->buf, req->size);
+    }
+
+    EventQueue& _eq;
+    std::map<Addr, std::uint8_t> _store;
+    Addr _next = 0x1000;
+};
+
+struct CpuFixture : ::testing::Test
+{
+    CoreParams params;
+    std::unique_ptr<Machine> m;
+    std::unique_ptr<MockMem> mem;
+
+    void
+    makeMachine(int nodes, Tick quantum = 32)
+    {
+        params.nodes = nodes;
+        params.quantum = quantum;
+        m = std::make_unique<Machine>(params);
+        mem = std::make_unique<MockMem>(m->eq());
+        m->setMemSystem(mem.get());
+    }
+};
+
+/** Single-processor app from a function. */
+class FnApp : public App
+{
+  public:
+    using Body = std::function<Task<void>(Cpu&)>;
+    explicit FnApp(Body b) : _b(std::move(b)) {}
+    std::string name() const override { return "fn"; }
+    Task<void> body(Cpu& cpu) override { return _b(cpu); }
+
+  private:
+    Body _b;
+};
+
+TEST_F(CpuFixture, ComputeAdvancesLocalTime)
+{
+    makeMachine(1);
+    FnApp app([](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(500);
+        EXPECT_EQ(cpu.localTime(), 500u);
+    });
+    auto r = m->run(app);
+    EXPECT_EQ(r.execTime, 500u);
+}
+
+TEST_F(CpuFixture, InlineAccessChargesInstructionPlusCost)
+{
+    makeMachine(1);
+    mem->inlineCost = 29;
+    FnApp app([](Cpu& cpu) -> Task<void> {
+        co_await cpu.write<int>(0x1000, 5);
+        EXPECT_EQ(cpu.localTime(), 30u); // 1 + 29
+        int v = co_await cpu.read<int>(0x1000);
+        EXPECT_EQ(v, 5);
+        EXPECT_EQ(cpu.localTime(), 60u);
+    });
+    m->run(app);
+}
+
+TEST_F(CpuFixture, SlowAccessResumesAtCompletionTick)
+{
+    makeMachine(1);
+    mem->slowDelay = 123;
+    FnApp app([](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(10);
+        co_await cpu.write<int>(MockMem::kSlowBase, 9);
+        // issue at 11 (10 compute + 1 instr), complete at 11 + 123.
+        EXPECT_EQ(cpu.localTime(), 134u);
+        int v = co_await cpu.read<int>(MockMem::kSlowBase);
+        EXPECT_EQ(v, 9);
+    });
+    m->run(app);
+    EXPECT_EQ(mem->slowCount, 2);
+}
+
+TEST_F(CpuFixture, QuantumBoundsRunAhead)
+{
+    makeMachine(2, /*quantum=*/16);
+    // Two CPUs doing pure inline work: each must yield every <=16+eps
+    // cycles so the event queue interleaves them.
+    FnApp app([](Cpu& cpu) -> Task<void> {
+        for (int i = 0; i < 100; ++i) {
+            co_await cpu.compute(10);
+            // After a yield, local time never exceeds queue time by
+            // more than one step's work.
+            EXPECT_LE(cpu.localTime(),
+                      cpu.eq().now() + cpu.params().quantum + 10);
+        }
+    });
+    m->run(app);
+}
+
+TEST_F(CpuFixture, RunReportsPerCpuFinishTimes)
+{
+    makeMachine(3);
+    FnApp app([](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(100 * (cpu.id() + 1));
+    });
+    auto r = m->run(app);
+    EXPECT_EQ(r.cpuFinish[0], 100u);
+    EXPECT_EQ(r.cpuFinish[1], 200u);
+    EXPECT_EQ(r.cpuFinish[2], 300u);
+    EXPECT_EQ(r.execTime, 300u);
+}
+
+TEST_F(CpuFixture, AppExceptionPropagates)
+{
+    makeMachine(2);
+    FnApp app([](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(5);
+        if (cpu.id() == 1)
+            throw std::runtime_error("app bug");
+    });
+    EXPECT_THROW(m->run(app), std::runtime_error);
+}
+
+TEST_F(CpuFixture, GArrayRoundTrip)
+{
+    makeMachine(1);
+    GArray<double> arr(*mem, 16);
+    FnApp app([&arr](Cpu& cpu) -> Task<void> {
+        for (std::size_t i = 0; i < arr.size(); ++i)
+            co_await arr.put(cpu, i, i * 1.5);
+        double sum = 0;
+        for (std::size_t i = 0; i < arr.size(); ++i)
+            sum += co_await arr.get(cpu, i);
+        EXPECT_DOUBLE_EQ(sum, 1.5 * (15 * 16 / 2));
+    });
+    m->run(app);
+    EXPECT_DOUBLE_EQ(arr.peek(*mem, 3), 4.5);
+}
+
+TEST_F(CpuFixture, GArrayOutOfRangePanics)
+{
+    makeMachine(1);
+    GArray<int> arr(*mem, 4);
+    FnApp app([&arr](Cpu& cpu) -> Task<void> {
+        co_await arr.get(cpu, 4);
+    });
+    EXPECT_ANY_THROW(m->run(app));
+}
+
+TEST_F(CpuFixture, StatsCountAccesses)
+{
+    makeMachine(1);
+    FnApp app([](Cpu& cpu) -> Task<void> {
+        co_await cpu.read<int>(0x1000);
+        co_await cpu.write<int>(0x1000, 1);
+        co_await cpu.write<int>(0x1004, 2);
+    });
+    m->run(app);
+    EXPECT_EQ(m->stats().get("cpu.loads"), 1u);
+    EXPECT_EQ(m->stats().get("cpu.stores"), 2u);
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,113 @@
+/** @file Tests of Machine lifecycle: multi-run, deadlock detection. */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "tests/helpers.hh"
+
+namespace tt
+{
+namespace
+{
+
+class NullMem : public MemorySystem
+{
+  public:
+    AccessOutcome access(MemRequest*) override { return {true, 0}; }
+    Addr shmalloc(std::size_t, NodeId) override { return 0; }
+    NodeId homeOf(Addr) const override { return 0; }
+    void peek(Addr, void*, std::size_t) override {}
+    void poke(Addr, const void*, std::size_t) override {}
+    std::string name() const override { return "null"; }
+};
+
+TEST(Machine, RunWithoutMemSystemPanics)
+{
+    CoreParams p;
+    p.nodes = 1;
+    Machine m(p);
+    test::FnApp app([](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(1);
+    });
+    EXPECT_ANY_THROW(m.run(app));
+}
+
+TEST(Machine, BackToBackRunsAccumulateTime)
+{
+    CoreParams p;
+    p.nodes = 2;
+    Machine m(p);
+    NullMem mem;
+    m.setMemSystem(&mem);
+    test::FnApp app([](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(100);
+    });
+    const RunResult r1 = m.run(app);
+    const RunResult r2 = m.run(app);
+    EXPECT_GE(r1.execTime, 100u);
+    EXPECT_GE(r2.execTime, r1.execTime + 100)
+        << "second run continues on the same clock";
+}
+
+TEST(Machine, DeadlockIsDetectedAndReported)
+{
+    CoreParams p;
+    p.nodes = 2;
+    Machine m(p);
+    NullMem mem;
+    m.setMemSystem(&mem);
+    // Node 1 waits at a barrier node 0 never reaches: the event queue
+    // drains with an unfinished processor -> panic, not silent hang.
+    Machine* mp = &m;
+    test::FnApp app([mp](Cpu& cpu) -> Task<void> {
+        if (cpu.id() == 1)
+            co_await mp->barrier().wait(cpu);
+        co_return;
+    });
+    EXPECT_ANY_THROW(m.run(app));
+}
+
+TEST(Machine, RunResultReportsEventsAndPerCpuTimes)
+{
+    CoreParams p;
+    p.nodes = 3;
+    Machine m(p);
+    NullMem mem;
+    m.setMemSystem(&mem);
+    test::FnApp app([](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(50 * (cpu.id() + 1));
+    });
+    const RunResult r = m.run(app);
+    ASSERT_EQ(r.cpuFinish.size(), 3u);
+    EXPECT_EQ(r.cpuFinish[0], 50u);
+    EXPECT_EQ(r.cpuFinish[2], 150u);
+    EXPECT_EQ(r.execTime, 150u);
+    EXPECT_GT(r.events, 0u);
+}
+
+TEST(Machine, ZeroQuantumForcesStrictEventOrdering)
+{
+    CoreParams p;
+    p.nodes = 2;
+    p.quantum = 0;
+    Machine m(p);
+    NullMem mem;
+    m.setMemSystem(&mem);
+    // With quantum 0, every compute must yield; interleaving is
+    // strictly time-ordered, and the run still terminates correctly.
+    std::vector<int> order;
+    test::FnApp app([&order](Cpu& cpu) -> Task<void> {
+        for (int i = 0; i < 3; ++i) {
+            co_await cpu.compute(10);
+            order.push_back(cpu.id());
+        }
+    });
+    m.run(app);
+    ASSERT_EQ(order.size(), 6u);
+    // Both CPUs advance in lockstep: 0,1,0,1,... (ties broken by
+    // insertion order).
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,173 @@
+/** @file Tests for barrier and lock primitives. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/cpu.hh"
+#include "core/machine.hh"
+#include "core/sync.hh"
+
+namespace tt
+{
+namespace
+{
+
+/** Trivial memory system: everything inline, zero cost. */
+class NullMem : public MemorySystem
+{
+  public:
+    AccessOutcome access(MemRequest*) override { return {true, 0}; }
+    Addr shmalloc(std::size_t, NodeId) override { return 0; }
+    NodeId homeOf(Addr) const override { return 0; }
+    void peek(Addr, void*, std::size_t) override {}
+    void poke(Addr, const void*, std::size_t) override {}
+    std::string name() const override { return "null"; }
+};
+
+class FnApp : public App
+{
+  public:
+    using Body = std::function<Task<void>(Cpu&)>;
+    explicit FnApp(Body b) : _b(std::move(b)) {}
+    std::string name() const override { return "fn"; }
+    Task<void> body(Cpu& cpu) override { return _b(cpu); }
+
+  private:
+    Body _b;
+};
+
+struct SyncFixture : ::testing::Test
+{
+    CoreParams params;
+    std::unique_ptr<Machine> m;
+    NullMem mem;
+
+    void
+    makeMachine(int nodes)
+    {
+        params.nodes = nodes;
+        params.barrierLatency = 11;
+        m = std::make_unique<Machine>(params);
+        m->setMemSystem(&mem);
+    }
+};
+
+TEST_F(SyncFixture, BarrierReleasesAllAtMaxArrivalPlusLatency)
+{
+    makeMachine(4);
+    FnApp app([this](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(100 * (cpu.id() + 1)); // arrive 100..400
+        co_await m->barrier().wait(cpu);
+        EXPECT_EQ(cpu.localTime(), 411u); // max(400) + 11
+    });
+    m->run(app);
+    EXPECT_EQ(m->barrier().episodes(), 1u);
+}
+
+TEST_F(SyncFixture, BarrierIsReusableAcrossEpisodes)
+{
+    makeMachine(3);
+    std::vector<int> phases;
+    FnApp app([this, &phases](Cpu& cpu) -> Task<void> {
+        for (int ph = 0; ph < 5; ++ph) {
+            co_await cpu.compute(cpu.id() * 7 + 1);
+            co_await m->barrier().wait(cpu);
+            if (cpu.id() == 0)
+                phases.push_back(ph);
+        }
+    });
+    m->run(app);
+    EXPECT_EQ(phases.size(), 5u);
+    EXPECT_EQ(m->barrier().episodes(), 5u);
+}
+
+TEST_F(SyncFixture, BarrierActsAsFullSynchronization)
+{
+    makeMachine(8);
+    // Classic producer/consumer across a barrier: everyone writes a
+    // slot, barrier, everyone reads all slots written before it.
+    std::vector<int> slots(8, 0);
+    FnApp app([this, &slots](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(13 * (cpu.id() + 1));
+        slots[cpu.id()] = cpu.id() + 1;
+        co_await m->barrier().wait(cpu);
+        int sum = 0;
+        for (int s : slots)
+            sum += s;
+        EXPECT_EQ(sum, 36);
+    });
+    m->run(app);
+}
+
+TEST_F(SyncFixture, LockProvidesMutualExclusion)
+{
+    makeMachine(6);
+    SimLock lock(m->eq(), params.lockLatency);
+    int inside = 0;
+    int maxInside = 0;
+    int total = 0;
+    FnApp app([&](Cpu& cpu) -> Task<void> {
+        for (int i = 0; i < 10; ++i) {
+            co_await lock.acquire(cpu);
+            ++inside;
+            maxInside = std::max(maxInside, inside);
+            ++total;
+            co_await cpu.compute(17);
+            --inside;
+            lock.release(cpu);
+        }
+    });
+    m->run(app);
+    EXPECT_EQ(maxInside, 1);
+    EXPECT_EQ(total, 60);
+    EXPECT_FALSE(lock.held());
+}
+
+TEST_F(SyncFixture, LockChargesFixedCost)
+{
+    makeMachine(1);
+    SimLock lock(m->eq(), 40);
+    FnApp app([&](Cpu& cpu) -> Task<void> {
+        const Tick t0 = cpu.localTime();
+        co_await lock.acquire(cpu);
+        lock.release(cpu);
+        EXPECT_EQ(cpu.localTime() - t0, 40u);
+    });
+    m->run(app);
+}
+
+TEST_F(SyncFixture, ContendedLockSerializesHolders)
+{
+    makeMachine(4);
+    SimLock lock(m->eq(), 40);
+    std::vector<std::pair<Tick, Tick>> spans; // (enter, exit)
+    FnApp app([&](Cpu& cpu) -> Task<void> {
+        co_await lock.acquire(cpu);
+        const Tick enter = cpu.localTime();
+        co_await cpu.compute(100);
+        spans.emplace_back(enter, cpu.localTime());
+        lock.release(cpu);
+    });
+    m->run(app);
+    ASSERT_EQ(spans.size(), 4u);
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i)
+        EXPECT_GE(spans[i].first, spans[i - 1].second)
+            << "critical sections overlap";
+}
+
+TEST_F(SyncFixture, ReleasingUnheldLockPanics)
+{
+    makeMachine(1);
+    SimLock lock(m->eq(), 40);
+    FnApp app([&](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(1);
+        lock.release(cpu);
+    });
+    EXPECT_ANY_THROW(m->run(app));
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests of the migratory-sharing custom protocol: classification,
+ * promotion, demotion on read sharing, correctness under the
+ * promoted flows, and the end-to-end win on MP3D-style traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hh"
+#include "config/builders.hh"
+#include "tests/helpers.hh"
+
+namespace tt
+{
+namespace
+{
+
+struct MigRig
+{
+    MachineConfig cfg;
+    TargetMachine t;
+
+    explicit MigRig(int nodes)
+    {
+        cfg.core.nodes = nodes;
+        t = buildTyphoonMigratory(cfg);
+    }
+
+    RunResult
+    run(test::FnApp::Body body)
+    {
+        test::FnApp app(std::move(body));
+        return t.m().run(app);
+    }
+};
+
+/** Classic migratory pattern: each node in turn reads then writes. */
+Task<void>
+rmwRounds(Cpu& cpu, Machine& m, Addr a, int rounds)
+{
+    const int P = m.nodes();
+    for (int r = 0; r < rounds; ++r) {
+        for (int turn = 0; turn < P; ++turn) {
+            if (turn == cpu.id() && cpu.id() != 0) { // skip the home
+                int v = co_await cpu.read<int>(a);
+                co_await cpu.write<int>(a, v + 1);
+            }
+            co_await m.barrier().wait(cpu);
+        }
+    }
+}
+
+TEST(Migratory, ClassifiesAndPromotesRmwMigration)
+{
+    MigRig rig(4);
+    Addr a = rig.t.m().memsys().shmalloc(4096, 0);
+    MigRig* r = &rig;
+    rig.run([r, a](Cpu& cpu) -> Task<void> {
+        co_await rmwRounds(cpu, r->t.m(), a, 3);
+    });
+    EXPECT_GE(rig.t.migratory->migratoryBlocks(), 1u);
+    EXPECT_GT(rig.t.migratory->promotions(), 0u);
+    // Data correct: 3 rounds x 3 writers.
+    int out = 0;
+    rig.t.m().memsys().peek(a, &out, 4);
+    EXPECT_EQ(out, 9);
+    EXPECT_TRUE(rig.t.migratory->quiescent());
+}
+
+TEST(Migratory, PromotionEliminatesUpgradeRequests)
+{
+    // Same pattern on plain Stache vs Migratory: the latter must
+    // send far fewer GetRW (upgrades disappear after warm-up) and
+    // finish faster.
+    auto runOn = [](bool migratory) {
+        MachineConfig cfg;
+        cfg.core.nodes = 4;
+        TargetMachine t = migratory ? buildTyphoonMigratory(cfg)
+                                    : buildTyphoonStache(cfg);
+        Addr a = t.m().memsys().shmalloc(4096, 0);
+        TargetMachine* tp = &t;
+        test::FnApp app([tp, a](Cpu& cpu) -> Task<void> {
+            co_await rmwRounds(cpu, tp->m(), a, 6);
+        });
+        const RunResult r = t.m().run(app);
+        return std::pair<Tick, std::uint64_t>(
+            r.execTime, t.m().stats().get("stache.get_rw"));
+    };
+    const auto [tStache, rwStache] = runOn(false);
+    const auto [tMig, rwMig] = runOn(true);
+    EXPECT_LT(rwMig, rwStache / 2)
+        << "promotions should absorb most write requests";
+    EXPECT_LT(tMig, tStache);
+}
+
+TEST(Migratory, ReadSharingDemotesAndStaysCorrect)
+{
+    // Phase 1 trains the block as migratory; phase 2 switches to
+    // pure read sharing — the protocol must demote it and serve
+    // read-only copies again (no write-copy ping-pong).
+    MigRig rig(6);
+    Addr a = rig.t.m().memsys().shmalloc(4096, 0);
+    MigRig* r = &rig;
+    rig.run([r, a](Cpu& cpu) -> Task<void> {
+        Machine& m = r->t.m();
+        co_await rmwRounds(cpu, m, a, 2);
+        // Pure read sharing, several rounds.
+        for (int round = 0; round < 3; ++round) {
+            if (cpu.id() != 0) {
+                int v = co_await cpu.read<int>(a);
+                EXPECT_EQ(v, 10); // 2 rounds x 5 writers
+            }
+            co_await m.barrier().wait(cpu);
+        }
+    });
+    EXPECT_GT(rig.t.m().stats().get("migratory.demotions"), 0u);
+    // After demotion the block ends Shared with multiple sharers.
+    auto view = rig.t.migratory->inspect(a);
+    EXPECT_EQ(view.state, StacheDirEntry::State::Shared);
+    EXPECT_GE(view.sharers.size(), 2u);
+    EXPECT_TRUE(rig.t.migratory->quiescent());
+}
+
+TEST(Migratory, AllAppsComputeIdenticalChecksums)
+{
+    // The protocol is a pure optimization: every workload must
+    // produce exactly the DirNNB results.
+    for (const char* app : {"mp3d", "ocean", "em3d"}) {
+        MachineConfig cfg;
+        cfg.core.nodes = 8;
+        double csDir, csMig;
+        {
+            auto t = buildDirNNB(cfg);
+            auto a = makeWorkload(app, DataSet::Tiny);
+            t.run(*a);
+            csDir = a->checksum();
+        }
+        {
+            auto t = buildTyphoonMigratory(cfg);
+            auto a = makeWorkload(app, DataSet::Tiny);
+            t.run(*a);
+            csMig = a->checksum();
+        }
+        EXPECT_EQ(csDir, csMig) << app;
+    }
+}
+
+TEST(Migratory, HelpsMp3dStyleTraffic)
+{
+    // MP3D's locked cell updates are the migratory pattern; the
+    // custom protocol must beat plain Stache on the real app.
+    MachineConfig cfg;
+    cfg.core.nodes = 8;
+    Tick tStache, tMig;
+    {
+        auto t = buildTyphoonStache(cfg);
+        auto a = makeWorkload("mp3d", DataSet::Tiny);
+        tStache = t.run(*a).execTime;
+    }
+    {
+        auto t = buildTyphoonMigratory(cfg);
+        auto a = makeWorkload("mp3d", DataSet::Tiny);
+        tMig = t.run(*a).execTime;
+    }
+    EXPECT_LT(tMig, tStache);
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Parameterized property sweeps for the DirNNB baseline, mirroring
+ * the Stache sweeps: correctness across block sizes, cache sizes,
+ * quantum settings, and machine widths, plus cost-model checks for
+ * the dirty-remote and invalidation paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/addr.hh"
+#include "sim/random.hh"
+#include "tests/helpers.hh"
+
+namespace tt
+{
+namespace
+{
+
+using test::DirRig;
+
+struct SweepCfg
+{
+    std::uint32_t blockSize;
+    std::uint64_t cacheSize;
+    Tick quantum;
+    int nodes;
+
+    friend std::ostream&
+    operator<<(std::ostream& os, const SweepCfg& c)
+    {
+        return os << "b" << c.blockSize << "_c" << c.cacheSize << "_q"
+                  << c.quantum << "_n" << c.nodes;
+    }
+};
+
+class DirSweep : public ::testing::TestWithParam<SweepCfg>
+{
+};
+
+TEST_P(DirSweep, SerialFuzzMatchesReference)
+{
+    const SweepCfg cfg = GetParam();
+    CoreParams cp;
+    cp.blockSize = cfg.blockSize;
+    cp.cacheSize = cfg.cacheSize;
+    cp.quantum = cfg.quantum;
+    DirRig rig(cfg.nodes, cp);
+
+    const int blocks = 24;
+    const Addr base =
+        rig.mem->shmalloc(blocks * cfg.blockSize + 4096);
+
+    struct Op
+    {
+        int node;
+        Addr addr;
+        bool isWrite;
+        std::uint32_t value;
+    };
+    Rng rng(cfg.blockSize * 733 + cfg.nodes);
+    std::vector<Op> ops;
+    for (int i = 0; i < 600; ++i) {
+        ops.push_back(Op{static_cast<int>(rng.below(cfg.nodes)),
+                         base + rng.below(blocks) * cfg.blockSize +
+                             rng.below(cfg.blockSize / 4) * 4,
+                         rng.chance(0.45),
+                         static_cast<std::uint32_t>(rng.next())});
+    }
+
+    std::vector<std::uint32_t> observed(ops.size(), 0);
+    DirRig* r = &rig;
+    rig.run([&, r](Cpu& cpu) -> Task<void> {
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            if (ops[i].node == cpu.id()) {
+                if (ops[i].isWrite)
+                    co_await cpu.write<std::uint32_t>(ops[i].addr,
+                                                      ops[i].value);
+                else
+                    observed[i] = co_await cpu.read<std::uint32_t>(
+                        ops[i].addr);
+            }
+            co_await r->machine->barrier().wait(cpu);
+        }
+    });
+
+    std::map<Addr, std::uint32_t> ref;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].isWrite)
+            ref[ops[i].addr] = ops[i].value;
+        else {
+            auto it = ref.find(ops[i].addr);
+            ASSERT_EQ(observed[i], it == ref.end() ? 0 : it->second)
+                << "op " << i;
+        }
+    }
+    EXPECT_TRUE(rig.mem->quiescent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, DirSweep,
+    ::testing::Values(SweepCfg{32, 1024, 32, 4},
+                      SweepCfg{64, 1024, 32, 4},
+                      SweepCfg{128, 2048, 32, 4},
+                      SweepCfg{32, 512, 0, 4},
+                      SweepCfg{32, 1024, 128, 6},
+                      SweepCfg{32, 4096, 32, 40},
+                      SweepCfg{64, 65536, 32, 8}),
+    [](const auto& info) {
+        std::ostringstream oss;
+        oss << info.param;
+        return oss.str();
+    });
+
+TEST(DirNNBCost, DirtyRemoteReadPaysRecallRoundTrip)
+{
+    // Node 1 dirties a block homed at 0; node 2's read must cost a
+    // clean remote miss plus the recall round trip through the home.
+    DirRig rig(3);
+    Addr a = rig.mem->shmalloc(4096, 0);
+    Tick cleanMiss = 0, dirtyMiss = 0;
+    DirRig* r = &rig;
+    rig.run([&, r](Cpu& cpu) -> Task<void> {
+        if (cpu.id() == 1)
+            co_await cpu.write<int>(a, 5);
+        co_await r->machine->barrier().wait(cpu);
+        if (cpu.id() == 2) {
+            Tick t0 = cpu.localTime();
+            co_await cpu.read<int>(a); // dirty at node 1
+            dirtyMiss = cpu.localTime() - t0;
+            t0 = cpu.localTime();
+            co_await cpu.read<int>(a + 32); // clean at home
+            cleanMiss = cpu.localTime() - t0;
+        }
+    });
+    // Recall adds: inv processing (8+16) at the owner plus a
+    // network round trip home<->owner plus block-receive handling.
+    EXPECT_GT(dirtyMiss, cleanMiss + 2 * 12);
+    EXPECT_LT(dirtyMiss, cleanMiss + 150);
+}
+
+TEST(DirNNBCost, InvalidationLatencyGrowsWithSharerCount)
+{
+    auto writeLatency = [](int readers) {
+        DirRig rig(32);
+        Addr a = rig.mem->shmalloc(4096, 0);
+        Tick lat = 0;
+        DirRig* r = &rig;
+        rig.run([&, r, readers](Cpu& cpu) -> Task<void> {
+            if (cpu.id() >= 1 && cpu.id() <= readers)
+                co_await cpu.read<int>(a);
+            co_await r->machine->barrier().wait(cpu);
+            if (cpu.id() == 31) {
+                const Tick t0 = cpu.localTime();
+                co_await cpu.write<int>(a, 1);
+                lat = cpu.localTime() - t0;
+            }
+            co_await r->machine->barrier().wait(cpu);
+        });
+        return lat;
+    };
+    const Tick l1 = writeLatency(1);
+    const Tick l8 = writeLatency(8);
+    const Tick l24 = writeLatency(24);
+    EXPECT_GT(l8, l1);
+    EXPECT_GT(l24, l8);
+    // Invalidations fan out in parallel: growth is sub-linear (per
+    // message directory occupancy, not per round trip).
+    EXPECT_LT(l24 - l1, 24 * 40);
+}
+
+TEST(DirNNBCost, UpgradeCheaperThanFullWriteMiss)
+{
+    DirRig rig(2);
+    Addr a = rig.mem->shmalloc(4096, 1);
+    Tick upgrade = 0, full = 0;
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 0)
+            co_return;
+        co_await cpu.read<int>(a); // become sharer
+        Tick t0 = cpu.localTime();
+        co_await cpu.write<int>(a, 1); // dataless upgrade
+        upgrade = cpu.localTime() - t0;
+        t0 = cpu.localTime();
+        co_await cpu.write<int>(a + 32, 2); // full write miss
+        full = cpu.localTime() - t0;
+    });
+    EXPECT_LT(upgrade, full);
+}
+
+TEST(DirNNBCost, FirstTouchMakesOwnerAccessesLocal)
+{
+    DirParams dp;
+    dp.firstTouch = true;
+    DirRig rig(4, CoreParams{}, dp);
+    Addr a = rig.mem->shmalloc(4 * 4096);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        const Addr mine = a + cpu.id() * 4096;
+        co_await cpu.write<int>(mine, 1); // claims the page
+        // Everything else on the page is now a local miss.
+        const Tick t0 = cpu.localTime();
+        for (int i = 1; i < 16; ++i)
+            co_await cpu.read<int>(mine + i * 32);
+        EXPECT_EQ(cpu.localTime() - t0, 15u * (1 + 29));
+    });
+    EXPECT_EQ(rig.machine->stats().get("dir.remote_misses"), 0u);
+}
+
+} // namespace
+} // namespace tt

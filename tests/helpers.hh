@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared test scaffolding: machine assembly for each target system
+ * and a function-body App adapter.
+ */
+
+#ifndef TT_TESTS_HELPERS_HH
+#define TT_TESTS_HELPERS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/machine.hh"
+#include "dir/dir_mem_system.hh"
+#include "net/network.hh"
+#include "stache/stache.hh"
+#include "typhoon/typhoon_mem_system.hh"
+
+namespace tt::test
+{
+
+/** App whose per-CPU body is a std::function. */
+class FnApp : public App
+{
+  public:
+    using Body = std::function<Task<void>(Cpu&)>;
+    explicit FnApp(Body b) : _b(std::move(b)) {}
+    std::string name() const override { return "fn"; }
+    Task<void> body(Cpu& cpu) override { return _b(cpu); }
+
+  private:
+    Body _b;
+};
+
+/** A machine wired to a DirNNB memory system. */
+struct DirRig
+{
+    CoreParams cp;
+    DirParams dp;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<Network> net;
+    std::unique_ptr<DirMemSystem> mem;
+
+    explicit DirRig(int nodes, CoreParams base = {}, DirParams dparams = {})
+    {
+        cp = base;
+        cp.nodes = nodes;
+        dp = dparams;
+        machine = std::make_unique<Machine>(cp);
+        net = std::make_unique<Network>(machine->eq(), nodes,
+                                        NetworkParams{}, machine->stats());
+        mem = std::make_unique<DirMemSystem>(*machine, *net, dp);
+        machine->setMemSystem(mem.get());
+    }
+
+    RunResult
+    run(FnApp::Body body)
+    {
+        FnApp app(std::move(body));
+        return machine->run(app);
+    }
+};
+
+/** A machine wired to Typhoon running the Stache protocol. */
+struct StacheRig
+{
+    CoreParams cp;
+    TyphoonParams tp;
+    StacheParams sp;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<Network> net;
+    std::unique_ptr<TyphoonMemSystem> mem;
+    std::unique_ptr<Stache> stache;
+
+    explicit StacheRig(int nodes, CoreParams base = {},
+                       TyphoonParams tparams = {},
+                       StacheParams sparams = {})
+    {
+        cp = base;
+        cp.nodes = nodes;
+        tp = tparams;
+        sp = sparams;
+        machine = std::make_unique<Machine>(cp);
+        net = std::make_unique<Network>(machine->eq(), nodes,
+                                        NetworkParams{}, machine->stats());
+        mem = std::make_unique<TyphoonMemSystem>(*machine, *net, tp);
+        stache = std::make_unique<Stache>(*machine, *mem, sp);
+        machine->setMemSystem(mem.get());
+    }
+
+    RunResult
+    run(FnApp::Body body)
+    {
+        FnApp app(std::move(body));
+        return machine->run(app);
+    }
+};
+
+} // namespace tt::test
+
+#endif // TT_TESTS_HELPERS_HH

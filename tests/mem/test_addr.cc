@@ -1,0 +1,62 @@
+/** @file Unit tests for address helpers. */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.hh"
+
+namespace tt
+{
+namespace
+{
+
+TEST(Addr, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(32));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(48));
+}
+
+TEST(Addr, Log2)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(32), 5u);
+    EXPECT_EQ(log2i(4096), 12u);
+}
+
+TEST(Addr, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(100, 32), 96u);
+    EXPECT_EQ(alignDown(96, 32), 96u);
+    EXPECT_EQ(alignUp(100, 32), 128u);
+    EXPECT_EQ(alignUp(96, 32), 96u);
+}
+
+TEST(Addr, BlockAndPageDecomposition)
+{
+    const Addr a = 0x12345;
+    EXPECT_EQ(blockAlign(a, 32), 0x12340u);
+    EXPECT_EQ(pageNum(a, 4096), 0x12u);
+    EXPECT_EQ(pageOffset(a, 4096), 0x345u);
+    EXPECT_EQ(blockInPage(a, 4096, 32), 0x345u / 32);
+}
+
+TEST(Addr, WithinOneBlock)
+{
+    EXPECT_TRUE(withinOneBlock(0x100, 8, 32));
+    EXPECT_TRUE(withinOneBlock(0x118, 8, 32)); // bytes 0x118..0x11f
+    EXPECT_FALSE(withinOneBlock(0x11c, 8, 32)); // crosses 0x120
+}
+
+TEST(Addr, BlockInPageCoversWholePage)
+{
+    // 4K page, 32B blocks -> indices 0..127.
+    EXPECT_EQ(blockInPage(0x1000, 4096, 32), 0u);
+    EXPECT_EQ(blockInPage(0x1FFF, 4096, 32), 127u);
+    // 128-byte blocks -> indices 0..31.
+    EXPECT_EQ(blockInPage(0x1FFF, 4096, 128), 31u);
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,153 @@
+/** @file Unit tests for the set-associative cache timing model. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/cache_model.hh"
+
+namespace tt
+{
+namespace
+{
+
+CacheModel
+smallCache()
+{
+    // 4 sets x 2 ways x 32B = 256 bytes.
+    return CacheModel(256, 2, 32, 1);
+}
+
+TEST(CacheModel, MissesWhenEmpty)
+{
+    auto c = smallCache();
+    EXPECT_FALSE(c.probeRead(0x1000));
+    EXPECT_FALSE(c.probeWrite(0x1000));
+    EXPECT_FALSE(c.present(0x1000));
+}
+
+TEST(CacheModel, FillThenHit)
+{
+    auto c = smallCache();
+    auto r = c.fill(0x1000, LineState::Shared);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.victimValid);
+    EXPECT_TRUE(c.probeRead(0x1000));
+    EXPECT_TRUE(c.probeRead(0x101F)); // same block
+    EXPECT_FALSE(c.probeRead(0x1020)); // next block
+}
+
+TEST(CacheModel, SharedLineRejectsWrites)
+{
+    auto c = smallCache();
+    c.fill(0x40, LineState::Shared);
+    EXPECT_TRUE(c.probeRead(0x40));
+    EXPECT_FALSE(c.probeWrite(0x40));
+    EXPECT_TRUE(c.presentShared(0x40));
+}
+
+TEST(CacheModel, OwnedLineAcceptsWritesAndDirties)
+{
+    auto c = smallCache();
+    c.fill(0x40, LineState::Owned);
+    EXPECT_TRUE(c.probeWrite(0x40));
+    bool dirty = false;
+    c.invalidate(0x40, &dirty);
+    EXPECT_TRUE(dirty);
+}
+
+TEST(CacheModel, FillEvictsWithinSameSet)
+{
+    auto c = smallCache(); // 4 sets, 2 ways; set = (addr/32) % 4
+    // Three blocks mapping to set 0: 0x000, 0x080, 0x100.
+    c.fill(0x000, LineState::Shared);
+    c.fill(0x080, LineState::Shared);
+    auto r = c.fill(0x100, LineState::Shared);
+    EXPECT_TRUE(r.victimValid);
+    EXPECT_TRUE(r.victimAddr == 0x000 || r.victimAddr == 0x080);
+    EXPECT_EQ(c.validLines(), 2u);
+}
+
+TEST(CacheModel, VictimReportsOwnedDirty)
+{
+    auto c = smallCache();
+    c.fill(0x000, LineState::Owned);
+    c.probeWrite(0x000); // dirty it
+    c.fill(0x080, LineState::Owned);
+    c.probeWrite(0x080);
+    auto r = c.fill(0x100, LineState::Shared);
+    ASSERT_TRUE(r.victimValid);
+    EXPECT_TRUE(r.victimOwned);
+    EXPECT_TRUE(r.victimDirty);
+}
+
+TEST(CacheModel, RefillUpdatesStateInPlace)
+{
+    auto c = smallCache();
+    c.fill(0x40, LineState::Shared);
+    auto r = c.fill(0x40, LineState::Owned);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(c.probeWrite(0x40));
+    EXPECT_EQ(c.validLines(), 1u);
+}
+
+TEST(CacheModel, InvalidateRemovesLine)
+{
+    auto c = smallCache();
+    c.fill(0x40, LineState::Shared);
+    EXPECT_EQ(c.invalidate(0x40), LineState::Shared);
+    EXPECT_FALSE(c.present(0x40));
+    EXPECT_EQ(c.invalidate(0x40), LineState::Invalid); // idempotent
+}
+
+TEST(CacheModel, DowngradeOwnedToShared)
+{
+    auto c = smallCache();
+    c.fill(0x40, LineState::Owned);
+    c.probeWrite(0x40);
+    bool dirty = false;
+    EXPECT_TRUE(c.downgrade(0x40, &dirty));
+    EXPECT_TRUE(dirty);
+    EXPECT_TRUE(c.presentShared(0x40));
+    EXPECT_FALSE(c.probeWrite(0x40));
+    EXPECT_FALSE(c.downgrade(0x40)); // already shared
+}
+
+TEST(CacheModel, UpgradeSharedToOwned)
+{
+    auto c = smallCache();
+    c.fill(0x40, LineState::Shared);
+    EXPECT_TRUE(c.upgrade(0x40, true));
+    EXPECT_TRUE(c.probeWrite(0x40));
+    EXPECT_FALSE(c.upgrade(0x999, false)); // absent line
+}
+
+TEST(CacheModel, FlushAllEmptiesCache)
+{
+    auto c = smallCache();
+    c.fill(0x00, LineState::Shared);
+    c.fill(0x20, LineState::Owned);
+    c.flushAll();
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+TEST(CacheModel, CapacityProperty)
+{
+    // Filling more distinct blocks than capacity keeps validLines at
+    // capacity; random replacement never exceeds it.
+    CacheModel c(4096, 4, 32, 7); // 128 lines
+    for (Addr a = 0; a < 64 * 1024; a += 32)
+        c.fill(a, LineState::Shared);
+    EXPECT_EQ(c.validLines(), 4096u / 32);
+}
+
+TEST(CacheModel, Table2Geometry)
+{
+    // The paper's CPU cache: 4-way associative, 32-byte blocks.
+    CacheModel c(256 * 1024, 4, 32, 3);
+    EXPECT_EQ(c.numSets(), 256u * 1024 / 32 / 4);
+    EXPECT_EQ(c.blockSize(), 32u);
+}
+
+} // namespace
+} // namespace tt

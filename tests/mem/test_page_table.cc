@@ -1,0 +1,76 @@
+/** @file Unit tests for per-node page tables. */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+
+namespace tt
+{
+namespace
+{
+
+TEST(PageTable, MapTranslateUnmap)
+{
+    PageTable pt(4096);
+    pt.map(0x10000, 0x3000, /*mode=*/2);
+    const PageMapping* m = pt.lookup(0x10ABC);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->ppage, 0x3000u);
+    EXPECT_EQ(m->mode, 2);
+    EXPECT_EQ(pt.translate(0x10ABC), 0x3ABCu);
+    pt.unmap(0x10000);
+    EXPECT_EQ(pt.lookup(0x10000), nullptr);
+}
+
+TEST(PageTable, ReverseTranslation)
+{
+    PageTable pt(4096);
+    pt.map(0x20000, 0x7000, 0);
+    Addr va = 0;
+    EXPECT_TRUE(pt.reverse(0x7123, &va));
+    EXPECT_EQ(va, 0x20123u);
+    EXPECT_FALSE(pt.reverse(0x9000, &va));
+}
+
+TEST(PageTable, DoubleMapPanics)
+{
+    PageTable pt(4096);
+    pt.map(0x1000, 0x2000, 0);
+    EXPECT_ANY_THROW(pt.map(0x1000, 0x3000, 0));
+    // Mapping the same physical page twice is also rejected (the
+    // reverse map must stay a function).
+    EXPECT_ANY_THROW(pt.map(0x4000, 0x2000, 0));
+}
+
+TEST(PageTable, UnmapUnmappedPanics)
+{
+    PageTable pt(4096);
+    EXPECT_ANY_THROW(pt.unmap(0x1000));
+}
+
+TEST(PageTable, TranslateUnmappedPanics)
+{
+    PageTable pt(4096);
+    EXPECT_ANY_THROW(pt.translate(0xABCD));
+}
+
+TEST(PageTable, SetModeUpdatesExistingMapping)
+{
+    PageTable pt(4096);
+    pt.map(0x5000, 0x6000, 1);
+    pt.setMode(0x5000, 4);
+    EXPECT_EQ(pt.lookup(0x5000)->mode, 4);
+}
+
+TEST(PageTable, RemapAfterUnmap)
+{
+    PageTable pt(4096);
+    pt.map(0x5000, 0x6000, 1);
+    pt.unmap(0x5000);
+    pt.map(0x5000, 0x8000, 3); // fresh mapping to a new frame
+    EXPECT_EQ(pt.translate(0x5100), 0x8100u);
+    EXPECT_EQ(pt.mappedPages(), 1u);
+}
+
+} // namespace
+} // namespace tt

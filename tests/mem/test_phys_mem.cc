@@ -1,0 +1,95 @@
+/** @file Unit tests for simulated physical memory. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/phys_mem.hh"
+
+namespace tt
+{
+namespace
+{
+
+TEST(PhysMem, AllocatedPagesAreZeroed)
+{
+    PhysMem m(4096);
+    PAddr p = m.allocPage();
+    for (int i = 0; i < 4096; i += 8)
+        EXPECT_EQ(m.readT<std::uint64_t>(p + i), 0u);
+}
+
+TEST(PhysMem, ReadBackWrites)
+{
+    PhysMem m(4096);
+    PAddr p = m.allocPage();
+    m.writeT<double>(p + 64, 3.25);
+    EXPECT_DOUBLE_EQ(m.readT<double>(p + 64), 3.25);
+
+    const char text[] = "tempest";
+    m.write(p + 100, text, sizeof(text));
+    char out[sizeof(text)];
+    m.read(p + 100, out, sizeof(text));
+    EXPECT_STREQ(out, "tempest");
+}
+
+TEST(PhysMem, DistinctPagesDistinctStorage)
+{
+    PhysMem m(4096);
+    PAddr a = m.allocPage();
+    PAddr b = m.allocPage();
+    EXPECT_NE(a / 4096, b / 4096);
+    m.writeT<int>(a, 1);
+    m.writeT<int>(b, 2);
+    EXPECT_EQ(m.readT<int>(a), 1);
+    EXPECT_EQ(m.readT<int>(b), 2);
+}
+
+TEST(PhysMem, FreeAndReuse)
+{
+    PhysMem m(4096);
+    PAddr a = m.allocPage();
+    m.writeT<int>(a, 77);
+    m.freePage(a);
+    EXPECT_FALSE(m.pageAllocated(a));
+    PAddr b = m.allocPage(); // reuses the freed frame
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(m.readT<int>(b), 0) << "reused page must be zeroed";
+}
+
+TEST(PhysMem, AccessToUnallocatedPanics)
+{
+    PhysMem m(4096);
+    int v;
+    EXPECT_ANY_THROW(m.read(0x5000, &v, 4));
+}
+
+TEST(PhysMem, CrossPageAccessPanics)
+{
+    PhysMem m(4096);
+    PAddr p = m.allocPage();
+    std::uint64_t v = 0;
+    EXPECT_ANY_THROW(m.write(p + 4092, &v, 8));
+}
+
+TEST(PhysMem, DoubleFreeDetected)
+{
+    PhysMem m(4096);
+    PAddr p = m.allocPage();
+    m.freePage(p);
+    EXPECT_ANY_THROW(m.freePage(p));
+}
+
+TEST(PhysMem, AllocatedPageCount)
+{
+    PhysMem m(4096);
+    EXPECT_EQ(m.allocatedPages(), 0u);
+    PAddr a = m.allocPage();
+    m.allocPage();
+    EXPECT_EQ(m.allocatedPages(), 2u);
+    m.freePage(a);
+    EXPECT_EQ(m.allocatedPages(), 1u);
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,82 @@
+/** @file Unit tests for the fully-associative FIFO TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb_model.hh"
+
+namespace tt
+{
+namespace
+{
+
+TEST(TlbModel, MissThenHit)
+{
+    TlbModel tlb(4);
+    EXPECT_FALSE(tlb.access(10));
+    EXPECT_TRUE(tlb.access(10));
+}
+
+TEST(TlbModel, FifoEviction)
+{
+    TlbModel tlb(2);
+    tlb.access(1);
+    tlb.access(2);
+    tlb.access(3); // evicts 1 (FIFO)
+    EXPECT_TRUE(tlb.probe(2));
+    EXPECT_TRUE(tlb.probe(3));
+    EXPECT_FALSE(tlb.probe(1));
+}
+
+TEST(TlbModel, FifoNotLru)
+{
+    TlbModel tlb(2);
+    tlb.access(1);
+    tlb.access(2);
+    tlb.access(1); // hit: must NOT refresh FIFO position
+    tlb.access(3); // still evicts 1
+    EXPECT_FALSE(tlb.probe(1));
+    EXPECT_TRUE(tlb.probe(2));
+}
+
+TEST(TlbModel, InvalidateRemovesEntry)
+{
+    TlbModel tlb(4);
+    tlb.access(5);
+    tlb.invalidate(5);
+    EXPECT_FALSE(tlb.probe(5));
+    EXPECT_EQ(tlb.resident(), 0u);
+    // Invalidating an absent entry is a no-op.
+    tlb.invalidate(99);
+}
+
+TEST(TlbModel, InvalidateFreesFifoSlot)
+{
+    TlbModel tlb(2);
+    tlb.access(1);
+    tlb.access(2);
+    tlb.invalidate(1);
+    tlb.access(3); // must not evict 2: a slot was free
+    EXPECT_TRUE(tlb.probe(2));
+    EXPECT_TRUE(tlb.probe(3));
+}
+
+TEST(TlbModel, FlushEmptiesAll)
+{
+    TlbModel tlb(8);
+    for (int i = 0; i < 8; ++i)
+        tlb.access(i);
+    tlb.flush();
+    EXPECT_EQ(tlb.resident(), 0u);
+    EXPECT_FALSE(tlb.access(3));
+}
+
+TEST(TlbModel, NeverExceedsCapacity)
+{
+    TlbModel tlb(64); // Table 2: 64 entries
+    for (int i = 0; i < 1000; ++i)
+        tlb.access(i);
+    EXPECT_EQ(tlb.resident(), 64u);
+}
+
+} // namespace
+} // namespace tt

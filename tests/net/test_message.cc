@@ -1,0 +1,67 @@
+/** @file Unit tests for active-message framing. */
+
+#include <gtest/gtest.h>
+
+#include "net/message.hh"
+
+namespace tt
+{
+namespace
+{
+
+TEST(Message, SizeAccounting)
+{
+    Message m;
+    m.handler = 7;
+    EXPECT_EQ(m.sizeWords(), 1u); // handler word only
+    m.args = {1, 2, 3};
+    EXPECT_EQ(m.sizeWords(), 4u);
+    m.data.assign(32, 0); // one 32-byte block
+    EXPECT_EQ(m.sizeWords(), 4u + 8u);
+}
+
+TEST(Message, DataRoundsUpToWords)
+{
+    Message m;
+    m.data.assign(5, 0);
+    EXPECT_EQ(m.sizeWords(), 1u + 2u);
+}
+
+TEST(Message, SinglePacketLimitIsTwentyWords)
+{
+    // Paper section 5.2: handler PC + 32-bit address + 64 bytes of
+    // data + 2 spare words = 20 words = 1 packet.
+    Message m;
+    m.args = {0xAAAA, 0xBBBB, 0xCCCC}; // addr words + a status word
+    m.data.assign(64, 0);
+    EXPECT_EQ(m.sizeWords(), 20u);
+    EXPECT_EQ(m.packets(), 1u);
+}
+
+TEST(Message, LargeMessagesSpanPackets)
+{
+    Message m;
+    m.data.assign(128, 0); // a 128-byte block configuration
+    EXPECT_EQ(m.sizeWords(), 33u);
+    EXPECT_EQ(m.packets(), 2u);
+}
+
+TEST(Message, AddrArgRoundTrip)
+{
+    Message m;
+    const std::uint64_t va = 0x1234'5678'9ABC'DEF0ULL;
+    m.args.push_back(99);
+    m.pushAddr(va);
+    EXPECT_EQ(m.addrArg(1), va);
+    EXPECT_EQ(m.args.size(), 3u);
+}
+
+TEST(Message, AddrArgOutOfRangePanics)
+{
+    Message m;
+    m.args = {1};
+    EXPECT_ANY_THROW(m.addrArg(0));
+}
+
+} // namespace
+} // namespace tt

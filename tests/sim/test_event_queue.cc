@@ -1,0 +1,127 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace tt
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZeroEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(7, chain);
+    };
+    eq.schedule(0, chain);
+    Tick end = eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(end, 28u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [&] { EXPECT_ANY_THROW(eq.schedule(10, [] {})); });
+    eq.run();
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 0; t < 100; t += 10)
+        eq.schedule(t, [&] { ++count; });
+    eq.runUntil(45);
+    EXPECT_EQ(count, 5); // events at 0,10,20,30,40
+    EXPECT_EQ(eq.pending(), 5u);
+    eq.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, StopHaltsRun)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 1; t <= 10; ++t)
+        eq.schedule(t, [&] {
+            ++count;
+            if (count == 3)
+                eq.stop();
+        });
+    eq.run();
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(eq.pending(), 7u);
+}
+
+TEST(EventQueue, ExecutedCountsEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 4; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 4u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    eq.schedule(6, [] {});
+    eq.step();
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, ScheduleAtCurrentTimeIsLegal)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(10, [&] { eq.schedule(10, [&] { ran = true; }); });
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+} // namespace
+} // namespace tt

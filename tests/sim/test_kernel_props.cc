@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Property tests of the simulation kernel: randomized scheduling
+ * orders must execute in timestamp order; the event queue under
+ * self-rescheduling load; deterministic replay of mixed workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace tt
+{
+namespace
+{
+
+TEST(EventQueueProps, RandomInsertionExecutesInTimestampOrder)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 20; ++trial) {
+        EventQueue eq;
+        std::vector<std::pair<Tick, int>> fired;
+        const int n = 200;
+        std::vector<Tick> times;
+        for (int i = 0; i < n; ++i) {
+            const Tick t = rng.below(500);
+            times.push_back(t);
+            eq.schedule(t, [&fired, t, i] {
+                fired.emplace_back(t, i);
+            });
+        }
+        eq.run();
+        ASSERT_EQ(fired.size(), static_cast<std::size_t>(n));
+        // Non-decreasing timestamps…
+        for (std::size_t i = 1; i < fired.size(); ++i)
+            ASSERT_GE(fired[i].first, fired[i - 1].first);
+        // …and within a timestamp, insertion order.
+        for (std::size_t i = 1; i < fired.size(); ++i) {
+            if (fired[i].first == fired[i - 1].first)
+                ASSERT_GT(fired[i].second, fired[i - 1].second);
+        }
+    }
+}
+
+TEST(EventQueueProps, SelfReschedulingCascade)
+{
+    // Each event spawns up to two more with bounded delays; total
+    // executed count must match the spawn arithmetic exactly.
+    EventQueue eq;
+    Rng rng(7);
+    std::uint64_t spawned = 1, executed = 0;
+    std::function<void(int)> node = [&](int depth) {
+        ++executed;
+        if (depth == 0)
+            return;
+        const int kids = 1 + (rng.next() & 1);
+        for (int k = 0; k < kids; ++k) {
+            ++spawned;
+            eq.scheduleIn(1 + rng.below(10),
+                          [&node, depth] { node(depth - 1); });
+        }
+    };
+    eq.schedule(0, [&node] { node(12); });
+    eq.run();
+    EXPECT_EQ(executed, spawned);
+    EXPECT_EQ(eq.executed(), spawned);
+}
+
+TEST(EventQueueProps, InterleavedRunUntilSegmentsEqualFullRun)
+{
+    auto makeLoad = [](EventQueue& eq, std::vector<Tick>& log) {
+        Rng rng(99);
+        for (int i = 0; i < 300; ++i) {
+            const Tick t = rng.below(1000);
+            eq.schedule(t, [&log, &eq] { log.push_back(eq.now()); });
+        }
+    };
+    std::vector<Tick> a, b;
+    {
+        EventQueue eq;
+        makeLoad(eq, a);
+        eq.run();
+    }
+    {
+        EventQueue eq;
+        makeLoad(eq, b);
+        for (Tick limit = 100; limit <= 1000; limit += 100)
+            eq.runUntil(limit);
+        eq.run();
+    }
+    EXPECT_EQ(a, b);
+}
+
+TEST(RngProps, StreamsWithDistinctSeedsAreIndependent)
+{
+    // Weak independence check: correlation of two streams near zero.
+    Rng a(1), b(2);
+    double dot = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        dot += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+    EXPECT_NEAR(dot / n, 0.0, 0.005);
+}
+
+TEST(RngProps, BelowIsUnbiasedAcrossBuckets)
+{
+    Rng r(3);
+    const int buckets = 10;
+    std::vector<int> count(buckets, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++count[r.below(buckets)];
+    for (int b = 0; b < buckets; ++b)
+        EXPECT_NEAR(count[b], n / buckets, n / buckets * 0.06) << b;
+}
+
+} // namespace
+} // namespace tt

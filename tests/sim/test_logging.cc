@@ -1,0 +1,40 @@
+/** @file Unit tests for panic/fatal/assert behaviour. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace tt
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(tt_panic("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(tt_fatal("bad config: ", "x"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(tt_assert(1 + 1 == 2, "math"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(tt_assert(false, "must fail: ", 7), std::logic_error);
+}
+
+TEST(Logging, MessageConcatenation)
+{
+    EXPECT_EQ(log_detail::concat("a", 1, "b", 2.5), "a1b2.5");
+}
+
+} // namespace
+} // namespace tt

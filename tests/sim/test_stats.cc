@@ -1,0 +1,89 @@
+/** @file Unit tests for the statistics registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace tt
+{
+namespace
+{
+
+TEST(Stats, CounterBasics)
+{
+    StatSet s;
+    s.counter("a.b").inc();
+    s.counter("a.b").inc(4);
+    EXPECT_EQ(s.get("a.b"), 5u);
+    EXPECT_EQ(s.get("missing"), 0u);
+    EXPECT_TRUE(s.hasCounter("a.b"));
+    EXPECT_FALSE(s.hasCounter("missing"));
+}
+
+TEST(Stats, SameNameSameCounter)
+{
+    StatSet s;
+    Counter& c1 = s.counter("x");
+    Counter& c2 = s.counter("x");
+    EXPECT_EQ(&c1, &c2);
+}
+
+TEST(Stats, AverageTracksMeanMinMax)
+{
+    StatSet s;
+    auto& a = s.average("lat");
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    StatSet s;
+    auto& h = s.histogram("h", 10.0, 4); // [0,10) [10,20) [20,30) [30,40)
+    h.sample(5);
+    h.sample(15);
+    h.sample(35);
+    h.sample(99);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 0u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.summary().count(), 4u);
+}
+
+TEST(Stats, DumpContainsAllNames)
+{
+    StatSet s;
+    s.counter("alpha").inc(3);
+    s.average("beta").sample(1.5);
+    s.histogram("gamma").sample(2);
+    std::ostringstream oss;
+    s.dump(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_NE(out.find("gamma"), std::string::npos);
+}
+
+TEST(Stats, ResetZeroesEverything)
+{
+    StatSet s;
+    s.counter("c").inc(7);
+    s.average("a").sample(3);
+    s.histogram("h").sample(1);
+    s.reset();
+    EXPECT_EQ(s.get("c"), 0u);
+    EXPECT_EQ(s.average("a").count(), 0u);
+    EXPECT_EQ(s.histogram("h").summary().count(), 0u);
+}
+
+} // namespace
+} // namespace tt

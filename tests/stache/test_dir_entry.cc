@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests of the 64-bit Stache directory entry: pointer mode,
+ * bit-vector overflow, auxiliary-structure overflow, and the exact
+ * bit packing the paper describes (section 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stache/dir_entry.hh"
+
+namespace tt
+{
+namespace
+{
+
+using St = StacheDirEntry::State;
+
+TEST(StacheDirEntry, StartsIdleAllZero)
+{
+    StacheDirEntry e;
+    EXPECT_EQ(e.state(), St::Idle);
+    EXPECT_EQ(e.raw(), 0u);
+}
+
+TEST(StacheDirEntry, ExclusivePacksOwnerInStateHalfword)
+{
+    StacheDirEntry e;
+    StacheAuxTable aux;
+    e.setExcl(17, aux);
+    EXPECT_EQ(e.state(), St::Excl);
+    EXPECT_EQ(e.owner(), 17);
+    // state bits 63..62 == 2; owner in bits 59..48.
+    EXPECT_EQ(e.raw() >> 62, 2u);
+    EXPECT_EQ((e.raw() >> 48) & 0xFFF, 17u);
+}
+
+TEST(StacheDirEntry, PointerModeUpToSixSharers)
+{
+    StacheDirEntry e;
+    StacheAuxTable aux;
+    const NodeId nodes[] = {3, 9, 21, 30, 1, 14};
+    for (NodeId n : nodes)
+        e.addSharer(n, 6, 32, aux);
+    EXPECT_EQ(e.state(), St::Shared);
+    EXPECT_FALSE(e.bitvecMode());
+    EXPECT_FALSE(e.auxMode());
+    EXPECT_EQ(e.sharerCount(aux), 6);
+    // One-byte pointers, in insertion order.
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ((e.raw() >> (8 * i)) & 0xFF,
+                  static_cast<std::uint64_t>(nodes[i]));
+    for (NodeId n : nodes)
+        EXPECT_TRUE(e.contains(n, aux));
+    EXPECT_FALSE(e.contains(2, aux));
+}
+
+TEST(StacheDirEntry, AddIsIdempotent)
+{
+    StacheDirEntry e;
+    StacheAuxTable aux;
+    e.addSharer(5, 6, 32, aux);
+    e.addSharer(5, 6, 32, aux);
+    EXPECT_EQ(e.sharerCount(aux), 1);
+}
+
+TEST(StacheDirEntry, SeventhSharerOverflowsToBitVector)
+{
+    StacheDirEntry e;
+    StacheAuxTable aux;
+    for (NodeId n = 0; n < 7; ++n)
+        e.addSharer(n * 4, 6, 32, aux);
+    EXPECT_TRUE(e.bitvecMode());
+    EXPECT_FALSE(e.auxMode());
+    EXPECT_EQ(e.sharerCount(aux), 7);
+    // Bit vector in the low 32 bits.
+    std::uint32_t bv = static_cast<std::uint32_t>(e.raw());
+    for (NodeId n = 0; n < 7; ++n)
+        EXPECT_TRUE((bv >> (n * 4)) & 1);
+    auto mem = e.members(aux);
+    EXPECT_EQ(mem.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(mem.begin(), mem.end()));
+}
+
+TEST(StacheDirEntry, LargeMachineOverflowsToAuxStructure)
+{
+    StacheDirEntry e;
+    StacheAuxTable aux;
+    // 128-node machine: the bit vector cannot hold node ids >= 32.
+    for (NodeId n = 0; n < 7; ++n)
+        e.addSharer(n * 18, 6, 128, aux);
+    EXPECT_TRUE(e.auxMode());
+    EXPECT_EQ(e.sharerCount(aux), 7);
+    EXPECT_TRUE(e.contains(108, aux));
+    EXPECT_EQ(aux.sets.size(), 1u);
+    // Keeps growing fine.
+    for (NodeId n = 0; n < 128; ++n)
+        e.addSharer(n, 6, 128, aux);
+    EXPECT_EQ(e.sharerCount(aux), 128);
+}
+
+TEST(StacheDirEntry, RemoveSharerPointerMode)
+{
+    StacheDirEntry e;
+    StacheAuxTable aux;
+    e.addSharer(4, 6, 32, aux);
+    e.addSharer(8, 6, 32, aux);
+    e.addSharer(15, 6, 32, aux);
+    e.removeSharer(8, aux);
+    EXPECT_EQ(e.sharerCount(aux), 2);
+    EXPECT_FALSE(e.contains(8, aux));
+    EXPECT_TRUE(e.contains(4, aux));
+    EXPECT_TRUE(e.contains(15, aux));
+    e.removeSharer(4, aux);
+    e.removeSharer(15, aux);
+    EXPECT_EQ(e.state(), St::Idle);
+    EXPECT_EQ(e.raw(), 0u);
+}
+
+TEST(StacheDirEntry, RemoveSharerBitvecMode)
+{
+    StacheDirEntry e;
+    StacheAuxTable aux;
+    for (NodeId n = 0; n < 10; ++n)
+        e.addSharer(n, 6, 32, aux);
+    for (NodeId n = 0; n < 10; ++n)
+        e.removeSharer(n, aux);
+    EXPECT_EQ(e.state(), St::Idle);
+}
+
+TEST(StacheDirEntry, AuxReleasedOnStateCollapse)
+{
+    StacheDirEntry e;
+    StacheAuxTable aux;
+    for (NodeId n = 0; n < 8; ++n)
+        e.addSharer(n * 10, 6, 128, aux);
+    EXPECT_EQ(aux.sets.size(), 1u);
+    e.setExcl(3, aux);
+    EXPECT_EQ(aux.sets.size(), 0u) << "aux leaked on setExcl";
+}
+
+TEST(StacheDirEntry, SmallerPointerBudget)
+{
+    // Ablation A3: with 2 pointers, the third sharer overflows.
+    StacheDirEntry e;
+    StacheAuxTable aux;
+    e.addSharer(1, 2, 32, aux);
+    e.addSharer(2, 2, 32, aux);
+    EXPECT_FALSE(e.bitvecMode());
+    e.addSharer(3, 2, 32, aux);
+    EXPECT_TRUE(e.bitvecMode());
+    EXPECT_EQ(e.sharerCount(aux), 3);
+}
+
+} // namespace
+} // namespace tt

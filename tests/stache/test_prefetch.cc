@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests of software prefetch through the Busy tag (section 5.4's
+ * motivating case): latency hiding, nonbinding drops, demand faults
+ * overlapping in-flight prefetches, and write-after-prefetch
+ * escalation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.hh"
+#include "tests/helpers.hh"
+
+namespace tt
+{
+namespace
+{
+
+using test::StacheRig;
+
+TEST(StachePrefetch, HidesRemoteFetchLatency)
+{
+    StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 0);
+
+    Tick coldMiss = 0, prefetched = 0;
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        // Cold demand miss on block 0.
+        Tick t0 = cpu.localTime();
+        co_await cpu.read<int>(a);
+        coldMiss = cpu.localTime() - t0;
+
+        // Prefetch block 2, compute long enough for it to land, then
+        // read: only a local miss remains.
+        rig.stache->prefetch(cpu, a + 64);
+        co_await cpu.compute(500);
+        t0 = cpu.localTime();
+        co_await cpu.read<int>(a + 64);
+        prefetched = cpu.localTime() - t0;
+    });
+    EXPECT_GT(coldMiss, 100u);
+    EXPECT_LE(prefetched, 1u + 29 + 25) << "prefetch failed to hide "
+                                           "the protocol latency";
+    EXPECT_EQ(rig.mem->tagOf(1, a + 64), AccessTag::ReadOnly);
+    EXPECT_TRUE(rig.stache->quiescent());
+    EXPECT_EQ(rig.stache->auditCoherence(), 0u);
+}
+
+TEST(StachePrefetch, MapsUnmappedPagesFromTheNp)
+{
+    StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(2 * 4096, 0);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        rig.stache->prefetch(cpu, a + 4096); // page never touched
+        co_await cpu.compute(1000);
+        const Tick t0 = cpu.localTime();
+        int v = co_await cpu.read<int>(a + 4096);
+        EXPECT_EQ(v, 0);
+        // No page fault, no block fault: page mapped + data landed.
+        EXPECT_LE(cpu.localTime() - t0, 1u + 29 + 25 + 25);
+    });
+    EXPECT_EQ(rig.machine->stats().get("typhoon.page_faults"), 0u);
+    EXPECT_EQ(rig.machine->stats().get("typhoon.block_faults"), 0u);
+}
+
+TEST(StachePrefetch, DemandFaultDuringFlightWaitsNotDuplicates)
+{
+    StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        rig.stache->prefetch(cpu, a);
+        // Touch immediately: the access faults on the Busy tag and
+        // must wait for the in-flight data without a second GetRO.
+        int v = co_await cpu.read<int>(a);
+        EXPECT_EQ(v, 0);
+    });
+    auto& st = rig.machine->stats();
+    EXPECT_EQ(st.get("stache.get_ro"), 1u) << "duplicate request sent";
+    EXPECT_EQ(st.get("stache.prefetch_hits_in_flight"), 1u);
+    EXPECT_TRUE(rig.stache->quiescent());
+    EXPECT_EQ(rig.stache->auditCoherence(), 0u);
+}
+
+TEST(StachePrefetch, NonbindingDropsWhenAlreadyPresent)
+{
+    StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        co_await cpu.read<int>(a); // demand fetch
+        const auto before = cpu.stats().get("stache.get_ro");
+        rig.stache->prefetch(cpu, a); // present: must drop
+        rig.stache->prefetch(cpu, a);
+        co_await cpu.compute(1000);
+        EXPECT_EQ(cpu.stats().get("stache.get_ro"), before);
+    });
+}
+
+TEST(StachePrefetch, LocalAndUnallocatedTargetsAreDropped)
+{
+    StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 1); // homed at the requester
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        rig.stache->prefetch(cpu, a);           // local home: drop
+        rig.stache->prefetch(cpu, 0x9999'0000); // unallocated: drop
+        co_await cpu.compute(1000);
+    });
+    EXPECT_EQ(rig.machine->stats().get("stache.get_ro"), 0u);
+    EXPECT_TRUE(rig.mem->quiescent());
+}
+
+TEST(StachePrefetch, WriteAfterPrefetchEscalatesToUpgrade)
+{
+    StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        rig.stache->prefetch(cpu, a);
+        co_await cpu.compute(500); // let the RO copy land
+        co_await cpu.write<int>(a, 42); // upgrade, dataless grant
+        int v = co_await cpu.read<int>(a);
+        EXPECT_EQ(v, 42);
+    });
+    auto& st = rig.machine->stats();
+    EXPECT_EQ(st.get("stache.upgrade_grants"), 1u);
+    auto view = rig.stache->inspect(a);
+    EXPECT_EQ(view.state, StacheDirEntry::State::Excl);
+    EXPECT_EQ(view.owner, 1);
+}
+
+TEST(StachePrefetch, WriteFaultOnBusyBlockResolvesCleanly)
+{
+    // Prefetch then write immediately: the write faults on Busy,
+    // waits for the RO data, retries, and upgrades — exactly one
+    // request outstanding at each step.
+    StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        rig.stache->prefetch(cpu, a);
+        co_await cpu.write<int>(a, 7);
+        int v = co_await cpu.read<int>(a);
+        EXPECT_EQ(v, 7);
+    });
+    EXPECT_TRUE(rig.stache->quiescent());
+    EXPECT_EQ(rig.stache->auditCoherence(), 0u);
+    EXPECT_TRUE(rig.mem->quiescent());
+    int out = 0;
+    rig.mem->peek(a, &out, 4);
+    EXPECT_EQ(out, 7);
+}
+
+TEST(StachePrefetch, StreamOfPrefetchesPipelines)
+{
+    // Prefetching a whole page ahead converts a serial chain of
+    // remote misses into pipelined transfers: total time must drop
+    // well below blocks x remote-miss latency.
+    StacheRig rig(2);
+    const int blocks = 64;
+    Addr a = rig.stache->shmalloc(blocks * 32 + 4096, 0);
+
+    Tick serial = 0, pipelined = 0;
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        Tick t0 = cpu.localTime();
+        for (int i = 0; i < blocks / 2; ++i)
+            co_await cpu.read<int>(a + i * 32);
+        serial = cpu.localTime() - t0;
+
+        for (int i = blocks / 2; i < blocks; ++i)
+            rig.stache->prefetch(cpu, a + i * 32);
+        co_await cpu.compute(2000); // overlap window
+        t0 = cpu.localTime();
+        for (int i = blocks / 2; i < blocks; ++i)
+            co_await cpu.read<int>(a + i * 32);
+        pipelined = cpu.localTime() - t0;
+    });
+    EXPECT_LT(pipelined, serial / 2);
+}
+
+} // namespace
+} // namespace tt

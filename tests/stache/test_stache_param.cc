@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Parameterized property sweeps: the Stache protocol must deliver
+ * correct data and reach quiescence across the whole configuration
+ * space the paper discusses — block sizes 32/64/128 (section 2.4),
+ * CPU cache sizes, quantum settings, and machine widths (including
+ * >32 nodes, which exercises the aux-structure directory format).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/addr.hh"
+#include "sim/random.hh"
+#include "tests/helpers.hh"
+
+namespace tt
+{
+namespace
+{
+
+using test::StacheRig;
+
+struct SweepCfg
+{
+    std::uint32_t blockSize;
+    std::uint64_t cacheSize;
+    Tick quantum;
+    int nodes;
+
+    friend std::ostream&
+    operator<<(std::ostream& os, const SweepCfg& c)
+    {
+        return os << "b" << c.blockSize << "_c" << c.cacheSize << "_q"
+                  << c.quantum << "_n" << c.nodes;
+    }
+};
+
+class StacheSweep : public ::testing::TestWithParam<SweepCfg>
+{
+};
+
+TEST_P(StacheSweep, SerialFuzzMatchesReference)
+{
+    const SweepCfg cfg = GetParam();
+    CoreParams cp;
+    cp.blockSize = cfg.blockSize;
+    cp.cacheSize = cfg.cacheSize;
+    cp.quantum = cfg.quantum;
+    StacheRig rig(cfg.nodes, cp);
+
+    const int blocks = 24;
+    const Addr base =
+        rig.stache->shmalloc(blocks * cfg.blockSize + 4096);
+
+    struct Op
+    {
+        int node;
+        Addr addr;
+        bool isWrite;
+        std::uint32_t value;
+    };
+    Rng rng(cfg.blockSize * 131 + cfg.nodes);
+    std::vector<Op> ops;
+    for (int i = 0; i < 600; ++i) {
+        ops.push_back(Op{static_cast<int>(rng.below(cfg.nodes)),
+                         base + rng.below(blocks) * cfg.blockSize +
+                             rng.below(cfg.blockSize / 4) * 4,
+                         rng.chance(0.45),
+                         static_cast<std::uint32_t>(rng.next())});
+    }
+
+    std::vector<std::uint32_t> observed(ops.size(), 0);
+    StacheRig* r = &rig;
+    rig.run([&, r](Cpu& cpu) -> Task<void> {
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            if (ops[i].node == cpu.id()) {
+                if (ops[i].isWrite)
+                    co_await cpu.write<std::uint32_t>(ops[i].addr,
+                                                      ops[i].value);
+                else
+                    observed[i] = co_await cpu.read<std::uint32_t>(
+                        ops[i].addr);
+            }
+            co_await r->machine->barrier().wait(cpu);
+        }
+    });
+
+    std::map<Addr, std::uint32_t> ref;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].isWrite)
+            ref[ops[i].addr] = ops[i].value;
+        else {
+            auto it = ref.find(ops[i].addr);
+            ASSERT_EQ(observed[i], it == ref.end() ? 0 : it->second)
+                << "op " << i;
+        }
+    }
+    EXPECT_TRUE(rig.stache->quiescent());
+    EXPECT_EQ(rig.stache->auditCoherence(), 0u);
+    EXPECT_TRUE(rig.mem->quiescent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, StacheSweep,
+    ::testing::Values(SweepCfg{32, 1024, 32, 4},
+                      SweepCfg{64, 1024, 32, 4},
+                      SweepCfg{128, 2048, 32, 4},
+                      SweepCfg{32, 512, 0, 4},
+                      SweepCfg{32, 1024, 128, 4},
+                      SweepCfg{32, 4096, 32, 40}, // aux-format dir
+                      SweepCfg{64, 65536, 32, 8}),
+    [](const auto& info) {
+        std::ostringstream oss;
+        oss << info.param;
+        return oss.str();
+    });
+
+/**
+ * The quantum must never change simulated *results*, and its timing
+ * perturbation must be small (it is a bounded conservative window).
+ */
+TEST(StacheQuantum, ResultsInvariantTimingNearlySo)
+{
+    auto runAt = [](Tick q) {
+        CoreParams cp;
+        cp.quantum = q;
+        cp.cacheSize = 2048;
+        StacheRig rig(6, cp);
+        const Addr base = rig.stache->shmalloc(64 * 32);
+        std::uint64_t sum = 0;
+        StacheRig* r = &rig;
+        auto res = rig.run([&, r](Cpu& cpu) -> Task<void> {
+            Rng rng(17 + cpu.id());
+            for (int ph = 0; ph < 4; ++ph) {
+                for (int i = 0; i < 50; ++i) {
+                    const Addr a = base + ((i * 6 + cpu.id()) % 64) * 32;
+                    if ((i + cpu.id()) % 3 == 0)
+                        co_await cpu.write<std::uint32_t>(
+                            a + cpu.id() * 4, i + ph);
+                    else
+                        sum += co_await cpu.read<std::uint32_t>(
+                            a + (i % 8) * 4);
+                }
+                co_await r->machine->barrier().wait(cpu);
+            }
+        });
+        return std::pair<std::uint64_t, Tick>(sum, res.execTime);
+    };
+    const auto [sum0, t0] = runAt(0);
+    const auto [sum32, t32] = runAt(32);
+    const auto [sum128, t128] = runAt(128);
+    EXPECT_EQ(sum0, sum32);
+    EXPECT_EQ(sum0, sum128);
+    // Timing stays within a few percent of the fully-ordered run.
+    EXPECT_NEAR(static_cast<double>(t32), static_cast<double>(t0),
+                0.05 * t0);
+    EXPECT_NEAR(static_cast<double>(t128), static_cast<double>(t0),
+                0.10 * t0);
+}
+
+/** Aux-format directories behave on a 40-node (>32) machine. */
+TEST(StacheWideMachine, ManyReadersThenWriter)
+{
+    StacheRig rig(40);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    StacheRig* r = &rig;
+    rig.run([&, r](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 0)
+            co_await cpu.read<int>(a);
+        co_await r->machine->barrier().wait(cpu);
+        if (cpu.id() == 39)
+            co_await cpu.write<int>(a, 7);
+        co_await r->machine->barrier().wait(cpu);
+        int v = co_await cpu.read<int>(a);
+        EXPECT_EQ(v, 7);
+    });
+    auto view = rig.stache->inspect(a);
+    EXPECT_EQ(view.state, StacheDirEntry::State::Shared);
+    // Home (node 0) holds a read-only copy but is not tracked in the
+    // sharer list; the other 39 nodes are.
+    EXPECT_EQ(view.sharers.size(), 39u);
+    EXPECT_EQ(rig.mem->tagOf(0, a), AccessTag::ReadOnly);
+    // With 40 nodes the bit vector cannot hold the set: aux mode.
+    EXPECT_TRUE((view.raw >> 60) & 1) << "expected aux-format entry";
+    EXPECT_TRUE(rig.stache->quiescent());
+    EXPECT_EQ(rig.stache->auditCoherence(), 0u);
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the protocol trace ring: exact event sequences for the
+ * canonical Stache flows, ring-capacity behaviour, and the
+ * off-by-default contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/helpers.hh"
+
+namespace tt
+{
+namespace
+{
+
+using test::StacheRig;
+using TE = TyphoonMemSystem::TraceEvent;
+
+std::vector<std::pair<TE::Kind, std::uint32_t>>
+kindsOf(const std::deque<TE>& trace)
+{
+    std::vector<std::pair<TE::Kind, std::uint32_t>> out;
+    for (const TE& e : trace)
+        out.emplace_back(e.kind, e.id);
+    return out;
+}
+
+TEST(TyphoonTrace, OffByDefault)
+{
+    StacheRig rig(2);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() == 1)
+            co_await cpu.read<int>(a);
+    });
+    EXPECT_TRUE(rig.mem->trace().empty());
+}
+
+TEST(TyphoonTrace, RemoteReadMissProducesTheCanonicalSequence)
+{
+    TyphoonParams tp;
+    tp.traceCapacity = 64;
+    StacheRig rig(2, CoreParams{}, tp);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() == 1)
+            co_await cpu.read<int>(a);
+    });
+
+    const auto seq = kindsOf(rig.mem->trace());
+    // page fault (CPU) -> BAF handler (GetRO sent) -> home GetRO
+    // handler -> data arrival handler (which resumes).
+    ASSERT_EQ(seq.size(), 5u);
+    EXPECT_EQ(seq[0].first, TE::Kind::PageFault);
+    EXPECT_EQ(seq[1].first, TE::Kind::FaultHandler);
+    EXPECT_EQ(seq[1].second, Stache::kModeStache);
+    EXPECT_EQ(seq[2].first, TE::Kind::MsgHandler);
+    EXPECT_EQ(seq[2].second,
+              static_cast<std::uint32_t>(Stache::kGetRO));
+    EXPECT_EQ(seq[3].first, TE::Kind::Resume);
+    EXPECT_EQ(seq[4].first, TE::Kind::MsgHandler);
+    EXPECT_EQ(seq[4].second,
+              static_cast<std::uint32_t>(Stache::kDataRO));
+
+    // Ticks are monotone and nodes alternate requester/home.
+    const auto& tr = rig.mem->trace();
+    for (std::size_t i = 1; i < tr.size(); ++i)
+        EXPECT_GE(tr[i].tick, tr[i - 1].tick);
+    EXPECT_EQ(tr[0].node, 1);
+    EXPECT_EQ(tr[2].node, 0);
+    EXPECT_EQ(tr[4].node, 1);
+}
+
+TEST(TyphoonTrace, WriteAfterReadShowsUpgradeFlow)
+{
+    TyphoonParams tp;
+    tp.traceCapacity = 64;
+    StacheRig rig(2, CoreParams{}, tp);
+    Addr a = rig.stache->shmalloc(4096, 0);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() == 1) {
+            co_await cpu.read<int>(a);
+            co_await cpu.write<int>(a, 9);
+        }
+    });
+    // The tail must be: BAF(write) -> home GetRW -> DataRW arrival.
+    const auto seq = kindsOf(rig.mem->trace());
+    ASSERT_GE(seq.size(), 3u);
+    const auto n = seq.size();
+    EXPECT_EQ(seq[n - 3].second,
+              static_cast<std::uint32_t>(Stache::kGetRW));
+    EXPECT_EQ(seq[n - 1].second,
+              static_cast<std::uint32_t>(Stache::kDataRW));
+}
+
+TEST(TyphoonTrace, RingDropsOldestBeyondCapacity)
+{
+    TyphoonParams tp;
+    tp.traceCapacity = 8;
+    StacheRig rig(2, CoreParams{}, tp);
+    Addr a = rig.stache->shmalloc(16 * 4096, 0);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        if (cpu.id() != 1)
+            co_return;
+        for (int p = 0; p < 16; ++p)
+            co_await cpu.read<int>(a + p * 4096);
+    });
+    EXPECT_EQ(rig.mem->trace().size(), 8u);
+    // The survivors are the most recent events.
+    const Tick lastTick = rig.mem->trace().back().tick;
+    EXPECT_GT(lastTick, rig.mem->trace().front().tick);
+    rig.mem->clearTrace();
+    EXPECT_TRUE(rig.mem->trace().empty());
+}
+
+TEST(TyphoonTrace, BulkPacketsAreTraced)
+{
+    TyphoonParams tp;
+    tp.traceCapacity = 128;
+    StacheRig rig(2, CoreParams{}, tp);
+    Addr src = rig.stache->shmalloc(4096, 0);
+    Addr dst = rig.stache->shmalloc(4096, 1);
+    rig.mem->tempest(0).setupCtx().bulkTransfer(src, 1, dst, 256, 0);
+    rig.run([&](Cpu& cpu) -> Task<void> {
+        co_await cpu.compute(10000);
+    });
+    int bulk = 0;
+    for (const TE& e : rig.mem->trace())
+        bulk += e.kind == TE::Kind::BulkPacket;
+    EXPECT_EQ(bulk, 4); // 256 bytes / 64-byte chunks
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * ttsim — command-line driver for the Tempest/Typhoon simulator.
+ *
+ * Runs any Table 3 workload on any target system with configurable
+ * machine parameters and prints execution time, checksum, and
+ * (optionally) the full statistics dump.
+ *
+ *   ttsim --system=stache --app=em3d --dataset=small --nodes=32
+ *   ttsim --system=dirnnb --app=barnes --cache-kb=4 --stats
+ *   ttsim --system=update --app=em3d --remote=40
+ *   ttsim --list
+ *
+ * Systems: dirnnb | stache | migratory | update (EM3D only).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apps/workloads.hh"
+#include "config/builders.hh"
+
+using namespace tt;
+
+namespace
+{
+
+struct Options
+{
+    std::string system = "stache";
+    std::string app = "em3d";
+    std::string dataset = "tiny";
+    int nodes = 32;
+    int cacheKb = 256;
+    int blockSize = 32;
+    int scale = 1;
+    int netLatency = 11;
+    int quantum = 32;
+    double remotePct = 20;
+    std::uint64_t seed = 0;
+    bool stats = false;
+    bool table2 = false;
+    bool list = false;
+};
+
+void
+usage()
+{
+    std::puts(
+        "ttsim — Tempest/Typhoon user-level shared memory simulator\n"
+        "\n"
+        "  --system=dirnnb|stache|migratory|update   target (default"
+        " stache)\n"
+        "  --app=appbt|barnes|mp3d|ocean|em3d        workload\n"
+        "  --dataset=tiny|small|large                Table 3 size\n"
+        "  --nodes=N         processing nodes (default 32)\n"
+        "  --cache-kb=N      CPU cache size in KB (default 256)\n"
+        "  --block=N         coherence block bytes (default 32)\n"
+        "  --scale=N         divide problem size by N (default 1)\n"
+        "  --net-latency=N   network latency cycles (default 11)\n"
+        "  --quantum=N       local-time window (default 32)\n"
+        "  --remote=PCT      EM3D remote-edge percent (default 20)\n"
+        "  --seed=N          machine RNG seed\n"
+        "  --stats           dump all statistics after the run\n"
+        "  --table2          print the Table 2 configuration\n"
+        "  --list            list workloads and exit\n");
+}
+
+bool
+parseArg(Options& o, const std::string& arg)
+{
+    auto eat = [&](const char* key, std::string* out) {
+        const std::size_t n = std::strlen(key);
+        if (arg.compare(0, n, key) == 0) {
+            *out = arg.substr(n);
+            return true;
+        }
+        return false;
+    };
+    std::string v;
+    if (eat("--system=", &v)) {
+        o.system = v;
+    } else if (eat("--app=", &v)) {
+        o.app = v;
+    } else if (eat("--dataset=", &v)) {
+        o.dataset = v;
+    } else if (eat("--nodes=", &v)) {
+        o.nodes = std::atoi(v.c_str());
+    } else if (eat("--cache-kb=", &v)) {
+        o.cacheKb = std::atoi(v.c_str());
+    } else if (eat("--block=", &v)) {
+        o.blockSize = std::atoi(v.c_str());
+    } else if (eat("--scale=", &v)) {
+        o.scale = std::atoi(v.c_str());
+    } else if (eat("--net-latency=", &v)) {
+        o.netLatency = std::atoi(v.c_str());
+    } else if (eat("--quantum=", &v)) {
+        o.quantum = std::atoi(v.c_str());
+    } else if (eat("--remote=", &v)) {
+        o.remotePct = std::atof(v.c_str());
+    } else if (eat("--seed=", &v)) {
+        o.seed = std::strtoull(v.c_str(), nullptr, 0);
+    } else if (arg == "--stats") {
+        o.stats = true;
+    } else if (arg == "--table2") {
+        o.table2 = true;
+    } else if (arg == "--list") {
+        o.list = true;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+DataSet
+parseDataSet(const std::string& s)
+{
+    if (s == "tiny")
+        return DataSet::Tiny;
+    if (s == "small")
+        return DataSet::Small;
+    if (s == "large")
+        return DataSet::Large;
+    tt_fatal("unknown dataset: ", s);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        }
+        if (!parseArg(o, arg)) {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (o.list) {
+        std::printf("%-10s %-28s %-28s\n", "app", "small", "large");
+        for (const auto& w : workloadTable())
+            std::printf("%-10s %-28s %-28s\n", w.app.c_str(),
+                        w.smallDesc.c_str(), w.largeDesc.c_str());
+        return 0;
+    }
+
+    MachineConfig cfg;
+    cfg.core.nodes = o.nodes;
+    cfg.core.cacheSize = static_cast<std::uint64_t>(o.cacheKb) * 1024;
+    cfg.core.blockSize = o.blockSize;
+    cfg.core.quantum = o.quantum;
+    cfg.net.latency = o.netLatency;
+    if (o.seed)
+        cfg.core.seed = o.seed;
+
+    if (o.table2)
+        printTable2(std::cout, cfg);
+
+    TargetMachine target;
+    std::unique_ptr<BenchApp> app;
+    const DataSet ds = parseDataSet(o.dataset);
+
+    if (o.system == "dirnnb") {
+        target = buildDirNNB(cfg);
+    } else if (o.system == "stache") {
+        target = buildTyphoonStache(cfg);
+    } else if (o.system == "migratory") {
+        target = buildTyphoonMigratory(cfg);
+    } else if (o.system == "update") {
+        if (o.app != "em3d")
+            tt_fatal("--system=update supports only --app=em3d");
+        target = buildTyphoonEm3dUpdate(cfg);
+    } else {
+        tt_fatal("unknown system: ", o.system);
+    }
+
+    if (o.system == "update") {
+        Em3dApp::Params p =
+            em3dParams(ds, o.remotePct / 100.0, o.scale);
+        app = std::make_unique<Em3dApp>(p, Em3dApp::Mode::Update,
+                                        target.em3d);
+    } else if (o.app == "em3d") {
+        app = std::make_unique<Em3dApp>(
+            em3dParams(ds, o.remotePct / 100.0, o.scale));
+    } else {
+        app = makeWorkload(o.app, ds, o.scale);
+    }
+
+    std::printf("ttsim: %s on %s, %d nodes, %d KB cache, %dB blocks, "
+                "dataset=%s scale=1/%d\n",
+                app->name().c_str(),
+                target.m().memsys().name().c_str(), o.nodes,
+                o.cacheKb, o.blockSize, o.dataset.c_str(), o.scale);
+
+    const RunResult r = target.run(*app);
+
+    std::printf("execution time : %llu cycles\n",
+                static_cast<unsigned long long>(r.execTime));
+    std::printf("events         : %llu\n",
+                static_cast<unsigned long long>(r.events));
+    std::printf("work units     : %llu (%.2f cycles/unit/node)\n",
+                static_cast<unsigned long long>(app->workUnits()),
+                static_cast<double>(r.execTime) * o.nodes /
+                    static_cast<double>(app->workUnits()));
+    std::printf("checksum       : %.17g\n", app->checksum());
+    std::printf("net messages   : %llu (%llu words)\n",
+                static_cast<unsigned long long>(
+                    target.m().stats().get("net.messages")),
+                static_cast<unsigned long long>(
+                    target.m().stats().get("net.words")));
+
+    if (o.stats) {
+        std::printf("\n--- statistics ---\n");
+        target.m().stats().dump(std::cout);
+    }
+    return 0;
+}
