@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_first_touch.dir/ablation_first_touch.cpp.o"
+  "CMakeFiles/ablation_first_touch.dir/ablation_first_touch.cpp.o.d"
+  "ablation_first_touch"
+  "ablation_first_touch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_first_touch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

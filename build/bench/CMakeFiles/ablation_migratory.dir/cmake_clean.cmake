@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_migratory.dir/ablation_migratory.cpp.o"
+  "CMakeFiles/ablation_migratory.dir/ablation_migratory.cpp.o.d"
+  "ablation_migratory"
+  "ablation_migratory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_migratory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_msg_vs_shm.dir/ablation_msg_vs_shm.cpp.o"
+  "CMakeFiles/ablation_msg_vs_shm.dir/ablation_msg_vs_shm.cpp.o.d"
+  "ablation_msg_vs_shm"
+  "ablation_msg_vs_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_msg_vs_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_net_latency.dir/ablation_net_latency.cpp.o"
+  "CMakeFiles/ablation_net_latency.dir/ablation_net_latency.cpp.o.d"
+  "ablation_net_latency"
+  "ablation_net_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_net_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sw_tempest.cpp" "bench/CMakeFiles/ablation_sw_tempest.dir/ablation_sw_tempest.cpp.o" "gcc" "bench/CMakeFiles/ablation_sw_tempest.dir/ablation_sw_tempest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/tt_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/custom/CMakeFiles/tt_custom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stache/CMakeFiles/tt_stache.dir/DependInfo.cmake"
+  "/root/repo/build/src/typhoon/CMakeFiles/tt_typhoon.dir/DependInfo.cmake"
+  "/root/repo/build/src/dir/CMakeFiles/tt_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

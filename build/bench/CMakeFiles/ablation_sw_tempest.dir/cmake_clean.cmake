@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sw_tempest.dir/ablation_sw_tempest.cpp.o"
+  "CMakeFiles/ablation_sw_tempest.dir/ablation_sw_tempest.cpp.o.d"
+  "ablation_sw_tempest"
+  "ablation_sw_tempest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sw_tempest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stache_vs_dirnnb.dir/fig3_stache_vs_dirnnb.cpp.o"
+  "CMakeFiles/fig3_stache_vs_dirnnb.dir/fig3_stache_vs_dirnnb.cpp.o.d"
+  "fig3_stache_vs_dirnnb"
+  "fig3_stache_vs_dirnnb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stache_vs_dirnnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_stache_vs_dirnnb.
+# This may be replaced when dependencies are built.

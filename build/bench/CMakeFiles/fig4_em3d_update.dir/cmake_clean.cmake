@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_em3d_update.dir/fig4_em3d_update.cpp.o"
+  "CMakeFiles/fig4_em3d_update.dir/fig4_em3d_update.cpp.o.d"
+  "fig4_em3d_update"
+  "fig4_em3d_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_em3d_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tag_ops.dir/table1_tag_ops.cpp.o"
+  "CMakeFiles/table1_tag_ops.dir/table1_tag_ops.cpp.o.d"
+  "table1_tag_ops"
+  "table1_tag_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tag_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

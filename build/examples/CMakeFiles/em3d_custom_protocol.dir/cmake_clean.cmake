@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em3d_custom_protocol.dir/em3d_custom_protocol.cpp.o"
+  "CMakeFiles/em3d_custom_protocol.dir/em3d_custom_protocol.cpp.o.d"
+  "em3d_custom_protocol"
+  "em3d_custom_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em3d_custom_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

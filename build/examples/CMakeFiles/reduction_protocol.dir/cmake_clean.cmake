@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_protocol.dir/reduction_protocol.cpp.o"
+  "CMakeFiles/reduction_protocol.dir/reduction_protocol.cpp.o.d"
+  "reduction_protocol"
+  "reduction_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

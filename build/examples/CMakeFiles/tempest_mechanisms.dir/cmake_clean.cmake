@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_mechanisms.dir/tempest_mechanisms.cpp.o"
+  "CMakeFiles/tempest_mechanisms.dir/tempest_mechanisms.cpp.o.d"
+  "tempest_mechanisms"
+  "tempest_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_set_sweep.dir/working_set_sweep.cpp.o"
+  "CMakeFiles/working_set_sweep.dir/working_set_sweep.cpp.o.d"
+  "working_set_sweep"
+  "working_set_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_set_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

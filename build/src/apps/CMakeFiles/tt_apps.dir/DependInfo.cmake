@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/appbt.cc" "src/apps/CMakeFiles/tt_apps.dir/appbt.cc.o" "gcc" "src/apps/CMakeFiles/tt_apps.dir/appbt.cc.o.d"
+  "/root/repo/src/apps/barnes.cc" "src/apps/CMakeFiles/tt_apps.dir/barnes.cc.o" "gcc" "src/apps/CMakeFiles/tt_apps.dir/barnes.cc.o.d"
+  "/root/repo/src/apps/em3d.cc" "src/apps/CMakeFiles/tt_apps.dir/em3d.cc.o" "gcc" "src/apps/CMakeFiles/tt_apps.dir/em3d.cc.o.d"
+  "/root/repo/src/apps/mp3d.cc" "src/apps/CMakeFiles/tt_apps.dir/mp3d.cc.o" "gcc" "src/apps/CMakeFiles/tt_apps.dir/mp3d.cc.o.d"
+  "/root/repo/src/apps/ocean.cc" "src/apps/CMakeFiles/tt_apps.dir/ocean.cc.o" "gcc" "src/apps/CMakeFiles/tt_apps.dir/ocean.cc.o.d"
+  "/root/repo/src/apps/workloads.cc" "src/apps/CMakeFiles/tt_apps.dir/workloads.cc.o" "gcc" "src/apps/CMakeFiles/tt_apps.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/custom/CMakeFiles/tt_custom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stache/CMakeFiles/tt_stache.dir/DependInfo.cmake"
+  "/root/repo/build/src/typhoon/CMakeFiles/tt_typhoon.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

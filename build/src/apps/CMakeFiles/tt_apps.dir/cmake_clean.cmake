@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_apps.dir/appbt.cc.o"
+  "CMakeFiles/tt_apps.dir/appbt.cc.o.d"
+  "CMakeFiles/tt_apps.dir/barnes.cc.o"
+  "CMakeFiles/tt_apps.dir/barnes.cc.o.d"
+  "CMakeFiles/tt_apps.dir/em3d.cc.o"
+  "CMakeFiles/tt_apps.dir/em3d.cc.o.d"
+  "CMakeFiles/tt_apps.dir/mp3d.cc.o"
+  "CMakeFiles/tt_apps.dir/mp3d.cc.o.d"
+  "CMakeFiles/tt_apps.dir/ocean.cc.o"
+  "CMakeFiles/tt_apps.dir/ocean.cc.o.d"
+  "CMakeFiles/tt_apps.dir/workloads.cc.o"
+  "CMakeFiles/tt_apps.dir/workloads.cc.o.d"
+  "libtt_apps.a"
+  "libtt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_config.dir/builders.cc.o"
+  "CMakeFiles/tt_config.dir/builders.cc.o.d"
+  "libtt_config.a"
+  "libtt_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

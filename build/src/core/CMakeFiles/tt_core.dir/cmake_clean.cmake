@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_core.dir/machine.cc.o"
+  "CMakeFiles/tt_core.dir/machine.cc.o.d"
+  "CMakeFiles/tt_core.dir/tempest.cc.o"
+  "CMakeFiles/tt_core.dir/tempest.cc.o.d"
+  "libtt_core.a"
+  "libtt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/custom/em3d_protocol.cc" "src/custom/CMakeFiles/tt_custom.dir/em3d_protocol.cc.o" "gcc" "src/custom/CMakeFiles/tt_custom.dir/em3d_protocol.cc.o.d"
+  "/root/repo/src/custom/migratory.cc" "src/custom/CMakeFiles/tt_custom.dir/migratory.cc.o" "gcc" "src/custom/CMakeFiles/tt_custom.dir/migratory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stache/CMakeFiles/tt_stache.dir/DependInfo.cmake"
+  "/root/repo/build/src/typhoon/CMakeFiles/tt_typhoon.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_custom.dir/em3d_protocol.cc.o"
+  "CMakeFiles/tt_custom.dir/em3d_protocol.cc.o.d"
+  "CMakeFiles/tt_custom.dir/migratory.cc.o"
+  "CMakeFiles/tt_custom.dir/migratory.cc.o.d"
+  "libtt_custom.a"
+  "libtt_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

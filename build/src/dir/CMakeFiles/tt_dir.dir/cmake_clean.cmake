@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_dir.dir/dir_mem_system.cc.o"
+  "CMakeFiles/tt_dir.dir/dir_mem_system.cc.o.d"
+  "libtt_dir.a"
+  "libtt_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

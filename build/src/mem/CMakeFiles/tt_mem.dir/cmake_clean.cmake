@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_mem.dir/cache_model.cc.o"
+  "CMakeFiles/tt_mem.dir/cache_model.cc.o.d"
+  "libtt_mem.a"
+  "libtt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

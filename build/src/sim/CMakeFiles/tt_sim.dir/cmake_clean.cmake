@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tt_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tt_sim.dir/logging.cc.o"
+  "CMakeFiles/tt_sim.dir/logging.cc.o.d"
+  "CMakeFiles/tt_sim.dir/stats.cc.o"
+  "CMakeFiles/tt_sim.dir/stats.cc.o.d"
+  "libtt_sim.a"
+  "libtt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_stache.dir/stache.cc.o"
+  "CMakeFiles/tt_stache.dir/stache.cc.o.d"
+  "libtt_stache.a"
+  "libtt_stache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_stache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

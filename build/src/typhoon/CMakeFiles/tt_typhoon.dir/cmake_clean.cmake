@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_typhoon.dir/typhoon_mem_system.cc.o"
+  "CMakeFiles/tt_typhoon.dir/typhoon_mem_system.cc.o.d"
+  "libtt_typhoon.a"
+  "libtt_typhoon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_typhoon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

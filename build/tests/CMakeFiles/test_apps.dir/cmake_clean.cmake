@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_app_kernels.cc.o"
+  "CMakeFiles/test_apps.dir/apps/test_app_kernels.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_apps_integration.cc.o"
+  "CMakeFiles/test_apps.dir/apps/test_apps_integration.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_apps_param.cc.o"
+  "CMakeFiles/test_apps.dir/apps/test_apps_param.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_golden.cc.o"
+  "CMakeFiles/test_apps.dir/apps/test_golden.cc.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_cpu_coro.cc.o"
+  "CMakeFiles/test_core.dir/core/test_cpu_coro.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_machine.cc.o"
+  "CMakeFiles/test_core.dir/core/test_machine.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_sync.cc.o"
+  "CMakeFiles/test_core.dir/core/test_sync.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

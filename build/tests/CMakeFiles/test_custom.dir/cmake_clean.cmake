@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_custom.dir/custom/test_em3d_fuzz.cc.o"
+  "CMakeFiles/test_custom.dir/custom/test_em3d_fuzz.cc.o.d"
+  "CMakeFiles/test_custom.dir/custom/test_em3d_protocol.cc.o"
+  "CMakeFiles/test_custom.dir/custom/test_em3d_protocol.cc.o.d"
+  "CMakeFiles/test_custom.dir/custom/test_migratory.cc.o"
+  "CMakeFiles/test_custom.dir/custom/test_migratory.cc.o.d"
+  "test_custom"
+  "test_custom.pdb"
+  "test_custom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

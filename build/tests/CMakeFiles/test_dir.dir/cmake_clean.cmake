@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dir.dir/dir/test_dirnnb.cc.o"
+  "CMakeFiles/test_dir.dir/dir/test_dirnnb.cc.o.d"
+  "CMakeFiles/test_dir.dir/dir/test_dirnnb_fuzz.cc.o"
+  "CMakeFiles/test_dir.dir/dir/test_dirnnb_fuzz.cc.o.d"
+  "CMakeFiles/test_dir.dir/dir/test_dirnnb_param.cc.o"
+  "CMakeFiles/test_dir.dir/dir/test_dirnnb_param.cc.o.d"
+  "test_dir"
+  "test_dir.pdb"
+  "test_dir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_addr.cc" "tests/CMakeFiles/test_mem.dir/mem/test_addr.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_addr.cc.o.d"
+  "/root/repo/tests/mem/test_cache_model.cc" "tests/CMakeFiles/test_mem.dir/mem/test_cache_model.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_cache_model.cc.o.d"
+  "/root/repo/tests/mem/test_page_table.cc" "tests/CMakeFiles/test_mem.dir/mem/test_page_table.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_page_table.cc.o.d"
+  "/root/repo/tests/mem/test_phys_mem.cc" "tests/CMakeFiles/test_mem.dir/mem/test_phys_mem.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_phys_mem.cc.o.d"
+  "/root/repo/tests/mem/test_tlb_model.cc" "tests/CMakeFiles/test_mem.dir/mem/test_tlb_model.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_tlb_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

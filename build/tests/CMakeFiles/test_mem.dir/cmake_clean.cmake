@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_addr.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_addr.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_cache_model.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache_model.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_page_table.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_page_table.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_phys_mem.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_phys_mem.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_tlb_model.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_tlb_model.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_message.cc" "tests/CMakeFiles/test_net.dir/net/test_message.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_message.cc.o.d"
+  "/root/repo/tests/net/test_network.cc" "tests/CMakeFiles/test_net.dir/net/test_network.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o.d"
+  "/root/repo/tests/sim/test_kernel_props.cc" "tests/CMakeFiles/test_sim.dir/sim/test_kernel_props.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_kernel_props.cc.o.d"
+  "/root/repo/tests/sim/test_logging.cc" "tests/CMakeFiles/test_sim.dir/sim/test_logging.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_logging.cc.o.d"
+  "/root/repo/tests/sim/test_random.cc" "tests/CMakeFiles/test_sim.dir/sim/test_random.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_random.cc.o.d"
+  "/root/repo/tests/sim/test_stats.cc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cc.o.d"
+  "/root/repo/tests/sim/test_task.cc" "tests/CMakeFiles/test_sim.dir/sim/test_task.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

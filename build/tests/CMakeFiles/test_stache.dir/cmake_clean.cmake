@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stache.dir/stache/test_dir_entry.cc.o"
+  "CMakeFiles/test_stache.dir/stache/test_dir_entry.cc.o.d"
+  "CMakeFiles/test_stache.dir/stache/test_prefetch.cc.o"
+  "CMakeFiles/test_stache.dir/stache/test_prefetch.cc.o.d"
+  "CMakeFiles/test_stache.dir/stache/test_stache.cc.o"
+  "CMakeFiles/test_stache.dir/stache/test_stache.cc.o.d"
+  "CMakeFiles/test_stache.dir/stache/test_stache_fuzz.cc.o"
+  "CMakeFiles/test_stache.dir/stache/test_stache_fuzz.cc.o.d"
+  "CMakeFiles/test_stache.dir/stache/test_stache_param.cc.o"
+  "CMakeFiles/test_stache.dir/stache/test_stache_param.cc.o.d"
+  "test_stache"
+  "test_stache.pdb"
+  "test_stache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/typhoon/test_bulk_and_edge.cc" "tests/CMakeFiles/test_typhoon.dir/typhoon/test_bulk_and_edge.cc.o" "gcc" "tests/CMakeFiles/test_typhoon.dir/typhoon/test_bulk_and_edge.cc.o.d"
+  "/root/repo/tests/typhoon/test_trace.cc" "tests/CMakeFiles/test_typhoon.dir/typhoon/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_typhoon.dir/typhoon/test_trace.cc.o.d"
+  "/root/repo/tests/typhoon/test_typhoon.cc" "tests/CMakeFiles/test_typhoon.dir/typhoon/test_typhoon.cc.o" "gcc" "tests/CMakeFiles/test_typhoon.dir/typhoon/test_typhoon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dir/CMakeFiles/tt_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/stache/CMakeFiles/tt_stache.dir/DependInfo.cmake"
+  "/root/repo/build/src/typhoon/CMakeFiles/tt_typhoon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

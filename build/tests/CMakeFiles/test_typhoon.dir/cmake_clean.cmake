@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_typhoon.dir/typhoon/test_bulk_and_edge.cc.o"
+  "CMakeFiles/test_typhoon.dir/typhoon/test_bulk_and_edge.cc.o.d"
+  "CMakeFiles/test_typhoon.dir/typhoon/test_trace.cc.o"
+  "CMakeFiles/test_typhoon.dir/typhoon/test_trace.cc.o.d"
+  "CMakeFiles/test_typhoon.dir/typhoon/test_typhoon.cc.o"
+  "CMakeFiles/test_typhoon.dir/typhoon/test_typhoon.cc.o.d"
+  "test_typhoon"
+  "test_typhoon.pdb"
+  "test_typhoon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_typhoon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

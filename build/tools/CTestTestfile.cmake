@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ttsim_list "/root/repo/build/tools/ttsim" "--list")
+set_tests_properties(ttsim_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ttsim_stache_em3d "/root/repo/build/tools/ttsim" "--system=stache" "--app=em3d" "--dataset=tiny" "--nodes=8" "--stats")
+set_tests_properties(ttsim_stache_em3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ttsim_dirnnb_mp3d "/root/repo/build/tools/ttsim" "--system=dirnnb" "--app=mp3d" "--dataset=tiny" "--nodes=8")
+set_tests_properties(ttsim_dirnnb_mp3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ttsim_update_em3d "/root/repo/build/tools/ttsim" "--system=update" "--app=em3d" "--dataset=tiny" "--nodes=8" "--remote=40")
+set_tests_properties(ttsim_update_em3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ttsim_migratory_mp3d "/root/repo/build/tools/ttsim" "--system=migratory" "--app=mp3d" "--dataset=tiny" "--nodes=8" "--table2")
+set_tests_properties(ttsim_migratory_mp3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
