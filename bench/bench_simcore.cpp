@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: wall-clocks the fig3 workload grid
+ * ({dirnnb, stache} x the five Table 3 applications, small data set)
+ * and reports host events/sec, writing a machine-readable JSON
+ * report. This measures the *simulator*, not the simulated machine —
+ * simulated cycles and checksums ride along so any speedup can be
+ * checked against bit-identical results.
+ *
+ * Environment:
+ *   TT_SCALE          problem-size divisor (default 4)
+ *   TT_NODES          simulated nodes (default 32)
+ *   TT_APPS           comma list of apps (default all five)
+ *   TT_BENCH_JSON     output path (default BENCH_simcore.json)
+ *   TT_BASELINE_EVSEC reference events/sec to compute speedup
+ *   TT_BASELINE_NOTE  how that baseline was measured
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "config/bench_harness.hh"
+
+using namespace tt;
+using namespace tt::bench;
+
+int
+main()
+{
+    const int scale = envInt("TT_SCALE", 4);
+    const int nodes = envInt("TT_NODES", 32);
+    const auto apps = envList(
+        "TT_APPS", {"appbt", "barnes", "mp3d", "ocean", "em3d"});
+    const char* jsonPath = std::getenv("TT_BENCH_JSON");
+    const char* baseline = std::getenv("TT_BASELINE_EVSEC");
+    const char* baselineNote = std::getenv("TT_BASELINE_NOTE");
+
+    std::printf("bench_simcore: simulator throughput, nodes=%d "
+                "scale=1/%d\n\n",
+                nodes, scale);
+
+    BenchReport rep;
+    rep.nodes = nodes;
+    rep.scale = scale;
+    if (baseline)
+        rep.baselineEventsPerSec = std::atof(baseline);
+    if (baselineNote)
+        rep.baselineNote = baselineNote;
+
+    MachineConfig cfg;
+    cfg.core.nodes = nodes;
+
+    for (const char* system : {"dirnnb", "stache"}) {
+        for (const auto& app : apps) {
+            rep.cases.push_back(runBenchCase(
+                system, app, DataSet::Small, scale, cfg));
+            const BenchCase& c = rep.cases.back();
+            std::printf("%-8s %-8s %9.1f ms  %12llu events\n",
+                        c.system.c_str(), c.app.c_str(), c.wallMs,
+                        static_cast<unsigned long long>(c.events));
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("\n");
+    rep.printTable(std::cout);
+
+    const std::string out = jsonPath ? jsonPath : "BENCH_simcore.json";
+    if (!rep.writeJsonFile(out)) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

@@ -93,7 +93,7 @@ runMessageReduction(int nodes, int rounds, double* out)
                 co_await t.m().barrier().wait(cpu);
                 t.typhoon->cpuSend(
                     cpu, 0, kPartial, {},
-                    std::vector<std::uint8_t>(
+                    Message::Data(
                         reinterpret_cast<const std::uint8_t*>(&mine),
                         reinterpret_cast<const std::uint8_t*>(&mine) +
                             8));

@@ -1,0 +1,189 @@
+#include "config/bench_harness.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+std::uint64_t
+BenchReport::totalEvents() const
+{
+    std::uint64_t n = 0;
+    for (const auto& c : cases)
+        n += c.events;
+    return n;
+}
+
+double
+BenchReport::totalWallMs() const
+{
+    double ms = 0;
+    for (const auto& c : cases)
+        ms += c.wallMs;
+    return ms;
+}
+
+double
+BenchReport::eventsPerSec() const
+{
+    const double ms = totalWallMs();
+    return ms > 0 ? totalEvents() / (ms / 1000.0) : 0;
+}
+
+void
+BenchReport::printTable(std::ostream& os) const
+{
+    char line[256];
+    std::snprintf(line, sizeof line, "%-10s %-8s %-7s %14s %12s %9s\n",
+                  "system", "app", "dataset", "cycles", "events",
+                  "wall ms");
+    os << line;
+    for (const auto& c : cases) {
+        std::snprintf(line, sizeof line,
+                      "%-10s %-8s %-7s %14llu %12llu %9.1f\n",
+                      c.system.c_str(), c.app.c_str(),
+                      c.dataset.c_str(),
+                      static_cast<unsigned long long>(c.cycles),
+                      static_cast<unsigned long long>(c.events),
+                      c.wallMs);
+        os << line;
+    }
+    std::snprintf(line, sizeof line,
+                  "total: %llu events in %.1f ms = %.0f events/sec\n",
+                  static_cast<unsigned long long>(totalEvents()),
+                  totalWallMs(), eventsPerSec());
+    os << line;
+    if (baselineEventsPerSec > 0) {
+        std::snprintf(line, sizeof line,
+                      "baseline: %.0f events/sec -> speedup %.2fx\n",
+                      baselineEventsPerSec,
+                      eventsPerSec() / baselineEventsPerSec);
+        os << line;
+    }
+}
+
+namespace
+{
+
+void
+jsonEscape(std::ostream& os, const std::string& s)
+{
+    os << '"';
+    for (char ch : s) {
+        if (ch == '"' || ch == '\\')
+            os << '\\';
+        os << ch;
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream& os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+BenchReport::writeJson(std::ostream& os) const
+{
+    os << "{\n";
+    os << "  \"nodes\": " << nodes << ",\n";
+    os << "  \"scale\": " << scale << ",\n";
+    os << "  \"cases\": [\n";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const BenchCase& c = cases[i];
+        os << "    {\"system\": ";
+        jsonEscape(os, c.system);
+        os << ", \"app\": ";
+        jsonEscape(os, c.app);
+        os << ", \"dataset\": ";
+        jsonEscape(os, c.dataset);
+        os << ", \"cycles\": " << c.cycles;
+        os << ", \"events\": " << c.events;
+        os << ", \"wall_ms\": ";
+        jsonNumber(os, c.wallMs);
+        os << ", \"checksum\": ";
+        jsonNumber(os, c.checksum);
+        os << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"total_events\": " << totalEvents() << ",\n";
+    os << "  \"total_wall_ms\": ";
+    jsonNumber(os, totalWallMs());
+    os << ",\n  \"events_per_sec\": ";
+    jsonNumber(os, eventsPerSec());
+    if (baselineEventsPerSec > 0) {
+        os << ",\n  \"baseline_events_per_sec\": ";
+        jsonNumber(os, baselineEventsPerSec);
+        os << ",\n  \"speedup\": ";
+        jsonNumber(os, eventsPerSec() / baselineEventsPerSec);
+        os << ",\n  \"baseline_note\": ";
+        jsonEscape(os, baselineNote);
+    }
+    os << "\n}\n";
+}
+
+bool
+BenchReport::writeJsonFile(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeJson(f);
+    return f.good();
+}
+
+BenchCase
+runBenchCase(const std::string& system, const std::string& appName,
+             DataSet ds, int scale, const MachineConfig& cfg)
+{
+    TargetMachine target;
+    std::unique_ptr<BenchApp> app;
+
+    if (system == "dirnnb") {
+        target = buildDirNNB(cfg);
+    } else if (system == "stache") {
+        target = buildTyphoonStache(cfg);
+    } else if (system == "migratory") {
+        target = buildTyphoonMigratory(cfg);
+    } else if (system == "update") {
+        tt_assert(appName == "em3d",
+                  "system 'update' supports only em3d");
+        target = buildTyphoonEm3dUpdate(cfg);
+    } else {
+        tt_fatal("unknown bench system: ", system);
+    }
+
+    if (system == "update") {
+        app = std::make_unique<Em3dApp>(em3dParams(ds, 0.2, scale),
+                                        Em3dApp::Mode::Update,
+                                        target.em3d);
+    } else {
+        app = makeWorkload(appName, ds, scale);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult r = target.run(*app);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    BenchCase c;
+    c.system = system;
+    c.app = appName;
+    c.dataset = dataSetName(ds);
+    c.cycles = r.execTime;
+    c.events = r.events;
+    c.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    c.checksum = app->checksum();
+    return c;
+}
+
+} // namespace tt

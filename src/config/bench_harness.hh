@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Wall-clock benchmarking of the simulator itself (not the simulated
+ * machine): how many kernel events per second the host executes.
+ *
+ * Used by bench/bench_simcore.cpp and ttsim --bench-json to produce a
+ * machine-readable JSON report, so optimisation work on the
+ * simulation core can be tracked against a recorded baseline.
+ *
+ * Timing methodology: each case builds a fresh target machine, then
+ * wall-clocks Machine::run() only (construction and workload setup
+ * are excluded). Simulated results (cycles, checksum) are reported
+ * alongside so a speedup can never come from simulating less.
+ */
+
+#ifndef TT_CONFIG_BENCH_HARNESS_HH
+#define TT_CONFIG_BENCH_HARNESS_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.hh"
+#include "config/builders.hh"
+
+namespace tt
+{
+
+/** One timed simulation run. */
+struct BenchCase
+{
+    std::string system;       ///< dirnnb | stache | migratory | update
+    std::string app;
+    std::string dataset;
+    Tick cycles = 0;          ///< simulated execution time
+    std::uint64_t events = 0; ///< kernel events executed
+    double wallMs = 0;        ///< host wall-clock for Machine::run()
+    double checksum = 0;      ///< application result checksum
+};
+
+/** An aggregated report over a set of cases. */
+struct BenchReport
+{
+    int nodes = 0;
+    int scale = 0;
+    std::vector<BenchCase> cases;
+
+    /** If > 0, a reference events/sec to compute speedup against. */
+    double baselineEventsPerSec = 0;
+    std::string baselineNote;
+
+    std::uint64_t totalEvents() const;
+    double totalWallMs() const;
+    double eventsPerSec() const;
+
+    /** Pretty per-case table for humans. */
+    void printTable(std::ostream& os) const;
+    /** Machine-readable report (stable key order). */
+    void writeJson(std::ostream& os) const;
+    /** writeJson to @p path; returns false on I/O failure. */
+    bool writeJsonFile(const std::string& path) const;
+};
+
+/**
+ * Build the named target system, run @p app name on it, and wall-clock
+ * the run. Systems follow the ttsim names; "update" requires em3d.
+ */
+BenchCase runBenchCase(const std::string& system,
+                       const std::string& appName, DataSet ds,
+                       int scale, const MachineConfig& cfg);
+
+} // namespace tt
+
+#endif // TT_CONFIG_BENCH_HARNESS_HH

@@ -28,7 +28,13 @@ class Cpu
   public:
     Cpu(EventQueue& eq, const CoreParams& params, NodeId id,
         StatSet& stats)
-        : _eq(eq), _params(params), _stats(stats), _id(id)
+        : _eq(eq),
+          _params(params),
+          _stats(stats),
+          _loads(stats.counter("cpu.loads")),
+          _stores(stats.counter("cpu.stores")),
+          _computeCycles(stats.counter("cpu.compute_cycles")),
+          _id(id)
     {
     }
 
@@ -104,7 +110,7 @@ class Cpu
     compute(Tick cycles)
     {
         advance(cycles);
-        _stats.counter("cpu.compute_cycles").inc(cycles);
+        _computeCycles.inc(cycles);
         return ComputeAwaitable{*this};
     }
 
@@ -177,7 +183,7 @@ class Cpu
     ReadAwaitable<T>
     read(Addr a)
     {
-        _stats.counter("cpu.loads").inc();
+        _loads.inc();
         return ReadAwaitable<T>(*this, a);
     }
 
@@ -185,7 +191,7 @@ class Cpu
     WriteAwaitable<T>
     write(Addr a, T v)
     {
-        _stats.counter("cpu.stores").inc();
+        _stores.inc();
         return WriteAwaitable<T>(*this, a, v);
     }
 
@@ -203,6 +209,11 @@ class Cpu
     EventQueue& _eq;
     const CoreParams& _params;
     StatSet& _stats;
+    // Per-instruction stat handles, resolved once (references into
+    // _stats are stable).
+    Counter& _loads;
+    Counter& _stores;
+    Counter& _computeCycles;
     MemorySystem* _memsys = nullptr;
     NodeId _id;
     Tick _localTime = 0;

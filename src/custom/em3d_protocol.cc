@@ -10,7 +10,13 @@ Em3dUpdateProtocol::Em3dUpdateProtocol(Machine& m, TyphoonMemSystem& ms,
                                        StacheParams p)
     : Stache(m, ms, p),
       _flushList(m.params().nodes),
-      _upd(m.params().nodes)
+      _upd(m.params().nodes),
+      _cCustomPageFaults(m.stats().counter("em3d.custom_page_faults")),
+      _cCustomGetRo(m.stats().counter("em3d.get_ro")),
+      _cCopiesRegistered(m.stats().counter("em3d.copies_registered")),
+      _cUpdatesReceived(m.stats().counter("em3d.updates_received")),
+      _cUpdatesSent(m.stats().counter("em3d.updates_sent")),
+      _cFlushes(m.stats().counter("em3d.flushes"))
 {
     for (NodeId i = 0; i < _cp.nodes; ++i) {
         Tempest& t = _ms.tempest(i);
@@ -19,7 +25,7 @@ Em3dUpdateProtocol::Em3dUpdateProtocol(Machine& m, TyphoonMemSystem& ms,
         // custom mode, everything else falls through to Stache.
         t.registerPageFaultHandler(
             [this](TempestCtx& ctx, Addr va, MemOp op) {
-                if (_customKind.count(pageNum(va, _cp.pageSize)))
+                if (_customKind.contains(pageNum(va, _cp.pageSize)))
                     onCustomPageFault(ctx, va, op);
                 else
                     onPageFault(ctx, va, op);
@@ -96,7 +102,7 @@ Em3dUpdateProtocol::onCustomPageFault(TempestCtx& ctx, Addr va,
     const Addr pageVa = alignDown(va, _cp.pageSize);
     const std::uint64_t vpn = pageNum(va, _cp.pageSize);
     ctx.charge(_p.pageFaultWork);
-    _stats.counter("em3d.custom_page_faults").inc();
+    _cCustomPageFaults.inc();
     if (ctx.pageMapped(va))
         return; // raced with an NP-side mapping
 
@@ -122,7 +128,7 @@ Em3dUpdateProtocol::onCustomReadFault(TempestCtx& ctx,
     ctx.setBusy(blk);
     Word args[2] = {static_cast<Word>(blk),
                     static_cast<Word>(blk >> 32)};
-    _stats.counter("em3d.get_ro").inc();
+    _cCustomGetRo.inc();
     ctx.send(home, kCGetRO, std::span<const Word>(args), nullptr, 0,
              VNet::Request);
 }
@@ -136,7 +142,7 @@ Em3dUpdateProtocol::onCGet(TempestCtx& ctx, const Message& msg)
     ctx.structAccess(entryKey(blk));
 
     // Register the copy permanently on the block's copy list.
-    CopyList& cl = _copies[blk];
+    CopyList& cl = _copies[blk / _cp.blockSize];
     bool already = false;
     for (NodeId n : cl.consumers)
         already |= n == msg.src;
@@ -146,7 +152,7 @@ Em3dUpdateProtocol::onCGet(TempestCtx& ctx, const Message& msg)
         _flushList[self][kind].push_back(blk);
     }
     cl.consumers.push_back(msg.src);
-    _stats.counter("em3d.copies_registered").inc();
+    _cCopiesRegistered.inc();
 
     // Reply with the data; the home tag stays ReadWrite.
     std::vector<std::uint8_t> buf(_cp.blockSize);
@@ -185,7 +191,7 @@ Em3dUpdateProtocol::onCUpdate(TempestCtx& ctx, const Message& msg)
     ctx.forceWrite(blk, msg.data.data(),
                    static_cast<std::uint32_t>(msg.data.size()));
     ++_upd[self].arrived[kind];
-    _stats.counter("em3d.updates_received").inc();
+    _cUpdatesReceived.inc();
     maybeRelease(self, static_cast<Kind>(kind));
 }
 
@@ -202,11 +208,11 @@ Em3dUpdateProtocol::onCFlush(TempestCtx& ctx, const Message& msg)
         Word args[3] = {static_cast<Word>(blk),
                         static_cast<Word>(blk >> 32),
                         static_cast<Word>(kind)};
-        for (NodeId dst : _copies.at(blk).consumers) {
+        for (NodeId dst : _copies.at(blk / _cp.blockSize).consumers) {
             ctx.charge(1);
             ctx.send(dst, kCUpdate, std::span<const Word>(args),
                      buf.data(), _cp.blockSize, VNet::Request);
-            _stats.counter("em3d.updates_sent").inc();
+            _cUpdatesSent.inc();
         }
     }
 }
@@ -236,7 +242,7 @@ Em3dUpdateProtocol::endStep(Cpu& cpu, Kind kind)
     // network).
     _ms.cpuSend(cpu, cpu.id(), kCFlush,
                 {static_cast<Word>(kind)});
-    _stats.counter("em3d.flushes").inc();
+    _cFlushes.inc();
     return EndStepAwaitable{*this, cpu, kind};
 }
 
@@ -249,8 +255,8 @@ Em3dUpdateProtocol::expectedUpdates(NodeId n, Kind k) const
 std::size_t
 Em3dUpdateProtocol::copyListSize(Addr blk) const
 {
-    auto it = _copies.find(blk);
-    return it == _copies.end() ? 0 : it->second.consumers.size();
+    const CopyList* cl = _copies.find(blk / _cp.blockSize);
+    return cl ? cl->consumers.size() : 0;
 }
 
 } // namespace tt

@@ -25,7 +25,6 @@
 #include <array>
 #include <coroutine>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "stache/stache.hh"
@@ -100,12 +99,20 @@ class Em3dUpdateProtocol : public Stache
     };
 
     /** vpn -> kind for custom pages (home and stache sides). */
-    std::unordered_map<std::uint64_t, int> _customKind;
+    DenseMap<int> _customKind;
     /** home blocks with registered copies, per home node and kind. */
     std::vector<std::array<std::vector<Addr>, 2>> _flushList;
-    std::unordered_map<Addr, CopyList> _copies;
+    DenseMap<CopyList> _copies; ///< keyed by block number
     std::vector<NodeUpd> _upd;
     Addr _nextCustomVa = 0x7000'0000;
+
+    // Hot-path stat handles, resolved once at construction.
+    Counter& _cCustomPageFaults;
+    Counter& _cCustomGetRo;
+    Counter& _cCopiesRegistered;
+    Counter& _cUpdatesReceived;
+    Counter& _cUpdatesSent;
+    Counter& _cFlushes;
 
   public:
     /** Awaitable for the update-counting fuzzy barrier. */

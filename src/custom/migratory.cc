@@ -34,7 +34,7 @@ MigratoryProtocol::homeRequest(TempestCtx& ctx, Addr blk,
         // hits locally. Whether the *previous* owner actually wrote
         // is fed back by onOwnerDataReturned() when its copy is
         // recalled — a clean return demotes the block.
-        _stats.counter("migratory.promotions").inc();
+        _cPromotions.inc();
         p.lastOwner = requester;
         p.promoted = true;
         p.readSinceWrite = false;
@@ -57,10 +57,10 @@ void
 MigratoryProtocol::onOwnerDataReturned(Addr blk, NodeId from,
                                        bool modified)
 {
-    auto it = _pattern.find(blk);
-    if (it == _pattern.end())
+    Pattern* pp = _pattern.find(blk);
+    if (!pp)
         return;
-    Pattern& p = it->second;
+    Pattern& p = *pp;
     (void)from;
     if (modified)
         return; // genuine migratory use: keep the classification
@@ -70,7 +70,7 @@ MigratoryProtocol::onOwnerDataReturned(Addr blk, NodeId from,
         p.migratory = false;
         p.migrations = 0;
         p.promoted = false;
-        _stats.counter("migratory.demotions").inc();
+        _cDemotions.inc();
     }
 }
 
@@ -78,8 +78,8 @@ std::size_t
 MigratoryProtocol::migratoryBlocks() const
 {
     std::size_t n = 0;
-    for (const auto& [blk, p] : _pattern)
-        n += p.migratory;
+    _pattern.forEach(
+        [&](Addr, const Pattern& p) { n += p.migratory; });
     return n;
 }
 

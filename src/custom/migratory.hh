@@ -24,8 +24,6 @@
 #ifndef TT_CUSTOM_MIGRATORY_HH
 #define TT_CUSTOM_MIGRATORY_HH
 
-#include <unordered_map>
-
 #include "stache/stache.hh"
 
 namespace tt
@@ -36,7 +34,10 @@ class MigratoryProtocol : public Stache
   public:
     MigratoryProtocol(Machine& m, TyphoonMemSystem& ms,
                       StacheParams p = {}, int threshold = 2)
-        : Stache(m, ms, p), _threshold(threshold)
+        : Stache(m, ms, p),
+          _threshold(threshold),
+          _cPromotions(m.stats().counter("migratory.promotions")),
+          _cDemotions(m.stats().counter("migratory.demotions"))
     {
     }
 
@@ -63,8 +64,12 @@ class MigratoryProtocol : public Stache
         bool promoted = false; ///< current owner got RW from a read
     };
 
-    std::unordered_map<Addr, Pattern> _pattern;
+    OpenMap<Addr, Pattern> _pattern;
     int _threshold;
+
+    // Hot-path stat handles, resolved once at construction.
+    Counter& _cPromotions;
+    Counter& _cDemotions;
 };
 
 } // namespace tt

@@ -14,7 +14,24 @@ DirMemSystem::DirMemSystem(Machine& m, Network& net, DirParams params)
       _cp(m.params()),
       _stats(m.stats()),
       _store(m.params().pageSize),
-      _nextVa(0x1000'0000)
+      _nextVa(0x1000'0000),
+      _cFirstTouch(m.stats().counter("dir.first_touch_assignments")),
+      _cTlbMisses(m.stats().counter("dir.tlb_misses")),
+      _cCacheHits(m.stats().counter("dir.cache_hits")),
+      _cLocalMisses(m.stats().counter("dir.local_misses")),
+      _cLocalUpgrades(m.stats().counter("dir.local_upgrades")),
+      _cLocalConflictMisses(
+          m.stats().counter("dir.local_conflict_misses")),
+      _cRemoteMisses(m.stats().counter("dir.remote_misses")),
+      _cWritebacks(m.stats().counter("dir.writebacks")),
+      _cInvReceived(m.stats().counter("dir.inv_received")),
+      _cRecallsReceived(m.stats().counter("dir.recalls_received")),
+      _cDeferred(m.stats().counter("dir.deferred_requests")),
+      _cOps(m.stats().counter("dir.ops")),
+      _cRecallsSent(m.stats().counter("dir.recalls_sent")),
+      _cInvSent(m.stats().counter("dir.inv_sent")),
+      _cWritebacksReceived(
+          m.stats().counter("dir.writebacks_received"))
 {
     _nodes.reserve(_cp.nodes);
     for (int i = 0; i < _cp.nodes; ++i) {
@@ -61,18 +78,20 @@ DirMemSystem::shmalloc(std::size_t bytes, NodeId home)
 NodeId
 DirMemSystem::homeOf(Addr va) const
 {
-    auto it = _pageHome.find(pageNum(va, _cp.pageSize));
-    return it == _pageHome.end() ? kNoNode : it->second;
+    const NodeId* h = _pageHome.find(pageNum(va, _cp.pageSize));
+    return h ? *h : kNoNode;
 }
 
 NodeId
 DirMemSystem::resolveHome(Addr va, NodeId toucher)
 {
-    auto [it, inserted] =
-        _pageHome.try_emplace(pageNum(va, _cp.pageSize), toucher);
-    if (inserted)
-        _stats.counter("dir.first_touch_assignments").inc();
-    return it->second;
+    auto [h, inserted] =
+        _pageHome.findOrInsert(pageNum(va, _cp.pageSize));
+    if (inserted) {
+        h = toucher;
+        _cFirstTouch.inc();
+    }
+    return h;
 }
 
 void
@@ -103,17 +122,16 @@ DirMemSystem::transfer(MemRequest* req)
 DirMemSystem::DirEntry&
 DirMemSystem::entry(Addr blk)
 {
-    auto [it, inserted] = _dir.try_emplace(blk);
+    auto [e, inserted] = _dir.findOrInsert(blk / _cp.blockSize);
     if (inserted)
-        it->second.sharers = NodeSet(_cp.nodes);
-    return it->second;
+        e.sharers = NodeSet(_cp.nodes);
+    return e;
 }
 
 const DirMemSystem::DirEntry*
 DirMemSystem::findEntry(Addr blk) const
 {
-    auto it = _dir.find(blk);
-    return it == _dir.end() ? nullptr : &it->second;
+    return _dir.find(blk / _cp.blockSize);
 }
 
 DirMemSystem::EntryView
@@ -133,9 +151,12 @@ DirMemSystem::inspect(Addr va) const
 bool
 DirMemSystem::quiescent() const
 {
-    for (const auto& [blk, e] : _dir)
-        if (e.mshr)
-            return false;
+    bool busy = false;
+    _dir.forEach([&](std::uint64_t, const DirEntry& e) {
+        busy |= e.mshr != nullptr;
+    });
+    if (busy)
+        return false;
     for (const auto& n : _nodes)
         if (!n.pending.empty())
             return false;
@@ -166,19 +187,19 @@ DirMemSystem::access(MemRequest* req)
     Tick cost = 0;
     if (!n.tlb->access(pageNum(va, _cp.pageSize))) {
         cost += _cp.tlbMissLatency;
-        _stats.counter("dir.tlb_misses").inc();
+        _cTlbMisses.inc();
     }
 
     // Cache hit fast paths.
     if (req->op == MemOp::Read) {
         if (n.cache->probeRead(va)) {
-            _stats.counter("dir.cache_hits").inc();
+            _cCacheHits.inc();
             transfer(req);
             return {true, cost};
         }
     } else {
         if (n.cache->probeWrite(va)) {
-            _stats.counter("dir.cache_hits").inc();
+            _cCacheHits.inc();
             transfer(req);
             return {true, cost};
         }
@@ -205,7 +226,7 @@ DirMemSystem::access(MemRequest* req)
                              req->issueTime + cost +
                                  _cp.localMissLatency);
                 transfer(req);
-                _stats.counter("dir.local_misses").inc();
+                _cLocalMisses.inc();
                 return {true, cost + _cp.localMissLatency};
             }
             if (req->op == MemOp::Write && st == DirState::Idle) {
@@ -213,7 +234,7 @@ DirMemSystem::access(MemRequest* req)
                     // Stale Shared line with no remote copies left.
                     n.cache->upgrade(va, true);
                     transfer(req);
-                    _stats.counter("dir.local_upgrades").inc();
+                    _cLocalUpgrades.inc();
                     return {true, cost};
                 }
                 CacheResult fres = n.cache->fill(va, LineState::Owned);
@@ -222,7 +243,7 @@ DirMemSystem::access(MemRequest* req)
                              req->issueTime + cost +
                                  _cp.localMissLatency);
                 transfer(req);
-                _stats.counter("dir.local_misses").inc();
+                _cLocalMisses.inc();
                 return {true, cost + _cp.localMissLatency};
             }
         }
@@ -231,7 +252,7 @@ DirMemSystem::access(MemRequest* req)
         tt_assert(!n.pending.count(blk),
                   "duplicate outstanding miss at node ", self);
         n.pending[blk] = PendingMiss{req, upgrade};
-        _stats.counter("dir.local_conflict_misses").inc();
+        _cLocalConflictMisses.inc();
         homeRequest(self, blk, self, req->op, upgrade,
                     req->issueTime + cost);
         return {false, 0};
@@ -241,7 +262,7 @@ DirMemSystem::access(MemRequest* req)
     tt_assert(!n.pending.count(blk),
               "duplicate outstanding miss at node ", self);
     n.pending[blk] = PendingMiss{req, upgrade};
-    _stats.counter("dir.remote_misses").inc();
+    _cRemoteMisses.inc();
     const MsgKind kind = req->op == MemOp::Read
                              ? kReadReq
                              : (upgrade ? kUpgradeReq : kWriteReq);
@@ -263,7 +284,7 @@ DirMemSystem::handleVictim(NodeId node, const CacheResult& fres,
         return;
     const NodeId vhome = homeOf(fres.victimAddr);
     tt_assert(vhome != kNoNode, "victim block with no home");
-    _stats.counter("dir.writebacks").inc();
+    _cWritebacks.inc();
     if (vhome == node) {
         // Home evicting its own exclusively-held line: the directory
         // entry is Idle (home copies are not tracked); nothing to do.
@@ -321,7 +342,7 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
         if (prior == LineState::Owned)
             cost += _p.replaceExclusive;
         n.ctrlFree = start + cost;
-        _stats.counter("dir.inv_received").inc();
+        _cInvReceived.inc();
         sendMsg(self, msg.src, VNet::Response, kInvAck, blk,
                 start + cost);
         break;
@@ -358,7 +379,7 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
             present = n.cache->downgrade(blk);
         }
         n.ctrlFree = start + cost;
-        _stats.counter("dir.recalls_received").inc();
+        _cRecallsReceived.inc();
         sendMsg(self, msg.src, VNet::Response,
                 present ? kRecallData : kRecallNack, blk, start + cost,
                 0, present);
@@ -425,7 +446,7 @@ DirMemSystem::homeRequest(NodeId home, Addr blk, NodeId requester,
     DirEntry& e = entry(blk);
     if (e.mshr) {
         e.mshr->deferred.push_back(Deferred{requester, op, upgrade});
-        _stats.counter("dir.deferred_requests").inc();
+        _cDeferred.inc();
         return;
     }
     const Tick start = ctrlStart(home, when);
@@ -439,7 +460,7 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
     Node& hn = _nodes[home];
     DirEntry& e = entry(blk);
     tt_assert(!e.mshr, "homeProcess on busy entry");
-    _stats.counter("dir.ops").inc();
+    _cOps.inc();
 
     auto mshr = std::make_unique<Mshr>();
     mshr->op = op;
@@ -463,7 +484,7 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
             e.mshr->recallTarget = e.owner;
             const Tick cost = _p.dirOpBase + _p.dirPerMsg;
             hn.ctrlFree = start + cost;
-            _stats.counter("dir.recalls_sent").inc();
+            _cRecallsSent.inc();
             sendMsg(home, e.owner, VNet::Request, kRecall, blk,
                     start + cost, /*toInvalid=*/0);
         }
@@ -494,7 +515,7 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
             _p.dirOpBase +
             _p.dirPerMsg * static_cast<Tick>(targets.size());
         hn.ctrlFree = start + cost;
-        _stats.counter("dir.inv_sent").inc(targets.size());
+        _cInvSent.inc(targets.size());
         for (NodeId t : targets)
             sendMsg(home, t, VNet::Request, kInv, blk, start + cost);
         break;
@@ -506,7 +527,7 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
         e.mshr->recallTarget = e.owner;
         const Tick cost = _p.dirOpBase + _p.dirPerMsg;
         hn.ctrlFree = start + cost;
-        _stats.counter("dir.recalls_sent").inc();
+        _cRecallsSent.inc();
         sendMsg(home, e.owner, VNet::Request, kRecall, blk,
                 start + cost, /*toInvalid=*/1);
         break;
@@ -578,7 +599,7 @@ DirMemSystem::applyWriteback(NodeId home, Addr blk, NodeId from,
     Node& hn = _nodes[home];
     const Tick start = ctrlStart(home, when);
     hn.ctrlFree = start + _p.dirOpBase + _p.dirBlockRecv;
-    _stats.counter("dir.writebacks_received").inc();
+    _cWritebacksReceived.inc();
 
     if (e.mshr && e.mshr->awaitingRecall &&
         e.mshr->recallTarget == from) {

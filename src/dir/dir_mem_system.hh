@@ -34,6 +34,7 @@
 #include "mem/phys_mem.hh"
 #include "mem/tlb_model.hh"
 #include "net/network.hh"
+#include "sim/dense_map.hh"
 
 namespace tt
 {
@@ -161,11 +162,29 @@ class DirMemSystem : public MemorySystem
     StatSet& _stats;
 
     std::vector<Node> _nodes;
-    std::unordered_map<Addr, DirEntry> _dir; // by block address
-    std::unordered_map<std::uint64_t, NodeId> _pageHome; // vpn -> home
+    DenseMap<DirEntry> _dir;      ///< keyed by block number (blk/B)
+    DenseMap<NodeId> _pageHome;   ///< vpn -> home
     PhysMem _store; // va-keyed global memory
     Addr _nextVa;
     NodeId _rrNext = 0;
+
+    // Hot-path stat handles, resolved once at construction (StatSet
+    // hands out stable references).
+    Counter& _cFirstTouch;
+    Counter& _cTlbMisses;
+    Counter& _cCacheHits;
+    Counter& _cLocalMisses;
+    Counter& _cLocalUpgrades;
+    Counter& _cLocalConflictMisses;
+    Counter& _cRemoteMisses;
+    Counter& _cWritebacks;
+    Counter& _cInvReceived;
+    Counter& _cRecallsReceived;
+    Counter& _cDeferred;
+    Counter& _cOps;
+    Counter& _cRecallsSent;
+    Counter& _cInvSent;
+    Counter& _cWritebacksReceived;
 };
 
 } // namespace tt

@@ -9,9 +9,9 @@
 #ifndef TT_MEM_PHYS_MEM_HH
 #define TT_MEM_PHYS_MEM_HH
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/addr.hh"
@@ -22,8 +22,16 @@ namespace tt
 {
 
 /**
- * Sparse byte-addressable memory with page-granular backing and a
- * simple bump-plus-freelist page allocator.
+ * Byte-addressable memory with page-granular backing and a simple
+ * bump-plus-freelist page allocator.
+ *
+ * Page lookup is on the path of every simulated load and store, so
+ * pages live in a dense vector indexed by (ppn - base ppn) rather
+ * than a hash map. Both allocation patterns in the tree are
+ * contiguous bump sequences (Typhoon node memories from ppn 1,
+ * DirNNB's address-keyed global store from its segment base), so the
+ * vector stays dense in practice; a stray low allocation merely
+ * re-bases it.
  */
 class PhysMem
 {
@@ -49,9 +57,7 @@ class PhysMem
         } else {
             ppn = _nextPpn++;
         }
-        auto& page = _pages[ppn];
-        page = std::make_unique<std::uint8_t[]>(_pageSize);
-        std::memset(page.get(), 0, _pageSize);
+        backPage(ppn);
         return ppn * _pageSize;
     }
 
@@ -65,11 +71,8 @@ class PhysMem
     allocPageAt(PAddr base)
     {
         const std::uint64_t ppn = base / _pageSize;
-        tt_assert(!_pages.count(ppn), "page already allocated at ",
-                  base);
-        auto& page = _pages[ppn];
-        page = std::make_unique<std::uint8_t[]>(_pageSize);
-        std::memset(page.get(), 0, _pageSize);
+        tt_assert(!slot(ppn), "page already allocated at ", base);
+        backPage(ppn);
     }
 
     /** Release a page previously returned by allocPage(). */
@@ -77,18 +80,15 @@ class PhysMem
     freePage(PAddr base)
     {
         const std::uint64_t ppn = base / _pageSize;
-        auto it = _pages.find(ppn);
-        tt_assert(it != _pages.end(), "freeing unallocated page ", base);
-        _pages.erase(it);
+        std::uint8_t* page = slot(ppn);
+        tt_assert(page, "freeing unallocated page ", base);
+        _pages[ppn - _basePpn].reset();
+        --_allocated;
         _freeList.push_back(ppn);
     }
 
     /** True iff the page containing @p pa is allocated. */
-    bool
-    pageAllocated(PAddr pa) const
-    {
-        return _pages.count(pa / _pageSize) != 0;
-    }
+    bool pageAllocated(PAddr pa) const { return slot(pa / _pageSize); }
 
     /** Copy @p len bytes at physical address @p pa into @p buf. */
     void
@@ -125,27 +125,55 @@ class PhysMem
     }
 
     /** Number of currently allocated pages. */
-    std::size_t allocatedPages() const { return _pages.size(); }
+    std::size_t allocatedPages() const { return _allocated; }
 
   private:
+    /** Backing store for @p ppn, or nullptr if unallocated. */
+    std::uint8_t*
+    slot(std::uint64_t ppn) const
+    {
+        const std::uint64_t idx = ppn - _basePpn;
+        return idx < _pages.size() ? _pages[idx].get() : nullptr;
+    }
+
+    void
+    backPage(std::uint64_t ppn)
+    {
+        if (_pages.empty()) {
+            _basePpn = ppn;
+        } else if (ppn < _basePpn) {
+            // Re-base: shift existing pages up to make room below.
+            const std::uint64_t shift = _basePpn - ppn;
+            _pages.resize(_pages.size() + shift);
+            std::move_backward(_pages.begin(), _pages.end() - shift,
+                               _pages.end());
+            _basePpn = ppn;
+        }
+        const std::uint64_t idx = ppn - _basePpn;
+        if (idx >= _pages.size())
+            _pages.resize(idx + 1);
+        _pages[idx] = std::make_unique<std::uint8_t[]>(_pageSize);
+        std::memset(_pages[idx].get(), 0, _pageSize);
+        ++_allocated;
+    }
+
     const std::uint8_t*
     locate(PAddr pa, std::size_t len) const
     {
-        const std::uint64_t ppn = pa / _pageSize;
         const std::uint64_t off = pa & (_pageSize - 1);
         tt_assert(off + len <= _pageSize,
                   "physical access crosses page boundary at ", pa);
-        auto it = _pages.find(ppn);
-        tt_assert(it != _pages.end(), "access to unallocated page: pa=",
-                  pa);
-        return it->second.get() + off;
+        const std::uint8_t* page = slot(pa / _pageSize);
+        tt_assert(page, "access to unallocated page: pa=", pa);
+        return page + off;
     }
 
     std::uint32_t _pageSize;
     std::uint64_t _nextPpn = 1; // keep paddr 0 unused as a null-ish value
+    std::uint64_t _basePpn = 0;
+    std::size_t _allocated = 0;
     std::vector<std::uint64_t> _freeList;
-    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
-        _pages;
+    std::vector<std::unique_ptr<std::uint8_t[]>> _pages;
 };
 
 } // namespace tt

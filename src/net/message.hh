@@ -14,9 +14,9 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
-#include <vector>
 
 #include "sim/logging.hh"
+#include "sim/small_vec.hh"
 #include "sim/types.hh"
 
 namespace tt
@@ -41,15 +41,24 @@ constexpr std::uint32_t kMaxPacketWords = 20;
  * Messages wider than one packet are legal and are charged as
  * multiple packets by the network (used by 64/128-byte-block
  * configurations and by bulk transfer).
+ *
+ * Payloads live inline in the Message (SmallVec): protocol messages
+ * carry at most four argument words and one 32-byte block, so the
+ * common case allocates nothing; 64/128-byte blocks and bulk-transfer
+ * chunks spill to the heap transparently.
  */
 struct Message
 {
+    /** Inline capacities sized for the widest protocol message. */
+    using Args = SmallVec<Word, 8>;
+    using Data = SmallVec<std::uint8_t, 32>;
+
     NodeId src = kNoNode;
     NodeId dst = kNoNode;
     VNet vnet = VNet::Request;
     HandlerId handler = 0;
-    std::vector<Word> args;
-    std::vector<std::uint8_t> data;
+    Args args;
+    Data data;
 
     /** Total size in network words. */
     std::uint32_t

@@ -50,10 +50,15 @@ class Network
             StatSet& stats)
         : _eq(eq),
           _params(params),
-          _stats(stats),
           _receivers(nodes),
           _linkFree(nodes, 0),
-          _ejectFree(nodes, 0)
+          _ejectFree(nodes, 0),
+          _msgs(stats.counter("net.messages")),
+          _packets(stats.counter("net.packets")),
+          _words(stats.counter("net.words")),
+          _reqMsgs(stats.counter("net.req_messages")),
+          _respMsgs(stats.counter("net.resp_messages")),
+          _ejectQueued(stats.counter("net.eject_queued"))
     {
     }
 
@@ -76,20 +81,24 @@ class Network
     void
     send(Message msg, Tick when)
     {
+        // Every sender is a node-resident NP or directory controller,
+        // so src must name a real node: injection occupancy is charged
+        // to the source's outbound link. There is no host/broadcast
+        // injection convention — a kNoNode src is a protocol bug.
+        tt_assert(msg.src >= 0 && msg.src < nodes(),
+                  "message from bad node ", msg.src);
         tt_assert(msg.dst >= 0 && msg.dst < nodes(),
                   "message to bad node ", msg.dst);
         tt_assert(_receivers[msg.dst], "no receiver at node ", msg.dst);
 
         const std::uint32_t pkts = msg.packets();
-        _stats.counter("net.messages").inc();
-        _stats.counter("net.packets").inc(pkts);
-        _stats.counter("net.words").inc(msg.sizeWords());
-        _stats.counter(msg.vnet == VNet::Request ? "net.req_messages"
-                                                 : "net.resp_messages")
-            .inc();
+        _msgs.inc();
+        _packets.inc(pkts);
+        _words.inc(msg.sizeWords());
+        (msg.vnet == VNet::Request ? _reqMsgs : _respMsgs).inc();
 
         // Injection serialization at the source.
-        Tick& free = _linkFree[msg.src >= 0 ? msg.src : msg.dst];
+        Tick& free = _linkFree[msg.src];
         const Tick depart =
             std::max(when, free) + _params.injectPerPacket * pkts;
         free = depart;
@@ -102,7 +111,7 @@ class Network
             // destination port.
             Tick& efree = _ejectFree[msg.dst];
             if (efree > arrive)
-                _stats.counter("net.eject_queued").inc();
+                _ejectQueued.inc();
             arrive = std::max(arrive, efree) +
                      _params.ejectPerPacket * pkts;
             if (arrive > efree)
@@ -119,10 +128,18 @@ class Network
   private:
     EventQueue& _eq;
     NetworkParams _params;
-    StatSet& _stats;
     std::vector<Receiver> _receivers;
     std::vector<Tick> _linkFree;
     std::vector<Tick> _ejectFree;
+
+    // Stat handles resolved once at construction (Counter& from a
+    // StatSet is reference-stable) — send() is per-message hot.
+    Counter& _msgs;
+    Counter& _packets;
+    Counter& _words;
+    Counter& _reqMsgs;
+    Counter& _respMsgs;
+    Counter& _ejectQueued;
 };
 
 } // namespace tt

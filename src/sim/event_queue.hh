@@ -4,17 +4,31 @@
  * (tick, sequence, closure) triples drives the whole target machine;
  * ties break deterministically on insertion order so every run is
  * exactly reproducible.
+ *
+ * The queue is two-level. Nearly every event a memory-system
+ * simulation schedules lands within a few hundred ticks of now
+ * (link latencies, cache occupancies, quantum boundaries), so those
+ * go into a calendar of one-tick buckets covering a kWindow-tick
+ * window; insertion is an append and the (tick, seq) order falls out
+ * of append order. Far-future events (and, before the window next
+ * drains, anything past its edge) go to a conventional binary
+ * min-heap on (tick, seq) and are promoted in bulk — only ever into
+ * a fully drained window, which is what keeps the two structures'
+ * orderings from interleaving. A heap-only reference mode
+ * (Mode::ReferenceHeap, or env TT_EVENTQ_REFERENCE=1) runs the same
+ * workload through just the heap so tests can cross-check that both
+ * paths execute the identical event sequence.
  */
 
 #ifndef TT_SIM_EVENT_QUEUE_HH
 #define TT_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/small_function.hh"
 #include "sim/types.hh"
 
 namespace tt
@@ -30,11 +44,39 @@ namespace tt
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFunction;
 
-    EventQueue() = default;
+    /** Which queue structure executes events (same order either way). */
+    enum class Mode
+    {
+        Calendar,      ///< bucketed near window + far heap (fast path)
+        ReferenceHeap, ///< single binary heap (reference for testing)
+    };
+
+    explicit EventQueue(Mode mode = defaultMode())
+        : _useCalendar(mode == Mode::Calendar),
+          _buckets(kWindow),
+          _occ(kWindow / 64, 0)
+    {
+    }
+
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
+
+    /**
+     * Process-wide default mode for new queues; initialized from the
+     * TT_EVENTQ_REFERENCE environment variable on first use.
+     */
+    static Mode defaultMode();
+
+    /** Override the process-wide default (tests, ablations). */
+    static void setDefaultMode(Mode m);
+
+    Mode
+    mode() const
+    {
+        return _useCalendar ? Mode::Calendar : Mode::ReferenceHeap;
+    }
 
     /** Current simulated time (tick of the most recently popped event). */
     Tick now() const { return _now; }
@@ -45,7 +87,28 @@ class EventQueue
     {
         tt_assert(when >= _now, "scheduling event in the past: ", when,
                   " < ", _now);
-        _heap.push(Entry{when, _nextSeq++, std::move(cb)});
+        const std::uint64_t seq = _nextSeq++;
+        ++_pending;
+        // _windowBase <= _now whenever user code runs (see rebase()),
+        // so the offset below cannot underflow.
+        const Tick off = when - _windowBase;
+        if (_useCalendar && off < kWindow) {
+            _buckets[off].push_back(std::move(cb));
+            _occ[off >> 6] |= 1ull << (off & 63);
+            if (off < _cursor) {
+                // runUntil() scanned past this (then-empty) bucket, or
+                // parked on a later one without consuming from it (a
+                // partially drained bucket implies _now has reached it,
+                // which contradicts off >= _now - _windowBase < _cursor).
+                tt_assert(!_inBucket || _bucketPos == 0,
+                          "schedule behind a partially drained bucket");
+                _cursor = static_cast<std::uint32_t>(off);
+                _inBucket = false;
+            }
+        } else {
+            _heap.push_back(FarEntry{when, seq, std::move(cb)});
+            std::push_heap(_heap.begin(), _heap.end(), FarAfter{});
+        }
     }
 
     /** Schedule @p cb to run @p delta ticks from now. */
@@ -55,9 +118,9 @@ class EventQueue
     }
 
     /** Number of pending events. */
-    std::size_t pending() const { return _heap.size(); }
+    std::size_t pending() const { return _pending; }
 
-    bool empty() const { return _heap.empty(); }
+    bool empty() const { return _pending == 0; }
 
     /**
      * Run until the queue drains or stop() is called.
@@ -81,27 +144,71 @@ class EventQueue
     std::uint64_t executed() const { return _executed; }
 
     /**
-     * Reset time and drop all pending events. Only meaningful between
+     * Reset time and drop all pending events (containers are cleared
+     * wholesale, not popped entry by entry). Only meaningful between
      * complete simulations.
      */
     void reset();
 
   private:
-    struct Entry
+    /** Ticks covered by the calendar window; one bucket per tick. */
+    static constexpr std::uint32_t kWindow = 4096;
+
+    struct FarEntry
     {
         Tick when;
         std::uint64_t seq;
         Callback cb;
+    };
 
+    /** Heap comparator: true if a executes after b (min-heap order). */
+    struct FarAfter
+    {
         bool
-        operator>(const Entry& o) const
+        operator()(const FarEntry& a, const FarEntry& b) const
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-        _heap;
+    /**
+     * Advance lazy bucket finalization and report the tick of the next
+     * event without consuming it. Leaves the cursor parked on that
+     * bucket when the next event is calendar-resident.
+     * @return false iff the queue is empty.
+     */
+    bool nextWhen(Tick* when);
+
+    /**
+     * Move the window to the earliest far-heap event and promote every
+     * heap entry that now falls inside it. Pops arrive in (when, seq)
+     * order, so per-bucket append order remains seq order. Only legal
+     * when the window is fully drained.
+     */
+    void rebase();
+
+    /** Pop the heap minimum (reference mode / promotion). */
+    FarEntry popHeap();
+
+    /** Index of the first occupied bucket at or after @p from; -1 if none. */
+    int findOccupied(std::uint32_t from) const;
+
+    const bool _useCalendar;
+
+    // Calendar level: window [_windowBase, _windowBase + kWindow), one
+    // vector of callbacks per tick, plus an occupancy bitmap so the
+    // scan for the next non-empty bucket is a word walk + ctz.
+    std::vector<std::vector<Callback>> _buckets;
+    std::vector<std::uint64_t> _occ;
+    Tick _windowBase = 0;
+    std::uint32_t _cursor = 0;    ///< scan position within the window
+    std::uint32_t _bucketPos = 0; ///< next entry within current bucket
+    bool _inBucket = false;       ///< cursor parked on an occupied bucket
+
+    // Far level: binary min-heap on (when, seq).
+    std::vector<FarEntry> _heap;
+
+    std::size_t _pending = 0;
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * A small-buffer-optimized vector for message payloads. Active
+ * messages carry at most a handful of argument words and one cache
+ * block of data, so storing them in std::vector meant two heap
+ * allocations per Message — per miss, per invalidation, per ack. A
+ * SmallVec keeps up to N elements in-object and only spills to the
+ * heap for oversized payloads (128-byte-block configs, bulk-transfer
+ * chunks).
+ *
+ * Only the slice of the std::vector interface that Message and its
+ * users need is provided; elements must be trivially copyable, which
+ * Word and std::uint8_t are.
+ */
+
+#ifndef TT_SIM_SMALL_VEC_HH
+#define TT_SIM_SMALL_VEC_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+/**
+ * Inline-storage vector of trivially copyable elements. Capacity N
+ * lives inside the object; growth beyond N moves to a heap buffer.
+ */
+template <typename T, std::size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec requires trivially copyable elements");
+    static_assert(N > 0, "SmallVec needs inline capacity");
+
+  public:
+    using value_type = T;
+
+    SmallVec() = default;
+
+    SmallVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+    template <typename It,
+              typename = std::enable_if_t<!std::is_integral_v<It>>>
+    SmallVec(It first, It last)
+    {
+        assign(first, last);
+    }
+
+    SmallVec(const SmallVec& o) { assign(o.begin(), o.end()); }
+
+    SmallVec(SmallVec&& o) noexcept { stealFrom(o); }
+
+    SmallVec&
+    operator=(const SmallVec& o)
+    {
+        if (this != &o)
+            assign(o.begin(), o.end());
+        return *this;
+    }
+
+    SmallVec&
+    operator=(SmallVec&& o) noexcept
+    {
+        if (this != &o) {
+            releaseHeap();
+            stealFrom(o);
+        }
+        return *this;
+    }
+
+    SmallVec&
+    operator=(std::initializer_list<T> init)
+    {
+        assign(init.begin(), init.end());
+        return *this;
+    }
+
+    ~SmallVec() { releaseHeap(); }
+
+    T* data() { return _data; }
+    const T* data() const { return _data; }
+
+    std::size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+    std::size_t capacity() const { return _cap; }
+
+    T* begin() { return _data; }
+    T* end() { return _data + _size; }
+    const T* begin() const { return _data; }
+    const T* end() const { return _data + _size; }
+
+    T& operator[](std::size_t i) { return _data[i]; }
+    const T& operator[](std::size_t i) const { return _data[i]; }
+
+    T&
+    at(std::size_t i)
+    {
+        tt_assert(i < _size, "SmallVec::at out of range: ", i);
+        return _data[i];
+    }
+
+    const T&
+    at(std::size_t i) const
+    {
+        tt_assert(i < _size, "SmallVec::at out of range: ", i);
+        return _data[i];
+    }
+
+    T& back() { return _data[_size - 1]; }
+    const T& back() const { return _data[_size - 1]; }
+
+    void
+    push_back(const T& v)
+    {
+        if (_size == _cap)
+            grow(_size + 1);
+        _data[_size++] = v;
+    }
+
+    /** Resize; new elements (if any) are value-initialized. */
+    void
+    resize(std::size_t n)
+    {
+        if (n > _cap)
+            grow(n);
+        if (n > _size)
+            std::memset(_data + _size, 0, (n - _size) * sizeof(T));
+        _size = n;
+    }
+
+    void clear() { _size = 0; }
+
+    void
+    assign(std::size_t n, const T& v)
+    {
+        if (n > _cap)
+            grow(n);
+        std::fill_n(_data, n, v);
+        _size = n;
+    }
+
+    template <typename It,
+              typename = std::enable_if_t<!std::is_integral_v<It>>>
+    void
+    assign(It first, It last)
+    {
+        const auto n = static_cast<std::size_t>(std::distance(first, last));
+        if (n > _cap)
+            grow(n);
+        std::copy(first, last, _data);
+        _size = n;
+    }
+
+    friend bool
+    operator==(const SmallVec& a, const SmallVec& b)
+    {
+        return a._size == b._size &&
+               std::equal(a.begin(), a.end(), b.begin());
+    }
+
+  private:
+    bool onHeap() const { return _data != inlineData(); }
+
+    T* inlineData() { return reinterpret_cast<T*>(_inline); }
+    const T* inlineData() const
+    {
+        return reinterpret_cast<const T*>(_inline);
+    }
+
+    void
+    grow(std::size_t need)
+    {
+        std::size_t cap = _cap * 2;
+        if (cap < need)
+            cap = need;
+        T* buf = new T[cap];
+        std::memcpy(buf, _data, _size * sizeof(T));
+        releaseHeap();
+        _data = buf;
+        _cap = cap;
+    }
+
+    void
+    releaseHeap() noexcept
+    {
+        if (onHeap())
+            delete[] _data;
+    }
+
+    /** Take o's contents; o is left empty. Caller owns no heap. */
+    void
+    stealFrom(SmallVec& o) noexcept
+    {
+        if (o.onHeap()) {
+            _data = o._data;
+            _cap = o._cap;
+            _size = o._size;
+        } else {
+            _data = inlineData();
+            _cap = N;
+            _size = o._size;
+            std::memcpy(_inline, o._inline, o._size * sizeof(T));
+        }
+        o._data = o.inlineData();
+        o._cap = N;
+        o._size = 0;
+    }
+
+    alignas(T) unsigned char _inline[N * sizeof(T)];
+    T* _data = inlineData();
+    std::size_t _size = 0;
+    std::size_t _cap = N;
+};
+
+} // namespace tt
+
+#endif // TT_SIM_SMALL_VEC_HH

@@ -14,7 +14,24 @@ Stache::Stache(Machine& m, TyphoonMemSystem& ms, StacheParams p)
       _p(p),
       _cp(m.params()),
       _stats(m.stats()),
-      _nodes(m.params().nodes)
+      _nodes(m.params().nodes),
+      _cPageFaults(m.stats().counter("stache.page_faults")),
+      _cPageReplacements(m.stats().counter("stache.page_replacements")),
+      _cWritebacks(m.stats().counter("stache.writebacks")),
+      _cWritebacksReceived(
+          m.stats().counter("stache.writebacks_received")),
+      _cPrefetchHitsInFlight(
+          m.stats().counter("stache.prefetch_hits_in_flight")),
+      _cGetRo(m.stats().counter("stache.get_ro")),
+      _cGetRw(m.stats().counter("stache.get_rw")),
+      _cHomeFaults(m.stats().counter("stache.home_faults")),
+      _cHomeRequests(m.stats().counter("stache.home_requests")),
+      _cDeferred(m.stats().counter("stache.deferred")),
+      _cInvalsSent(m.stats().counter("stache.invals_sent")),
+      _cRecalls(m.stats().counter("stache.recalls")),
+      _cUpgradeGrants(m.stats().counter("stache.upgrade_grants")),
+      _cDataReceived(m.stats().counter("stache.data_received")),
+      _cPrefetches(m.stats().counter("stache.prefetches"))
 {
     _ms.setProtocol(this);
     for (NodeId i = 0; i < _cp.nodes; ++i) {
@@ -128,7 +145,7 @@ Stache::shmalloc(std::size_t bytes, NodeId home)
 
         HomeDir hd;
         hd.entries.resize(blocksPerPage());
-        _homeDirs.emplace(pageNum(va, ps), std::move(hd));
+        _homeDirs.insert(pageNum(va, ps), std::move(hd));
         ctx.setPageUserWord(va, pageNum(va, ps));
     }
     _nextVa = base + npages * ps;
@@ -138,8 +155,8 @@ Stache::shmalloc(std::size_t bytes, NodeId home)
 NodeId
 Stache::homeOf(Addr va) const
 {
-    auto it = _pageHome.find(pageNum(va, _cp.pageSize));
-    return it == _pageHome.end() ? kNoNode : it->second;
+    const NodeId* h = _pageHome.find(pageNum(va, _cp.pageSize));
+    return h ? *h : kNoNode;
 }
 
 void
@@ -208,16 +225,15 @@ Stache::poke(Addr va, const void* buf, std::size_t len)
 Stache::HomeDir&
 Stache::homeDirOf(Addr va)
 {
-    auto it = _homeDirs.find(pageNum(va, _cp.pageSize));
-    tt_assert(it != _homeDirs.end(), "no home directory for va ", va);
-    return it->second;
+    HomeDir* hd = _homeDirs.find(pageNum(va, _cp.pageSize));
+    tt_assert(hd, "no home directory for va ", va);
+    return *hd;
 }
 
 const Stache::HomeDir*
 Stache::findHomeDir(Addr va) const
 {
-    auto it = _homeDirs.find(pageNum(va, _cp.pageSize));
-    return it == _homeDirs.end() ? nullptr : &it->second;
+    return _homeDirs.find(pageNum(va, _cp.pageSize));
 }
 
 StacheDirEntry&
@@ -249,7 +265,7 @@ Stache::inspect(Addr va) const
         v.owner = e.owner();
     else
         v.sharers = e.members(hd->aux);
-    v.busy = _transients.count(blockAlign(va, _cp.blockSize)) != 0;
+    v.busy = _transients.contains(blockAlign(va, _cp.blockSize));
     return v;
 }
 
@@ -272,7 +288,7 @@ Stache::onPageFault(TempestCtx& ctx, Addr va, MemOp op)
     const Addr pageVa = alignDown(va, _cp.pageSize);
     const std::uint64_t vpn = pageNum(va, _cp.pageSize);
     ctx.charge(_p.pageFaultWork);
-    _stats.counter("stache.page_faults").inc();
+    _cPageFaults.inc();
 
     // The trap is asynchronous: an NP-side prefetch may have mapped
     // the page while the fault was being delivered. Re-check and
@@ -286,11 +302,10 @@ Stache::onPageFault(TempestCtx& ctx, Addr va, MemOp op)
 
     // Find the home in the distributed mapping table and cache it in
     // the local table (section 3).
-    auto homeIt = _pageHome.find(vpn);
-    tt_assert(homeIt != _pageHome.end(),
-              "access to unallocated shared va ", va);
+    const NodeId* home = _pageHome.find(vpn);
+    tt_assert(home, "access to unallocated shared va ", va);
     ctx.structAccess(0xE000'0000'0000ULL + vpn * 8);
-    ns.homeCache[vpn] = homeIt->second;
+    ns.homeCache[vpn] = *home;
 
     if (ns.stacheFifo.size() >= _p.maxStachePages) {
         // FIFO replacement: flush a victim page, writing modified
@@ -298,7 +313,7 @@ Stache::onPageFault(TempestCtx& ctx, Addr va, MemOp op)
         const Addr victim = ns.stacheFifo.front();
         ns.stacheFifo.pop_front();
         ns.stacheVpns.erase(pageNum(victim, _cp.pageSize));
-        _stats.counter("stache.page_replacements").inc();
+        _cPageReplacements.inc();
 
         const NodeId vhome = _pageHome.at(pageNum(victim, _cp.pageSize));
         std::vector<std::uint8_t> buf(_cp.blockSize);
@@ -315,7 +330,7 @@ Stache::onPageFault(TempestCtx& ctx, Addr va, MemOp op)
                 ctx.send(vhome, kWriteback, std::span<const Word>(args),
                          buf.data(), _cp.blockSize, VNet::Request);
                 ctx.invalidate(b);
-                _stats.counter("stache.writebacks").inc();
+                _cWritebacks.inc();
             } else if (tag == AccessTag::ReadOnly) {
                 // Clean copy: drop silently (home keeps a stale
                 // sharer pointer; invalidations tolerate that).
@@ -349,17 +364,17 @@ Stache::onStacheFault(TempestCtx& ctx, const BlockFault& f)
     // retries against the landed ReadOnly copy and escalates as a
     // normal upgrade, keeping a single outstanding request per block.
     if (f.tag == AccessTag::Busy) {
-        _stats.counter("stache.prefetch_hits_in_flight").inc();
+        _cPrefetchHitsInFlight.inc();
         return;
     }
 
     // Home lookup in the local table.
     const std::uint64_t vpn = pageNum(f.va, _cp.pageSize);
-    auto it = _nodes[self].homeCache.find(vpn);
-    tt_assert(it != _nodes[self].homeCache.end(),
-              "stache page without cached home at node ", self);
+    const NodeId* cached = _nodes[self].homeCache.find(vpn);
+    tt_assert(cached, "stache page without cached home at node ",
+              self);
     ctx.structAccess(0xE800'0000'0000ULL + vpn * 8);
-    const NodeId home = it->second;
+    const NodeId home = *cached;
 
     // A write fault on a ReadOnly copy is an upgrade: the block data
     // is already here, so the home may grant without resending it.
@@ -370,7 +385,7 @@ Stache::onStacheFault(TempestCtx& ctx, const BlockFault& f)
                     static_cast<Word>(blk >> 32),
                     upgrade ? 1u : 0u};
     const bool wantRW = f.op == MemOp::Write;
-    _stats.counter(wantRW ? "stache.get_rw" : "stache.get_ro").inc();
+    (wantRW ? _cGetRw : _cGetRo).inc();
     ctx.send(home, wantRW ? kGetRW : kGetRO,
              std::span<const Word>(args), nullptr, 0, VNet::Request);
     // The handler terminates; the data-arrival handler resumes the
@@ -383,7 +398,7 @@ Stache::onHomeFault(TempestCtx& ctx, const BlockFault& f)
     // Home-node fault: bypass messaging, access directory directly.
     const Addr blk = blockAlign(f.va, _cp.blockSize);
     ctx.charge(_p.faultHandlerWork);
-    _stats.counter("stache.home_faults").inc();
+    _cHomeFaults.inc();
     homeRequest(ctx, blk, ctx.nodeId(), f.op == MemOp::Write);
 }
 
@@ -397,13 +412,11 @@ Stache::homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
 {
     ctx.charge(_p.homeHandlerWork);
     ctx.structAccess(entryKey(blk));
-    _stats.counter("stache.home_requests").inc();
+    _cHomeRequests.inc();
 
-    auto tIt = _transients.find(blk);
-    if (tIt != _transients.end()) {
-        tIt->second.deferred.push_back(
-            Deferred{requester, wantRW, upgrade});
-        _stats.counter("stache.deferred").inc();
+    if (Transient* tr = _transients.find(blk)) {
+        tr->deferred.push_back(Deferred{requester, wantRW, upgrade});
+        _cDeferred.inc();
         return;
     }
 
@@ -439,10 +452,10 @@ Stache::homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
         t.wantRW = true;
         t.dataless = dataless;
         t.acksLeft = static_cast<int>(targets.size());
-        _transients.emplace(blk, std::move(t));
+        _transients.insert(blk, std::move(t));
         Word args[2] = {static_cast<Word>(blk),
                         static_cast<Word>(blk >> 32)};
-        _stats.counter("stache.invals_sent").inc(targets.size());
+        _cInvalsSent.inc(targets.size());
         for (NodeId s : targets)
             ctx.send(s, kInval, std::span<const Word>(args), nullptr,
                      0, VNet::Request);
@@ -459,10 +472,10 @@ Stache::homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
         t.awaitingData = true;
         t.owner = owner;
         t.wasDowngrade = !wantRW;
-        _transients.emplace(blk, std::move(t));
+        _transients.insert(blk, std::move(t));
         Word args[2] = {static_cast<Word>(blk),
                         static_cast<Word>(blk >> 32)};
-        _stats.counter("stache.recalls").inc();
+        _cRecalls.inc();
         ctx.send(owner, wantRW ? kRecallRW : kDowngrade,
                  std::span<const Word>(args), nullptr, 0,
                  VNet::Request);
@@ -505,7 +518,7 @@ Stache::grantFromHome(TempestCtx& ctx, Addr blk, NodeId requester,
             ctx.invalidate(blk);
             Word args[3] = {static_cast<Word>(blk),
                             static_cast<Word>(blk >> 32), 1u};
-            _stats.counter("stache.upgrade_grants").inc();
+            _cUpgradeGrants.inc();
             ctx.send(requester, kDataRW, std::span<const Word>(args),
                      nullptr, 0, VNet::Response);
         } else {
@@ -536,10 +549,10 @@ Stache::grantFromHome(TempestCtx& ctx, Addr blk, NodeId requester,
 void
 Stache::finishTransient(TempestCtx& ctx, Addr blk, NodeId keep_sharer)
 {
-    auto it = _transients.find(blk);
-    tt_assert(it != _transients.end(), "finishTransient without one");
-    Transient t = std::move(it->second);
-    _transients.erase(it);
+    Transient* tr = _transients.find(blk);
+    tt_assert(tr, "finishTransient without one");
+    Transient t = std::move(*tr);
+    _transients.erase(blk);
     grantFromHome(ctx, blk, t.requester, t.wantRW, keep_sharer,
                   t.dataless);
     // Replay deferred requests in arrival order.
@@ -573,7 +586,7 @@ Stache::onData(TempestCtx& ctx, const Message& msg, bool rw)
         ctx.setRW(blk);
     else
         ctx.setRO(blk);
-    _stats.counter("stache.data_received").inc();
+    _cDataReceived.inc();
     // Prefetched data may land with no thread waiting on it.
     if (ctx.threadSuspendedOn(blk))
         ctx.resume();
@@ -604,10 +617,9 @@ Stache::onInvAck(TempestCtx& ctx, const Message& msg)
 {
     const Addr blk = static_cast<Addr>(msg.addrArg(0));
     ctx.charge(2);
-    auto it = _transients.find(blk);
-    tt_assert(it != _transients.end() && it->second.acksLeft > 0,
-              "stray InvAck for block ", blk);
-    if (--it->second.acksLeft > 0)
+    Transient* tr = _transients.find(blk);
+    tt_assert(tr && tr->acksLeft > 0, "stray InvAck for block ", blk);
+    if (--tr->acksLeft > 0)
         return;
     // "The handler for the final invalidation acknowledgment actually
     // sends the data" (section 3).
@@ -651,16 +663,15 @@ Stache::onPutData(TempestCtx& ctx, const Message& msg)
     ctx.charge(2);
     onOwnerDataReturned(blk, msg.src,
                         msg.args.size() > 2 && msg.args[2] != 0);
-    auto it = _transients.find(blk);
-    tt_assert(it != _transients.end() && it->second.awaitingData,
-              "unexpected PutData for block ", blk);
+    Transient* tr = _transients.find(blk);
+    tt_assert(tr && tr->awaitingData, "unexpected PutData for block ",
+              blk);
     // The home page becomes current before anyone else sees the data.
     ctx.forceWrite(blk, msg.data.data(),
                    static_cast<std::uint32_t>(msg.data.size()));
     HomeDir& hd = homeDirOf(blk);
     entryOf(blk).setIdle(hd.aux);
-    const NodeId keep =
-        it->second.wasDowngrade ? it->second.owner : kNoNode;
+    const NodeId keep = tr->wasDowngrade ? tr->owner : kNoNode;
     finishTransient(ctx, blk, keep);
 }
 
@@ -669,10 +680,10 @@ Stache::onPutNack(TempestCtx& ctx, const Message& msg)
 {
     const Addr blk = static_cast<Addr>(msg.addrArg(0));
     ctx.charge(2);
-    auto it = _transients.find(blk);
-    tt_assert(it != _transients.end() && it->second.awaitingData,
-              "unexpected PutNack for block ", blk);
-    tt_assert(it->second.sawWb,
+    Transient* tr = _transients.find(blk);
+    tt_assert(tr && tr->awaitingData, "unexpected PutNack for block ",
+              blk);
+    tt_assert(tr->sawWb,
               "PutNack without a preceding writeback for block ", blk);
     // A replacement writeback implies the owner modified the block.
     onOwnerDataReturned(blk, msg.src, true);
@@ -691,7 +702,7 @@ Stache::auditCoherence()
         tt_warn("coherence audit: block ", blk, ": ", what);
     };
 
-    for (const auto& [vpn, hd] : _homeDirs) {
+    _homeDirs.forEach([&](std::uint64_t vpn, const HomeDir& hd) {
         const NodeId home = _pageHome.at(vpn);
         const Addr pageVa = static_cast<Addr>(vpn) * _cp.pageSize;
         for (std::uint32_t b = 0; b < blocksPerPage(); ++b) {
@@ -746,7 +757,7 @@ Stache::auditCoherence()
               }
             }
         }
-    }
+    });
     return violations;
 }
 
@@ -756,7 +767,7 @@ Stache::prefetch(Cpu& cpu, Addr va)
     const Addr blk = blockAlign(va, _cp.blockSize);
     Word args[2] = {static_cast<Word>(blk),
                     static_cast<Word>(blk >> 32)};
-    _stats.counter("stache.prefetches").inc();
+    _cPrefetches.inc();
     _ms.cpuSend(cpu, cpu.id(), kPrefetch,
                 {args[0], args[1]});
 }
@@ -771,7 +782,7 @@ Stache::onPrefetch(TempestCtx& ctx, const Message& msg)
     if (!ctx.pageMapped(blk)) {
         // The NP performs the page-grain setup the CPU's page-fault
         // handler would have done.
-        if (!_pageHome.count(pageNum(blk, _cp.pageSize)))
+        if (!_pageHome.contains(pageNum(blk, _cp.pageSize)))
             return; // unallocated: nonbinding, drop
         const NodeId home = _pageHome.at(pageNum(blk, _cp.pageSize));
         if (home == self)
@@ -782,15 +793,15 @@ Stache::onPrefetch(TempestCtx& ctx, const Message& msg)
         return; // already present or in flight: nonbinding, drop
 
     const std::uint64_t vpn = pageNum(blk, _cp.pageSize);
-    auto it = _nodes[self].homeCache.find(vpn);
-    if (it == _nodes[self].homeCache.end())
+    const NodeId* home = _nodes[self].homeCache.find(vpn);
+    if (!home)
         return; // home page or unknown: drop
     ctx.setBusy(blk);
     Word args[3] = {static_cast<Word>(blk),
                     static_cast<Word>(blk >> 32), 0};
-    _stats.counter("stache.get_ro").inc();
-    ctx.send(it->second, kGetRO, std::span<const Word>(args), nullptr,
-             0, VNet::Request);
+    _cGetRo.inc();
+    ctx.send(*home, kGetRO, std::span<const Word>(args), nullptr, 0,
+             VNet::Request);
 }
 
 void
@@ -798,18 +809,17 @@ Stache::onWriteback(TempestCtx& ctx, const Message& msg)
 {
     const Addr blk = static_cast<Addr>(msg.addrArg(0));
     ctx.charge(2);
-    _stats.counter("stache.writebacks_received").inc();
+    _cWritebacksReceived.inc();
     ctx.forceWrite(blk, msg.data.data(),
                    static_cast<std::uint32_t>(msg.data.size()));
     HomeDir& hd = homeDirOf(blk);
     StacheDirEntry& e = entryOf(blk);
 
-    auto it = _transients.find(blk);
-    if (it != _transients.end() && it->second.awaitingData &&
-        it->second.owner == msg.src) {
+    Transient* tr = _transients.find(blk);
+    if (tr && tr->awaitingData && tr->owner == msg.src) {
         // Crossed with our recall; the PutNack will finish the
         // transaction.
-        it->second.sawWb = true;
+        tr->sawWb = true;
         e.setIdle(hd.aux);
         ctx.setRW(blk);
         return;

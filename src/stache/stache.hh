@@ -23,10 +23,10 @@
 #define TT_STACHE_STACHE_HH
 
 #include <deque>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/dense_map.hh"
 #include "stache/dir_entry.hh"
 #include "stache/params.hh"
 #include "typhoon/typhoon_mem_system.hh"
@@ -137,7 +137,7 @@ class Stache : public ShmProtocol
     struct NodeState
     {
         /** The "local table" caching page -> home (section 3). */
-        std::unordered_map<std::uint64_t, NodeId> homeCache;
+        DenseMap<NodeId> homeCache; ///< vpn -> home
         std::deque<Addr> stacheFifo; ///< page base VAs, FIFO order
         std::unordered_set<std::uint64_t> stacheVpns;
     };
@@ -198,12 +198,30 @@ class Stache : public ShmProtocol
     const CoreParams& _cp;
     StatSet& _stats;
 
-    std::unordered_map<std::uint64_t, NodeId> _pageHome; ///< vpn -> home
-    std::unordered_map<std::uint64_t, HomeDir> _homeDirs; ///< vpn -> dir
-    std::unordered_map<Addr, Transient> _transients; ///< blk -> state
+    DenseMap<NodeId> _pageHome;   ///< vpn -> home
+    DenseMap<HomeDir> _homeDirs;  ///< vpn -> dir
+    OpenMap<Addr, Transient> _transients; ///< blk -> state
     std::vector<NodeState> _nodes;
     Addr _nextVa = 0x4000'0000;
     NodeId _rr = 0;
+
+    // Hot-path stat handles, resolved once at construction (StatSet
+    // hands out stable references).
+    Counter& _cPageFaults;
+    Counter& _cPageReplacements;
+    Counter& _cWritebacks;
+    Counter& _cWritebacksReceived;
+    Counter& _cPrefetchHitsInFlight;
+    Counter& _cGetRo;
+    Counter& _cGetRw;
+    Counter& _cHomeFaults;
+    Counter& _cHomeRequests;
+    Counter& _cDeferred;
+    Counter& _cInvalsSent;
+    Counter& _cRecalls;
+    Counter& _cUpgradeGrants;
+    Counter& _cDataReceived;
+    Counter& _cPrefetches;
 };
 
 } // namespace tt

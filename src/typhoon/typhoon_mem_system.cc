@@ -34,9 +34,11 @@ class TyphoonTempest : public Tempest
     registerFaultHandler(std::uint8_t mode, MemOp op,
                          FaultHandler h) override
     {
-        _ms._nodes[_id]
-            .faultHandlers[TyphoonMemSystem::faultKey(mode, op)] =
-            std::move(h);
+        auto& handlers = _ms._nodes[_id].faultHandlers;
+        const auto key = TyphoonMemSystem::faultKey(mode, op);
+        tt_assert(key < handlers.size(),
+                  "fault mode out of range: ", int(mode));
+        handlers[key] = std::move(h);
     }
 
     void
@@ -63,7 +65,22 @@ TyphoonMemSystem::TyphoonMemSystem(Machine& m, Network& net,
       _net(net),
       _p(params),
       _cp(m.params()),
-      _stats(m.stats())
+      _stats(m.stats()),
+      _cTlbMisses(m.stats().counter("typhoon.tlb_misses")),
+      _cCacheHits(m.stats().counter("typhoon.cache_hits")),
+      _cRtlbMisses(m.stats().counter("typhoon.rtlb_misses")),
+      _cLocalMisses(m.stats().counter("typhoon.local_misses")),
+      _cPageFaults(m.stats().counter("typhoon.page_faults")),
+      _cBlockFaults(m.stats().counter("typhoon.block_faults")),
+      _cCpuSends(m.stats().counter("typhoon.cpu_sends")),
+      _cNpMsgHandled(m.stats().counter("np.msg_handled")),
+      _cNpBafHandled(m.stats().counter("np.baf_handled")),
+      _cNpInstructions(m.stats().counter("np.instructions")),
+      _cNpBulkPackets(m.stats().counter("np.bulk_packets")),
+      _cNpTagInvalidates(m.stats().counter("np.tag_invalidates")),
+      _cNpResumes(m.stats().counter("np.resumes")),
+      _cNpSends(m.stats().counter("np.sends")),
+      _cNpBulkTransfers(m.stats().counter("np.bulk_transfers"))
 {
     _nodes.resize(_cp.nodes);
     for (int i = 0; i < _cp.nodes; ++i) {
@@ -189,21 +206,21 @@ TyphoonMemSystem::poke(Addr va, const void* buf, std::size_t len)
 TyphoonMemSystem::PageTags&
 TyphoonMemSystem::pageTags(NodeId node, std::uint64_t ppn)
 {
-    auto it = _nodes[node].tags.find(ppn);
-    tt_assert(it != _nodes[node].tags.end(),
+    auto& tags = _nodes[node].tags;
+    tt_assert(ppn < tags.size() && !tags[ppn].tags.empty(),
               "no tag state for physical page ", ppn, " at node ",
               node);
-    return it->second;
+    return tags[ppn];
 }
 
 AccessTag
 TyphoonMemSystem::blockTag(NodeId node, PAddr pa) const
 {
     const auto& tags = _nodes[node].tags;
-    auto it = tags.find(pageNum(pa, _cp.pageSize));
-    tt_assert(it != tags.end(), "no tag state for pa ", pa,
-              " at node ", node);
-    return it->second
+    const std::uint64_t ppn = pageNum(pa, _cp.pageSize);
+    tt_assert(ppn < tags.size() && !tags[ppn].tags.empty(),
+              "no tag state for pa ", pa, " at node ", node);
+    return tags[ppn]
         .tags[blockInPage(pa, _cp.pageSize, _cp.blockSize)];
 }
 
@@ -232,7 +249,7 @@ TyphoonMemSystem::pipeline(NodeId id, MemRequest* req)
     pr.cost += _p.swCheckCost;
     if (!n.cpuTlb->access(pageNum(va, _cp.pageSize))) {
         pr.cost += _cp.tlbMissLatency;
-        _stats.counter("typhoon.tlb_misses").inc();
+        _cTlbMisses.inc();
     }
 
     const PageMapping* pm = n.pt->lookup(va);
@@ -248,7 +265,7 @@ TyphoonMemSystem::pipeline(NodeId id, MemRequest* req)
     const bool hit = req->op == MemOp::Read ? n.cpuCache->probeRead(va)
                                             : n.cpuCache->probeWrite(va);
     if (hit) {
-        _stats.counter("typhoon.cache_hits").inc();
+        _cCacheHits.inc();
         if (req->op == MemOp::Read)
             n.phys->read(pa, req->buf, req->size);
         else
@@ -259,7 +276,7 @@ TyphoonMemSystem::pipeline(NodeId id, MemRequest* req)
     // Bus transaction: the NP's RTLB observes the physical address.
     if (!n.rtlb->access(pageNum(pa, _cp.pageSize))) {
         pr.cost += _p.npTlbMissLatency; // relinquish-and-retry refetch
-        _stats.counter("typhoon.rtlb_misses").inc();
+        _cRtlbMisses.inc();
     }
     const AccessTag tag = blockTag(id, pa);
 
@@ -270,7 +287,7 @@ TyphoonMemSystem::pipeline(NodeId id, MemRequest* req)
                                  : LineState::Shared);
         pr.cost += _cp.localMissLatency;
         n.phys->read(pa, req->buf, req->size);
-        _stats.counter("typhoon.local_misses").inc();
+        _cLocalMisses.inc();
         return pr;
     }
     if (req->op == MemOp::Write && tag == AccessTag::ReadWrite) {
@@ -281,7 +298,7 @@ TyphoonMemSystem::pipeline(NodeId id, MemRequest* req)
             n.cpuCache->fill(va, LineState::Owned);
             n.cpuCache->probeWrite(va); // dirty
             pr.cost += _cp.localMissLatency;
-            _stats.counter("typhoon.local_misses").inc();
+            _cLocalMisses.inc();
         }
         n.phys->write(pa, req->buf, req->size);
         return pr;
@@ -320,7 +337,7 @@ void
 TyphoonMemSystem::deliverPageFault(NodeId id, MemRequest* req,
                                    Tick when)
 {
-    _stats.counter("typhoon.page_faults").inc();
+    _cPageFaults.inc();
     const Tick start = when + _p.pageFaultTrapCost;
     _m.eq().schedule(std::max(start, _m.eq().now()), [this, id, req] {
         Node& n = _nodes[id];
@@ -339,7 +356,7 @@ TyphoonMemSystem::deliverPageFault(NodeId id, MemRequest* req,
 void
 TyphoonMemSystem::postBaf(NodeId id, const BlockFault& f, Tick when)
 {
-    _stats.counter("typhoon.block_faults").inc();
+    _cBlockFaults.inc();
     _m.eq().schedule(std::max(when, _m.eq().now()), [this, id, f] {
         Node& n = _nodes[id];
         tt_assert(!n.baf, "BAF buffer overflow at node ", id);
@@ -389,6 +406,20 @@ TyphoonMemSystem::traceEvent(NodeId node, TraceEvent::Kind kind,
         _trace.pop_front();
     _trace.push_back(
         TraceEvent{_m.eq().now(), node, kind, id, charged});
+}
+
+Average&
+TyphoonMemSystem::handlerAverage(bool baf, HandlerId h)
+{
+    const std::uint64_t key = baf ? ~std::uint64_t{0} : h;
+    auto it = _handlerAvg.find(key);
+    if (it == _handlerAvg.end()) {
+        Average& a = _stats.average(
+            baf ? std::string("np.handler.baf")
+                : "np.handler." + std::to_string(h));
+        it = _handlerAvg.emplace(key, &a).first;
+    }
+    return *it->second;
 }
 
 void
@@ -445,31 +476,27 @@ TyphoonMemSystem::npPump(NodeId id, Tick when)
         tt_assert(it != n.msgHandlers.end(),
                   "no handler registered for message id ", msg.handler,
                   " at node ", id);
-        _stats.counter("np.msg_handled").inc();
+        _cNpMsgHandled.inc();
         it->second(ctx, msg);
         traceEvent(id, TraceEvent::Kind::MsgHandler, msg.handler,
                    ctx.charged());
     } else {
         const auto key = faultKey(baf->fault.mode, baf->fault.op);
-        auto it = n.faultHandlers.find(key);
-        tt_assert(it != n.faultHandlers.end(),
+        tt_assert(key < n.faultHandlers.size() && n.faultHandlers[key],
                   "no fault handler for mode ",
                   int(baf->fault.mode), " op ",
                   baf->fault.op == MemOp::Write ? "write" : "read",
                   " at node ", id);
-        _stats.counter("np.baf_handled").inc();
-        it->second(ctx, baf->fault);
+        _cNpBafHandled.inc();
+        n.faultHandlers[key](ctx, baf->fault);
         traceEvent(id, TraceEvent::Kind::FaultHandler,
                    baf->fault.mode, ctx.charged());
     }
 
-    _stats.counter("np.instructions").inc(ctx.charged());
+    _cNpInstructions.inc(ctx.charged());
     if (_p.perHandlerStats) {
-        const std::string key =
-            haveMsg ? "np.handler." + std::to_string(msg.handler)
-                    : "np.handler.baf";
-        _stats.average(key).sample(
-            static_cast<double>(ctx.charged()));
+        handlerAverage(!haveMsg, haveMsg ? msg.handler : 0)
+            .sample(static_cast<double>(ctx.charged()));
     }
     const Tick end = when + ctx.charged();
     n.npBusy = true;
@@ -507,7 +534,7 @@ TyphoonMemSystem::npRunBulkStep(NodeId id, Tick start)
         off += len;
     }
     _net.send(std::move(m), start + _p.bulkPacketCost);
-    _stats.counter("np.bulk_packets").inc();
+    _cNpBulkPackets.inc();
     traceEvent(id, TraceEvent::Kind::BulkPacket, chunk,
                _p.bulkPacketCost);
 
@@ -547,8 +574,7 @@ TyphoonMemSystem::registerBuiltinHandlers(NodeId id)
 
 void
 TyphoonMemSystem::cpuSend(Cpu& cpu, NodeId dst, HandlerId h,
-                          std::vector<Word> args,
-                          std::vector<std::uint8_t> data)
+                          Message::Args args, Message::Data data)
 {
     // Memory-mapped stores across the MBus: destination register, one
     // store per word, end-of-message flag.
@@ -560,7 +586,7 @@ TyphoonMemSystem::cpuSend(Cpu& cpu, NodeId dst, HandlerId h,
     m.args = std::move(args);
     m.data = std::move(data);
     cpu.advance(_p.sendSetupCost + _p.perWordCost * m.sizeWords());
-    _stats.counter("typhoon.cpu_sends").inc();
+    _cCpuSends.inc();
     _net.send(std::move(m), cpu.localTime());
 }
 
@@ -633,7 +659,7 @@ NpCtx::invalidate(Addr va)
     // Invalidate any local CPU-cached copy via the bus (section 5.4).
     if (_ms._nodes[_node].cpuCache->invalidate(va) != LineState::Invalid)
         charge(static_cast<std::uint32_t>(_ms._p.cpuCacheInvCost));
-    _ms._stats.counter("np.tag_invalidates").inc();
+    _ms._cNpTagInvalidates.inc();
 }
 
 void
@@ -685,7 +711,7 @@ void
 NpCtx::resume()
 {
     charge(static_cast<std::uint32_t>(_ms._p.resumeCost));
-    _ms._stats.counter("np.resumes").inc();
+    _ms._cNpResumes.inc();
     _ms.traceEvent(_node, TyphoonMemSystem::TraceEvent::Kind::Resume,
                    0, _t);
     _ms.retryAccess(_node, _start + _t);
@@ -728,7 +754,7 @@ NpCtx::send(NodeId dst, HandlerId handler, std::span<const Word> args,
     if (data_len)
         charge(static_cast<std::uint32_t>(
             _ms._p.blockXferCost * ((data_len + 31) / 32)));
-    _ms._stats.counter("np.sends").inc();
+    _ms._cNpSends.inc();
     _ms._net.send(std::move(m), _setup ? _ms._m.eq().now()
                                        : _start + _t);
 }
@@ -758,7 +784,10 @@ NpCtx::mapPage(Addr va, PAddr pa, std::uint8_t mode)
     TyphoonMemSystem::PageTags fresh;
     fresh.tags.assign(_ms._cp.pageSize / _ms._cp.blockSize,
                       AccessTag::Invalid);
-    n.tags[pageNum(pa, _ms._cp.pageSize)] = std::move(fresh);
+    const std::uint64_t ppn = pageNum(pa, _ms._cp.pageSize);
+    if (ppn >= n.tags.size())
+        n.tags.resize(ppn + 1);
+    n.tags[ppn] = std::move(fresh);
 }
 
 void
@@ -777,7 +806,7 @@ NpCtx::unmapPage(Addr va)
     n.cpuTlb->invalidate(pageNum(va, _ms._cp.pageSize));
     n.npTlb->invalidate(pageNum(va, _ms._cp.pageSize));
     n.rtlb->invalidate(ppn);
-    n.tags.erase(ppn);
+    n.tags[ppn] = TyphoonMemSystem::PageTags{};
     n.pt->unmap(va);
 }
 
@@ -861,7 +890,7 @@ NpCtx::bulkTransfer(Addr src_va, NodeId dst, Addr dst_va,
     n.bulkQ.push_back(
         TyphoonMemSystem::Node::Bulk{src_va, dst, dst_va, len,
                                      done_handler});
-    _ms._stats.counter("np.bulk_transfers").inc();
+    _ms._cNpBulkTransfers.inc();
     // Kick the engine if the NP is otherwise idle: the transfer
     // thread runs when the dispatch loop has nothing better to do.
     const Tick at = _setup ? _ms._m.eq().now() : _start + _t;

@@ -22,6 +22,7 @@
 #ifndef TT_TYPHOON_TYPHOON_MEM_SYSTEM_HH
 #define TT_TYPHOON_TYPHOON_MEM_SYSTEM_HH
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -85,8 +86,7 @@ class TyphoonMemSystem : public MemorySystem
      * into the local NP. Fire-and-forget: no suspension.
      */
     void cpuSend(Cpu& cpu, NodeId dst, HandlerId h,
-                 std::vector<Word> args,
-                 std::vector<std::uint8_t> data = {});
+                 Message::Args args, Message::Data data = {});
 
     // --- introspection (tests/benches) -----------------------------------
     CacheModel& cpuCacheOf(NodeId n);
@@ -151,13 +151,19 @@ class TyphoonMemSystem : public MemorySystem
         std::unique_ptr<CacheModel> npDcache;
         std::unique_ptr<TlbModel> npTlb;
         std::unique_ptr<TlbModel> rtlb;
-        std::unordered_map<std::uint64_t, PageTags> tags; // by ppn
+        /**
+         * Tag state, indexed by ppn. Node physical pages are
+         * bump-allocated from ppn 1, so the vector stays dense; a
+         * page with no per-block tags vector is unbacked.
+         */
+        std::vector<PageTags> tags;
         std::deque<Message> respQ;
         std::deque<Message> reqQ;
         std::optional<Baf> baf;
         bool npBusy = false;
         std::unordered_map<HandlerId, MsgHandler> msgHandlers;
-        std::unordered_map<std::uint16_t, FaultHandler> faultHandlers;
+        /** Indexed by faultKey(); modes are small (<= 15). */
+        std::array<FaultHandler, 32> faultHandlers;
         PageFaultHandler pageFaultHandler;
 
         // Bulk transfer engine.
@@ -205,6 +211,9 @@ class TyphoonMemSystem : public MemorySystem
     void traceEvent(NodeId node, TraceEvent::Kind kind,
                     std::uint32_t id, Tick charged);
 
+    /** Cached per-handler Average (only when perHandlerStats). */
+    Average& handlerAverage(bool baf, HandlerId h);
+
     Machine& _m;
     Network& _net;
     TyphoonParams _p;
@@ -214,6 +223,25 @@ class TyphoonMemSystem : public MemorySystem
     std::vector<Node> _nodes;
     std::vector<std::unique_ptr<Tempest>> _tempest;
     std::deque<TraceEvent> _trace;
+
+    // Hot-path stat handles, resolved once at construction (StatSet
+    // hands out stable references).
+    Counter& _cTlbMisses;
+    Counter& _cCacheHits;
+    Counter& _cRtlbMisses;
+    Counter& _cLocalMisses;
+    Counter& _cPageFaults;
+    Counter& _cBlockFaults;
+    Counter& _cCpuSends;
+    Counter& _cNpMsgHandled;
+    Counter& _cNpBafHandled;
+    Counter& _cNpInstructions;
+    Counter& _cNpBulkPackets;
+    Counter& _cNpTagInvalidates;
+    Counter& _cNpResumes;
+    Counter& _cNpSends;
+    Counter& _cNpBulkTransfers;
+    std::unordered_map<std::uint64_t, Average*> _handlerAvg;
 
     /** Built-in handler ids (top of the id space). */
     static constexpr HandlerId kBulkDataHandler = 0xFFFF'0001;

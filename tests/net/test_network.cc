@@ -178,9 +178,18 @@ TEST_F(NetFixture, PayloadIntegrity)
     eq.run();
     ASSERT_EQ(received.size(), 1u);
     const Message& r = received[0].second;
-    EXPECT_EQ(r.args, (std::vector<Word>{10, 20}));
-    EXPECT_EQ(r.data, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+    EXPECT_EQ(r.args, (Message::Args{10, 20}));
+    EXPECT_EQ(r.data, (Message::Data{1, 2, 3, 4}));
     EXPECT_EQ(r.src, 3);
+}
+
+TEST_F(NetFixture, SendFromInvalidSourcePanics)
+{
+    // Injection occupancy is charged to the source link, so every
+    // message must carry a real source node — there is no broadcast
+    // or host-injection convention.
+    EXPECT_THROW(net.send(makeMsg(kNoNode, 1, 1), 0), std::logic_error);
+    EXPECT_THROW(net.send(makeMsg(4, 1, 1), 0), std::logic_error);
 }
 
 } // namespace

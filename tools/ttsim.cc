@@ -14,6 +14,7 @@
  * Systems: dirnnb | stache | migratory | update (EM3D only).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include <string>
 
 #include "apps/workloads.hh"
+#include "config/bench_harness.hh"
 #include "config/builders.hh"
 
 using namespace tt;
@@ -41,6 +43,7 @@ struct Options
     int quantum = 32;
     double remotePct = 20;
     std::uint64_t seed = 0;
+    std::string benchJson; ///< write a wall-clock JSON report here
     bool stats = false;
     bool table2 = false;
     bool list = false;
@@ -64,6 +67,8 @@ usage()
         "  --quantum=N       local-time window (default 32)\n"
         "  --remote=PCT      EM3D remote-edge percent (default 20)\n"
         "  --seed=N          machine RNG seed\n"
+        "  --bench-json=F    write a wall-clock benchmark report"
+        " (events/sec) to F\n"
         "  --stats           dump all statistics after the run\n"
         "  --table2          print the Table 2 configuration\n"
         "  --list            list workloads and exit\n");
@@ -103,6 +108,8 @@ parseArg(Options& o, const std::string& arg)
         o.remotePct = std::atof(v.c_str());
     } else if (eat("--seed=", &v)) {
         o.seed = std::strtoull(v.c_str(), nullptr, 0);
+    } else if (eat("--bench-json=", &v)) {
+        o.benchJson = v;
     } else if (arg == "--stats") {
         o.stats = true;
     } else if (arg == "--table2") {
@@ -202,7 +209,11 @@ main(int argc, char** argv)
                 target.m().memsys().name().c_str(), o.nodes,
                 o.cacheKb, o.blockSize, o.dataset.c_str(), o.scale);
 
+    const auto t0 = std::chrono::steady_clock::now();
     const RunResult r = target.run(*app);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
 
     std::printf("execution time : %llu cycles\n",
                 static_cast<unsigned long long>(r.execTime));
@@ -222,6 +233,28 @@ main(int argc, char** argv)
     if (o.stats) {
         std::printf("\n--- statistics ---\n");
         target.m().stats().dump(std::cout);
+    }
+
+    if (!o.benchJson.empty()) {
+        BenchReport rep;
+        rep.nodes = o.nodes;
+        rep.scale = o.scale;
+        BenchCase c;
+        c.system = o.system;
+        c.app = app->name();
+        c.dataset = o.dataset;
+        c.cycles = r.execTime;
+        c.events = r.events;
+        c.wallMs = wallMs;
+        c.checksum = app->checksum();
+        rep.cases.push_back(std::move(c));
+        if (!rep.writeJsonFile(o.benchJson)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         o.benchJson.c_str());
+            return 1;
+        }
+        std::printf("bench report   : %s (%.0f events/sec)\n",
+                    o.benchJson.c_str(), rep.eventsPerSec());
     }
     return 0;
 }
