@@ -63,6 +63,37 @@ main()
         }
     }
 
+    // The same grid with the coherence sanitizer attached: measures
+    // the --check overhead (and, implicitly, that the checker-off
+    // hot path above carries only dead branches). Simulated results
+    // must not change.
+    std::printf("\nchecker-on pass:\n");
+    {
+        MachineConfig ccfg = cfg;
+        ccfg.check.enable = true;
+        std::size_t i = 0;
+        for (const char* system : {"dirnnb", "stache"}) {
+            for (const auto& app : apps) {
+                const BenchCase c = runBenchCase(
+                    system, app, DataSet::Small, scale, ccfg);
+                const BenchCase& base = rep.cases[i++];
+                if (c.cycles != base.cycles ||
+                    c.checksum != base.checksum) {
+                    std::fprintf(stderr,
+                                 "checker changed simulated results "
+                                 "for %s/%s\n",
+                                 system, app.c_str());
+                    return 1;
+                }
+                rep.checkerOnEvents += c.events;
+                rep.checkerOnWallMs += c.wallMs;
+                std::printf("%-8s %-8s %9.1f ms\n", system,
+                            app.c_str(), c.wallMs);
+                std::fflush(stdout);
+            }
+        }
+    }
+
     std::printf("\n");
     rep.printTable(std::cout);
 

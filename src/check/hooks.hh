@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CheckHooks — the observation interface between the memory systems
+ * and the opt-in coherence sanitizer (src/check/protocol_checker.hh).
+ *
+ * Every instrumented subsystem (TyphoonMemSystem, Stache,
+ * DirMemSystem, Network) holds a `CheckHooks* _checker = nullptr`
+ * and guards each notification with `if (_checker)`.  When no checker
+ * is attached the hooks cost one never-taken branch on a pointer that
+ * lives in an already-hot cache line — bench_simcore verifies the
+ * disabled-path cost stays within noise (see BENCH_simcore.json
+ * "checker" entry and DESIGN.md §8).
+ *
+ * This header is deliberately dependency-light (opaque AccessTag
+ * declaration, no protocol headers) so that src/net can include it
+ * without acquiring a link-time dependency on the checker library.
+ */
+
+#ifndef TT_CHECK_HOOKS_HH
+#define TT_CHECK_HOOKS_HH
+
+#include <cstdint>
+
+#include "net/message.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+enum class AccessTag : std::uint8_t; // full definition in core/tempest.hh
+
+/**
+ * Abstract observer for coherence-relevant state changes.
+ *
+ * Hook-point contract (see DESIGN.md §8 for the full catalog):
+ *  - onTagChange / onPageTags: fired *after* the tag store mutates.
+ *  - onPageMap / onPageUnmap: fired after the page table mutates.
+ *  - onAccess: fired at the point an ordinary CPU access *completes*
+ *    (data already transferred into/out of `bytes`).
+ *  - onBackdoorWrite: host-side poke() that bypasses coherence; the
+ *    shadow memory must follow it.
+ *  - onBlockEvent: directory-side transition that does not move a tag
+ *    (sharer-set edits, transient open/close, writeback application).
+ *    `what` must be a string literal — it is stored, not copied.
+ *  - onMsgSend: fired by Network::send before the message departs.
+ *  - onMsgDeliver: fired when a protocol *handler begins executing*
+ *    the message (Typhoon npPump dispatch / DirMemSystem::onMessage
+ *    entry) — not at network delivery, because Typhoon queues
+ *    messages at the NP between delivery and dispatch.
+ *  - onEventEnd: fired after a protocol handler (or access
+ *    completion) finishes; the checker validates all blocks touched
+ *    since the previous onEventEnd.  Invariants are *not* evaluated
+ *    mid-handler: handlers legitimately pass through transient states
+ *    (e.g. Stache's dataless-upgrade grant sets the directory
+ *    exclusive before invalidating the home tag).
+ */
+class CheckHooks
+{
+  public:
+    virtual ~CheckHooks() = default;
+
+    virtual void onTagChange(NodeId n, Addr blk, AccessTag t) = 0;
+    virtual void onPageTags(NodeId n, Addr pageVa, AccessTag t) = 0;
+    virtual void onPageMap(NodeId n, Addr pageVa, std::uint8_t mode) = 0;
+    virtual void onPageUnmap(NodeId n, Addr pageVa) = 0;
+    virtual void onAccess(NodeId n, Addr va, unsigned size, bool isWrite,
+                          const void* bytes) = 0;
+    virtual void onBackdoorWrite(Addr va, const void* bytes,
+                                 std::size_t len) = 0;
+    virtual void onBlockEvent(NodeId n, Addr blk, const char* what) = 0;
+    virtual void onMsgSend(const Message& m) = 0;
+    virtual void onMsgDeliver(const Message& m) = 0;
+    virtual void onEventEnd() = 0;
+};
+
+} // namespace tt
+
+#endif // TT_CHECK_HOOKS_HH

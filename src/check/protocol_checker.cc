@@ -1,0 +1,622 @@
+#include "check/protocol_checker.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "core/machine.hh"
+#include "dir/dir_mem_system.hh"
+#include "mem/addr.hh"
+#include "mem/cache_model.hh"
+#include "mem/page_table.hh"
+#include "mem/phys_mem.hh"
+#include "sim/logging.hh"
+#include "stache/stache.hh"
+#include "typhoon/typhoon_mem_system.hh"
+
+namespace tt
+{
+
+namespace
+{
+
+const char*
+tagTrace(AccessTag t)
+{
+    switch (t) {
+    case AccessTag::Invalid: return "tag:Invalid";
+    case AccessTag::ReadOnly: return "tag:ReadOnly";
+    case AccessTag::ReadWrite: return "tag:ReadWrite";
+    case AccessTag::Busy: return "tag:Busy";
+    }
+    return "tag:?";
+}
+
+} // namespace
+
+ProtocolChecker::ProtocolChecker(Machine& m)
+    : _m(m),
+      _nodes(m.params().nodes),
+      _blockSize(m.params().blockSize),
+      _pageSize(m.params().pageSize)
+{
+    _trace.reserve(kTraceCap);
+}
+
+void
+ProtocolChecker::attachTyphoon(TyphoonMemSystem& ms, Stache& protocol)
+{
+    tt_assert(!_tms && !_dms, "checker already attached");
+    _tms = &ms;
+    _stache = &protocol;
+}
+
+void
+ProtocolChecker::attachDirnnb(DirMemSystem& ms)
+{
+    tt_assert(!_tms && !_dms, "checker already attached");
+    _dms = &ms;
+}
+
+// --------------------------------------------------------------------
+// Bookkeeping
+// --------------------------------------------------------------------
+
+void
+ProtocolChecker::trace(NodeId n, Addr blk, const char* what)
+{
+    TraceRec rec{_m.eq().now(), n, blk, what};
+    if (_trace.size() < kTraceCap) {
+        _trace.push_back(rec);
+    } else {
+        _trace[_traceHead] = rec;
+        _traceHead = (_traceHead + 1) % kTraceCap;
+    }
+}
+
+void
+ProtocolChecker::markDirty(Addr blk)
+{
+    if (_dirtySet.insert(blk).second)
+        _dirty.push_back(blk);
+}
+
+void
+ProtocolChecker::markPageDirty(Addr pageVa)
+{
+    const Addr base = alignDown(pageVa, _pageSize);
+    for (Addr b = base; b < base + _pageSize; b += _blockSize) {
+        _seenBlocks.insert(b);
+        markDirty(b);
+    }
+}
+
+bool
+ProtocolChecker::inflight(Addr blk) const
+{
+    auto it = _inflightByBlk.find(blk);
+    return it != _inflightByBlk.end() && it->second > 0;
+}
+
+void
+ProtocolChecker::report_(const char* invariant, Addr blk, NodeId node,
+                         std::string detail)
+{
+    std::string key = std::string(invariant) + ":" + std::to_string(blk);
+    if (!_violationKeys.insert(std::move(key)).second)
+        return;
+    if (_violations.size() >= kMaxViolations)
+        return;
+    _violations.push_back(
+        Violation{invariant, blk, node, _m.eq().now(), std::move(detail)});
+}
+
+// --------------------------------------------------------------------
+// Shadow memory
+// --------------------------------------------------------------------
+
+ProtocolChecker::ShadowPage&
+ProtocolChecker::shadowPage(Addr va)
+{
+    ShadowPage& p = _shadow[va / _pageSize];
+    if (p.data.empty()) {
+        p.data.assign(_pageSize, 0);
+        p.valid.assign(_pageSize, 0);
+    }
+    return p;
+}
+
+void
+ProtocolChecker::shadowWrite(Addr va, const void* bytes, std::size_t len)
+{
+    const auto* src = static_cast<const std::uint8_t*>(bytes);
+    while (len) {
+        ShadowPage& p = shadowPage(va);
+        const std::size_t off = va % _pageSize;
+        const std::size_t n = std::min<std::size_t>(len, _pageSize - off);
+        std::memcpy(p.data.data() + off, src, n);
+        std::fill_n(p.valid.begin() + static_cast<long>(off), n, 1);
+        va += n;
+        src += n;
+        len -= n;
+    }
+}
+
+void
+ProtocolChecker::shadowCheck(NodeId n, Addr va, const void* bytes,
+                             std::size_t len)
+{
+    auto it = _shadow.find(va / _pageSize);
+    if (it == _shadow.end() || it->second.data.empty())
+        return;
+    const ShadowPage& p = it->second;
+    const auto* got = static_cast<const std::uint8_t*>(bytes);
+    const std::size_t off = va % _pageSize;
+    for (std::size_t i = 0; i < len && off + i < _pageSize; ++i) {
+        if (!p.valid[off + i])
+            continue;
+        if (got[i] != p.data[off + i]) {
+            std::ostringstream os;
+            os << "read at node " << n << " va 0x" << std::hex << va
+               << std::dec << " byte " << i << " returned "
+               << int(got[i]) << ", last coherent write was "
+               << int(p.data[off + i]);
+            report_("value", blockAlign(va, _blockSize), n, os.str());
+            return;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Hooks
+// --------------------------------------------------------------------
+
+void
+ProtocolChecker::onTagChange(NodeId n, Addr blk, AccessTag t)
+{
+    _seenBlocks.insert(blk);
+    trace(n, blk, tagTrace(t));
+    markDirty(blk);
+}
+
+void
+ProtocolChecker::onPageTags(NodeId n, Addr pageVa, AccessTag t)
+{
+    trace(n, alignDown(pageVa, _pageSize), tagTrace(t));
+    markPageDirty(pageVa);
+}
+
+void
+ProtocolChecker::onPageMap(NodeId n, Addr pageVa, std::uint8_t mode)
+{
+    // Custom-protocol pages (mode >= 3, e.g. EM3D delayed update) keep
+    // consumer copies stale by design: exempt from coherence checking.
+    if (mode >= 3)
+        _exemptVpns.insert(pageVa / _pageSize);
+    trace(n, alignDown(pageVa, _pageSize), "page-map");
+    markPageDirty(pageVa);
+}
+
+void
+ProtocolChecker::onPageUnmap(NodeId n, Addr pageVa)
+{
+    trace(n, alignDown(pageVa, _pageSize), "page-unmap");
+    markPageDirty(pageVa);
+}
+
+void
+ProtocolChecker::onAccess(NodeId n, Addr va, unsigned size, bool isWrite,
+                          const void* bytes)
+{
+    const Addr blk = blockAlign(va, _blockSize);
+    if (exempt(blk))
+        return;
+    if (_tms) {
+        // Table 1 semantics: the completing access must be backed by a
+        // sufficient tag, live at completion time.
+        const Copy c = copyState(n, blk);
+        const bool ok = isWrite ? c == Copy::Excl
+                                : (c == Copy::Excl || c == Copy::Shared);
+        if (!ok) {
+            std::ostringstream os;
+            os << (isWrite ? "write" : "read") << " at node " << n
+               << " va 0x" << std::hex << va << std::dec
+               << " completed without a sufficient access tag";
+            report_("table1-tag", blk, n, os.str());
+        }
+    }
+    if (isWrite) {
+        _seenBlocks.insert(blk);
+        trace(n, blk, "write");
+        markDirty(blk);
+        shadowWrite(va, bytes, size);
+    } else {
+        shadowCheck(n, va, bytes, size);
+    }
+}
+
+void
+ProtocolChecker::onBackdoorWrite(Addr va, const void* bytes,
+                                 std::size_t len)
+{
+    shadowWrite(va, bytes, len);
+}
+
+void
+ProtocolChecker::onBlockEvent(NodeId n, Addr blk, const char* what)
+{
+    _seenBlocks.insert(blk);
+    trace(n, blk, what);
+    markDirty(blk);
+}
+
+void
+ProtocolChecker::onMsgSend(const Message& m)
+{
+    ++_inflightTotal;
+    if (m.args.size() >= 2) {
+        const Addr blk = blockAlign(m.addrArg(0), _blockSize);
+        ++_inflightByBlk[blk];
+        if (_seenBlocks.count(blk)) {
+            trace(m.src, blk, "msg-send");
+            markDirty(blk);
+        }
+    }
+}
+
+void
+ProtocolChecker::onMsgDeliver(const Message& m)
+{
+    --_inflightTotal;
+    if (m.args.size() >= 2) {
+        const Addr blk = blockAlign(m.addrArg(0), _blockSize);
+        auto it = _inflightByBlk.find(blk);
+        if (it != _inflightByBlk.end() && --it->second == 0)
+            _inflightByBlk.erase(it);
+        if (_seenBlocks.count(blk)) {
+            trace(m.dst, blk, "msg-deliver");
+            markDirty(blk);
+        }
+    }
+}
+
+void
+ProtocolChecker::onEventEnd()
+{
+    ++_eventsChecked;
+    for (Addr blk : _dirty)
+        checkBlock(blk);
+    _dirty.clear();
+    _dirtySet.clear();
+}
+
+// --------------------------------------------------------------------
+// Invariants
+// --------------------------------------------------------------------
+
+ProtocolChecker::Copy
+ProtocolChecker::copyState(NodeId n, Addr blk) const
+{
+    if (_tms) {
+        const PageMapping* m = _tms->pageTableOf(n).lookup(blk);
+        if (!m)
+            return Copy::None;
+        switch (_tms->tagOf(n, blk)) {
+        case AccessTag::Invalid: return Copy::None;
+        case AccessTag::ReadOnly: return Copy::Shared;
+        case AccessTag::ReadWrite: return Copy::Excl;
+        case AccessTag::Busy: return Copy::Busy;
+        }
+        return Copy::None;
+    }
+    CacheModel& c = _dms->cacheOf(n);
+    if (!c.present(blk))
+        return Copy::None;
+    return c.presentShared(blk) ? Copy::Shared : Copy::Excl;
+}
+
+bool
+ProtocolChecker::readNodeBlock(NodeId n, Addr blk, std::uint8_t* out) const
+{
+    const PageMapping* m = _tms->pageTableOf(n).lookup(blk);
+    if (!m)
+        return false;
+    _tms->physOf(n).read(m->ppage + blk % _pageSize, out, _blockSize);
+    return true;
+}
+
+void
+ProtocolChecker::checkBlock(Addr blk)
+{
+    if (exempt(blk))
+        return;
+    checkSwmr(blk);
+    if (_tms)
+        checkStacheAgreement(blk);
+    else
+        checkDirnnbAgreement(blk);
+}
+
+void
+ProtocolChecker::checkSwmr(Addr blk)
+{
+    // Unconditional: holds even mid-transaction.  A block's data may
+    // be in flight (nobody holds it), but two writable copies — or a
+    // readable copy next to a writer — are never legal.
+    NodeId writer = kNoNode;
+    for (NodeId n = 0; n < _nodes; ++n) {
+        if (copyState(n, blk) != Copy::Excl)
+            continue;
+        if (writer != kNoNode) {
+            std::ostringstream os;
+            os << "two writable copies: nodes " << writer << " and "
+               << n;
+            report_("swmr", blk, n, os.str());
+            return;
+        }
+        writer = n;
+    }
+    if (writer == kNoNode)
+        return;
+    for (NodeId n = 0; n < _nodes; ++n) {
+        if (n != writer && copyState(n, blk) == Copy::Shared) {
+            std::ostringstream os;
+            os << "readable copy at node " << n
+               << " coexists with writer at node " << writer;
+            report_("swmr", blk, n, os.str());
+            return;
+        }
+    }
+}
+
+void
+ProtocolChecker::checkStacheAgreement(Addr blk)
+{
+    // Documented slack the protocol is allowed (PROTOCOLS.md): stale
+    // sharer pointers after silent clean-copy drops, Busy tags while
+    // a block fault is pending, and anything with a live transient or
+    // an in-flight message referencing the block.
+    const Stache::BlockView v = _stache->inspect(blk);
+    if (v.busy || inflight(blk))
+        return;
+    const NodeId home = _stache->homeOf(blk);
+    const auto listed = [&](NodeId n) {
+        return std::find(v.sharers.begin(), v.sharers.end(), n) !=
+               v.sharers.end();
+    };
+
+    switch (v.state) {
+    case StacheDirEntry::State::Idle:
+        if (copyState(home, blk) != Copy::Excl)
+            report_("dir-agreement", blk, home,
+                    "directory Idle but home copy is not writable");
+        for (NodeId n = 0; n < _nodes; ++n) {
+            const Copy c = copyState(n, blk);
+            if (n != home && (c == Copy::Shared || c == Copy::Excl)) {
+                std::ostringstream os;
+                os << "directory Idle but node " << n
+                   << " holds a copy";
+                report_("dir-agreement", blk, n, os.str());
+            }
+        }
+        break;
+
+    case StacheDirEntry::State::Shared: {
+        if (copyState(home, blk) != Copy::Shared)
+            report_("dir-agreement", blk, home,
+                    "directory Shared but home copy is not read-only");
+        std::uint8_t homeData[256];
+        std::uint8_t nodeData[256];
+        const bool haveHome =
+            _blockSize <= sizeof(homeData) &&
+            readNodeBlock(home, blk, homeData);
+        for (NodeId n = 0; n < _nodes; ++n) {
+            if (n == home)
+                continue;
+            const Copy c = copyState(n, blk);
+            if (c == Copy::Excl) {
+                std::ostringstream os;
+                os << "directory Shared but node " << n
+                   << " holds a writable copy";
+                report_("dir-agreement", blk, n, os.str());
+            } else if (c == Copy::Shared) {
+                if (!listed(n)) {
+                    std::ostringstream os;
+                    os << "readable copy at node " << n
+                       << " missing from the sharer set";
+                    report_("dir-agreement", blk, n, os.str());
+                } else if (haveHome &&
+                           readNodeBlock(n, blk, nodeData) &&
+                           std::memcmp(homeData, nodeData,
+                                       _blockSize) != 0) {
+                    std::ostringstream os;
+                    os << "read-only copy at node " << n
+                       << " diverges from the home copy";
+                    report_("value", blk, n, os.str());
+                }
+            }
+            // Listed sharers with Invalid/Busy/unmapped copies are the
+            // documented stale-pointer case (silent clean drops).
+        }
+        break;
+    }
+
+    case StacheDirEntry::State::Excl: {
+        if (copyState(home, blk) != Copy::None)
+            report_("dir-agreement", blk, home,
+                    "directory Exclusive but the home still holds a copy");
+        const Copy oc = copyState(v.owner, blk);
+        if (oc != Copy::Excl && oc != Copy::Busy) {
+            std::ostringstream os;
+            os << "directory owner " << v.owner
+               << " does not hold the writable copy";
+            report_("dir-agreement", blk, v.owner, os.str());
+        }
+        for (NodeId n = 0; n < _nodes; ++n) {
+            if (n == home || n == v.owner)
+                continue;
+            const Copy c = copyState(n, blk);
+            if (c == Copy::Shared || c == Copy::Excl) {
+                std::ostringstream os;
+                os << "directory Exclusive (owner " << v.owner
+                   << ") but node " << n << " holds a copy";
+                report_("dir-agreement", blk, n, os.str());
+            }
+        }
+        break;
+    }
+    }
+}
+
+void
+ProtocolChecker::checkDirnnbAgreement(Addr blk)
+{
+    const DirMemSystem::EntryView v = _dms->inspect(blk);
+    if (v.busy || inflight(blk))
+        return;
+    const NodeId home = _dms->homeOf(blk);
+    const auto listed = [&](NodeId n) {
+        return std::find(v.sharers.begin(), v.sharers.end(), n) !=
+               v.sharers.end();
+    };
+
+    switch (v.state) {
+    case DirMemSystem::DirState::Idle:
+        // Home copies are not directory-tracked; remotes must be gone.
+        for (NodeId n = 0; n < _nodes; ++n) {
+            if (n != home && copyState(n, blk) != Copy::None) {
+                std::ostringstream os;
+                os << "directory Idle but node " << n
+                   << " holds a cache line";
+                report_("dir-agreement", blk, n, os.str());
+            }
+        }
+        break;
+
+    case DirMemSystem::DirState::Shared:
+        if (copyState(home, blk) == Copy::Excl)
+            report_("dir-agreement", blk, home,
+                    "directory Shared but the home line is exclusive");
+        for (NodeId n = 0; n < _nodes; ++n) {
+            if (n == home)
+                continue;
+            const Copy c = copyState(n, blk);
+            if (c == Copy::Excl) {
+                std::ostringstream os;
+                os << "directory Shared but node " << n
+                   << " holds an exclusive line";
+                report_("dir-agreement", blk, n, os.str());
+            } else if (c == Copy::Shared && !listed(n)) {
+                std::ostringstream os;
+                os << "shared line at node " << n
+                   << " missing from the sharer set";
+                report_("dir-agreement", blk, n, os.str());
+            }
+        }
+        break;
+
+    case DirMemSystem::DirState::Excl:
+        if (copyState(home, blk) != Copy::None)
+            report_("dir-agreement", blk, home,
+                    "directory Exclusive but the home still holds a line");
+        if (copyState(v.owner, blk) != Copy::Excl) {
+            std::ostringstream os;
+            os << "directory owner " << v.owner
+               << " does not hold the exclusive line";
+            report_("dir-agreement", blk, v.owner, os.str());
+        }
+        for (NodeId n = 0; n < _nodes; ++n) {
+            if (n == home || n == v.owner)
+                continue;
+            if (copyState(n, blk) != Copy::None) {
+                std::ostringstream os;
+                os << "directory Exclusive (owner " << v.owner
+                   << ") but node " << n << " holds a line";
+                report_("dir-agreement", blk, n, os.str());
+            }
+        }
+        break;
+    }
+}
+
+// --------------------------------------------------------------------
+// End of run
+// --------------------------------------------------------------------
+
+void
+ProtocolChecker::finalize()
+{
+    // Flush any state dirtied after the last protocol event.
+    onEventEnd();
+    --_eventsChecked; // the flush is not an event
+
+    if (_inflightTotal != 0) {
+        std::vector<Addr> blks;
+        blks.reserve(_inflightByBlk.size());
+        for (const auto& [b, c] : _inflightByBlk)
+            if (c > 0)
+                blks.push_back(b);
+        std::sort(blks.begin(), blks.end());
+        std::ostringstream os;
+        os << _inflightTotal << " message(s) still in flight at end of run";
+        if (!blks.empty()) {
+            os << "; blocks:" << std::hex;
+            for (std::size_t i = 0; i < blks.size() && i < 8; ++i)
+                os << " 0x" << blks[i];
+        }
+        report_("message-conservation", blks.empty() ? 0 : blks[0],
+                kNoNode, os.str());
+    }
+
+    const bool quiet = _tms ? (_stache->quiescent() && _tms->quiescent())
+                            : _dms->quiescent();
+    if (!quiet)
+        report_("quiescence", 0, kNoNode,
+                "open transactions at end of run: a request was never "
+                "paired with its response");
+}
+
+std::string
+ProtocolChecker::report() const
+{
+    std::ostringstream os;
+    if (_violations.empty()) {
+        os << "coherence-check: PASS (0 violations, " << _eventsChecked
+           << " events checked)\n";
+        return os.str();
+    }
+    os << "coherence-check: FAIL (" << _violations.size()
+       << " violation(s), " << _eventsChecked << " events checked)\n";
+    os << "  seed: " << _seed << "\n";
+    const Violation& v = _violations.front();
+    os << "  first: invariant=" << v.invariant << " block=0x" << std::hex
+       << v.blk << std::dec << " node=" << v.node << " tick=" << v.tick
+       << "\n";
+    os << "    " << v.detail << "\n";
+    os << "  trace for block 0x" << std::hex << v.blk << std::dec
+       << ":\n";
+    // Ring in chronological order; keep the last few records that
+    // mention the violating block.
+    std::vector<const TraceRec*> hits;
+    const std::size_t sz = _trace.size();
+    for (std::size_t i = 0; i < sz; ++i) {
+        const TraceRec& r =
+            _trace[(_traceHead + i) % (sz < kTraceCap ? sz : kTraceCap)];
+        if (r.blk == v.blk)
+            hits.push_back(&r);
+    }
+    const std::size_t keep = 24;
+    const std::size_t start = hits.size() > keep ? hits.size() - keep : 0;
+    for (std::size_t i = start; i < hits.size(); ++i)
+        os << "    [" << hits[i]->tick << "] node " << hits[i]->node
+           << " " << hits[i]->what << "\n";
+    for (std::size_t i = 1; i < _violations.size(); ++i) {
+        const Violation& w = _violations[i];
+        os << "  also: invariant=" << w.invariant << " block=0x"
+           << std::hex << w.blk << std::dec << " node=" << w.node
+           << " tick=" << w.tick << " — " << w.detail << "\n";
+    }
+    return os.str();
+}
+
+} // namespace tt

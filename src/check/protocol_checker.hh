@@ -1,0 +1,194 @@
+/**
+ * @file
+ * ProtocolChecker — the coherence sanitizer (DESIGN.md §8).
+ *
+ * A DRD-style runtime verifier that observes every tag transition,
+ * directory update, message send/delivery, and completed CPU access
+ * through the CheckHooks interface, and validates global coherence
+ * invariants after every protocol event:
+ *
+ *  - swmr: at most one writable copy of a block system-wide, and no
+ *    readable copy coexisting with a writer.
+ *  - dir-agreement: the directory entry (Stache home dir / DirNNB
+ *    full-map entry) matches the per-node reality (tags or cache
+ *    line states).  Documented slack is tolerated: stale sharer
+ *    pointers after silent clean-copy drops, Busy tags during a
+ *    pending fault, blocks with a live transient or an in-flight
+ *    message referencing them.
+ *  - table1-tag (Typhoon targets only): no ordinary read/write
+ *    completes through an Invalid/Busy tag — reads need
+ *    ReadOnly/ReadWrite, writes need ReadWrite, live at completion.
+ *  - value: every coherent read returns the bytes of the last
+ *    coherent write (shadow memory, byte-granular).
+ *  - message-conservation / quiescence (at finalize()): no in-flight
+ *    message outlives the run, every request was paired with its
+ *    response (no open transients / MSHRs / pending misses).
+ *
+ * Pages mapped with a custom-protocol mode (mode >= 3, e.g. the EM3D
+ * delayed-update protocol whose consumer copies are stale by design)
+ * are exempt from swmr/dir-agreement/value checking.
+ *
+ * The checker is pure observer: it never schedules events, never
+ * touches simulated state, and never stops the run (Machine::run
+ * panics on a drained queue with unfinished processors, so a checker
+ * abort would mask the violation).  Violations are recorded once per
+ * (invariant, block) and reported at the end, together with a
+ * per-block event trace for the first violation.
+ */
+
+#ifndef TT_CHECK_PROTOCOL_CHECKER_HH
+#define TT_CHECK_PROTOCOL_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "check/hooks.hh"
+#include "core/tempest.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class Machine;
+class TyphoonMemSystem;
+class Stache;
+class DirMemSystem;
+
+class ProtocolChecker final : public CheckHooks
+{
+  public:
+    struct Violation
+    {
+        std::string invariant; ///< "swmr", "dir-agreement", ...
+        Addr blk = 0;
+        NodeId node = kNoNode;
+        Tick tick = 0;
+        std::string detail;
+    };
+
+    explicit ProtocolChecker(Machine& m);
+
+    /// Attach to a Typhoon target (Stache or a Stache subclass).
+    void attachTyphoon(TyphoonMemSystem& ms, Stache& protocol);
+    /// Attach to the DirNNB all-hardware baseline.
+    void attachDirnnb(DirMemSystem& ms);
+
+    /// Record the perturbation seed for the failure report (0 = none).
+    void setSeed(std::uint64_t seed) { _seed = seed; }
+
+    // --- CheckHooks ---------------------------------------------------
+    void onTagChange(NodeId n, Addr blk, AccessTag t) override;
+    void onPageTags(NodeId n, Addr pageVa, AccessTag t) override;
+    void onPageMap(NodeId n, Addr pageVa, std::uint8_t mode) override;
+    void onPageUnmap(NodeId n, Addr pageVa) override;
+    void onAccess(NodeId n, Addr va, unsigned size, bool isWrite,
+                  const void* bytes) override;
+    void onBackdoorWrite(Addr va, const void* bytes,
+                         std::size_t len) override;
+    void onBlockEvent(NodeId n, Addr blk, const char* what) override;
+    void onMsgSend(const Message& m) override;
+    void onMsgDeliver(const Message& m) override;
+    void onEventEnd() override;
+
+    /// End-of-run checks (conservation, quiescence). Call after run().
+    void finalize();
+
+    const std::vector<Violation>& violations() const
+    {
+        return _violations;
+    }
+    std::uint64_t eventsChecked() const { return _eventsChecked; }
+
+    /**
+     * Deterministic human-readable report: PASS line, or seed + first
+     * violated invariant + the per-block event trace (the minimized
+     * failure report the perturbation harness promises).
+     */
+    std::string report() const;
+
+  private:
+    /// Generic per-node summary of a block copy, protocol-agnostic.
+    enum class Copy : std::uint8_t { None, Shared, Excl, Busy };
+
+    struct ShadowPage
+    {
+        std::vector<std::uint8_t> data;
+        std::vector<std::uint8_t> valid; // byte-granular
+    };
+
+    struct TraceRec
+    {
+        Tick tick = 0;
+        NodeId node = kNoNode;
+        Addr blk = 0;
+        const char* what = nullptr;
+    };
+
+    void trace(NodeId n, Addr blk, const char* what);
+    void markDirty(Addr blk);
+    void markPageDirty(Addr pageVa);
+    bool exempt(Addr blk) const
+    {
+        return _exemptVpns.count(blk / _pageSize) != 0;
+    }
+    bool inflight(Addr blk) const;
+    void report_(const char* invariant, Addr blk, NodeId node,
+                 std::string detail);
+
+    ShadowPage& shadowPage(Addr va);
+    void shadowWrite(Addr va, const void* bytes, std::size_t len);
+    /// Compare bytes against shadow; report a "value" violation on
+    /// mismatch. Bytes never coherently written are not checked.
+    void shadowCheck(NodeId n, Addr va, const void* bytes,
+                     std::size_t len);
+
+    Copy copyState(NodeId n, Addr blk) const;
+    void checkBlock(Addr blk);
+    void checkSwmr(Addr blk);
+    void checkStacheAgreement(Addr blk);
+    void checkDirnnbAgreement(Addr blk);
+    /// Read a block's bytes out of node-local memory (Typhoon only);
+    /// false if the page is unmapped at that node.
+    bool readNodeBlock(NodeId n, Addr blk, std::uint8_t* out) const;
+
+    Machine& _m;
+    TyphoonMemSystem* _tms = nullptr;
+    Stache* _stache = nullptr;
+    DirMemSystem* _dms = nullptr;
+
+    int _nodes = 0;
+    std::uint32_t _blockSize = 0;
+    std::uint32_t _pageSize = 0;
+    std::uint64_t _seed = 0;
+
+    std::unordered_map<std::uint64_t, ShadowPage> _shadow; // by vpn
+    std::unordered_set<std::uint64_t> _exemptVpns;
+
+    // Blocks ever touched by a tag/directory event: the universe the
+    // checker validates. Message address args outside this set are
+    // ignored (they may not be block addresses at all).
+    std::unordered_set<Addr> _seenBlocks;
+
+    std::vector<Addr> _dirty; // blocks touched since last onEventEnd
+    std::unordered_set<Addr> _dirtySet;
+
+    std::unordered_map<Addr, int> _inflightByBlk;
+    long _inflightTotal = 0;
+
+    std::vector<TraceRec> _trace; // ring
+    std::size_t _traceHead = 0;
+    static constexpr std::size_t kTraceCap = 8192;
+
+    std::vector<Violation> _violations;
+    std::unordered_set<std::string> _violationKeys;
+    static constexpr std::size_t kMaxViolations = 64;
+
+    std::uint64_t _eventsChecked = 0;
+};
+
+} // namespace tt
+
+#endif // TT_CHECK_PROTOCOL_CHECKER_HH

@@ -34,6 +34,14 @@ BenchReport::eventsPerSec() const
     return ms > 0 ? totalEvents() / (ms / 1000.0) : 0;
 }
 
+double
+BenchReport::checkerOnEventsPerSec() const
+{
+    return checkerOnWallMs > 0
+               ? checkerOnEvents / (checkerOnWallMs / 1000.0)
+               : 0;
+}
+
 void
 BenchReport::printTable(std::ostream& os) const
 {
@@ -62,6 +70,14 @@ BenchReport::printTable(std::ostream& os) const
                       "baseline: %.0f events/sec -> speedup %.2fx\n",
                       baselineEventsPerSec,
                       eventsPerSec() / baselineEventsPerSec);
+        os << line;
+    }
+    if (checkerOnWallMs > 0) {
+        std::snprintf(line, sizeof line,
+                      "checker on: %.0f events/sec (%.2fx slower "
+                      "than checker off)\n",
+                      checkerOnEventsPerSec(),
+                      eventsPerSec() / checkerOnEventsPerSec());
         os << line;
     }
 }
@@ -127,6 +143,16 @@ BenchReport::writeJson(std::ostream& os) const
         jsonNumber(os, eventsPerSec() / baselineEventsPerSec);
         os << ",\n  \"baseline_note\": ";
         jsonEscape(os, baselineNote);
+    }
+    if (checkerOnWallMs > 0) {
+        os << ",\n  \"checker_overhead\": {\"events\": "
+           << checkerOnEvents << ", \"wall_ms\": ";
+        jsonNumber(os, checkerOnWallMs);
+        os << ", \"events_per_sec_check_on\": ";
+        jsonNumber(os, checkerOnEventsPerSec());
+        os << ", \"slowdown_vs_check_off\": ";
+        jsonNumber(os, eventsPerSec() / checkerOnEventsPerSec());
+        os << "}";
     }
     os << "\n}\n";
 }

@@ -49,9 +49,18 @@ struct BenchReport
     double baselineEventsPerSec = 0;
     std::string baselineNote;
 
+    /**
+     * Coherence-sanitizer overhead (bench_simcore): the same grid
+     * re-run with the checker attached. wall_ms == 0 means "not
+     * measured" and the JSON omits the entry.
+     */
+    double checkerOnWallMs = 0;
+    std::uint64_t checkerOnEvents = 0;
+
     std::uint64_t totalEvents() const;
     double totalWallMs() const;
     double eventsPerSec() const;
+    double checkerOnEventsPerSec() const;
 
     /** Pretty per-case table for humans. */
     void printTable(std::ostream& os) const;

@@ -5,6 +5,34 @@
 namespace tt
 {
 
+namespace
+{
+
+/**
+ * Wire the sanitizer into a freshly built Typhoon/Stache-family
+ * target: one checker observes the memory system, the protocol, and
+ * the network. Perturbation of same-tick order is applied to the
+ * machine's event queue here so callers only have to pick the queue
+ * mode (ReferenceHeap) before building.
+ */
+void
+attachCheckerTyphoon(TargetMachine& t, const CheckConfig& cc)
+{
+    if (!cc.enable)
+        return;
+    t.checker = std::make_unique<ProtocolChecker>(*t.machine);
+    t.checker->attachTyphoon(*t.typhoon, *t.protocol);
+    t.typhoon->setChecker(t.checker.get());
+    t.protocol->setChecker(t.checker.get());
+    t.network->setChecker(t.checker.get());
+    if (cc.perturb) {
+        t.checker->setSeed(cc.perturbSeed);
+        t.machine->eq().setPerturb(cc.perturbSeed);
+    }
+}
+
+} // namespace
+
 TargetMachine
 buildDirNNB(const MachineConfig& cfg)
 {
@@ -15,6 +43,16 @@ buildDirNNB(const MachineConfig& cfg)
     t.dir = std::make_unique<DirMemSystem>(*t.machine, *t.network,
                                            cfg.dir);
     t.machine->setMemSystem(t.dir.get());
+    if (cfg.check.enable) {
+        t.checker = std::make_unique<ProtocolChecker>(*t.machine);
+        t.checker->attachDirnnb(*t.dir);
+        t.dir->setChecker(t.checker.get());
+        t.network->setChecker(t.checker.get());
+        if (cfg.check.perturb) {
+            t.checker->setSeed(cfg.check.perturbSeed);
+            t.machine->eq().setPerturb(cfg.check.perturbSeed);
+        }
+    }
     return t;
 }
 
@@ -30,6 +68,7 @@ buildTyphoonStache(const MachineConfig& cfg)
     t.protocol =
         std::make_unique<Stache>(*t.machine, *t.typhoon, cfg.stache);
     t.machine->setMemSystem(t.typhoon.get());
+    attachCheckerTyphoon(t, cfg.check);
     return t;
 }
 
@@ -47,6 +86,7 @@ buildTyphoonEm3dUpdate(const MachineConfig& cfg)
     t.em3d = proto.get();
     t.protocol = std::move(proto);
     t.machine->setMemSystem(t.typhoon.get());
+    attachCheckerTyphoon(t, cfg.check);
     return t;
 }
 
@@ -64,6 +104,7 @@ buildTyphoonMigratory(const MachineConfig& cfg)
     t.migratory = proto.get();
     t.protocol = std::move(proto);
     t.machine->setMemSystem(t.typhoon.get());
+    attachCheckerTyphoon(t, cfg.check);
     return t;
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <ostream>
 
+#include "check/protocol_checker.hh"
 #include "core/machine.hh"
 #include "custom/em3d_protocol.hh"
 #include "custom/migratory.hh"
@@ -23,6 +24,21 @@
 namespace tt
 {
 
+/**
+ * Coherence-sanitizer configuration (ttsim --check / --perturb).
+ * When enabled, the builders construct a ProtocolChecker, attach it
+ * to every hook point of the assembled machine, and hand ownership
+ * to the TargetMachine. Perturbation additionally randomizes
+ * same-tick event order (the EventQueue must already be in
+ * ReferenceHeap mode — see EventQueue::setPerturb).
+ */
+struct CheckConfig
+{
+    bool enable = false;
+    bool perturb = false;
+    std::uint64_t perturbSeed = 0;
+};
+
 /** Everything Table 2 configures, in one bag. */
 struct MachineConfig
 {
@@ -31,6 +47,7 @@ struct MachineConfig
     DirParams dir;
     TyphoonParams typhoon;
     StacheParams stache;
+    CheckConfig check;
 };
 
 /** Print the active configuration in the shape of Table 2. */
@@ -49,6 +66,9 @@ struct TargetMachine
 
     Em3dUpdateProtocol* em3d = nullptr; ///< set for the update target
     MigratoryProtocol* migratory = nullptr; ///< set for that target
+
+    /** Set iff MachineConfig::check.enable was true at build time. */
+    std::unique_ptr<ProtocolChecker> checker;
 
     Machine& m() { return *machine; }
     RunResult run(App& app) { return machine->run(app); }

@@ -104,6 +104,8 @@ void
 DirMemSystem::poke(Addr va, const void* buf, std::size_t len)
 {
     _store.write(va, buf, len);
+    if (_checker)
+        _checker->onBackdoorWrite(va, buf, len);
 }
 
 void
@@ -195,12 +197,18 @@ DirMemSystem::access(MemRequest* req)
         if (n.cache->probeRead(va)) {
             _cCacheHits.inc();
             transfer(req);
+            if (_checker)
+                _checker->onAccess(self, va, req->size, false,
+                                   req->buf);
             return {true, cost};
         }
     } else {
         if (n.cache->probeWrite(va)) {
             _cCacheHits.inc();
             transfer(req);
+            if (_checker)
+                _checker->onAccess(self, va, req->size, true,
+                                   req->buf);
             return {true, cost};
         }
     }
@@ -227,6 +235,12 @@ DirMemSystem::access(MemRequest* req)
                                  _cp.localMissLatency);
                 transfer(req);
                 _cLocalMisses.inc();
+                if (_checker) {
+                    _checker->onBlockEvent(self, blk, "local-fill");
+                    _checker->onAccess(self, va, req->size, false,
+                                       req->buf);
+                    _checker->onEventEnd();
+                }
                 return {true, cost + _cp.localMissLatency};
             }
             if (req->op == MemOp::Write && st == DirState::Idle) {
@@ -235,6 +249,13 @@ DirMemSystem::access(MemRequest* req)
                     n.cache->upgrade(va, true);
                     transfer(req);
                     _cLocalUpgrades.inc();
+                    if (_checker) {
+                        _checker->onBlockEvent(self, blk,
+                                               "local-upgrade");
+                        _checker->onAccess(self, va, req->size, true,
+                                           req->buf);
+                        _checker->onEventEnd();
+                    }
                     return {true, cost};
                 }
                 CacheResult fres = n.cache->fill(va, LineState::Owned);
@@ -244,6 +265,12 @@ DirMemSystem::access(MemRequest* req)
                                  _cp.localMissLatency);
                 transfer(req);
                 _cLocalMisses.inc();
+                if (_checker) {
+                    _checker->onBlockEvent(self, blk, "local-fill");
+                    _checker->onAccess(self, va, req->size, true,
+                                       req->buf);
+                    _checker->onEventEnd();
+                }
                 return {true, cost + _cp.localMissLatency};
             }
         }
@@ -255,6 +282,8 @@ DirMemSystem::access(MemRequest* req)
         _cLocalConflictMisses.inc();
         homeRequest(self, blk, self, req->op, upgrade,
                     req->issueTime + cost);
+        if (_checker)
+            _checker->onEventEnd();
         return {false, 0};
     }
 
@@ -322,6 +351,9 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
     const Tick now = _m.eq().now();
     Node& n = _nodes[self];
 
+    if (_checker)
+        _checker->onMsgDeliver(msg);
+
     switch (msg.handler) {
       case kReadReq:
         homeRequest(self, blk, msg.src, MemOp::Read, false, now);
@@ -335,9 +367,14 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
 
       case kInv: {
         // Invalidate our (possibly absent: silent eviction) copy.
+        // faultSkipInvalidate is test-only fault injection: ack
+        // without invalidating, so the sanitizer must catch the
+        // stale copy (test_mutations.cc).
         const Tick start = ctrlStart(self, now);
         bool dirty = false;
-        const LineState prior = n.cache->invalidate(blk, &dirty);
+        const LineState prior = _p.faultSkipInvalidate
+                                    ? LineState::Invalid
+                                    : n.cache->invalidate(blk, &dirty);
         Tick cost = _p.invProcess;
         if (prior == LineState::Owned)
             cost += _p.replaceExclusive;
@@ -433,6 +470,9 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
       default:
         tt_panic("unknown DirNNB message kind ", msg.handler);
     }
+
+    if (_checker)
+        _checker->onEventEnd();
 }
 
 // --------------------------------------------------------------------
@@ -470,6 +510,8 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
     // racing with the request and needs the full block.
     mshr->upgrade = upgrade && e.sharers.contains(requester);
     e.mshr = std::move(mshr);
+    if (_checker)
+        _checker->onBlockEvent(home, blk, "dir:open");
 
     if (op == MemOp::Read) {
         if (e.state != DirState::Excl) {
@@ -569,6 +611,9 @@ DirMemSystem::grant(NodeId home, Addr blk, Tick when)
         }
     }
 
+    if (_checker)
+        _checker->onBlockEvent(home, blk, "dir:grant");
+
     // Deliver the grant.
     if (m.requester == home) {
         completeLocal(home, blk, when);
@@ -587,6 +632,8 @@ DirMemSystem::grant(NodeId home, Addr blk, Tick when)
                          [this, home, blk, d] {
                              homeRequest(home, blk, d.requester, d.op,
                                          d.upgrade, _m.eq().now());
+                             if (_checker)
+                                 _checker->onEventEnd();
                          });
     }
 }
@@ -613,6 +660,8 @@ DirMemSystem::applyWriteback(NodeId home, Addr blk, NodeId from,
               "stale writeback for block ", blk, " from ", from);
     e.state = DirState::Idle;
     e.owner = kNoNode;
+    if (_checker)
+        _checker->onBlockEvent(home, blk, "dir:writeback");
 }
 
 // --------------------------------------------------------------------
@@ -654,6 +703,11 @@ DirMemSystem::completeAtRequester(NodeId node, Addr blk, bool withData,
     const Tick done = start + cost;
     _m.eq().schedule(std::max(done, _m.eq().now()), [this, req] {
         transfer(req);
+        if (_checker) {
+            _checker->onAccess(req->cpu->id(), req->vaddr, req->size,
+                               req->op == MemOp::Write, req->buf);
+            _checker->onEventEnd();
+        }
         req->cpu->completeAccess(*req);
     });
 }
@@ -691,6 +745,11 @@ DirMemSystem::completeLocal(NodeId node, Addr blk, Tick when)
     const Tick done = when + cost;
     _m.eq().schedule(std::max(done, _m.eq().now()), [this, req] {
         transfer(req);
+        if (_checker) {
+            _checker->onAccess(req->cpu->id(), req->vaddr, req->size,
+                               req->op == MemOp::Write, req->buf);
+            _checker->onEventEnd();
+        }
         req->cpu->completeAccess(*req);
     });
 }

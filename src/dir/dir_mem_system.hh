@@ -70,6 +70,9 @@ class DirMemSystem : public MemorySystem
     /** True iff no transaction is in flight anywhere. */
     bool quiescent() const;
 
+    /** Attach the coherence sanitizer (nullptr = disabled). */
+    void setChecker(CheckHooks* c) { _checker = c; }
+
   private:
     /** Active-message handler ids of the hardware protocol. */
     enum MsgKind : HandlerId
@@ -160,6 +163,7 @@ class DirMemSystem : public MemorySystem
     DirParams _p;
     const CoreParams& _cp;
     StatSet& _stats;
+    CheckHooks* _checker = nullptr; ///< coherence sanitizer, opt-in
 
     std::vector<Node> _nodes;
     DenseMap<DirEntry> _dir;      ///< keyed by block number (blk/B)

@@ -38,6 +38,14 @@ struct DirParams
      * improvement the paper discusses) — ablation A1.
      */
     bool firstTouch = false;
+
+    /**
+     * Test-only fault injection (tests/check/test_mutations.cc):
+     * acknowledge kInv messages without actually invalidating the
+     * local line, leaving a stale shared copy behind. Proves the
+     * coherence sanitizer fires; never set outside tests.
+     */
+    bool faultSkipInvalidate = false;
 };
 
 } // namespace tt

@@ -13,8 +13,10 @@
 #include <functional>
 #include <vector>
 
+#include "check/hooks.hh"
 #include "net/message.hh"
 #include "sim/event_queue.hh"
+#include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -33,6 +35,15 @@ struct NetworkParams
      * bandwidth at each node — see bench/ablation_contention.
      */
     Tick ejectPerPacket = 0;
+    /**
+     * Schedule-perturbation jitter (ttsim --perturb / DESIGN.md §8):
+     * each remote message's latency is stretched by a deterministic
+     * pseudo-random 0..jitterMax cycles, clamped so that per-(src,dst)
+     * delivery order stays FIFO (the protocols rely on channel
+     * ordering). 0 (default) disables jitter entirely.
+     */
+    Tick jitterMax = 0;
+    std::uint64_t jitterSeed = 0; ///< RNG seed for the jitter stream
 };
 
 /**
@@ -60,10 +71,18 @@ class Network
           _respMsgs(stats.counter("net.resp_messages")),
           _ejectQueued(stats.counter("net.eject_queued"))
     {
+        if (_params.jitterMax) {
+            _jitter = Rng(_params.jitterSeed);
+            _lastArrive.assign(
+                static_cast<std::size_t>(nodes) * nodes, 0);
+        }
     }
 
     int nodes() const { return static_cast<int>(_receivers.size()); }
     const NetworkParams& params() const { return _params; }
+
+    /** Attach the coherence sanitizer (nullptr = disabled). */
+    void setChecker(CheckHooks* c) { _checker = c; }
 
     /** Install the message receiver for @p node. */
     void
@@ -106,6 +125,18 @@ class Network
         Tick arrive =
             msg.src == msg.dst ? depart : depart + _params.latency;
 
+        if (_params.jitterMax && msg.src != msg.dst) {
+            // Deterministic latency jitter, clamped to keep each
+            // (src,dst) channel strictly FIFO.
+            arrive += _jitter.below(_params.jitterMax + 1);
+            Tick& last = _lastArrive[static_cast<std::size_t>(msg.src) *
+                                         nodes() +
+                                     msg.dst];
+            if (arrive <= last)
+                arrive = last + 1;
+            last = arrive;
+        }
+
         if (_params.ejectPerPacket) {
             // Finite ejection bandwidth: packets queue at the
             // destination port.
@@ -117,6 +148,9 @@ class Network
             if (arrive > efree)
                 efree = arrive;
         }
+
+        if (_checker)
+            _checker->onMsgSend(msg);
 
         // The closure owns the message.
         _eq.schedule(arrive,
@@ -131,6 +165,9 @@ class Network
     std::vector<Receiver> _receivers;
     std::vector<Tick> _linkFree;
     std::vector<Tick> _ejectFree;
+    CheckHooks* _checker = nullptr; ///< coherence sanitizer, opt-in
+    Rng _jitter;                    ///< perturbation jitter stream
+    std::vector<Tick> _lastArrive;  ///< per-(src,dst) FIFO clamp
 
     // Stat handles resolved once at construction (Counter& from a
     // StatSet is reference-stable) — send() is per-message hot.

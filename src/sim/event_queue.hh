@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/random.hh"
 #include "sim/small_function.hh"
 #include "sim/types.hh"
 
@@ -106,7 +107,8 @@ class EventQueue
                 _inBucket = false;
             }
         } else {
-            _heap.push_back(FarEntry{when, seq, std::move(cb)});
+            const std::uint64_t prio = _perturb ? _prng.next() : 0;
+            _heap.push_back(FarEntry{when, prio, seq, std::move(cb)});
             std::push_heap(_heap.begin(), _heap.end(), FarAfter{});
         }
     }
@@ -150,6 +152,28 @@ class EventQueue
      */
     void reset();
 
+    /**
+     * Schedule-perturbation mode (the --perturb harness): same-tick
+     * events execute in a pseudo-random permutation drawn from
+     * @p seed instead of insertion order. Any legal interleaving a
+     * real machine could exhibit within a tick is fair game, so
+     * protocol invariants must hold under every permutation; the
+     * seed makes any failure exactly replayable. Only supported in
+     * ReferenceHeap mode (the calendar fast path derives same-tick
+     * order from bucket append order, which cannot be permuted
+     * without rebuilding buckets).
+     */
+    void
+    setPerturb(std::uint64_t seed)
+    {
+        tt_assert(!_useCalendar,
+                  "perturbation requires ReferenceHeap mode");
+        _perturb = true;
+        _prng = Rng(seed);
+    }
+
+    bool perturbed() const { return _perturb; }
+
   private:
     /** Ticks covered by the calendar window; one bucket per tick. */
     static constexpr std::uint32_t kWindow = 4096;
@@ -157,6 +181,7 @@ class EventQueue
     struct FarEntry
     {
         Tick when;
+        std::uint64_t prio; ///< 0 normally; random under perturbation
         std::uint64_t seq;
         Callback cb;
     };
@@ -167,7 +192,11 @@ class EventQueue
         bool
         operator()(const FarEntry& a, const FarEntry& b) const
         {
-            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
         }
     };
 
@@ -213,6 +242,10 @@ class EventQueue
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
     bool _stopRequested = false;
+
+    // Perturbation (heap mode only; see setPerturb()).
+    bool _perturb = false;
+    Rng _prng;
 };
 
 } // namespace tt

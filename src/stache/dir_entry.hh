@@ -156,7 +156,14 @@ class StacheDirEntry
     void
     removeSharer(NodeId n, StacheAuxTable& aux)
     {
-        if (state() != State::Shared || !contains(n, aux))
+        // An exclusive entry has no sharer list; shrinking one is a
+        // protocol bug, never a legal stale message.
+        tt_assert(state() != State::Excl,
+                  "removeSharer on exclusive entry");
+        // Stale-message no-ops, kept deliberately: an ack can arrive
+        // after the entry already collapsed to Idle, or name a node
+        // whose clean copy dropped silently and was already pruned.
+        if (state() == State::Idle || !contains(n, aux))
             return;
         if (auxMode()) {
             auxSetMut(aux).remove(n);

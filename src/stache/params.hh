@@ -39,6 +39,14 @@ struct StacheParams
     std::uint32_t homeHandlerWork = 4;   ///< home request decode/update
     std::uint32_t dataHandlerWork = 2;   ///< data-arrival bookkeeping
     std::uint32_t pageFaultWork = 10;    ///< page-fault handler logic
+
+    /**
+     * Test-only fault injection (tests/check/test_mutations.cc):
+     * drop the owner-side ReadOnly downgrade on a recall, leaving a
+     * stale writable copy behind. Proves the coherence sanitizer
+     * fires; never set outside tests.
+     */
+    bool faultSkipDowngrade = false;
 };
 
 } // namespace tt

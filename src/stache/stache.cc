@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "check/hooks.hh"
 #include "mem/addr.hh"
 #include "sim/logging.hh"
 
@@ -453,6 +454,9 @@ Stache::homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
         t.dataless = dataless;
         t.acksLeft = static_cast<int>(targets.size());
         _transients.insert(blk, std::move(t));
+        if (_checker)
+            _checker->onBlockEvent(ctx.nodeId(), blk,
+                                   "dir:inval-round");
         Word args[2] = {static_cast<Word>(blk),
                         static_cast<Word>(blk >> 32)};
         _cInvalsSent.inc(targets.size());
@@ -473,6 +477,8 @@ Stache::homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
         t.owner = owner;
         t.wasDowngrade = !wantRW;
         _transients.insert(blk, std::move(t));
+        if (_checker)
+            _checker->onBlockEvent(ctx.nodeId(), blk, "dir:recall");
         Word args[2] = {static_cast<Word>(blk),
                         static_cast<Word>(blk >> 32)};
         _cRecalls.inc();
@@ -505,6 +511,9 @@ Stache::grantFromHome(TempestCtx& ctx, Addr blk, NodeId requester,
     HomeDir& hd = homeDirOf(blk);
     StacheDirEntry& e = entryOf(blk);
     const NodeId home = ctx.nodeId();
+
+    if (_checker)
+        _checker->onBlockEvent(home, blk, "dir:grant");
 
     if (wantRW) {
         if (requester == home) {
@@ -647,10 +656,14 @@ Stache::onRecall(TempestCtx& ctx, const Message& msg, bool downgrade)
     const bool modified = ctx.cpuCopyDirty(blk);
     std::vector<std::uint8_t> buf(_cp.blockSize);
     readBlockHost(ctx.nodeId(), blk, buf.data());
-    if (downgrade)
-        ctx.setRO(blk);
-    else
+    if (downgrade) {
+        // Test-only fault injection: keep the stale writable copy so
+        // the coherence sanitizer must catch it (test_mutations.cc).
+        if (!_p.faultSkipDowngrade)
+            ctx.setRO(blk);
+    } else {
         ctx.invalidate(blk);
+    }
     Word args3[3] = {args[0], args[1], modified ? 1u : 0u};
     ctx.send(msg.src, kPutData, std::span<const Word>(args3),
              buf.data(), _cp.blockSize, VNet::Response);
@@ -810,6 +823,8 @@ Stache::onWriteback(TempestCtx& ctx, const Message& msg)
     const Addr blk = static_cast<Addr>(msg.addrArg(0));
     ctx.charge(2);
     _cWritebacksReceived.inc();
+    if (_checker)
+        _checker->onBlockEvent(ctx.nodeId(), blk, "dir:writeback");
     ctx.forceWrite(blk, msg.data.data(),
                    static_cast<std::uint32_t>(msg.data.size()));
     HomeDir& hd = homeDirOf(blk);

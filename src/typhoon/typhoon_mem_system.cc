@@ -1,5 +1,6 @@
 #include "typhoon/typhoon_mem_system.hh"
 
+#include "check/hooks.hh"
 #include "core/cpu.hh"
 #include "mem/addr.hh"
 #include "sim/logging.hh"
@@ -197,6 +198,8 @@ TyphoonMemSystem::poke(Addr va, const void* buf, std::size_t len)
 {
     tt_assert(_protocol, "no protocol installed on Typhoon");
     _protocol->poke(va, buf, len);
+    if (_checker)
+        _checker->onBackdoorWrite(va, buf, len);
 }
 
 // ---------------------------------------------------------------------
@@ -318,6 +321,9 @@ TyphoonMemSystem::access(MemRequest* req)
     PipeResult pr = pipeline(id, req);
     switch (pr.kind) {
       case PipeResult::Kind::Done:
+        if (_checker)
+            _checker->onAccess(id, req->vaddr, req->size,
+                               req->op == MemOp::Write, req->buf);
         return {true, pr.cost};
       case PipeResult::Kind::PageFault:
         tt_assert(!n.suspended, "second fault while suspended at ", id);
@@ -348,6 +354,8 @@ TyphoonMemSystem::deliverPageFault(NodeId id, MemRequest* req,
         NpCtx ctx(*this, id, start2);
         n.pageFaultHandler(ctx, req->vaddr, req->op);
         traceEvent(id, TraceEvent::Kind::PageFault, 0, ctx.charged());
+        if (_checker)
+            _checker->onEventEnd();
         // The handler ran on the CPU; retry the access afterwards.
         retryAccess(id, start2 + ctx.charged());
     });
@@ -377,6 +385,9 @@ TyphoonMemSystem::retryAccess(NodeId id, Tick when)
         switch (pr.kind) {
           case PipeResult::Kind::Done: {
             n.suspended = nullptr;
+            if (_checker)
+                _checker->onAccess(id, req->vaddr, req->size,
+                                   req->op == MemOp::Write, req->buf);
             _m.eq().schedule(now + pr.cost, [req] {
                 req->cpu->completeAccess(*req);
             });
@@ -477,6 +488,8 @@ TyphoonMemSystem::npPump(NodeId id, Tick when)
                   "no handler registered for message id ", msg.handler,
                   " at node ", id);
         _cNpMsgHandled.inc();
+        if (_checker)
+            _checker->onMsgDeliver(msg);
         it->second(ctx, msg);
         traceEvent(id, TraceEvent::Kind::MsgHandler, msg.handler,
                    ctx.charged());
@@ -493,6 +506,8 @@ TyphoonMemSystem::npPump(NodeId id, Tick when)
                    baf->fault.mode, ctx.charged());
     }
 
+    if (_checker)
+        _checker->onEventEnd();
     _cNpInstructions.inc(ctx.charged());
     if (_p.perHandlerStats) {
         handlerAverage(!haveMsg, haveMsg ? msg.handler : 0)
@@ -630,6 +645,10 @@ NpCtx::setRW(Addr va)
 {
     tagTiming(va);
     _ms.setBlockTag(_node, translate(va), AccessTag::ReadWrite);
+    if (_ms._checker)
+        _ms._checker->onTagChange(_node,
+                                  blockAlign(va, _ms._cp.blockSize),
+                                  AccessTag::ReadWrite);
 }
 
 void
@@ -640,6 +659,10 @@ NpCtx::setRO(Addr va)
     // Any exclusively-held CPU copy loses ownership (bus shared line).
     if (_ms._nodes[_node].cpuCache->downgrade(va))
         charge(static_cast<std::uint32_t>(_ms._p.cpuCacheInvCost));
+    if (_ms._checker)
+        _ms._checker->onTagChange(_node,
+                                  blockAlign(va, _ms._cp.blockSize),
+                                  AccessTag::ReadOnly);
 }
 
 void
@@ -649,6 +672,10 @@ NpCtx::setBusy(Addr va)
     _ms.setBlockTag(_node, translate(va), AccessTag::Busy);
     if (_ms._nodes[_node].cpuCache->invalidate(va) != LineState::Invalid)
         charge(static_cast<std::uint32_t>(_ms._p.cpuCacheInvCost));
+    if (_ms._checker)
+        _ms._checker->onTagChange(_node,
+                                  blockAlign(va, _ms._cp.blockSize),
+                                  AccessTag::Busy);
 }
 
 void
@@ -660,6 +687,10 @@ NpCtx::invalidate(Addr va)
     if (_ms._nodes[_node].cpuCache->invalidate(va) != LineState::Invalid)
         charge(static_cast<std::uint32_t>(_ms._p.cpuCacheInvCost));
     _ms._cNpTagInvalidates.inc();
+    if (_ms._checker)
+        _ms._checker->onTagChange(_node,
+                                  blockAlign(va, _ms._cp.blockSize),
+                                  AccessTag::Invalid);
 }
 
 void
@@ -788,6 +819,9 @@ NpCtx::mapPage(Addr va, PAddr pa, std::uint8_t mode)
     if (ppn >= n.tags.size())
         n.tags.resize(ppn + 1);
     n.tags[ppn] = std::move(fresh);
+    if (_ms._checker)
+        _ms._checker->onPageMap(_node,
+                                alignDown(va, _ms._cp.pageSize), mode);
 }
 
 void
@@ -808,6 +842,8 @@ NpCtx::unmapPage(Addr va)
     n.rtlb->invalidate(ppn);
     n.tags[ppn] = TyphoonMemSystem::PageTags{};
     n.pt->unmap(va);
+    if (_ms._checker)
+        _ms._checker->onPageUnmap(_node, page);
 }
 
 void
@@ -910,6 +946,9 @@ NpCtx::setPageTags(Addr va, AccessTag t)
         _ms.pageTags(_node, pageNum(pm->ppage, _ms._cp.pageSize)).tags;
     for (auto& tag : tags)
         tag = t;
+    if (_ms._checker)
+        _ms._checker->onPageTags(_node,
+                                 alignDown(va, _ms._cp.pageSize), t);
 }
 
 } // namespace tt

@@ -42,6 +42,7 @@
 namespace tt
 {
 
+class CheckHooks;
 class TyphoonMemSystem;
 
 /**
@@ -119,6 +120,9 @@ class TyphoonMemSystem : public MemorySystem
     /** True iff all NPs are idle with empty queues and no BAF. */
     bool quiescent() const;
     const TyphoonParams& params() const { return _p; }
+
+    /** Attach the coherence sanitizer (nullptr = disabled). */
+    void setChecker(CheckHooks* c) { _checker = c; }
 
   private:
     friend class NpCtx;
@@ -220,6 +224,7 @@ class TyphoonMemSystem : public MemorySystem
     const CoreParams& _cp;
     StatSet& _stats;
     ShmProtocol* _protocol = nullptr;
+    CheckHooks* _checker = nullptr; ///< coherence sanitizer, opt-in
     std::vector<Node> _nodes;
     std::vector<std::unique_ptr<Tempest>> _tempest;
     std::deque<TraceEvent> _trace;

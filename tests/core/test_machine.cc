@@ -64,6 +64,7 @@ TEST(Machine, DeadlockIsDetectedAndReported)
             co_await mp->barrier().wait(cpu);
         co_return;
     });
+    test::ExpectLeaksInScope deadlockAbandonsFrames;
     EXPECT_ANY_THROW(m.run(app));
 }
 

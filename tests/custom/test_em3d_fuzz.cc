@@ -78,9 +78,10 @@ TEST_P(Em3dUpdateFuzz, MatchesDirNNBBitForBit)
         EXPECT_EQ(st.get("stache.recalls"), 0u);
     }
     EXPECT_EQ(csDir, csUpd);
-    if (c.remote >= 0.2)
+    if (c.remote >= 0.2) {
         EXPECT_LT(tUpd, tStache)
             << "update protocol should win with remote traffic";
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

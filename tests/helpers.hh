@@ -17,8 +17,33 @@
 #include "stache/stache.hh"
 #include "typhoon/typhoon_mem_system.hh"
 
+#if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/lsan_interface.h>
+#endif
+
 namespace tt::test
 {
+
+/**
+ * Marks allocations made while in scope as expected leaks. Tests that
+ * assert on a panic unwinding out of Machine::run abandon suspended
+ * coroutine frames by design; LeakSanitizer must not fail them.
+ */
+struct ExpectLeaksInScope
+{
+    ExpectLeaksInScope()
+    {
+#if defined(__SANITIZE_ADDRESS__)
+        __lsan_disable();
+#endif
+    }
+    ~ExpectLeaksInScope()
+    {
+#if defined(__SANITIZE_ADDRESS__)
+        __lsan_enable();
+#endif
+    }
+};
 
 /** App whose per-CPU body is a std::function. */
 class FnApp : public App

@@ -40,8 +40,9 @@ TEST(EventQueueProps, RandomInsertionExecutesInTimestampOrder)
             ASSERT_GE(fired[i].first, fired[i - 1].first);
         // …and within a timestamp, insertion order.
         for (std::size_t i = 1; i < fired.size(); ++i) {
-            if (fired[i].first == fired[i - 1].first)
+            if (fired[i].first == fired[i - 1].first) {
                 ASSERT_GT(fired[i].second, fired[i - 1].second);
+            }
         }
     }
 }

@@ -89,6 +89,13 @@ sumRecursive(std::uint64_t n)
 
 TEST(Task, DeepRecursionViaSymmetricTransfer)
 {
+#if !defined(__OPTIMIZE__)
+    // Bounded stack depth relies on the compiler tail-calling the
+    // symmetric transfer; at -O0 (the sanitizer preset) every resume
+    // keeps its caller frame and 50k frames overflow the stack.
+    GTEST_SKIP() << "requires an optimized build for tail-call "
+                    "symmetric transfer";
+#endif
     // 50k frames would blow the native stack without symmetric
     // transfer; with it this runs in bounded stack space.
     std::uint64_t result = 0;

@@ -371,6 +371,7 @@ TEST(Typhoon, InvalidatePurgesCpuCachedCopy)
 TEST(Typhoon, UnregisteredMessagePanics)
 {
     TyphoonRig rig(2);
+    test::ExpectLeaksInScope panicAbandonsFrames;
     EXPECT_ANY_THROW(rig.run([&](Cpu& cpu) -> Task<void> {
         if (cpu.id() == 0)
             rig.mem->cpuSend(cpu, 1, 0x9999, {});

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Tier-2 verification gate (see README "Verification tiers").
+#
+# Runs, in order:
+#   1. Debug + ASan/UBSan build of the whole tree, full ctest.
+#   2. Release (RelWithDebInfo) build, full ctest.
+#   3. clang-tidy over src/ (skipped with a notice when no clang-tidy
+#      binary is installed — the container ships only g++).
+#   4. A --check --perturb smoke grid: every protocol runs a tiny
+#      workload under the coherence sanitizer with randomized
+#      schedules; any invariant violation fails the gate (ttsim
+#      exits 3 and prints the minimized report).
+#
+# Usage: tools/check.sh [--skip-asan] [--skip-tidy]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_ASAN=0
+SKIP_TIDY=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-asan) SKIP_ASAN=1 ;;
+        --skip-tidy) SKIP_TIDY=1 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+# --- 1. Debug + ASan/UBSan ------------------------------------------------
+if [ "$SKIP_ASAN" = 0 ]; then
+    step "Debug + ASan/UBSan build"
+    cmake --preset asan >/dev/null
+    cmake --build --preset asan -j "$JOBS"
+    step "ctest (asan)"
+    ctest --preset asan -j "$JOBS"
+else
+    step "ASan build skipped (--skip-asan)"
+fi
+
+# --- 2. Release ------------------------------------------------------------
+step "Release build"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$JOBS"
+step "ctest (release)"
+ctest --preset release -j "$JOBS"
+
+# --- 3. clang-tidy ----------------------------------------------------------
+if [ "$SKIP_TIDY" = 0 ] && command -v clang-tidy >/dev/null 2>&1; then
+    step "clang-tidy over src/"
+    # The release tree has the compile database.
+    cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find src -name '*.cc' -print0 |
+        xargs -0 -n 4 -P "$JOBS" clang-tidy -p build --quiet
+elif [ "$SKIP_TIDY" = 0 ]; then
+    step "clang-tidy not installed; skipping (config: .clang-tidy)"
+else
+    step "clang-tidy skipped (--skip-tidy)"
+fi
+
+# --- 4. Coherence-sanitizer smoke grid --------------------------------------
+step "coherence sanitizer: --check --perturb smoke grid"
+TTSIM=build/tools/ttsim
+for sys in dirnnb stache migratory update; do
+    app=em3d
+    [ "$sys" = dirnnb ] && app=mp3d
+    [ "$sys" = stache ] && app=ocean
+    for seed in 1 42; do
+        echo "--- $sys/$app --perturb=$seed"
+        "$TTSIM" --system="$sys" --app="$app" --dataset=tiny \
+            --nodes=8 --check --perturb="$seed" >/dev/null
+    done
+done
+echo
+echo "check.sh: all gates passed"

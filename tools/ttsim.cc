@@ -47,6 +47,10 @@ struct Options
     bool stats = false;
     bool table2 = false;
     bool list = false;
+    bool check = false;          ///< run the coherence sanitizer
+    bool perturb = false;        ///< randomize schedules (implies check)
+    std::uint64_t perturbSeed = 0;
+    int jitter = 3;              ///< max extra net latency under perturb
 };
 
 void
@@ -69,6 +73,12 @@ usage()
         "  --seed=N          machine RNG seed\n"
         "  --bench-json=F    write a wall-clock benchmark report"
         " (events/sec) to F\n"
+        "  --check           run the coherence sanitizer (exit 3 on"
+        " violation)\n"
+        "  --perturb=SEED    randomize same-tick order + net jitter"
+        " (implies --check)\n"
+        "  --jitter=N        max perturbation latency jitter"
+        " (default 3)\n"
         "  --stats           dump all statistics after the run\n"
         "  --table2          print the Table 2 configuration\n"
         "  --list            list workloads and exit\n");
@@ -110,6 +120,14 @@ parseArg(Options& o, const std::string& arg)
         o.seed = std::strtoull(v.c_str(), nullptr, 0);
     } else if (eat("--bench-json=", &v)) {
         o.benchJson = v;
+    } else if (eat("--perturb=", &v)) {
+        o.perturb = true;
+        o.check = true;
+        o.perturbSeed = std::strtoull(v.c_str(), nullptr, 0);
+    } else if (eat("--jitter=", &v)) {
+        o.jitter = std::atoi(v.c_str());
+    } else if (arg == "--check") {
+        o.check = true;
     } else if (arg == "--stats") {
         o.stats = true;
     } else if (arg == "--table2") {
@@ -169,6 +187,20 @@ main(int argc, char** argv)
     cfg.net.latency = o.netLatency;
     if (o.seed)
         cfg.core.seed = o.seed;
+
+    cfg.check.enable = o.check;
+    if (o.perturb) {
+        cfg.check.perturb = true;
+        cfg.check.perturbSeed = o.perturbSeed;
+        // Same-tick permutation only works on the reference heap (the
+        // calendar derives order from append order); switch the
+        // process default before any EventQueue is constructed.
+        EventQueue::setDefaultMode(EventQueue::Mode::ReferenceHeap);
+        // Jittered network latency, FIFO-clamped per channel; seed
+        // decorrelated from the event-order stream.
+        cfg.net.jitterMax = o.jitter;
+        cfg.net.jitterSeed = o.perturbSeed * 0x9e3779b97f4a7c15ULL + 1;
+    }
 
     if (o.table2)
         printTable2(std::cout, cfg);
@@ -235,6 +267,13 @@ main(int argc, char** argv)
         target.m().stats().dump(std::cout);
     }
 
+    bool checkFailed = false;
+    if (target.checker) {
+        target.checker->finalize();
+        std::fputs(target.checker->report().c_str(), stdout);
+        checkFailed = !target.checker->violations().empty();
+    }
+
     if (!o.benchJson.empty()) {
         BenchReport rep;
         rep.nodes = o.nodes;
@@ -256,5 +295,5 @@ main(int argc, char** argv)
         std::printf("bench report   : %s (%.0f events/sec)\n",
                     o.benchJson.c_str(), rep.eventsPerSec());
     }
-    return 0;
+    return checkFailed ? 3 : 0;
 }
