@@ -94,6 +94,39 @@ main()
         }
     }
 
+    // The same grid again with the flight recorder attached (rings +
+    // miss-latency profiler + trace stream to a scratch file): the
+    // --trace overhead. Again, simulated results must be bit-identical
+    // to the trace-off pass.
+    std::printf("\ntrace-on pass:\n");
+    {
+        MachineConfig tcfg = cfg;
+        tcfg.obs.enable = true;
+        tcfg.obs.traceFile = "bench_trace_scratch.json";
+        std::size_t i = 0;
+        for (const char* system : {"dirnnb", "stache"}) {
+            for (const auto& app : apps) {
+                const BenchCase c = runBenchCase(
+                    system, app, DataSet::Small, scale, tcfg);
+                const BenchCase& base = rep.cases[i++];
+                if (c.cycles != base.cycles ||
+                    c.checksum != base.checksum) {
+                    std::fprintf(stderr,
+                                 "tracing changed simulated results "
+                                 "for %s/%s\n",
+                                 system, app.c_str());
+                    return 1;
+                }
+                rep.traceOnEvents += c.events;
+                rep.traceOnWallMs += c.wallMs;
+                std::printf("%-8s %-8s %9.1f ms\n", system,
+                            app.c_str(), c.wallMs);
+                std::fflush(stdout);
+            }
+        }
+        std::remove("bench_trace_scratch.json");
+    }
+
     std::printf("\n");
     rep.printTable(std::cout);
 

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace tt
 {
@@ -40,6 +41,13 @@ BenchReport::checkerOnEventsPerSec() const
     return checkerOnWallMs > 0
                ? checkerOnEvents / (checkerOnWallMs / 1000.0)
                : 0;
+}
+
+double
+BenchReport::traceOnEventsPerSec() const
+{
+    return traceOnWallMs > 0 ? traceOnEvents / (traceOnWallMs / 1000.0)
+                             : 0;
 }
 
 void
@@ -78,6 +86,14 @@ BenchReport::printTable(std::ostream& os) const
                       "than checker off)\n",
                       checkerOnEventsPerSec(),
                       eventsPerSec() / checkerOnEventsPerSec());
+        os << line;
+    }
+    if (traceOnWallMs > 0) {
+        std::snprintf(line, sizeof line,
+                      "trace on: %.0f events/sec (%.2fx slower "
+                      "than trace off)\n",
+                      traceOnEventsPerSec(),
+                      eventsPerSec() / traceOnEventsPerSec());
         os << line;
     }
 }
@@ -128,6 +144,8 @@ BenchReport::writeJson(std::ostream& os) const
         jsonNumber(os, c.wallMs);
         os << ", \"checksum\": ";
         jsonNumber(os, c.checksum);
+        os << ", \"net_messages\": " << c.netMessages;
+        os << ", \"net_words\": " << c.netWords;
         os << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
@@ -152,6 +170,16 @@ BenchReport::writeJson(std::ostream& os) const
         jsonNumber(os, checkerOnEventsPerSec());
         os << ", \"slowdown_vs_check_off\": ";
         jsonNumber(os, eventsPerSec() / checkerOnEventsPerSec());
+        os << "}";
+    }
+    if (traceOnWallMs > 0) {
+        os << ",\n  \"trace_overhead\": {\"events\": " << traceOnEvents
+           << ", \"wall_ms\": ";
+        jsonNumber(os, traceOnWallMs);
+        os << ", \"events_per_sec_trace_on\": ";
+        jsonNumber(os, traceOnEventsPerSec());
+        os << ", \"slowdown_vs_trace_off\": ";
+        jsonNumber(os, eventsPerSec() / traceOnEventsPerSec());
         os << "}";
     }
     os << "\n}\n";
@@ -209,6 +237,11 @@ runBenchCase(const std::string& system, const std::string& appName,
     c.wallMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     c.checksum = app->checksum();
+    if (target.obs)
+        target.obs->finalize();
+    const StatSet& stats = target.machine->stats();
+    c.netMessages = stats.get("net.messages");
+    c.netWords = stats.get("net.words");
     return c;
 }
 

@@ -36,6 +36,11 @@ struct BenchCase
     std::uint64_t events = 0; ///< kernel events executed
     double wallMs = 0;        ///< host wall-clock for Machine::run()
     double checksum = 0;      ///< application result checksum
+
+    // Pulled straight from the run's StatSet (machine-readable stat
+    // handles, not re-parsed dump() text).
+    std::uint64_t netMessages = 0;
+    std::uint64_t netWords = 0;
 };
 
 /** An aggregated report over a set of cases. */
@@ -57,10 +62,19 @@ struct BenchReport
     double checkerOnWallMs = 0;
     std::uint64_t checkerOnEvents = 0;
 
+    /**
+     * Flight-recorder overhead: the same grid re-run with a recorder
+     * attached (ring + profiler + trace stream). Same "0 = not
+     * measured" convention as the checker entry.
+     */
+    double traceOnWallMs = 0;
+    std::uint64_t traceOnEvents = 0;
+
     std::uint64_t totalEvents() const;
     double totalWallMs() const;
     double eventsPerSec() const;
     double checkerOnEventsPerSec() const;
+    double traceOnEventsPerSec() const;
 
     /** Pretty per-case table for humans. */
     void printTable(std::ostream& os) const;

@@ -31,6 +31,36 @@ attachCheckerTyphoon(TargetMachine& t, const CheckConfig& cc)
     }
 }
 
+/**
+ * Attach a FlightRecorder to an assembled target. Rings are kept
+ * whenever the recorder exists (that is the crash flight recorder,
+ * wanted under --check even without --trace); the exporter, profiler,
+ * and sampler are each opt-in via ObsConfig.
+ */
+void
+attachObserver(TargetMachine& t, const MachineConfig& cfg)
+{
+    const ObsConfig& oc = cfg.obs;
+    if (!oc.enable && !cfg.check.enable)
+        return;
+    t.obs = std::make_unique<FlightRecorder>(cfg.core.nodes,
+                                             oc.ringCapacity);
+    t.network->setRecorder(t.obs.get());
+    if (t.typhoon)
+        t.typhoon->setRecorder(t.obs.get());
+    if (t.dir)
+        t.dir->setRecorder(t.obs.get());
+    if (t.protocol)
+        t.protocol->describeHandlers(*t.obs);
+    if (!oc.traceFile.empty())
+        t.obs->openTrace(oc.traceFile);
+    if (oc.enable && oc.profile)
+        t.obs->enableProfiler(t.machine->stats());
+    if (oc.samplePeriod > 0)
+        t.obs->enableSampler(t.machine->stats(), oc.samplePeriod);
+    t.obs->installCrashDump();
+}
+
 } // namespace
 
 TargetMachine
@@ -53,6 +83,7 @@ buildDirNNB(const MachineConfig& cfg)
             t.machine->eq().setPerturb(cfg.check.perturbSeed);
         }
     }
+    attachObserver(t, cfg);
     return t;
 }
 
@@ -69,6 +100,7 @@ buildTyphoonStache(const MachineConfig& cfg)
         std::make_unique<Stache>(*t.machine, *t.typhoon, cfg.stache);
     t.machine->setMemSystem(t.typhoon.get());
     attachCheckerTyphoon(t, cfg.check);
+    attachObserver(t, cfg);
     return t;
 }
 
@@ -87,6 +119,7 @@ buildTyphoonEm3dUpdate(const MachineConfig& cfg)
     t.protocol = std::move(proto);
     t.machine->setMemSystem(t.typhoon.get());
     attachCheckerTyphoon(t, cfg.check);
+    attachObserver(t, cfg);
     return t;
 }
 
@@ -105,6 +138,7 @@ buildTyphoonMigratory(const MachineConfig& cfg)
     t.protocol = std::move(proto);
     t.machine->setMemSystem(t.typhoon.get());
     attachCheckerTyphoon(t, cfg.check);
+    attachObserver(t, cfg);
     return t;
 }
 

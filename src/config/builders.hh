@@ -14,6 +14,7 @@
 
 #include "check/protocol_checker.hh"
 #include "core/machine.hh"
+#include "obs/recorder.hh"
 #include "custom/em3d_protocol.hh"
 #include "custom/migratory.hh"
 #include "dir/dir_mem_system.hh"
@@ -39,6 +40,21 @@ struct CheckConfig
     std::uint64_t perturbSeed = 0;
 };
 
+/**
+ * Flight-recorder configuration (ttsim --trace / DESIGN.md §9).
+ * A recorder is attached when tracing or profiling is requested, and
+ * also whenever the sanitizer is on (so checker violations and panics
+ * come with the crash-ring tail); everything else is opt-in.
+ */
+struct ObsConfig
+{
+    bool enable = false;        ///< attach a FlightRecorder at all
+    std::size_t ringCapacity = 256; ///< crash-ring records per node
+    std::string traceFile;      ///< Perfetto JSON path ("" = no trace)
+    Tick samplePeriod = 0;      ///< counter-snapshot period (0 = off)
+    bool profile = true;        ///< fold miss-latency histograms
+};
+
 /** Everything Table 2 configures, in one bag. */
 struct MachineConfig
 {
@@ -48,6 +64,7 @@ struct MachineConfig
     TyphoonParams typhoon;
     StacheParams stache;
     CheckConfig check;
+    ObsConfig obs;
 };
 
 /** Print the active configuration in the shape of Table 2. */
@@ -69,6 +86,9 @@ struct TargetMachine
 
     /** Set iff MachineConfig::check.enable was true at build time. */
     std::unique_ptr<ProtocolChecker> checker;
+
+    /** Set iff obs.enable or check.enable was true at build time. */
+    std::unique_ptr<FlightRecorder> obs;
 
     Machine& m() { return *machine; }
     RunResult run(App& app) { return machine->run(app); }

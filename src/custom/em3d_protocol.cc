@@ -71,6 +71,16 @@ Em3dUpdateProtocol::Em3dUpdateProtocol(Machine& m, TyphoonMemSystem& ms,
     }
 }
 
+void
+Em3dUpdateProtocol::describeHandlers(FlightRecorder& rec) const
+{
+    Stache::describeHandlers(rec);
+    rec.nameHandler(kCGetRO, "em3d.get_ro");
+    rec.nameHandler(kCData, "em3d.data");
+    rec.nameHandler(kCUpdate, "em3d.update");
+    rec.nameHandler(kCFlush, "em3d.flush");
+}
+
 Addr
 Em3dUpdateProtocol::allocCustom(std::size_t bytes, NodeId home,
                                 Kind kind)

@@ -55,6 +55,7 @@ class Em3dUpdateProtocol : public Stache
                        StacheParams p = {});
 
     std::string protocolName() const override { return "Em3dUpdate"; }
+    void describeHandlers(FlightRecorder& rec) const override;
 
     /**
      * Allocate value storage on custom home pages at @p home. All

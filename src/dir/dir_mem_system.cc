@@ -280,6 +280,9 @@ DirMemSystem::access(MemRequest* req)
                   "duplicate outstanding miss at node ", self);
         n.pending[blk] = PendingMiss{req, upgrade};
         _cLocalConflictMisses.inc();
+        if (_obs)
+            _obs->missStart(self, blk, req->op == MemOp::Write,
+                            req->issueTime + cost);
         homeRequest(self, blk, self, req->op, upgrade,
                     req->issueTime + cost);
         if (_checker)
@@ -292,6 +295,9 @@ DirMemSystem::access(MemRequest* req)
               "duplicate outstanding miss at node ", self);
     n.pending[blk] = PendingMiss{req, upgrade};
     _cRemoteMisses.inc();
+    if (_obs)
+        _obs->missStart(self, blk, req->op == MemOp::Write,
+                        req->issueTime + cost);
     const MsgKind kind = req->op == MemOp::Read
                              ? kReadReq
                              : (upgrade ? kUpgradeReq : kWriteReq);
@@ -353,6 +359,8 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
 
     if (_checker)
         _checker->onMsgDeliver(msg);
+    if (_obs)
+        _obs->msgDeliver(self, msg, now);
 
     switch (msg.handler) {
       case kReadReq:
@@ -471,6 +479,13 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
         tt_panic("unknown DirNNB message kind ", msg.handler);
     }
 
+    if (_obs) {
+        // The controller-occupancy charge for this message is whatever
+        // the handler pushed ctrlFree past its dispatch time.
+        _obs->handlerDone(self, ActKind::Msg, msg.handler, msg.obsId,
+                          now,
+                          n.ctrlFree > now ? n.ctrlFree - now : 0);
+    }
     if (_checker)
         _checker->onEventEnd();
 }
@@ -701,6 +716,8 @@ DirMemSystem::completeAtRequester(NodeId node, Addr blk, bool withData,
 
     n.ctrlFree = start + cost;
     const Tick done = start + cost;
+    if (_obs)
+        _obs->missEnd(node, req->vaddr, req->op == MemOp::Write, done);
     _m.eq().schedule(std::max(done, _m.eq().now()), [this, req] {
         transfer(req);
         if (_checker) {
@@ -743,6 +760,8 @@ DirMemSystem::completeLocal(NodeId node, Addr blk, Tick when)
         handleVictim(node, fres, when + cost);
     }
     const Tick done = when + cost;
+    if (_obs)
+        _obs->missEnd(node, req->vaddr, req->op == MemOp::Write, done);
     _m.eq().schedule(std::max(done, _m.eq().now()), [this, req] {
         transfer(req);
         if (_checker) {

@@ -73,6 +73,26 @@ class DirMemSystem : public MemorySystem
     /** Attach the coherence sanitizer (nullptr = disabled). */
     void setChecker(CheckHooks* c) { _checker = c; }
 
+    /** Attach the flight recorder (nullptr = disabled). */
+    void
+    setRecorder(FlightRecorder* r)
+    {
+        _obs = r;
+        if (!r)
+            return;
+        r->nameHandler(kReadReq, "dir.read_req");
+        r->nameHandler(kWriteReq, "dir.write_req");
+        r->nameHandler(kUpgradeReq, "dir.upgrade_req");
+        r->nameHandler(kData, "dir.data");
+        r->nameHandler(kGrantUp, "dir.grant_up");
+        r->nameHandler(kInv, "dir.inv");
+        r->nameHandler(kInvAck, "dir.inv_ack");
+        r->nameHandler(kRecall, "dir.recall");
+        r->nameHandler(kRecallData, "dir.recall_data");
+        r->nameHandler(kRecallNack, "dir.recall_nack");
+        r->nameHandler(kWriteBack, "dir.writeback");
+    }
+
   private:
     /** Active-message handler ids of the hardware protocol. */
     enum MsgKind : HandlerId
@@ -164,6 +184,7 @@ class DirMemSystem : public MemorySystem
     const CoreParams& _cp;
     StatSet& _stats;
     CheckHooks* _checker = nullptr; ///< coherence sanitizer, opt-in
+    FlightRecorder* _obs = nullptr; ///< flight recorder, opt-in
 
     std::vector<Node> _nodes;
     DenseMap<DirEntry> _dir;      ///< keyed by block number (blk/B)

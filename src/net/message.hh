@@ -57,6 +57,13 @@ struct Message
     NodeId dst = kNoNode;
     VNet vnet = VNet::Request;
     HandlerId handler = 0;
+    /**
+     * Causal trace id stamped by Network::send when a FlightRecorder
+     * is attached (0 otherwise); links the send record to the deliver
+     * and handler records at the destination. Not a protocol field —
+     * it is not charged any network words.
+     */
+    std::uint32_t obsId = 0;
     Args args;
     Data data;
 

@@ -15,6 +15,7 @@
 
 #include "check/hooks.hh"
 #include "net/message.hh"
+#include "obs/recorder.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -84,6 +85,9 @@ class Network
     /** Attach the coherence sanitizer (nullptr = disabled). */
     void setChecker(CheckHooks* c) { _checker = c; }
 
+    /** Attach the flight recorder (nullptr = disabled). */
+    void setRecorder(FlightRecorder* r) { _obs = r; }
+
     /** Install the message receiver for @p node. */
     void
     setReceiver(NodeId node, Receiver r)
@@ -151,6 +155,8 @@ class Network
 
         if (_checker)
             _checker->onMsgSend(msg);
+        if (_obs)
+            _obs->msgSend(msg, depart, arrive);
 
         // The closure owns the message.
         _eq.schedule(arrive,
@@ -166,6 +172,7 @@ class Network
     std::vector<Tick> _linkFree;
     std::vector<Tick> _ejectFree;
     CheckHooks* _checker = nullptr; ///< coherence sanitizer, opt-in
+    FlightRecorder* _obs = nullptr; ///< flight recorder, opt-in
     Rng _jitter;                    ///< perturbation jitter stream
     std::vector<Tick> _lastArrive;  ///< per-(src,dst) FIFO clamp
 

@@ -1,0 +1,187 @@
+#include "obs/perfetto.hh"
+
+#include "obs/recorder.hh"
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+namespace
+{
+
+/**
+ * Access-tag names for TagChange instants. Kept local so tt_obs does
+ * not depend on tt_core (which sits above tt_net in the link order);
+ * values mirror core/tempest.hh's AccessTag.
+ */
+const char* const kTagNames[] = {"Invalid", "ReadOnly", "ReadWrite",
+                                 "Busy"};
+
+const char*
+tagName(std::uint8_t tag)
+{
+    return tag < 4 ? kTagNames[tag] : "?";
+}
+
+} // namespace
+
+PerfettoWriter::PerfettoWriter(const std::string& path, int nodes)
+    : _f(path), _nodes(nodes)
+{
+    if (!_f) {
+        tt_warn("cannot open trace file ", path);
+        return;
+    }
+    _f << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+    emitMeta(-1, "ttsim");
+    for (int n = 0; n < nodes; ++n)
+        emitMeta(n, "node " + std::to_string(n));
+    emitMeta(nodes + 0, "vnet request");
+    emitMeta(nodes + 1, "vnet response");
+}
+
+void
+PerfettoWriter::emitMeta(int tid, const std::string& name)
+{
+    const bool process = tid < 0;
+    _f << (_firstEvent ? "\n" : ",\n");
+    _firstEvent = false;
+    _f << "{\"ph\": \"M\", \"pid\": 0, \"tid\": " << (process ? 0 : tid)
+       << ", \"name\": \""
+       << (process ? "process_name" : "thread_name")
+       << "\", \"args\": {\"name\": \"" << name << "\"}}";
+    if (!process) {
+        // Sort node tracks before vnet tracks, in id order.
+        _f << ",\n{\"ph\": \"M\", \"pid\": 0, \"tid\": " << tid
+           << ", \"name\": \"thread_sort_index\", \"args\": "
+              "{\"sort_index\": "
+           << tid << "}}";
+    }
+}
+
+std::ofstream&
+PerfettoWriter::begin(const char* ph, Tick ts, int tid, const char* cat,
+                      const std::string& name)
+{
+    _f << (_firstEvent ? "\n" : ",\n");
+    _firstEvent = false;
+    _f << "{\"ph\": \"" << ph << "\", \"pid\": 0, \"tid\": " << tid
+       << ", \"ts\": " << ts << ", \"cat\": \"" << cat
+       << "\", \"name\": \"" << name << "\"";
+    return _f;
+}
+
+void
+PerfettoWriter::instant(Tick ts, int tid, const char* cat,
+                        const std::string& name)
+{
+    begin("i", ts, tid, cat, name) << ", \"s\": \"t\"}";
+}
+
+void
+PerfettoWriter::write(const TraceRecord& r, const FlightRecorder& rec)
+{
+    if (!_f || _closed)
+        return;
+    switch (r.kind) {
+      case RecKind::MsgSend: {
+        // One slice per message on its virtual-network track,
+        // spanning depart..arrive.
+        const Tick dur = r.t2 > r.tick ? r.t2 - r.tick : 1;
+        begin("X", r.tick, _nodes + r.sub, "msg",
+              rec.handlerName(static_cast<HandlerId>(r.addr)))
+            << ", \"dur\": " << dur << ", \"args\": {\"msg\": " << r.id
+            << ", \"src\": " << r.node << ", \"dst\": " << r.arg
+            << "}}";
+        break;
+      }
+      case RecKind::MsgDeliver:
+        begin("i", r.tick, r.node, "deliver",
+              rec.handlerName(static_cast<HandlerId>(r.addr)))
+            << ", \"s\": \"t\", \"args\": {\"msg\": " << r.id << "}}";
+        break;
+      case RecKind::HandlerDone: {
+        const Tick dur = r.t2 > 0 ? r.t2 : 1;
+        const char* cat = "handler";
+        std::string name;
+        switch (static_cast<ActKind>(r.sub)) {
+          case ActKind::Msg:
+            name = rec.handlerName(static_cast<HandlerId>(r.addr));
+            break;
+          case ActKind::Baf:
+            cat = "fault";
+            name = "baf_handler";
+            break;
+          case ActKind::Page:
+            cat = "fault";
+            name = "page_fault";
+            break;
+        }
+        begin("X", r.tick, r.node, cat, name)
+            << ", \"dur\": " << dur << ", \"args\": {\"msg\": " << r.id
+            << "}}";
+        break;
+      }
+      case RecKind::BlockFault:
+        begin("i", r.tick, r.node, "fault",
+              r.sub ? "fault.write" : "fault.read")
+            << ", \"s\": \"t\", \"args\": {\"va\": " << r.addr
+            << ", \"tag\": \"" << tagName(static_cast<std::uint8_t>(r.arg))
+            << "\"}}";
+        break;
+      case RecKind::MissStart:
+        begin("i", r.tick, r.node, "miss",
+              r.sub ? "miss.begin.write" : "miss.begin.read")
+            << ", \"s\": \"t\", \"args\": {\"blk\": " << r.addr << "}}";
+        break;
+      case RecKind::MissEnd:
+        begin("i", r.tick, r.node, "miss",
+              r.sub ? "miss.end.write" : "miss.end.read")
+            << ", \"s\": \"t\", \"args\": {\"va\": " << r.addr << "}}";
+        break;
+      case RecKind::Resume:
+        instant(r.tick, r.node, "cpu", "resume");
+        break;
+      case RecKind::TagChange:
+        begin("i", r.tick, r.node, "tag",
+              std::string("tag.") + tagName(r.sub))
+            << ", \"s\": \"t\", \"args\": {\"blk\": " << r.addr << "}}";
+        break;
+      case RecKind::PageMap:
+        begin("i", r.tick, r.node, "page", "page.map")
+            << ", \"s\": \"t\", \"args\": {\"va\": " << r.addr
+            << ", \"mode\": " << r.arg << "}}";
+        break;
+      case RecKind::PageUnmap:
+        begin("i", r.tick, r.node, "page", "page.unmap")
+            << ", \"s\": \"t\", \"args\": {\"va\": " << r.addr << "}}";
+        break;
+      case RecKind::BulkPacket:
+        begin("X", r.tick, r.node, "bulk", "bulk_packet")
+            << ", \"dur\": " << (r.t2 > 0 ? r.t2 : 1)
+            << ", \"args\": {\"bytes\": " << r.arg << "}}";
+        break;
+    }
+}
+
+void
+PerfettoWriter::counter(Tick ts, const std::string& name,
+                        std::uint64_t value)
+{
+    if (!_f || _closed)
+        return;
+    begin("C", ts, 0, "stat", name)
+        << ", \"args\": {\"value\": " << value << "}}";
+}
+
+void
+PerfettoWriter::close()
+{
+    if (!_f || _closed)
+        return;
+    _f << "\n]}\n";
+    _f.close();
+    _closed = true;
+}
+
+} // namespace tt

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Streaming Chrome-trace-event exporter (the "JSON trace format"
+ * Perfetto ingests; open the output at https://ui.perfetto.dev).
+ *
+ * Layout: everything lives in one process (pid 0); each node gets a
+ * named thread track (tid = node id) carrying handler slices and
+ * fault/tag/page instants, and each virtual network gets a track
+ * (tid = nodes + vnet) carrying one slice per in-flight message.
+ * Sim ticks map 1:1 onto trace microseconds.
+ *
+ * Events are written through as they are recorded — memory use is
+ * O(1) in trace length — and the byte stream is a pure function of
+ * the record stream, which tests/obs relies on for byte-identical
+ * reruns.
+ */
+
+#ifndef TT_OBS_PERFETTO_HH
+#define TT_OBS_PERFETTO_HH
+
+#include <fstream>
+#include <string>
+
+#include "obs/record.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class FlightRecorder;
+
+class PerfettoWriter
+{
+  public:
+    /** Opens @p path and emits the trace header + track metadata. */
+    PerfettoWriter(const std::string& path, int nodes);
+
+    ~PerfettoWriter() { close(); }
+
+    bool ok() const { return static_cast<bool>(_f); }
+
+    /** Emit the trace event(s) for one record. */
+    void write(const TraceRecord& r, const FlightRecorder& rec);
+
+    /** Emit a counter sample ("ph":"C") at @p ts. */
+    void counter(Tick ts, const std::string& name, std::uint64_t value);
+
+    /** Terminate the JSON document. Idempotent. */
+    void close();
+
+  private:
+    void emitMeta(int tid, const std::string& name);
+    void instant(Tick ts, int tid, const char* cat,
+                 const std::string& name);
+    /** Open an event object; caller appends ",..." args and calls end. */
+    std::ofstream& begin(const char* ph, Tick ts, int tid,
+                         const char* cat, const std::string& name);
+
+    std::ofstream _f;
+    int _nodes;
+    bool _closed = false;
+    bool _firstEvent = true;
+};
+
+} // namespace tt
+
+#endif // TT_OBS_PERFETTO_HH

@@ -1,0 +1,175 @@
+#include "obs/profiler.hh"
+
+namespace tt
+{
+
+namespace
+{
+
+constexpr double kMissWidth = 16.0; ///< ticks per bucket
+constexpr std::size_t kMissBuckets = 64;
+
+} // namespace
+
+LatencyProfiler::LatencyProfiler(StatSet& stats, int nodes)
+    : _miss(static_cast<std::size_t>(nodes)),
+      _actOwner(static_cast<std::size_t>(nodes), kNoNode),
+      _read{stats.histogram("obs.miss.read.total", kMissWidth,
+                            kMissBuckets),
+            stats.histogram("obs.miss.read.request", kMissWidth,
+                            kMissBuckets),
+            stats.histogram("obs.miss.read.network", kMissWidth,
+                            kMissBuckets),
+            stats.histogram("obs.miss.read.dir_occupancy", kMissWidth,
+                            kMissBuckets),
+            stats.histogram("obs.miss.read.handler", kMissWidth,
+                            kMissBuckets)},
+      _write{stats.histogram("obs.miss.write.total", kMissWidth,
+                             kMissBuckets),
+             stats.histogram("obs.miss.write.request", kMissWidth,
+                             kMissBuckets),
+             stats.histogram("obs.miss.write.network", kMissWidth,
+                             kMissBuckets),
+             stats.histogram("obs.miss.write.dir_occupancy", kMissWidth,
+                             kMissBuckets),
+             stats.histogram("obs.miss.write.handler", kMissWidth,
+                             kMissBuckets)},
+      _reqLat(stats.average("obs.msg.request.latency")),
+      _respLat(stats.average("obs.msg.response.latency")),
+      _chained(stats.counter("obs.msg.chained")),
+      _unchained(stats.counter("obs.msg.unchained"))
+{
+}
+
+void
+LatencyProfiler::openMiss(NodeId n, Tick when, bool write)
+{
+    Miss& m = _miss[static_cast<std::size_t>(n)];
+    if (m.open)
+        return; // CPU re-faulted on the same suspended access
+    m = Miss{};
+    m.start = when;
+    m.write = write;
+    m.open = true;
+}
+
+void
+LatencyProfiler::closeMiss(NodeId n, Tick when)
+{
+    Miss& m = _miss[static_cast<std::size_t>(n)];
+    if (!m.open)
+        return;
+    MissStats& s = m.write ? _write : _read;
+    const Tick total = when > m.start ? when - m.start : 0;
+    s.total.sample(static_cast<double>(total));
+    s.request.sample(
+        static_cast<double>(m.sent && m.firstSend > m.start
+                                ? m.firstSend - m.start
+                                : 0));
+    s.network.sample(static_cast<double>(m.net));
+    s.dir.sample(static_cast<double>(m.dirOcc));
+    s.handler.sample(static_cast<double>(m.handler));
+    m.open = false;
+}
+
+void
+LatencyProfiler::fold(const TraceRecord& r)
+{
+    switch (r.kind) {
+      case RecKind::MsgSend: {
+        const NodeId src = r.node;
+        const Tick flight = r.t2 > r.tick ? r.t2 - r.tick : 0;
+        (r.sub == 0 ? _reqLat : _respLat)
+            .sample(static_cast<double>(flight));
+
+        // Chain the message: a send from inside a chained handler
+        // activation inherits its owner; otherwise a send by a node
+        // with an open miss is that miss's own request traffic.
+        NodeId owner = _actOwner[static_cast<std::size_t>(src)];
+        if (owner == kNoNode &&
+            _miss[static_cast<std::size_t>(src)].open) {
+            owner = src;
+        }
+        if (owner == kNoNode) {
+            _unchained.inc();
+            break;
+        }
+        _chained.inc();
+        _msgs[r.id] = MsgInfo{owner, r.t2};
+        Miss& m = _miss[static_cast<std::size_t>(owner)];
+        m.net += flight;
+        if (owner == src && !m.sent) {
+            m.sent = true;
+            m.firstSend = r.tick;
+        }
+        break;
+      }
+      case RecKind::MsgDeliver: {
+        auto it = _msgs.find(r.id);
+        if (it == _msgs.end()) {
+            _actOwner[static_cast<std::size_t>(r.node)] = kNoNode;
+            break;
+        }
+        const MsgInfo info = it->second;
+        _msgs.erase(it);
+        Miss& m = _miss[static_cast<std::size_t>(info.owner)];
+        if (!m.open) {
+            // Trailing traffic (e.g. late acks) after the miss closed.
+            _actOwner[static_cast<std::size_t>(r.node)] = kNoNode;
+            break;
+        }
+        const Tick wait = r.tick > info.arrive ? r.tick - info.arrive : 0;
+        (r.node == info.owner ? m.handler : m.dirOcc) += wait;
+        _actOwner[static_cast<std::size_t>(r.node)] = info.owner;
+        break;
+      }
+      case RecKind::HandlerDone: {
+        const auto node = static_cast<std::size_t>(r.node);
+        switch (static_cast<ActKind>(r.sub)) {
+          case ActKind::Msg: {
+            const NodeId owner = _actOwner[node];
+            _actOwner[node] = kNoNode;
+            if (owner == kNoNode)
+                break;
+            Miss& m = _miss[static_cast<std::size_t>(owner)];
+            if (m.open)
+                (r.node == owner ? m.handler : m.dirOcc) += r.t2;
+            break;
+          }
+          case ActKind::Baf:
+          case ActKind::Page:
+            // Fault handlers run on the faulting node's NP/CPU.
+            if (_miss[node].open)
+                _miss[node].handler += r.t2;
+            break;
+        }
+        break;
+      }
+      case RecKind::BlockFault:
+        openMiss(r.node, r.tick, r.sub != 0);
+        break;
+      case RecKind::MissStart:
+        openMiss(r.node, r.tick, r.sub != 0);
+        break;
+      case RecKind::MissEnd:
+        closeMiss(r.node, r.tick);
+        break;
+      case RecKind::Resume:
+      case RecKind::TagChange:
+      case RecKind::PageMap:
+      case RecKind::PageUnmap:
+      case RecKind::BulkPacket:
+        break;
+    }
+}
+
+std::uint64_t
+LatencyProfiler::openMisses() const
+{
+    std::uint64_t n = 0;
+    for (const Miss& m : _miss)
+        n += m.open ? 1 : 0;
+    return n;
+}
+
+} // namespace tt

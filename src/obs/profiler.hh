@@ -1,0 +1,105 @@
+/**
+ * @file
+ * LatencyProfiler — folds the flight-recorder stream into the paper's
+ * miss-cost accounting: remote read/write miss latency split into
+ * request, network, directory-occupancy, and handler components, per
+ * protocol action (DESIGN.md §9.3).
+ *
+ * The fold is online (no record retention) and exploits a structural
+ * property of the simulated machines: a CPU suspends on a miss, so
+ * each node has at most one miss open at a time. Protocol activity is
+ * chained back to the miss that caused it:
+ *
+ *  - a miss opens at BlockFault (Typhoon-family: the tag fault that
+ *    suspends the CPU) or MissStart (DirNNB: a pending-miss entry);
+ *  - a message sent by the missing node while its miss is open is
+ *    chained to that miss; the first such send closes the *request*
+ *    component (miss start .. first request departure);
+ *  - a handler activation whose triggering message is chained
+ *    inherits the chain, so messages it sends (forwards,
+ *    invalidations, data replies) chain transitively;
+ *  - per chained message, arrive - depart accrues to *network*, and
+ *    dispatch wait + handler occupancy accrue to *handler* at the
+ *    missing node or *directory occupancy* elsewhere;
+ *  - MissEnd closes the miss and samples the component histograms.
+ *
+ * Components are attributions, not a partition: overlapping protocol
+ * activity (e.g. both halves of an invalidation fan-out) can make the
+ * component sum exceed the end-to-end total, and idle wait between
+ * chained events is attributed to none.
+ */
+
+#ifndef TT_OBS_PROFILER_HH
+#define TT_OBS_PROFILER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/record.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class LatencyProfiler
+{
+  public:
+    LatencyProfiler(StatSet& stats, int nodes);
+
+    /** Fold one record into the running accounting. */
+    void fold(const TraceRecord& r);
+
+    /** Misses whose MissEnd never arrived (app ended mid-miss). */
+    std::uint64_t openMisses() const;
+
+  private:
+    struct Miss
+    {
+        Tick start = 0;
+        Tick firstSend = 0;
+        Tick net = 0;     ///< summed chained-message flight time
+        Tick dirOcc = 0;  ///< wait + occupancy at non-missing nodes
+        Tick handler = 0; ///< wait + occupancy at the missing node
+        bool open = false;
+        bool write = false;
+        bool sent = false; ///< firstSend is valid
+    };
+
+    /** A chained in-flight message. */
+    struct MsgInfo
+    {
+        NodeId owner = kNoNode; ///< the missing node
+        Tick arrive = 0;
+    };
+
+    void openMiss(NodeId n, Tick when, bool write);
+    void closeMiss(NodeId n, Tick when);
+
+    std::vector<Miss> _miss;        ///< per node: the open miss
+    std::vector<NodeId> _actOwner;  ///< per node: current activation's
+                                    ///< chain owner (kNoNode = none)
+    std::unordered_map<std::uint32_t, MsgInfo> _msgs;
+
+    // Component histograms, read/write × component (ticks, cached
+    // handles — fold() runs per record).
+    struct MissStats
+    {
+        Histogram& total;
+        Histogram& request;
+        Histogram& network;
+        Histogram& dir;
+        Histogram& handler;
+    };
+    MissStats _read;
+    MissStats _write;
+    Average& _reqLat;  ///< all request-vnet message latencies
+    Average& _respLat; ///< all response-vnet message latencies
+    Counter& _chained; ///< messages attributed to some miss
+    Counter& _unchained;
+};
+
+} // namespace tt
+
+#endif // TT_OBS_PROFILER_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The flight-recorder trace record: one fixed-size POD per observed
+ * event, stamped with sim-time. Records are produced by the
+ * instrumented subsystems (Network, TyphoonMemSystem, DirMemSystem)
+ * through FlightRecorder's inline record methods and consumed by the
+ * per-node crash rings, the Perfetto exporter, and the latency
+ * profiler (DESIGN.md §9).
+ *
+ * This header is deliberately dependency-light (sim/types.hh only) so
+ * that src/net can include the recorder without acquiring protocol
+ * dependencies.
+ */
+
+#ifndef TT_OBS_RECORD_HH
+#define TT_OBS_RECORD_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/** What a TraceRecord describes. */
+enum class RecKind : std::uint8_t
+{
+    MsgSend,     ///< message departed the source (Network::send)
+    MsgDeliver,  ///< a protocol handler began executing the message
+    HandlerDone, ///< a handler activation finished (msg/BAF/page fault)
+    BlockFault,  ///< a tag-checked access faulted and suspended the CPU
+    MissStart,   ///< a hardware-protocol remote/conflict miss opened
+    MissEnd,     ///< the suspended access finally completed
+    Resume,      ///< the NP restarted the suspended thread
+    TagChange,   ///< a block's Tempest access tag changed
+    PageMap,     ///< a page was mapped into a node's page table
+    PageUnmap,   ///< a page was unmapped
+    BulkPacket,  ///< the bulk-transfer engine injected a packet
+};
+
+/** Sub-kind for HandlerDone records (what kind of activation ran). */
+enum class ActKind : std::uint8_t
+{
+    Msg = 0,  ///< active-message handler (id = handler id)
+    Baf = 1,  ///< block-access-fault handler (id = fault mode)
+    Page = 2, ///< page-fault handler on the CPU
+};
+
+/**
+ * One trace record. Field use is kind-specific:
+ *
+ * | kind        | tick      | t2       | addr    | id      | arg   | node | sub    |
+ * |-------------|-----------|----------|---------|---------|-------|------|--------|
+ * | MsgSend     | depart    | arrive   | handler | msg id  | dst   | src  | vnet   |
+ * | MsgDeliver  | dispatch  | --       | handler | msg id  | --    | self | vnet   |
+ * | HandlerDone | start     | charged  | handler | msg id  | --    | self | ActKind|
+ * | BlockFault  | post tick | --       | va      | --      | tag   | self | MemOp  |
+ * | MissStart   | issue     | --       | blk     | --      | --    | self | MemOp  |
+ * | MissEnd     | complete  | --       | va      | --      | --    | self | MemOp  |
+ * | Resume      | tick      | --       | --      | --      | --    | self | --     |
+ * | TagChange   | tick      | --       | blk     | --      | --    | self | tag    |
+ * | PageMap     | tick      | --       | pageVa  | --      | mode  | self | --     |
+ * | PageUnmap   | tick      | --       | pageVa  | --      | --    | self | --     |
+ * | BulkPacket  | tick      | cost     | --      | --      | bytes | self | --     |
+ *
+ * `id` is the causal message id: Network::send stamps a fresh id onto
+ * every message when tracing is on, and the MsgDeliver / HandlerDone
+ * records at the destination carry the same id, linking the pair
+ * across the trace.
+ */
+struct TraceRecord
+{
+    Tick tick = 0;
+    Tick t2 = 0;
+    std::uint64_t addr = 0;
+    std::uint32_t id = 0;  ///< causal message id (0 = none)
+    std::uint32_t arg = 0; ///< kind-specific small argument
+    NodeId node = kNoNode;
+    RecKind kind = RecKind::MsgSend;
+    std::uint8_t sub = 0;
+};
+
+} // namespace tt
+
+#endif // TT_OBS_RECORD_HH

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * FlightRecorder — the opt-in, zero-cost-when-off tracing and
+ * profiling front end (DESIGN.md §9).
+ *
+ * Every instrumented subsystem (Network, TyphoonMemSystem,
+ * DirMemSystem) holds a `FlightRecorder* _obs = nullptr` and guards
+ * each notification with `if (_obs)` — the same null-pointer pattern
+ * as the coherence sanitizer's CheckHooks (src/check/hooks.hh), so a
+ * detached recorder costs one never-taken branch per hook site and
+ * the trace-off hot path stays bit-identical (bench_simcore holds the
+ * regression; see BENCH_simcore.json "trace_overhead").
+ *
+ * An attached recorder does three things per record:
+ *  - appends it to a per-node fixed-capacity ring (the crash flight
+ *    recorder: the tail is dumped into tt_assert panic reports and
+ *    into ProtocolChecker failure reports);
+ *  - streams it to the Perfetto/Chrome-trace exporter when a trace
+ *    file is open (`ttsim --trace=FILE`), including periodic stat
+ *    snapshots from the interval sampler;
+ *  - folds it into the latency profiler, which accounts remote-miss
+ *    cost into request / network / directory-occupancy / handler
+ *    components per protocol action (`obs.miss.*` statistics).
+ */
+
+#ifndef TT_OBS_RECORDER_HH
+#define TT_OBS_RECORDER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/message.hh"
+#include "obs/record.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class LatencyProfiler;
+class PerfettoWriter;
+class StatSet;
+
+class FlightRecorder
+{
+  public:
+    /**
+     * @param nodes   node count of the machine being observed.
+     * @param ringCap per-node crash-ring capacity (records kept for
+     *                the failure-report tail).
+     */
+    explicit FlightRecorder(int nodes, std::size_t ringCap = 256);
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    // --- configuration (call before the run) --------------------------
+
+    /**
+     * Stream the trace to @p path as Chrome-trace-event JSON (open it
+     * at https://ui.perfetto.dev). One track per node plus one per
+     * virtual network. Records are written through as they happen, so
+     * trace size is bounded by the file, not by memory.
+     */
+    void openTrace(const std::string& path);
+
+    /** Fold records into per-action miss-latency histograms. */
+    void enableProfiler(StatSet& stats);
+
+    /**
+     * Emit a snapshot of every counter in @p stats into the trace as
+     * Perfetto counter tracks whenever sim-time crosses a multiple of
+     * @p period ticks. No-op unless a trace file is open.
+     */
+    void enableSampler(StatSet& stats, Tick period);
+
+    /**
+     * Dump the ring tails to stderr from inside tt_panic, so an
+     * assertion failure comes with the causal event history. One
+     * recorder per process is the crash recorder (latest install
+     * wins); the hook is released by the destructor.
+     */
+    void installCrashDump();
+
+    /**
+     * Associate a human-readable name with an active-message handler
+     * id (shown in Perfetto slices and ring dumps). @p name must be a
+     * string literal or otherwise outlive the recorder.
+     */
+    void nameHandler(HandlerId id, const char* name);
+    const char* handlerName(HandlerId id) const;
+
+    // --- hot-path record methods (inline; callers hold `if (_obs)`) ---
+
+    /** Stamp a fresh causal id onto @p m and record its departure. */
+    void
+    msgSend(Message& m, Tick depart, Tick arrive)
+    {
+        m.obsId = ++_lastMsgId;
+        TraceRecord r;
+        r.kind = RecKind::MsgSend;
+        r.tick = depart;
+        r.t2 = arrive;
+        r.addr = m.handler;
+        r.id = m.obsId;
+        r.arg = static_cast<std::uint32_t>(m.dst);
+        r.node = m.src;
+        r.sub = static_cast<std::uint8_t>(m.vnet);
+        record(r);
+    }
+
+    /** A handler begins executing @p m at @p node. */
+    void
+    msgDeliver(NodeId node, const Message& m, Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::MsgDeliver;
+        r.tick = when;
+        r.addr = m.handler;
+        r.id = m.obsId;
+        r.node = node;
+        r.sub = static_cast<std::uint8_t>(m.vnet);
+        record(r);
+    }
+
+    /** A handler activation finished; @p charged is its occupancy. */
+    void
+    handlerDone(NodeId node, ActKind act, std::uint64_t handler,
+                std::uint32_t msgId, Tick start, Tick charged)
+    {
+        TraceRecord r;
+        r.kind = RecKind::HandlerDone;
+        r.tick = start;
+        r.t2 = charged;
+        r.addr = handler;
+        r.id = msgId;
+        r.node = node;
+        r.sub = static_cast<std::uint8_t>(act);
+        record(r);
+    }
+
+    /** A tag-checked access faulted (Typhoon BAF post). */
+    void
+    blockFault(NodeId node, Addr va, bool isWrite, std::uint8_t tag,
+               Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::BlockFault;
+        r.tick = when;
+        r.addr = va;
+        r.arg = tag;
+        r.node = node;
+        r.sub = isWrite ? 1 : 0;
+        record(r);
+    }
+
+    /** A hardware-protocol miss opened (DirNNB remote/conflict path). */
+    void
+    missStart(NodeId node, Addr blk, bool isWrite, Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::MissStart;
+        r.tick = when;
+        r.addr = blk;
+        r.node = node;
+        r.sub = isWrite ? 1 : 0;
+        record(r);
+    }
+
+    /** The suspended access completed. */
+    void
+    missEnd(NodeId node, Addr va, bool isWrite, Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::MissEnd;
+        r.tick = when;
+        r.addr = va;
+        r.node = node;
+        r.sub = isWrite ? 1 : 0;
+        record(r);
+    }
+
+    void
+    resume(NodeId node, Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::Resume;
+        r.tick = when;
+        r.node = node;
+        record(r);
+    }
+
+    void
+    tagChange(NodeId node, Addr blk, std::uint8_t tag, Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::TagChange;
+        r.tick = when;
+        r.addr = blk;
+        r.node = node;
+        r.sub = tag;
+        record(r);
+    }
+
+    void
+    pageMap(NodeId node, Addr pageVa, std::uint8_t mode, Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::PageMap;
+        r.tick = when;
+        r.addr = pageVa;
+        r.arg = mode;
+        r.node = node;
+        record(r);
+    }
+
+    void
+    pageUnmap(NodeId node, Addr pageVa, Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::PageUnmap;
+        r.tick = when;
+        r.addr = pageVa;
+        r.node = node;
+        record(r);
+    }
+
+    void
+    bulkPacket(NodeId node, std::uint32_t bytes, Tick when, Tick cost)
+    {
+        TraceRecord r;
+        r.kind = RecKind::BulkPacket;
+        r.tick = when;
+        r.t2 = cost;
+        r.arg = bytes;
+        r.node = node;
+        record(r);
+    }
+
+    // --- end of run / failure reporting -------------------------------
+
+    /**
+     * Close the trace file and write the profiler's aggregate
+     * counters. Idempotent; call after Machine::run().
+     */
+    void finalize();
+
+    /**
+     * Deterministic human-readable dump of the last (up to)
+     * @p perNode retained records of every node — the crash flight
+     * recorder's contribution to a minimized failure report.
+     */
+    void dumpTail(std::ostream& os, std::size_t perNode = 16) const;
+
+    // --- introspection (tests) ----------------------------------------
+
+    int nodes() const { return static_cast<int>(_rings.size()); }
+    std::uint64_t recordCount() const { return _recorded; }
+    std::uint32_t lastMsgId() const { return _lastMsgId; }
+    LatencyProfiler* profiler() { return _profiler.get(); }
+
+    /** Oldest-first copy of node @p n's retained ring records. */
+    std::vector<TraceRecord> ringOf(NodeId n) const;
+
+  private:
+    struct Ring
+    {
+        std::vector<TraceRecord> buf; ///< capacity-sized, circular
+        std::size_t next = 0;         ///< next write position
+        std::uint64_t total = 0;      ///< records ever written
+    };
+
+    void
+    record(const TraceRecord& r)
+    {
+        ++_recorded;
+        Ring& ring = _rings[static_cast<std::size_t>(
+            r.node >= 0 && r.node < nodes() ? r.node : 0)];
+        ring.buf[ring.next] = r;
+        ring.next = (ring.next + 1) % ring.buf.size();
+        ++ring.total;
+        if (_haveConsumers)
+            consume(r); // out of line: exporter / profiler / sampler
+    }
+
+    void consume(const TraceRecord& r);
+    void sampleCounters(Tick boundary);
+    void formatRecord(std::ostream& os, const TraceRecord& r) const;
+
+    std::vector<Ring> _rings;
+    std::uint32_t _lastMsgId = 0;
+    std::uint64_t _recorded = 0;
+    bool _haveConsumers = false;
+    bool _finalized = false;
+    bool _crashHooked = false;
+
+    std::unique_ptr<PerfettoWriter> _writer;
+    std::unique_ptr<LatencyProfiler> _profiler;
+
+    StatSet* _sampleStats = nullptr;
+    Tick _samplePeriod = 0;
+    Tick _nextSample = 0;
+
+    std::map<HandlerId, const char*> _handlerNames;
+    /// lazily formatted "handler_<id>" names for unregistered ids
+    mutable std::map<HandlerId, std::string> _fallbackNames;
+};
+
+} // namespace tt
+
+#endif // TT_OBS_RECORDER_HH

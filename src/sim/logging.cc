@@ -11,6 +11,8 @@ namespace log_detail
 namespace
 {
 int g_verbosity = 1;
+tt::PanicHook g_panicHook = nullptr;
+bool g_inPanicHook = false;
 } // namespace
 
 int
@@ -30,6 +32,12 @@ panicImpl(const char* file, int line, const std::string& msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::fflush(stderr);
+    if (g_panicHook && !g_inPanicHook) {
+        g_inPanicHook = true;
+        g_panicHook();
+        g_inPanicHook = false;
+        std::fflush(stderr);
+    }
     // Throwing (rather than abort()) lets unit tests assert on panics;
     // uncaught, it still terminates the process with a core-style trace.
     throw std::logic_error("tt panic: " + msg);
@@ -58,4 +66,13 @@ informImpl(const std::string& msg)
 }
 
 } // namespace log_detail
+
+PanicHook
+setPanicHook(PanicHook hook)
+{
+    PanicHook prev = log_detail::g_panicHook;
+    log_detail::g_panicHook = hook;
+    return prev;
+}
+
 } // namespace tt

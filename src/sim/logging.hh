@@ -48,6 +48,15 @@ setLogVerbosity(int level)
     log_detail::setVerbosity(level);
 }
 
+/**
+ * Hook invoked (once, recursion-guarded) by tt_panic after printing
+ * the panic message and before throwing — the crash flight recorder
+ * uses it to dump its ring tails into the failure report. Pass
+ * nullptr to clear. Returns the previous hook.
+ */
+using PanicHook = void (*)();
+PanicHook setPanicHook(PanicHook hook);
+
 } // namespace tt
 
 /**

@@ -9,6 +9,7 @@
 #ifndef TT_SIM_STATS_HH
 #define TT_SIM_STATS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -33,7 +34,7 @@ class Counter
     std::uint64_t _value = 0;
 };
 
-/** Running sample mean/min/max over observed values. */
+/** Running sample mean/min/max/variance over observed values. */
 class Average
 {
   public:
@@ -46,6 +47,11 @@ class Average
             _min = v;
         if (v > _max || _count == 1)
             _max = v;
+        // Welford update for the second moment. mean() stays _sum/_count
+        // so pre-existing consumers see bit-identical values.
+        const double d1 = v - _wmean;
+        _wmean += d1 / _count;
+        _m2 += d1 * (v - _wmean);
     }
 
     double mean() const { return _count ? _sum / _count : 0.0; }
@@ -54,6 +60,15 @@ class Average
     double min() const { return _min; }
     double max() const { return _max; }
 
+    /** Unbiased (n-1) sample variance; 0 with fewer than two samples. */
+    double
+    variance() const
+    {
+        return _count > 1 ? _m2 / static_cast<double>(_count - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
     void
     reset()
     {
@@ -61,6 +76,8 @@ class Average
         _count = 0;
         _min = 0;
         _max = 0;
+        _wmean = 0;
+        _m2 = 0;
     }
 
   private:
@@ -68,9 +85,22 @@ class Average
     std::uint64_t _count = 0;
     double _min = 0;
     double _max = 0;
+    double _wmean = 0;
+    double _m2 = 0;
 };
 
-/** Fixed-width linear histogram with overflow bucket. */
+/**
+ * Fixed-width linear histogram with underflow and overflow buckets.
+ *
+ * Bucket i counts samples in the half-open interval
+ * [i*width, (i+1)*width): a value exactly on a boundary always lands
+ * in the bucket *starting* at that boundary. Negative samples go to
+ * the underflow count, samples at or above buckets*width go to the
+ * overflow count; both still contribute to summary(). Boundary
+ * comparisons are made against i*width computed in double, so the
+ * placement is deterministic even when v/width rounds across a bucket
+ * edge (e.g. 0.3/0.1 == 2.999...96).
+ */
 class Histogram
 {
   public:
@@ -85,7 +115,17 @@ class Histogram
     sample(double v)
     {
         _avg.sample(v);
+        if (v < 0) {
+            ++_underflow;
+            return;
+        }
         auto idx = static_cast<std::size_t>(v / _width);
+        // Correct FP rounding in the division against the actual
+        // bucket boundaries so [i*w, (i+1)*w) holds exactly.
+        if (idx > 0 && v < static_cast<double>(idx) * _width)
+            --idx;
+        else if (v >= static_cast<double>(idx + 1) * _width)
+            ++idx;
         if (idx >= _buckets.size())
             ++_overflow;
         else
@@ -94,6 +134,9 @@ class Histogram
 
     const std::vector<std::uint64_t>& buckets() const { return _buckets; }
     std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t underflow() const { return _underflow; }
+    double width() const { return _width; }
+    std::size_t bucketCount() const { return _buckets.size(); }
     const Average& summary() const { return _avg; }
 
     void
@@ -102,6 +145,7 @@ class Histogram
         for (auto& b : _buckets)
             b = 0;
         _overflow = 0;
+        _underflow = 0;
         _avg.reset();
     }
 
@@ -109,6 +153,7 @@ class Histogram
     double _width;
     std::vector<std::uint64_t> _buckets;
     std::uint64_t _overflow = 0;
+    std::uint64_t _underflow = 0;
     Average _avg;
 };
 
@@ -152,6 +197,28 @@ class StatSet
 
     /** Dump everything, sorted by name, one stat per line. */
     void dump(std::ostream& os) const;
+
+    /**
+     * Dump everything as JSON with stable key order (the underlying
+     * maps are name-sorted): counters as integers, averages with
+     * mean/count/min/max/variance/stddev, histograms with width,
+     * bucket array, and underflow/overflow counts.
+     */
+    void writeJson(std::ostream& os) const;
+    bool writeJsonFile(const std::string& path) const;
+
+    const std::map<std::string, Counter>& counters() const
+    {
+        return _counters;
+    }
+    const std::map<std::string, Average>& averages() const
+    {
+        return _averages;
+    }
+    const std::map<std::string, Histogram>& histograms() const
+    {
+        return _histograms;
+    }
 
     void reset();
 

@@ -125,6 +125,23 @@ Stache::blocksPerPage() const
     return _cp.pageSize / _cp.blockSize;
 }
 
+void
+Stache::describeHandlers(FlightRecorder& rec) const
+{
+    rec.nameHandler(kGetRO, "stache.get_ro");
+    rec.nameHandler(kGetRW, "stache.get_rw");
+    rec.nameHandler(kDataRO, "stache.data_ro");
+    rec.nameHandler(kDataRW, "stache.data_rw");
+    rec.nameHandler(kInval, "stache.inval");
+    rec.nameHandler(kInvAck, "stache.inv_ack");
+    rec.nameHandler(kRecallRW, "stache.recall_rw");
+    rec.nameHandler(kDowngrade, "stache.downgrade");
+    rec.nameHandler(kPutData, "stache.put_data");
+    rec.nameHandler(kPutNack, "stache.put_nack");
+    rec.nameHandler(kWriteback, "stache.writeback");
+    rec.nameHandler(kPrefetch, "stache.prefetch");
+}
+
 Addr
 Stache::shmalloc(std::size_t bytes, NodeId home)
 {

@@ -66,6 +66,7 @@ class Stache : public ShmProtocol
     void peek(Addr va, void* buf, std::size_t len) override;
     void poke(Addr va, const void* buf, std::size_t len) override;
     std::string protocolName() const override { return "Stache"; }
+    void describeHandlers(FlightRecorder& rec) const override;
 
     // --- introspection -----------------------------------------------------
     struct BlockView

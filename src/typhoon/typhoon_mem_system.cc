@@ -354,6 +354,9 @@ TyphoonMemSystem::deliverPageFault(NodeId id, MemRequest* req,
         NpCtx ctx(*this, id, start2);
         n.pageFaultHandler(ctx, req->vaddr, req->op);
         traceEvent(id, TraceEvent::Kind::PageFault, 0, ctx.charged());
+        if (_obs)
+            _obs->handlerDone(id, ActKind::Page, 0, 0, start2,
+                              ctx.charged());
         if (_checker)
             _checker->onEventEnd();
         // The handler ran on the CPU; retry the access afterwards.
@@ -369,6 +372,10 @@ TyphoonMemSystem::postBaf(NodeId id, const BlockFault& f, Tick when)
         Node& n = _nodes[id];
         tt_assert(!n.baf, "BAF buffer overflow at node ", id);
         n.baf = Baf{f, _m.eq().now()};
+        if (_obs)
+            _obs->blockFault(id, f.va, f.op == MemOp::Write,
+                             static_cast<std::uint8_t>(f.tag),
+                             _m.eq().now());
         npPump(id, _m.eq().now());
     });
 }
@@ -388,6 +395,9 @@ TyphoonMemSystem::retryAccess(NodeId id, Tick when)
             if (_checker)
                 _checker->onAccess(id, req->vaddr, req->size,
                                    req->op == MemOp::Write, req->buf);
+            if (_obs)
+                _obs->missEnd(id, req->vaddr,
+                              req->op == MemOp::Write, now + pr.cost);
             _m.eq().schedule(now + pr.cost, [req] {
                 req->cpu->completeAccess(*req);
             });
@@ -490,9 +500,14 @@ TyphoonMemSystem::npPump(NodeId id, Tick when)
         _cNpMsgHandled.inc();
         if (_checker)
             _checker->onMsgDeliver(msg);
+        if (_obs)
+            _obs->msgDeliver(id, msg, when);
         it->second(ctx, msg);
         traceEvent(id, TraceEvent::Kind::MsgHandler, msg.handler,
                    ctx.charged());
+        if (_obs)
+            _obs->handlerDone(id, ActKind::Msg, msg.handler, msg.obsId,
+                              when, ctx.charged());
     } else {
         const auto key = faultKey(baf->fault.mode, baf->fault.op);
         tt_assert(key < n.faultHandlers.size() && n.faultHandlers[key],
@@ -504,6 +519,9 @@ TyphoonMemSystem::npPump(NodeId id, Tick when)
         n.faultHandlers[key](ctx, baf->fault);
         traceEvent(id, TraceEvent::Kind::FaultHandler,
                    baf->fault.mode, ctx.charged());
+        if (_obs)
+            _obs->handlerDone(id, ActKind::Baf, baf->fault.mode, 0,
+                              when, ctx.charged());
     }
 
     if (_checker)
@@ -552,6 +570,8 @@ TyphoonMemSystem::npRunBulkStep(NodeId id, Tick start)
     _cNpBulkPackets.inc();
     traceEvent(id, TraceEvent::Kind::BulkPacket, chunk,
                _p.bulkPacketCost);
+    if (_obs)
+        _obs->bulkPacket(id, chunk, start, _p.bulkPacketCost);
 
     b.srcVa += chunk;
     b.dstVa += chunk;
@@ -649,6 +669,11 @@ NpCtx::setRW(Addr va)
         _ms._checker->onTagChange(_node,
                                   blockAlign(va, _ms._cp.blockSize),
                                   AccessTag::ReadWrite);
+    if (_ms._obs)
+        _ms._obs->tagChange(
+            _node, blockAlign(va, _ms._cp.blockSize),
+            static_cast<std::uint8_t>(AccessTag::ReadWrite),
+            _start + _t);
 }
 
 void
@@ -663,6 +688,11 @@ NpCtx::setRO(Addr va)
         _ms._checker->onTagChange(_node,
                                   blockAlign(va, _ms._cp.blockSize),
                                   AccessTag::ReadOnly);
+    if (_ms._obs)
+        _ms._obs->tagChange(
+            _node, blockAlign(va, _ms._cp.blockSize),
+            static_cast<std::uint8_t>(AccessTag::ReadOnly),
+            _start + _t);
 }
 
 void
@@ -676,6 +706,10 @@ NpCtx::setBusy(Addr va)
         _ms._checker->onTagChange(_node,
                                   blockAlign(va, _ms._cp.blockSize),
                                   AccessTag::Busy);
+    if (_ms._obs)
+        _ms._obs->tagChange(_node, blockAlign(va, _ms._cp.blockSize),
+                            static_cast<std::uint8_t>(AccessTag::Busy),
+                            _start + _t);
 }
 
 void
@@ -691,6 +725,10 @@ NpCtx::invalidate(Addr va)
         _ms._checker->onTagChange(_node,
                                   blockAlign(va, _ms._cp.blockSize),
                                   AccessTag::Invalid);
+    if (_ms._obs)
+        _ms._obs->tagChange(
+            _node, blockAlign(va, _ms._cp.blockSize),
+            static_cast<std::uint8_t>(AccessTag::Invalid), _start + _t);
 }
 
 void
@@ -745,6 +783,8 @@ NpCtx::resume()
     _ms._cNpResumes.inc();
     _ms.traceEvent(_node, TyphoonMemSystem::TraceEvent::Kind::Resume,
                    0, _t);
+    if (_ms._obs)
+        _ms._obs->resume(_node, _start + _t);
     _ms.retryAccess(_node, _start + _t);
 }
 
@@ -822,6 +862,9 @@ NpCtx::mapPage(Addr va, PAddr pa, std::uint8_t mode)
     if (_ms._checker)
         _ms._checker->onPageMap(_node,
                                 alignDown(va, _ms._cp.pageSize), mode);
+    if (_ms._obs)
+        _ms._obs->pageMap(_node, alignDown(va, _ms._cp.pageSize), mode,
+                          _start + _t);
 }
 
 void
@@ -844,6 +887,8 @@ NpCtx::unmapPage(Addr va)
     n.pt->unmap(va);
     if (_ms._checker)
         _ms._checker->onPageUnmap(_node, page);
+    if (_ms._obs)
+        _ms._obs->pageUnmap(_node, page, _start + _t);
 }
 
 void

@@ -58,6 +58,15 @@ class ShmProtocol
     virtual void peek(Addr va, void* buf, std::size_t len) = 0;
     virtual void poke(Addr va, const void* buf, std::size_t len) = 0;
     virtual std::string protocolName() const = 0;
+
+    /**
+     * Register this protocol's handler-id -> name table with a flight
+     * recorder (names show up in Perfetto slices and ring dumps).
+     */
+    virtual void describeHandlers(FlightRecorder& rec) const
+    {
+        (void)rec;
+    }
 };
 
 class TyphoonMemSystem : public MemorySystem
@@ -123,6 +132,15 @@ class TyphoonMemSystem : public MemorySystem
 
     /** Attach the coherence sanitizer (nullptr = disabled). */
     void setChecker(CheckHooks* c) { _checker = c; }
+
+    /** Attach the flight recorder (nullptr = disabled). */
+    void
+    setRecorder(FlightRecorder* r)
+    {
+        _obs = r;
+        if (r)
+            r->nameHandler(kBulkDataHandler, "bulk_data");
+    }
 
   private:
     friend class NpCtx;
@@ -225,6 +243,7 @@ class TyphoonMemSystem : public MemorySystem
     StatSet& _stats;
     ShmProtocol* _protocol = nullptr;
     CheckHooks* _checker = nullptr; ///< coherence sanitizer, opt-in
+    FlightRecorder* _obs = nullptr; ///< flight recorder, opt-in
     std::vector<Node> _nodes;
     std::vector<std::unique_ptr<Tempest>> _tempest;
     std::deque<TraceEvent> _trace;

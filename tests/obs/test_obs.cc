@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Flight-recorder tests (DESIGN.md §9): ring retention semantics,
+ * causal send/deliver id pairing, trace determinism (same seed and
+ * config => byte-identical Perfetto JSON on every target system),
+ * zero impact of tracing on simulated results, miss-latency profiler
+ * sanity, and the crash tail in failure reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "apps/workloads.hh"
+#include "config/builders.hh"
+#include "obs/profiler.hh"
+#include "tests/helpers.hh"
+
+namespace tt
+{
+namespace
+{
+
+using test::FnApp;
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream oss;
+    oss << f.rdbuf();
+    return oss.str();
+}
+
+/** A scratch file removed on scope exit. */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const std::string& p) : path(p) {}
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+MachineConfig
+smallConfig()
+{
+    MachineConfig cfg;
+    cfg.core.nodes = 8;
+    return cfg;
+}
+
+TargetMachine
+buildSystem(const std::string& system, const MachineConfig& cfg)
+{
+    if (system == "dirnnb")
+        return buildDirNNB(cfg);
+    if (system == "stache")
+        return buildTyphoonStache(cfg);
+    if (system == "migratory")
+        return buildTyphoonMigratory(cfg);
+    return buildTyphoonEm3dUpdate(cfg);
+}
+
+RunResult
+runEm3d(TargetMachine& t, const std::string& system)
+{
+    if (system == "update") {
+        Em3dApp app(em3dParams(DataSet::Tiny, 0.2, 8),
+                    Em3dApp::Mode::Update, t.em3d);
+        return t.run(app);
+    }
+    Em3dApp app(em3dParams(DataSet::Tiny, 0.2, 8));
+    return t.run(app);
+}
+
+// --- ring / recorder units --------------------------------------------
+
+TEST(ObsRecorder, RingKeepsNewestOldestFirst)
+{
+    FlightRecorder rec(1, 4);
+    for (Tick t = 1; t <= 10; ++t)
+        rec.resume(0, t);
+    EXPECT_EQ(rec.recordCount(), 10u);
+    const auto ring = rec.ringOf(0);
+    ASSERT_EQ(ring.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(ring[i].tick, Tick(7 + i));
+        EXPECT_EQ(ring[i].kind, RecKind::Resume);
+    }
+}
+
+TEST(ObsRecorder, RingIsPartialBeforeWrap)
+{
+    FlightRecorder rec(2, 8);
+    rec.resume(1, 5);
+    rec.resume(1, 6);
+    EXPECT_TRUE(rec.ringOf(0).empty());
+    const auto ring = rec.ringOf(1);
+    ASSERT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring[0].tick, 5u);
+    EXPECT_EQ(ring[1].tick, 6u);
+}
+
+TEST(ObsRecorder, MsgSendStampsMonotonicCausalIds)
+{
+    FlightRecorder rec(2, 8);
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    rec.msgSend(m, 10, 21);
+    EXPECT_EQ(m.obsId, 1u);
+    rec.msgSend(m, 12, 23);
+    EXPECT_EQ(m.obsId, 2u);
+    EXPECT_EQ(rec.lastMsgId(), 2u);
+}
+
+TEST(ObsRecorder, HandlerNamesAndFallback)
+{
+    FlightRecorder rec(1, 4);
+    rec.nameHandler(7, "proto.fetch");
+    EXPECT_STREQ(rec.handlerName(7), "proto.fetch");
+    EXPECT_STREQ(rec.handlerName(9), "handler_9");
+    // Fallback names are cached: repeated queries return the same
+    // stable storage.
+    EXPECT_EQ(rec.handlerName(9), rec.handlerName(9));
+}
+
+TEST(ObsRecorder, DumpTailIsDeterministicText)
+{
+    FlightRecorder rec(1, 8);
+    Message m;
+    m.src = 0;
+    m.dst = 0;
+    m.handler = 3;
+    rec.nameHandler(3, "x.y");
+    rec.msgSend(m, 100, 111);
+    rec.msgDeliver(0, m, 111);
+    rec.tagChange(0, 0x1000, 2, 115);
+    std::ostringstream a, b;
+    rec.dumpTail(a);
+    rec.dumpTail(b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("x.y"), std::string::npos);
+    EXPECT_NE(a.str().find("msg=1"), std::string::npos);
+    EXPECT_NE(a.str().find("node 0"), std::string::npos);
+}
+
+// --- whole-system properties ------------------------------------------
+
+TEST(ObsTrace, ByteIdenticalAcrossRunsAllSystems)
+{
+    for (const char* system :
+         {"dirnnb", "stache", "migratory", "update"}) {
+        std::string first;
+        for (int run = 0; run < 2; ++run) {
+            TempFile tf(std::string("obs_det_") + system + ".json");
+            MachineConfig cfg = smallConfig();
+            cfg.obs.enable = true;
+            cfg.obs.traceFile = tf.path;
+            TargetMachine t = buildSystem(system, cfg);
+            runEm3d(t, system);
+            t.obs->finalize();
+            const std::string bytes = slurp(tf.path);
+            ASSERT_FALSE(bytes.empty()) << system;
+            if (run == 0)
+                first = bytes;
+            else
+                EXPECT_EQ(first, bytes)
+                    << system << ": trace not deterministic";
+        }
+    }
+}
+
+TEST(ObsTrace, TracingDoesNotChangeSimulatedResults)
+{
+    for (const char* system : {"dirnnb", "stache"}) {
+        TargetMachine bare = buildSystem(system, smallConfig());
+        const RunResult r0 = runEm3d(bare, system);
+
+        TempFile tf(std::string("obs_off_") + system + ".json");
+        MachineConfig cfg = smallConfig();
+        cfg.obs.enable = true;
+        cfg.obs.traceFile = tf.path;
+        cfg.obs.samplePeriod = 1000;
+        TargetMachine traced = buildSystem(system, cfg);
+        const RunResult r1 = runEm3d(traced, system);
+
+        EXPECT_EQ(r0.execTime, r1.execTime) << system;
+        EXPECT_EQ(r0.events, r1.events) << system;
+    }
+}
+
+TEST(ObsTrace, EveryDeliverPairsWithASend)
+{
+    // Huge rings so nothing is evicted, then check that the set of
+    // delivered causal ids is a subset of the sent ids on every node.
+    MachineConfig cfg = smallConfig();
+    cfg.obs.enable = true;
+    cfg.obs.ringCapacity = 1u << 20;
+    TargetMachine t = buildTyphoonStache(cfg);
+    runEm3d(t, "stache");
+
+    std::set<std::uint32_t> sent, delivered;
+    for (NodeId n = 0; n < t.obs->nodes(); ++n) {
+        for (const TraceRecord& r : t.obs->ringOf(n)) {
+            if (r.kind == RecKind::MsgSend)
+                sent.insert(r.id);
+            else if (r.kind == RecKind::MsgDeliver)
+                delivered.insert(r.id);
+        }
+    }
+    ASSERT_FALSE(sent.empty());
+    EXPECT_EQ(sent.size(), delivered.size());
+    EXPECT_TRUE(sent == delivered);
+    // Ids are dense: the highest id equals the number of sends.
+    EXPECT_EQ(*sent.rbegin(), t.obs->lastMsgId());
+}
+
+TEST(ObsProfiler, MissHistogramsAreCoherent)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.obs.enable = true; // profiler on by default when obs enabled
+    TargetMachine t = buildTyphoonStache(cfg);
+    runEm3d(t, "stache");
+
+    StatSet& s = t.machine->stats();
+    const auto& total = s.histogram("obs.miss.read.total").summary();
+    ASSERT_GT(total.count(), 0u);
+    // Every closed miss samples all five histograms.
+    for (const char* part :
+         {"request", "network", "dir_occupancy", "handler"}) {
+        const auto& comp =
+            s.histogram(std::string("obs.miss.read.") + part)
+                .summary();
+        EXPECT_EQ(comp.count(), total.count()) << part;
+        // Components attribute pieces of the total; their means can
+        // never exceed it.
+        EXPECT_LE(comp.mean(), total.mean()) << part;
+    }
+    // A remote miss costs at least a network round trip.
+    EXPECT_GE(total.min(), 2 * NetworkParams{}.latency);
+}
+
+TEST(ObsCrash, ViolationReportIncludesRecorderTail)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.core.nodes = 2;
+    cfg.check.enable = true; // rings attach even without --trace
+    cfg.stache.faultSkipDowngrade = true;
+    TargetMachine t = buildTyphoonStache(cfg);
+    Addr a = t.protocol->shmalloc(4096, 0);
+    FnApp app([&t, a](Cpu& cpu) -> Task<void> {
+        if (cpu.id() == 1)
+            co_await cpu.write<int>(a, 42);
+        co_await t.m().barrier().wait(cpu);
+        if (cpu.id() == 0)
+            co_await cpu.read<int>(a);
+    });
+    t.run(app);
+    t.checker->finalize();
+    ASSERT_FALSE(t.checker->violations().empty());
+
+    ASSERT_NE(t.obs, nullptr);
+    std::ostringstream oss;
+    t.obs->dumpTail(oss);
+    const std::string tail = oss.str();
+    // The tail shows the causal history: the write's protocol
+    // traffic and tag changes that led to the stale read.
+    EXPECT_NE(tail.find("node 0"), std::string::npos);
+    EXPECT_NE(tail.find("node 1"), std::string::npos);
+    EXPECT_NE(tail.find("stache.get_rw"), std::string::npos);
+    EXPECT_NE(tail.find("tag"), std::string::npos);
+}
+
+TEST(ObsConfig, RecorderAbsentWhenDisabled)
+{
+    TargetMachine t = buildTyphoonStache(smallConfig());
+    EXPECT_EQ(t.obs, nullptr);
+}
+
+} // namespace
+} // namespace tt

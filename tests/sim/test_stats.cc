@@ -85,5 +85,101 @@ TEST(Stats, ResetZeroesEverything)
     EXPECT_EQ(s.histogram("h").summary().count(), 0u);
 }
 
+TEST(Stats, AverageVarianceAndStddev)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    a.sample(4);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0); // one sample: undefined -> 0
+    a.sample(8);
+    a.sample(12);
+    // {4, 8, 12}: mean 8, unbiased variance (16 + 0 + 16) / 2 = 16.
+    EXPECT_DOUBLE_EQ(a.variance(), 16.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 4.0);
+    a.reset();
+    a.sample(5);
+    a.sample(5);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Stats, HistogramBoundaryValuesAreDeterministic)
+{
+    // Bucket i covers [i*width, (i+1)*width): an exact boundary value
+    // belongs to the *upper* bucket, for any width.
+    Histogram h(10.0, 4);
+    h.sample(0);
+    h.sample(10);
+    h.sample(20);
+    h.sample(30);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+
+    // The classic FP trap: v/width can land just below the true
+    // quotient (e.g. 0.3/0.1 = 2.9999...). Boundaries are i*width
+    // *computed in double*: 3*0.1 is the bucket-3 edge and belongs to
+    // bucket 3, while double(0.3) sits just below that edge and so
+    // deterministically lands in bucket 2 — never split between the
+    // two by rounding luck.
+    Histogram f(0.1, 8);
+    f.sample(0.3);
+    f.sample(3 * 0.1);
+    EXPECT_EQ(f.buckets()[2], 1u);
+    EXPECT_EQ(f.buckets()[3], 1u);
+}
+
+TEST(Stats, HistogramEdgeSamples)
+{
+    Histogram h(10.0, 4);
+    h.sample(39.999); // last representable bucket
+    h.sample(40);     // first value past the end -> overflow
+    h.sample(-1);     // negative -> underflow, never bucket 0
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.buckets()[0], 0u);
+    EXPECT_DOUBLE_EQ(h.width(), 10.0);
+    EXPECT_EQ(h.bucketCount(), 4u);
+    h.reset();
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Stats, WriteJsonIsWellFormedAndComplete)
+{
+    StatSet s;
+    s.counter("net.messages").inc(42);
+    s.average("lat").sample(1.5);
+    s.average("lat").sample(2.5);
+    auto& h = s.histogram("h", 2.0, 4);
+    h.sample(1);
+    h.sample(3);
+    h.sample(-1);
+    h.sample(99);
+
+    std::ostringstream oss;
+    s.writeJson(oss);
+    const std::string out = oss.str();
+
+    // Spot-check structure and content; full JSON validity is held by
+    // the tools/check.sh smoke grid (python3 -m json.tool).
+    EXPECT_NE(out.find("\"counters\""), std::string::npos);
+    EXPECT_NE(out.find("\"net.messages\": 42"), std::string::npos);
+    EXPECT_NE(out.find("\"averages\""), std::string::npos);
+    EXPECT_NE(out.find("\"variance\""), std::string::npos);
+    EXPECT_NE(out.find("\"stddev\""), std::string::npos);
+    EXPECT_NE(out.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(out.find("\"underflow\": 1"), std::string::npos);
+    EXPECT_NE(out.find("\"overflow\": 1"), std::string::npos);
+
+    // Stable key order: maps are name-sorted, so two dumps of
+    // equal content are byte-identical.
+    std::ostringstream oss2;
+    s.writeJson(oss2);
+    EXPECT_EQ(out, oss2.str());
+}
+
 } // namespace
 } // namespace tt

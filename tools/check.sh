@@ -10,6 +10,10 @@
 #      workload under the coherence sanitizer with randomized
 #      schedules; any invariant violation fails the gate (ttsim
 #      exits 3 and prints the minimized report).
+#   5. A --trace smoke grid: every protocol writes a Perfetto trace
+#      and a JSON stats dump; both must parse as JSON
+#      (python3 -m json.tool) and every delivered message id must
+#      pair with a sent id.
 #
 # Usage: tools/check.sh [--skip-asan] [--skip-tidy]
 set -euo pipefail
@@ -73,5 +77,29 @@ for sys in dirnnb stache migratory update; do
             --nodes=8 --check --perturb="$seed" >/dev/null
     done
 done
+# --- 5. Flight-recorder smoke grid ------------------------------------------
+step "flight recorder: --trace smoke grid"
+TRACEDIR=$(mktemp -d)
+trap 'rm -rf "$TRACEDIR"' EXIT
+for sys in dirnnb stache migratory update; do
+    echo "--- $sys/em3d --trace"
+    "$TTSIM" --system="$sys" --app=em3d --dataset=tiny --nodes=8 \
+        --scale=4 --trace="$TRACEDIR/$sys.json" \
+        --stats-json="$TRACEDIR/$sys.stats.json" >/dev/null
+    python3 -m json.tool "$TRACEDIR/$sys.json" >/dev/null
+    python3 -m json.tool "$TRACEDIR/$sys.stats.json" >/dev/null
+    python3 - "$TRACEDIR/$sys.json" <<'EOF'
+import json, sys
+ev = json.load(open(sys.argv[1]))["traceEvents"]
+sends = {e["args"]["msg"] for e in ev
+         if e.get("ph") == "X" and "src" in e.get("args", {})}
+delivers = {e["args"]["msg"] for e in ev
+            if e.get("ph") == "i" and "msg" in e.get("args", {})}
+assert sends, "trace has no message sends"
+assert delivers == sends, (
+    f"unpaired causal ids: {len(delivers ^ sends)}")
+EOF
+done
+
 echo
 echo "check.sh: all gates passed"

@@ -44,6 +44,11 @@ struct Options
     double remotePct = 20;
     std::uint64_t seed = 0;
     std::string benchJson; ///< write a wall-clock JSON report here
+    std::string traceFile; ///< Perfetto/Chrome-trace JSON output
+    std::string statsJson; ///< machine-readable StatSet dump
+    std::string fault;     ///< protocol fault to inject (demo/testing)
+    Tick traceSample = 0;  ///< counter-sampling period (ticks)
+    int traceRing = 256;   ///< crash-ring capacity per node
     bool stats = false;
     bool table2 = false;
     bool list = false;
@@ -73,6 +78,16 @@ usage()
         "  --seed=N          machine RNG seed\n"
         "  --bench-json=F    write a wall-clock benchmark report"
         " (events/sec) to F\n"
+        "  --trace=F         stream a Perfetto/Chrome trace to F"
+        " (open at ui.perfetto.dev)\n"
+        "  --trace-sample=N  also sample every counter each N ticks"
+        " into the trace\n"
+        "  --trace-ring=N    crash-ring capacity per node"
+        " (default 256)\n"
+        "  --stats-json=F    write the full statistics set to F as"
+        " JSON\n"
+        "  --fault=NAME      inject a protocol bug (skip-invalidate |"
+        " skip-downgrade)\n"
         "  --check           run the coherence sanitizer (exit 3 on"
         " violation)\n"
         "  --perturb=SEED    randomize same-tick order + net jitter"
@@ -120,6 +135,16 @@ parseArg(Options& o, const std::string& arg)
         o.seed = std::strtoull(v.c_str(), nullptr, 0);
     } else if (eat("--bench-json=", &v)) {
         o.benchJson = v;
+    } else if (eat("--trace=", &v)) {
+        o.traceFile = v;
+    } else if (eat("--trace-sample=", &v)) {
+        o.traceSample = std::strtoull(v.c_str(), nullptr, 0);
+    } else if (eat("--trace-ring=", &v)) {
+        o.traceRing = std::atoi(v.c_str());
+    } else if (eat("--stats-json=", &v)) {
+        o.statsJson = v;
+    } else if (eat("--fault=", &v)) {
+        o.fault = v;
     } else if (eat("--perturb=", &v)) {
         o.perturb = true;
         o.check = true;
@@ -189,6 +214,20 @@ main(int argc, char** argv)
         cfg.core.seed = o.seed;
 
     cfg.check.enable = o.check;
+    cfg.obs.enable = !o.traceFile.empty() || o.traceSample > 0;
+    cfg.obs.traceFile = o.traceFile;
+    cfg.obs.samplePeriod = o.traceSample;
+    if (o.traceRing > 0)
+        cfg.obs.ringCapacity = static_cast<std::size_t>(o.traceRing);
+
+    if (o.fault == "skip-invalidate") {
+        cfg.dir.faultSkipInvalidate = true;
+    } else if (o.fault == "skip-downgrade") {
+        cfg.stache.faultSkipDowngrade = true;
+    } else if (!o.fault.empty()) {
+        tt_fatal("unknown --fault: ", o.fault);
+    }
+
     if (o.perturb) {
         cfg.check.perturb = true;
         cfg.check.perturbSeed = o.perturbSeed;
@@ -262,9 +301,27 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(
                     target.m().stats().get("net.words")));
 
+    if (target.obs) {
+        target.obs->finalize();
+        if (!o.traceFile.empty())
+            std::printf("trace          : %s (%llu records)\n",
+                        o.traceFile.c_str(),
+                        static_cast<unsigned long long>(
+                            target.obs->recordCount()));
+    }
+
     if (o.stats) {
         std::printf("\n--- statistics ---\n");
         target.m().stats().dump(std::cout);
+    }
+
+    if (!o.statsJson.empty()) {
+        if (!target.m().stats().writeJsonFile(o.statsJson)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         o.statsJson.c_str());
+            return 1;
+        }
+        std::printf("stats json     : %s\n", o.statsJson.c_str());
     }
 
     bool checkFailed = false;
@@ -272,6 +329,10 @@ main(int argc, char** argv)
         target.checker->finalize();
         std::fputs(target.checker->report().c_str(), stdout);
         checkFailed = !target.checker->violations().empty();
+        if (checkFailed && target.obs) {
+            std::fputs("--- flight recorder tail ---\n", stderr);
+            target.obs->dumpTail(std::cerr);
+        }
     }
 
     if (!o.benchJson.empty()) {
