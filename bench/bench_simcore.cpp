@@ -25,6 +25,10 @@
 using namespace tt;
 using namespace tt::bench;
 
+/** Fault mix for the reliable-transport overhead pass. */
+constexpr const char* kFaultMix =
+    "drop=0.02,dup=0.02,reorder=0.05,seed=1";
+
 int
 main()
 {
@@ -125,6 +129,39 @@ main()
             }
         }
         std::remove("bench_trace_scratch.json");
+    }
+
+    // The same grid over a lossy fabric with the user-level reliable
+    // transport repairing it (DESIGN.md §10). Cycle counts
+    // legitimately change — retransmission traffic is real simulated
+    // work — but application checksums must not: the protocols still
+    // compute the right answer over an unreliable network.
+    std::printf("\nfaults+transport-on pass:\n");
+    {
+        MachineConfig fcfg = cfg;
+        fcfg.faults = parseFaultSpec(kFaultMix);
+        rep.transportFaultSpec = kFaultMix;
+        std::size_t i = 0;
+        for (const char* system : {"dirnnb", "stache"}) {
+            for (const auto& app : apps) {
+                const BenchCase c = runBenchCase(
+                    system, app, DataSet::Small, scale, fcfg);
+                const BenchCase& base = rep.cases[i++];
+                if (c.checksum != base.checksum) {
+                    std::fprintf(stderr,
+                                 "lossy fabric changed application "
+                                 "results for %s/%s\n",
+                                 system, app.c_str());
+                    return 1;
+                }
+                rep.transportOnEvents += c.events;
+                rep.transportOnWallMs += c.wallMs;
+                rep.transportOnRetransmits += c.netRetransmits;
+                std::printf("%-8s %-8s %9.1f ms\n", system,
+                            app.c_str(), c.wallMs);
+                std::fflush(stdout);
+            }
+        }
     }
 
     std::printf("\n");

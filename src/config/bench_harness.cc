@@ -50,6 +50,14 @@ BenchReport::traceOnEventsPerSec() const
                              : 0;
 }
 
+double
+BenchReport::transportOnEventsPerSec() const
+{
+    return transportOnWallMs > 0
+               ? transportOnEvents / (transportOnWallMs / 1000.0)
+               : 0;
+}
+
 void
 BenchReport::printTable(std::ostream& os) const
 {
@@ -94,6 +102,16 @@ BenchReport::printTable(std::ostream& os) const
                       "than trace off)\n",
                       traceOnEventsPerSec(),
                       eventsPerSec() / traceOnEventsPerSec());
+        os << line;
+    }
+    if (transportOnWallMs > 0) {
+        std::snprintf(line, sizeof line,
+                      "faults+transport on: %.0f events/sec (%.2fx "
+                      "slower than faults off, %llu retransmits)\n",
+                      transportOnEventsPerSec(),
+                      eventsPerSec() / transportOnEventsPerSec(),
+                      static_cast<unsigned long long>(
+                          transportOnRetransmits));
         os << line;
     }
 }
@@ -182,6 +200,18 @@ BenchReport::writeJson(std::ostream& os) const
         jsonNumber(os, eventsPerSec() / traceOnEventsPerSec());
         os << "}";
     }
+    if (transportOnWallMs > 0) {
+        os << ",\n  \"reliable_transport_overhead\": {\"faults\": ";
+        jsonEscape(os, transportFaultSpec);
+        os << ", \"events\": " << transportOnEvents
+           << ", \"wall_ms\": ";
+        jsonNumber(os, transportOnWallMs);
+        os << ", \"events_per_sec_faults_on\": ";
+        jsonNumber(os, transportOnEventsPerSec());
+        os << ", \"slowdown_vs_faults_off\": ";
+        jsonNumber(os, eventsPerSec() / transportOnEventsPerSec());
+        os << ", \"retransmits\": " << transportOnRetransmits << "}";
+    }
     os << "\n}\n";
 }
 
@@ -242,6 +272,7 @@ runBenchCase(const std::string& system, const std::string& appName,
     const StatSet& stats = target.machine->stats();
     c.netMessages = stats.get("net.messages");
     c.netWords = stats.get("net.words");
+    c.netRetransmits = stats.get("net.retransmits");
     return c;
 }
 

@@ -41,6 +41,7 @@ struct BenchCase
     // handles, not re-parsed dump() text).
     std::uint64_t netMessages = 0;
     std::uint64_t netWords = 0;
+    std::uint64_t netRetransmits = 0; ///< 0 unless faults are on
 };
 
 /** An aggregated report over a set of cases. */
@@ -70,11 +71,25 @@ struct BenchReport
     double traceOnWallMs = 0;
     std::uint64_t traceOnEvents = 0;
 
+    /**
+     * Reliable-transport-over-lossy-fabric overhead: the same grid
+     * re-run with a fault mix injected and the user-level transport
+     * repairing it (DESIGN.md §10). Unlike the checker/trace passes
+     * the simulated cycle counts legitimately differ (retransmission
+     * traffic is real); application checksums must still match.
+     * Same "0 = not measured" convention.
+     */
+    double transportOnWallMs = 0;
+    std::uint64_t transportOnEvents = 0;
+    std::uint64_t transportOnRetransmits = 0;
+    std::string transportFaultSpec;
+
     std::uint64_t totalEvents() const;
     double totalWallMs() const;
     double eventsPerSec() const;
     double checkerOnEventsPerSec() const;
     double traceOnEventsPerSec() const;
+    double transportOnEventsPerSec() const;
 
     /** Pretty per-case table for humans. */
     void printTable(std::ostream& os) const;

@@ -1,6 +1,7 @@
 #include "config/builders.hh"
 
 #include <iomanip>
+#include <iostream>
 
 namespace tt
 {
@@ -40,8 +41,11 @@ attachCheckerTyphoon(TargetMachine& t, const CheckConfig& cc)
 void
 attachObserver(TargetMachine& t, const MachineConfig& cfg)
 {
+    // A recorder also rides along whenever faults are injected, so a
+    // watchdog trip or fault-induced panic comes with the crash-ring
+    // tail (DESIGN.md §10).
     const ObsConfig& oc = cfg.obs;
-    if (!oc.enable && !cfg.check.enable)
+    if (!oc.enable && !cfg.check.enable && !cfg.faults.any())
         return;
     t.obs = std::make_unique<FlightRecorder>(cfg.core.nodes,
                                              oc.ringCapacity);
@@ -59,6 +63,58 @@ attachObserver(TargetMachine& t, const MachineConfig& cfg)
     if (oc.samplePeriod > 0)
         t.obs->enableSampler(t.machine->stats(), oc.samplePeriod);
     t.obs->installCrashDump();
+}
+
+/**
+ * Arm the robustness stack (DESIGN.md §10) on an assembled target:
+ * the seeded fault injector on the network, the reliable transport
+ * above it (unless explicitly disabled — the negative control), and
+ * the progress watchdog probing the memory system and transport. All
+ * three follow the null-pointer opt-in pattern, so a fault-free build
+ * is untouched. Must run after attachObserver (the trip dump needs
+ * the recorder). The lambdas capture raw pointers into unique_ptr
+ * targets, which stay valid across the TargetMachine move.
+ */
+void
+attachRobustness(TargetMachine& t, const MachineConfig& cfg)
+{
+    if (!cfg.faults.any())
+        return;
+    StatSet& stats = t.machine->stats();
+    t.faults = std::make_unique<SeededFaultModel>(cfg.core.nodes,
+                                                  cfg.faults, stats);
+    t.network->setFaults(t.faults.get());
+    if (cfg.reliable.enable) {
+        t.transport = std::make_unique<ReliableTransport>(
+            t.machine->eq(), *t.network, cfg.reliable, stats);
+        t.network->setTransport(t.transport.get());
+    }
+    if (cfg.watchdog.enable) {
+        MemorySystem* ms = t.typhoon
+                               ? static_cast<MemorySystem*>(t.typhoon.get())
+                               : static_cast<MemorySystem*>(t.dir.get());
+        ReliableTransport* tr = t.transport.get();
+        FlightRecorder* obs = t.obs.get();
+        Counter& trips = stats.counter("obs.watchdog.trips");
+        t.watchdog = std::make_unique<Watchdog>(
+            t.machine->eq(), cfg.watchdog.horizon,
+            [ms, tr] {
+                Tick oldest = ms->oldestPendingSince();
+                if (tr)
+                    oldest =
+                        std::min(oldest, tr->oldestUnackedSince());
+                return oldest;
+            },
+            [obs, &trips](Tick oldest, Tick now) {
+                trips.inc();
+                std::cerr << "watchdog: operation open since tick "
+                          << oldest << ", now " << now
+                          << "; flight-recorder tail:\n";
+                if (obs)
+                    obs->dumpTail(std::cerr);
+            });
+        t.watchdog->arm();
+    }
 }
 
 } // namespace
@@ -84,6 +140,7 @@ buildDirNNB(const MachineConfig& cfg)
         }
     }
     attachObserver(t, cfg);
+    attachRobustness(t, cfg);
     return t;
 }
 
@@ -101,6 +158,7 @@ buildTyphoonStache(const MachineConfig& cfg)
     t.machine->setMemSystem(t.typhoon.get());
     attachCheckerTyphoon(t, cfg.check);
     attachObserver(t, cfg);
+    attachRobustness(t, cfg);
     return t;
 }
 
@@ -120,6 +178,7 @@ buildTyphoonEm3dUpdate(const MachineConfig& cfg)
     t.machine->setMemSystem(t.typhoon.get());
     attachCheckerTyphoon(t, cfg.check);
     attachObserver(t, cfg);
+    attachRobustness(t, cfg);
     return t;
 }
 
@@ -139,6 +198,7 @@ buildTyphoonMigratory(const MachineConfig& cfg)
     t.machine->setMemSystem(t.typhoon.get());
     attachCheckerTyphoon(t, cfg.check);
     attachObserver(t, cfg);
+    attachRobustness(t, cfg);
     return t;
 }
 

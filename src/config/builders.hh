@@ -14,11 +14,14 @@
 
 #include "check/protocol_checker.hh"
 #include "core/machine.hh"
+#include "core/transport.hh"
 #include "obs/recorder.hh"
 #include "custom/em3d_protocol.hh"
 #include "custom/migratory.hh"
 #include "dir/dir_mem_system.hh"
+#include "net/fault_model.hh"
 #include "net/network.hh"
+#include "sim/watchdog.hh"
 #include "stache/stache.hh"
 #include "typhoon/typhoon_mem_system.hh"
 
@@ -55,6 +58,20 @@ struct ObsConfig
     bool profile = true;        ///< fold miss-latency histograms
 };
 
+/**
+ * Progress-watchdog configuration (ttsim --horizon / DESIGN.md §10).
+ * Armed only when fault injection is active (a lossless fabric cannot
+ * stall an operation, and arming nothing keeps fault-off runs
+ * bit-identical). The horizon default comfortably exceeds the
+ * transport's worst-case retry window (~45k ticks at the default
+ * rto/rtoMax/maxRetries), so only a genuinely wedged run trips.
+ */
+struct WatchdogConfig
+{
+    bool enable = true;
+    Tick horizon = 100'000; ///< max age of an open operation (ticks)
+};
+
 /** Everything Table 2 configures, in one bag. */
 struct MachineConfig
 {
@@ -65,6 +82,9 @@ struct MachineConfig
     StacheParams stache;
     CheckConfig check;
     ObsConfig obs;
+    FaultParams faults;       ///< unreliable fabric (off by default)
+    ReliableParams reliable;  ///< user-level reliable delivery
+    WatchdogConfig watchdog;  ///< progress watchdog (faults only)
 };
 
 /** Print the active configuration in the shape of Table 2. */
@@ -87,8 +107,17 @@ struct TargetMachine
     /** Set iff MachineConfig::check.enable was true at build time. */
     std::unique_ptr<ProtocolChecker> checker;
 
-    /** Set iff obs.enable or check.enable was true at build time. */
+    /** Set iff obs.enable, check.enable, or faults were on at build. */
     std::unique_ptr<FlightRecorder> obs;
+
+    /** Set iff MachineConfig::faults.any() was true at build time. */
+    std::unique_ptr<SeededFaultModel> faults;
+
+    /** Set iff faults were on and reliable.enable was true. */
+    std::unique_ptr<ReliableTransport> transport;
+
+    /** Set iff faults were on and watchdog.enable was true. */
+    std::unique_ptr<Watchdog> watchdog;
 
     Machine& m() { return *machine; }
     RunResult run(App& app) { return machine->run(app); }

@@ -1,0 +1,245 @@
+#include "config/campaign.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/logging.hh"
+#include "sim/watchdog.hh"
+
+namespace tt
+{
+
+std::uint64_t
+campaignSeed(std::uint64_t base, int i)
+{
+    // One SplitMix64 step per index: well-decorrelated seeds derived
+    // purely from (base, i), so a campaign replays bit-identically.
+    std::uint64_t z =
+        base + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+TargetMachine
+buildSystem(const std::string& system, const MachineConfig& cfg)
+{
+    if (system == "dirnnb")
+        return buildDirNNB(cfg);
+    if (system == "stache")
+        return buildTyphoonStache(cfg);
+    if (system == "migratory")
+        return buildTyphoonMigratory(cfg);
+    if (system == "update")
+        return buildTyphoonEm3dUpdate(cfg);
+    tt_fatal("campaign: unknown system '", system, "'");
+}
+
+CampaignRun
+runOne(const CampaignConfig& cc, const std::string& system,
+       std::uint64_t seed)
+{
+    MachineConfig cfg = cc.base;
+    cfg.faults.seed = seed;
+    cfg.check.enable = true; // campaigns always sanitize
+
+    CampaignRun run;
+    run.system = system;
+    run.seed = seed;
+
+    TargetMachine target = buildSystem(system, cfg);
+    std::unique_ptr<BenchApp> app;
+    if (system == "update") {
+        app = std::make_unique<Em3dApp>(
+            em3dParams(cc.dataset, cc.remoteFrac, cc.scale),
+            Em3dApp::Mode::Update, target.em3d);
+    } else {
+        app = makeWorkload(cc.app, cc.dataset, cc.scale);
+    }
+
+    try {
+        const RunResult r = target.run(*app);
+        run.cycles = r.execTime;
+        run.checksum = app->checksum();
+        run.outcome = "ok";
+    } catch (const WatchdogTimeout& e) {
+        run.outcome = "watchdog";
+        run.detail = e.what();
+    } catch (const std::logic_error& e) {
+        // tt_panic — notably Machine::run's drained-queue protocol
+        // deadlock, the expected failure shape when lost messages are
+        // never repaired (the --no-reliable negative control).
+        run.outcome = "panic";
+        run.detail = e.what();
+    } catch (const std::exception& e) {
+        run.outcome = "error";
+        run.detail = e.what();
+    }
+
+    if (target.checker) {
+        // finalize() runs the quiescence/conservation checks; on an
+        // aborted run they would report the in-flight state of the
+        // abort itself, so only a completed run is finalized.
+        if (run.outcome == "ok")
+            target.checker->finalize();
+        run.violations = target.checker->violations().size();
+        if (run.violations) {
+            if (run.outcome == "ok")
+                run.outcome = "violation";
+            if (run.detail.empty())
+                run.detail =
+                    target.checker->violations().front().invariant;
+        }
+    }
+
+    const StatSet& stats = target.machine->stats();
+    if (target.faults)
+        run.faultsInjected = target.faults->injected();
+    run.retransmits = stats.get("net.retransmits");
+    run.acks = stats.get("net.acks");
+    run.dupDropped = stats.get("net.dup_dropped");
+    run.oooDropped = stats.get("net.ooo_dropped");
+    run.deadLinks = stats.get("net.dead_links");
+    run.watchdogTrips = stats.get("obs.watchdog.trips");
+    return run;
+}
+
+void
+jsonEscape(std::ostream& os, const std::string& s)
+{
+    os << '"';
+    for (char ch : s) {
+        if (ch == '"' || ch == '\\')
+            os << '\\';
+        else if (ch == '\n') {
+            os << "\\n";
+            continue;
+        }
+        os << ch;
+    }
+    os << '"';
+}
+
+} // namespace
+
+CampaignReport
+runCampaign(const CampaignConfig& cc)
+{
+    CampaignReport rep;
+    rep.baseSeed = cc.base.faults.seed;
+    rep.runsPerSystem = cc.runs;
+    rep.reliable = cc.base.reliable.enable;
+    rep.runs.reserve(cc.systems.size() *
+                     static_cast<std::size_t>(cc.runs));
+
+    for (const std::string& system : cc.systems) {
+        for (int i = 0; i < cc.runs; ++i) {
+            const std::uint64_t seed =
+                campaignSeed(cc.base.faults.seed, i);
+            CampaignRun run = runOne(cc, system, seed);
+            if (cc.progress) {
+                std::fprintf(
+                    stderr,
+                    "campaign: %-10s seed=%016llx %-9s "
+                    "faults=%llu retx=%llu viol=%llu\n",
+                    system.c_str(),
+                    static_cast<unsigned long long>(seed),
+                    run.outcome.c_str(),
+                    static_cast<unsigned long long>(run.faultsInjected),
+                    static_cast<unsigned long long>(run.retransmits),
+                    static_cast<unsigned long long>(run.violations));
+            }
+            rep.runs.push_back(std::move(run));
+        }
+    }
+    return rep;
+}
+
+std::uint64_t
+CampaignReport::countOutcome(const std::string& outcome) const
+{
+    std::uint64_t n = 0;
+    for (const CampaignRun& r : runs)
+        n += r.outcome == outcome;
+    return n;
+}
+
+void
+CampaignReport::writeJson(std::ostream& os) const
+{
+    os << "{\n";
+    os << "  \"fault_spec\": ";
+    jsonEscape(os, faultSpec);
+    os << ",\n  \"base_seed\": " << baseSeed;
+    os << ",\n  \"runs_per_system\": " << runsPerSystem;
+    os << ",\n  \"reliable_transport\": "
+       << (reliable ? "true" : "false");
+    os << ",\n  \"totals\": {";
+    os << "\"runs\": " << runs.size();
+    os << ", \"ok\": " << countOutcome("ok");
+    os << ", \"violation\": " << countOutcome("violation");
+    os << ", \"watchdog\": " << countOutcome("watchdog");
+    os << ", \"panic\": " << countOutcome("panic");
+    os << ", \"error\": " << countOutcome("error");
+    std::uint64_t faults = 0, retx = 0, acks = 0, dups = 0, ooo = 0,
+                  dead = 0, trips = 0;
+    for (const CampaignRun& r : runs) {
+        faults += r.faultsInjected;
+        retx += r.retransmits;
+        acks += r.acks;
+        dups += r.dupDropped;
+        ooo += r.oooDropped;
+        dead += r.deadLinks;
+        trips += r.watchdogTrips;
+    }
+    os << ", \"faults_injected\": " << faults;
+    os << ", \"retransmits\": " << retx;
+    os << ", \"acks\": " << acks;
+    os << ", \"dup_dropped\": " << dups;
+    os << ", \"ooo_dropped\": " << ooo;
+    os << ", \"dead_links\": " << dead;
+    os << ", \"watchdog_trips\": " << trips;
+    os << "},\n";
+    os << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const CampaignRun& r = runs[i];
+        char seedHex[32];
+        std::snprintf(seedHex, sizeof seedHex, "%016llx",
+                      static_cast<unsigned long long>(r.seed));
+        os << "    {\"system\": ";
+        jsonEscape(os, r.system);
+        os << ", \"seed\": \"" << seedHex << '"';
+        os << ", \"outcome\": ";
+        jsonEscape(os, r.outcome);
+        os << ", \"cycles\": " << r.cycles;
+        os << ", \"faults_injected\": " << r.faultsInjected;
+        os << ", \"retransmits\": " << r.retransmits;
+        os << ", \"acks\": " << r.acks;
+        os << ", \"dup_dropped\": " << r.dupDropped;
+        os << ", \"ooo_dropped\": " << r.oooDropped;
+        os << ", \"dead_links\": " << r.deadLinks;
+        os << ", \"violations\": " << r.violations;
+        os << ", \"watchdog_trips\": " << r.watchdogTrips;
+        if (!r.detail.empty()) {
+            os << ", \"detail\": ";
+            jsonEscape(os, r.detail);
+        }
+        os << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+bool
+CampaignReport::writeJsonFile(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeJson(f);
+    return f.good();
+}
+
+} // namespace tt

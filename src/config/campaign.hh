@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic fault-campaign runner (ttsim --faults --campaign,
+ * DESIGN.md §10).
+ *
+ * A campaign sweeps N derived fault seeds per target system over one
+ * fault mix, with the coherence sanitizer enabled, and aggregates the
+ * outcomes into a machine-readable JSON report. Everything is
+ * deterministic: run seeds are derived from the base fault seed by a
+ * SplitMix64 step (never from wall-clock or run order across systems),
+ * and the report contains no timestamps, so the same (seed, faults,
+ * systems, workload) campaign is byte-identical across invocations.
+ *
+ * Each run is classified as one of:
+ *   ok        — app completed, checker clean, no watchdog trip
+ *   violation — app completed but the sanitizer found violations
+ *   watchdog  — the progress watchdog tripped (WatchdogTimeout)
+ *   panic     — tt_panic fired (e.g. Machine::run's drained-queue
+ *               protocol deadlock), caught and recorded
+ *   error     — any other exception escaped the run
+ *
+ * The headline acceptance criterion: with the reliable transport on,
+ * a drop+dup+reorder campaign is all-ok; with --no-reliable the same
+ * campaign must produce violations/watchdog/panic outcomes (the
+ * negative control proving the fault injection has teeth).
+ */
+
+#ifndef TT_CONFIG_CAMPAIGN_HH
+#define TT_CONFIG_CAMPAIGN_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.hh"
+#include "config/builders.hh"
+
+namespace tt
+{
+
+/** What to sweep (the MachineConfig carries the fault mix itself). */
+struct CampaignConfig
+{
+    MachineConfig base;   ///< base config; faults.seed is the campaign seed
+    std::vector<std::string> systems; ///< ttsim system names
+    int runs = 50;        ///< derived seeds per system
+    std::string app = "em3d";
+    DataSet dataset = DataSet::Tiny;
+    int scale = 1;
+    double remoteFrac = 0.2; ///< EM3D remote-edge fraction
+    bool progress = true;    ///< print one line per run to stderr
+};
+
+/** Outcome of one (system, seed) run. */
+struct CampaignRun
+{
+    std::string system;
+    std::uint64_t seed = 0;     ///< derived fault seed
+    std::string outcome;        ///< ok|violation|watchdog|panic|error
+    Tick cycles = 0;            ///< 0 unless the app completed
+    double checksum = 0;        ///< 0 unless the app completed
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t dupDropped = 0;
+    std::uint64_t oooDropped = 0;
+    std::uint64_t deadLinks = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t watchdogTrips = 0;
+    std::string detail;         ///< first violation / panic message
+};
+
+/** The aggregated campaign result. */
+struct CampaignReport
+{
+    std::string faultSpec;      ///< the --faults spec, verbatim
+    std::uint64_t baseSeed = 0;
+    int runsPerSystem = 0;
+    bool reliable = true;
+    std::vector<CampaignRun> runs;
+
+    std::uint64_t countOutcome(const std::string& outcome) const;
+    /** True iff every run completed clean ("ok"). */
+    bool allOk() const { return countOutcome("ok") == runs.size(); }
+
+    /** Deterministic JSON (stable order, no wall-clock). */
+    void writeJson(std::ostream& os) const;
+    bool writeJsonFile(const std::string& path) const;
+};
+
+/** Derive the i-th run seed from the campaign base seed (SplitMix64). */
+std::uint64_t campaignSeed(std::uint64_t base, int i);
+
+/** Run the whole campaign. Never throws for per-run failures. */
+CampaignReport runCampaign(const CampaignConfig& cc);
+
+} // namespace tt
+
+#endif // TT_CONFIG_CAMPAIGN_HH

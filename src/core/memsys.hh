@@ -84,6 +84,14 @@ class MemorySystem
     virtual void peek(Addr va, void* buf, std::size_t len) = 0;
     virtual void poke(Addr va, const void* buf, std::size_t len) = 0;
 
+    /**
+     * Watchdog probe (DESIGN.md §10): the issue tick of the oldest
+     * still-open operation (suspended miss, posted-but-unserviced
+     * buffered access), or kTickMax when the system is quiescent.
+     * Default: a system with no asynchronous state never stalls.
+     */
+    virtual Tick oldestPendingSince() const { return kTickMax; }
+
     virtual std::string name() const = 0;
 };
 

@@ -166,6 +166,19 @@ DirMemSystem::quiescent() const
 }
 
 Tick
+DirMemSystem::oldestPendingSince() const
+{
+    // Watchdog probe: every remote miss parks a PendingMiss at the
+    // requesting node until the grant arrives, so the oldest pending
+    // issue time bounds how long any transaction has been open.
+    Tick oldest = kTickMax;
+    for (const Node& n : _nodes)
+        for (const auto& [blk, miss] : n.pending)
+            oldest = std::min(oldest, miss.req->issueTime);
+    return oldest;
+}
+
+Tick
 DirMemSystem::ctrlStart(NodeId n, Tick earliest)
 {
     Tick& free = _nodes[n].ctrlFree;

@@ -53,6 +53,7 @@ class DirMemSystem : public MemorySystem
     NodeId homeOf(Addr va) const override;
     void peek(Addr va, void* buf, std::size_t len) override;
     void poke(Addr va, const void* buf, std::size_t len) override;
+    Tick oldestPendingSince() const override;
     std::string name() const override { return "DirNNB"; }
 
     // --- introspection (tests / benches) -------------------------------

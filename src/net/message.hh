@@ -36,6 +36,22 @@ enum class VNet : std::uint8_t
 constexpr std::uint32_t kMaxPacketWords = 20;
 
 /**
+ * Reliable-transport classification of a message (DESIGN.md §10).
+ * None: the fabric is assumed lossless and the message carries no
+ * transport state (every message when no transport is attached, and
+ * node-local messages always). Data: a protocol message stamped with
+ * a per-(src,dst)-channel sequence number. Ack: a transport-generated
+ * cumulative acknowledgment, consumed by the receiving transport and
+ * never delivered to a protocol handler.
+ */
+enum class TKind : std::uint8_t
+{
+    None = 0,
+    Data = 1,
+    Ack = 2,
+};
+
+/**
  * An active message. Word accounting: 1 word for the handler id,
  * plus args.size() words, plus ceil(data.size()/4) words of payload.
  * Messages wider than one packet are legal and are charged as
@@ -64,6 +80,16 @@ struct Message
      * it is not charged any network words.
      */
     std::uint32_t obsId = 0;
+    /**
+     * Reliable-transport header (DESIGN.md §10): per-channel sequence
+     * number for Data messages, cumulative ack number for Ack
+     * messages. Like obsId these ride in otherwise-unused packet
+     * header space (a protocol message never fills its 20-word
+     * packet), so they are not charged network words; the acks
+     * themselves are real one-word messages and are charged.
+     */
+    std::uint32_t seq = 0;
+    TKind tkind = TKind::None;
     Args args;
     Data data;
 

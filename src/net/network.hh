@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "check/hooks.hh"
+#include "net/fault_model.hh"
 #include "net/message.hh"
+#include "net/transport_hooks.hh"
 #include "obs/recorder.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -88,6 +90,12 @@ class Network
     /** Attach the flight recorder (nullptr = disabled). */
     void setRecorder(FlightRecorder* r) { _obs = r; }
 
+    /** Attach the unreliable-fabric fault model (nullptr = lossless). */
+    void setFaults(FaultModel* f) { _faults = f; }
+
+    /** Attach the reliable transport (nullptr = raw fabric). */
+    void setTransport(TransportHooks* t) { _transport = t; }
+
     /** Install the message receiver for @p node. */
     void
     setReceiver(NodeId node, Receiver r)
@@ -103,6 +111,32 @@ class Network
      */
     void
     send(Message msg, Tick when)
+    {
+        // The transport sequences protocol messages once, at their
+        // first physical send; retransmissions and acks enter below
+        // via sendFromTransport. Local messages short-circuit the
+        // fabric and are never sequenced (nor subject to faults).
+        if (_transport && msg.src != msg.dst)
+            _transport->onSend(msg, when);
+        sendPhysical(std::move(msg), when, /*fromTransport=*/false);
+    }
+
+    /**
+     * Transport-internal entry: inject a retransmission or an ack.
+     * Subject to injection occupancy and fault injection like any
+     * other message, but never re-sequenced, and invisible to the
+     * coherence sanitizer (the checker tracks each logical message
+     * once — see the conservation notes in PROTOCOLS.md).
+     */
+    void
+    sendFromTransport(Message msg, Tick when)
+    {
+        sendPhysical(std::move(msg), when, /*fromTransport=*/true);
+    }
+
+  private:
+    void
+    sendPhysical(Message msg, Tick when, bool fromTransport)
     {
         // Every sender is a node-resident NP or directory controller,
         // so src must name a real node: injection occupancy is charged
@@ -153,19 +187,55 @@ class Network
                 efree = arrive;
         }
 
-        if (_checker)
+        // Fault injection (null-pointer pattern: the lossless path is
+        // untouched). Verdicts are drawn after the arrival time is
+        // fixed so delays compose with occupancy/jitter modeling.
+        bool dropped = false;
+        Tick dupArrive = 0;
+        if (_faults && msg.src != msg.dst) {
+            FaultModel::Verdict v = _faults->onMessage(msg, when, arrive);
+            dropped = v.drop;
+            arrive = v.arrive;
+            dupArrive = v.dupArrive;
+        }
+
+        // The sanitizer tracks each logical message exactly once: at
+        // its original protocol send (even if that copy is then lost —
+        // with a transport attached it logically stays in flight in
+        // the retransmission buffer; without one, a loss is a real
+        // conservation violation and must be reported) and at the one
+        // accepted delivery (the handler-dispatch onMsgDeliver).
+        if (_checker && !fromTransport)
             _checker->onMsgSend(msg);
         if (_obs)
-            _obs->msgSend(msg, depart, arrive);
+            _obs->msgSend(msg, depart, dropped ? depart : arrive);
+
+        if (dupArrive) {
+            Message copy = msg;
+            _eq.schedule(dupArrive,
+                         [this, m = std::move(copy)]() mutable {
+                             deliver(std::move(m));
+                         });
+        }
+        if (dropped)
+            return;
 
         // The closure owns the message.
         _eq.schedule(arrive,
                      [this, m = std::move(msg)]() mutable {
-                         _receivers[m.dst](std::move(m));
+                         deliver(std::move(m));
                      });
     }
 
-  private:
+    void
+    deliver(Message&& m)
+    {
+        // The transport filters arrivals: acks are consumed, duplicate
+        // and out-of-order data suppressed, in-order data released.
+        if (_transport && !_transport->onArrive(m))
+            return;
+        _receivers[m.dst](std::move(m));
+    }
     EventQueue& _eq;
     NetworkParams _params;
     std::vector<Receiver> _receivers;
@@ -173,6 +243,8 @@ class Network
     std::vector<Tick> _ejectFree;
     CheckHooks* _checker = nullptr; ///< coherence sanitizer, opt-in
     FlightRecorder* _obs = nullptr; ///< flight recorder, opt-in
+    FaultModel* _faults = nullptr;  ///< unreliable fabric, opt-in
+    TransportHooks* _transport = nullptr; ///< reliable delivery, opt-in
     Rng _jitter;                    ///< perturbation jitter stream
     std::vector<Tick> _lastArrive;  ///< per-(src,dst) FIFO clamp
 

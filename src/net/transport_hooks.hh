@@ -1,0 +1,48 @@
+/**
+ * @file
+ * TransportHooks — the interposition interface between the network
+ * and a user-level reliable-delivery transport (src/core/transport.hh,
+ * DESIGN.md §10).
+ *
+ * Like CheckHooks, this header is deliberately dependency-light so
+ * src/net never acquires a link-time dependency on the transport
+ * implementation: a Network holds a `TransportHooks* _transport =
+ * nullptr` and guards each call with `if (_transport)`; detached, the
+ * hooks cost one never-taken branch and the hot path stays
+ * bit-identical.
+ */
+
+#ifndef TT_NET_TRANSPORT_HOOKS_HH
+#define TT_NET_TRANSPORT_HOOKS_HH
+
+#include "net/message.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class TransportHooks
+{
+  public:
+    virtual ~TransportHooks() = default;
+
+    /**
+     * A protocol message is about to enter the fabric at tick
+     * @p when (called from Network::send for remote messages only,
+     * never for the transport's own retransmissions or acks). The
+     * transport stamps its header (seq, tkind) and retains a
+     * retransmission copy.
+     */
+    virtual void onSend(Message& m, Tick when) = 0;
+
+    /**
+     * A message arrived at its destination. Return true to hand it to
+     * the registered receiver; false if the transport consumed it (an
+     * ack, a suppressed duplicate, or an out-of-order arrival).
+     */
+    virtual bool onArrive(Message& m) = 0;
+};
+
+} // namespace tt
+
+#endif // TT_NET_TRANSPORT_HOOKS_HH

@@ -161,6 +161,24 @@ TyphoonMemSystem::quiescent() const
     return true;
 }
 
+Tick
+TyphoonMemSystem::oldestPendingSince() const
+{
+    // Watchdog probe: a CPU suspended on a block-access fault, or a
+    // posted BAF the NP has not yet serviced, is an open operation.
+    // Handler activations and queued messages are excluded — they only
+    // matter if they fail to eventually resume a suspended thread, and
+    // that failure is exactly what the suspended/baf ages capture.
+    Tick oldest = kTickMax;
+    for (const Node& n : _nodes) {
+        if (n.suspended)
+            oldest = std::min(oldest, n.suspended->issueTime);
+        if (n.baf)
+            oldest = std::min(oldest, n.baf->postedAt);
+    }
+    return oldest;
+}
+
 std::string
 TyphoonMemSystem::name() const
 {

@@ -81,6 +81,7 @@ class TyphoonMemSystem : public MemorySystem
     NodeId homeOf(Addr va) const override;
     void peek(Addr va, void* buf, std::size_t len) override;
     void poke(Addr va, const void* buf, std::size_t len) override;
+    Tick oldestPendingSince() const override;
     std::string name() const override;
 
     /** Install the user-level protocol (Stache etc.); not owned. */

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fault-campaign runner tests: byte-identical replay of the same
+ * (seed, faults) campaign, the positive run (reliable transport keeps
+ * every system clean over a lossy fabric), and the negative control
+ * (without the transport the same campaign must fail — proving the
+ * fault injection has teeth). Also guards the fault-off hot path:
+ * a machine built without faults carries none of the robustness
+ * machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "config/campaign.hh"
+
+namespace tt
+{
+namespace
+{
+
+FaultParams
+mix()
+{
+    FaultParams p;
+    p.drop = 0.02;
+    p.dup = 0.02;
+    p.reorder = 0.05;
+    p.seed = 20260807;
+    return p;
+}
+
+CampaignConfig
+smallCampaign()
+{
+    CampaignConfig cc;
+    cc.base.core.nodes = 8;
+    cc.base.faults = mix();
+    cc.systems = {"stache"};
+    cc.runs = 2;
+    cc.app = "em3d";
+    cc.dataset = DataSet::Tiny;
+    cc.scale = 4;
+    cc.progress = false;
+    return cc;
+}
+
+std::string
+serialize(const CampaignReport& rep)
+{
+    std::ostringstream os;
+    rep.writeJson(os);
+    return os.str();
+}
+
+TEST(Campaign, SeedDerivationIsPureAndDecorrelated)
+{
+    EXPECT_EQ(campaignSeed(7, 0), campaignSeed(7, 0));
+    EXPECT_NE(campaignSeed(7, 0), campaignSeed(7, 1));
+    EXPECT_NE(campaignSeed(7, 0), campaignSeed(8, 0));
+}
+
+TEST(Campaign, ReliableTransportKeepsLossyCampaignClean)
+{
+    const CampaignConfig cc = smallCampaign();
+    const CampaignReport rep = runCampaign(cc);
+    ASSERT_EQ(rep.runs.size(), 2u);
+    EXPECT_TRUE(rep.allOk()) << serialize(rep);
+    // The fabric really was lossy and the transport really worked.
+    std::uint64_t faults = 0, retx = 0;
+    for (const auto& r : rep.runs) {
+        faults += r.faultsInjected;
+        retx += r.retransmits;
+        EXPECT_EQ(r.violations, 0u);
+        EXPECT_EQ(r.watchdogTrips, 0u);
+    }
+    EXPECT_GT(faults, 0u);
+    EXPECT_GT(retx, 0u);
+}
+
+TEST(Campaign, SameSeedCampaignIsByteIdentical)
+{
+    const CampaignConfig cc = smallCampaign();
+    CampaignReport a = runCampaign(cc);
+    CampaignReport b = runCampaign(cc);
+    a.faultSpec = b.faultSpec = "test-mix";
+    EXPECT_EQ(serialize(a), serialize(b));
+}
+
+TEST(Campaign, NegativeControlFailsWithoutReliableTransport)
+{
+    CampaignConfig cc = smallCampaign();
+    cc.base.reliable.enable = false;
+    // Tighten the horizon so a wedged run is detected quickly.
+    cc.base.watchdog.horizon = 20'000;
+    const CampaignReport rep = runCampaign(cc);
+    ASSERT_EQ(rep.runs.size(), 2u);
+    // Dropped protocol messages with nobody retransmitting must
+    // surface as watchdog trips, deadlock panics, or checker
+    // violations — never a clean pass.
+    EXPECT_FALSE(rep.allOk()) << serialize(rep);
+    for (const auto& r : rep.runs)
+        EXPECT_NE(r.outcome, "ok") << serialize(rep);
+}
+
+TEST(Campaign, FaultFreeBuildCarriesNoRobustnessMachinery)
+{
+    MachineConfig cfg;
+    cfg.core.nodes = 8;
+    TargetMachine t = buildTyphoonStache(cfg);
+    EXPECT_EQ(t.faults, nullptr);
+    EXPECT_EQ(t.transport, nullptr);
+    EXPECT_EQ(t.watchdog, nullptr);
+    auto app = makeWorkload("em3d", DataSet::Tiny, 4);
+    t.run(*app);
+    // No transport/fault counters may even exist in a fault-off run:
+    // the stats dump is part of the bit-identical seed output.
+    const StatSet& stats = t.machine->stats();
+    EXPECT_FALSE(stats.hasCounter("net.retransmits"));
+    EXPECT_FALSE(stats.hasCounter("net.acks"));
+    EXPECT_FALSE(stats.hasCounter("net.faults.drops"));
+    EXPECT_FALSE(stats.hasCounter("obs.watchdog.trips"));
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the user-level reliable transport and the progress
+ * watchdog. A scripted FaultModel forces exact loss/duplication/
+ * reorder sequences, so each recovery path is pinned down
+ * deterministically (no probabilities involved).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/transport.hh"
+#include "net/fault_model.hh"
+#include "net/network.hh"
+#include "sim/watchdog.hh"
+
+namespace tt
+{
+namespace
+{
+
+/** Deterministic fault source: tests script the verdicts directly. */
+struct ScriptedFaults final : FaultModel
+{
+    std::function<Verdict(const Message&, Tick, Tick)> judge;
+
+    Verdict
+    onMessage(const Message& m, Tick when, Tick arrive) override
+    {
+        if (judge)
+            return judge(m, when, arrive);
+        Verdict v;
+        v.arrive = arrive;
+        return v;
+    }
+};
+
+struct TransportFixture : ::testing::Test
+{
+    EventQueue eq;
+    StatSet stats;
+    NetworkParams params{};
+    Network net{eq, 4, params, stats};
+    ReliableParams rp{};
+    std::unique_ptr<ReliableTransport> tr;
+    ScriptedFaults faults;
+    std::vector<std::pair<Tick, Message>> received;
+
+    /** Call after adjusting rp; wires transport + faults + receivers. */
+    void
+    attach()
+    {
+        tr = std::make_unique<ReliableTransport>(eq, net, rp, stats);
+        net.setTransport(tr.get());
+        net.setFaults(&faults);
+        for (NodeId n = 0; n < 4; ++n) {
+            net.setReceiver(n, [this](Message&& m) {
+                received.emplace_back(eq.now(), std::move(m));
+            });
+        }
+    }
+
+    Message
+    mkMsg(NodeId src, NodeId dst, HandlerId h = 1)
+    {
+        Message m;
+        m.src = src;
+        m.dst = dst;
+        m.handler = h;
+        return m;
+    }
+};
+
+TEST_F(TransportFixture, CleanChannelDeliversOnceAndAcks)
+{
+    rp.rto = 50;
+    attach();
+    net.send(mkMsg(0, 1, 42), 0);
+    eq.run();
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].second.handler, 42u);
+    EXPECT_EQ(received[0].second.seq, 1u);
+    EXPECT_EQ(received[0].second.tkind, TKind::Data);
+    EXPECT_EQ(stats.get("net.acks"), 1u);
+    EXPECT_EQ(stats.get("net.retransmits"), 0u);
+    EXPECT_EQ(tr->oldestUnackedSince(), kTickMax);
+}
+
+TEST_F(TransportFixture, LostDataIsRetransmitted)
+{
+    rp.rto = 50;
+    attach();
+    bool droppedOne = false;
+    faults.judge = [&](const Message& m, Tick, Tick arrive) {
+        FaultModel::Verdict v;
+        v.arrive = arrive;
+        if (m.tkind == TKind::Data && !droppedOne) {
+            droppedOne = true;
+            v.drop = true;
+        }
+        return v;
+    };
+    net.send(mkMsg(0, 1, 42), 0);
+    eq.run();
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(stats.get("net.retransmits"), 1u);
+    // Retransmission waited out one full RTO.
+    EXPECT_GT(received[0].first, 50u);
+    EXPECT_EQ(tr->oldestUnackedSince(), kTickMax);
+}
+
+TEST_F(TransportFixture, LostAckRepairedByDataRetransmission)
+{
+    rp.rto = 50;
+    attach();
+    bool droppedAck = false;
+    faults.judge = [&](const Message& m, Tick, Tick arrive) {
+        FaultModel::Verdict v;
+        v.arrive = arrive;
+        if (m.tkind == TKind::Ack && !droppedAck) {
+            droppedAck = true;
+            v.drop = true;
+        }
+        return v;
+    };
+    net.send(mkMsg(0, 1, 42), 0);
+    eq.run();
+    // Delivered exactly once: the retransmitted copy was recognized as
+    // a duplicate and only re-acked.
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(stats.get("net.retransmits"), 1u);
+    EXPECT_EQ(stats.get("net.dup_dropped"), 1u);
+    EXPECT_EQ(stats.get("net.acks"), 2u);
+    EXPECT_EQ(tr->oldestUnackedSince(), kTickMax);
+}
+
+TEST_F(TransportFixture, RetransmissionOfRetransmissionSucceeds)
+{
+    rp.rto = 20;
+    attach();
+    int dataDrops = 0;
+    faults.judge = [&](const Message& m, Tick, Tick arrive) {
+        FaultModel::Verdict v;
+        v.arrive = arrive;
+        if (m.tkind == TKind::Data && dataDrops < 2) {
+            ++dataDrops;
+            v.drop = true;
+        }
+        return v;
+    };
+    net.send(mkMsg(0, 1, 42), 0);
+    eq.run();
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(stats.get("net.retransmits"), 2u);
+    EXPECT_EQ(stats.get("net.dead_links"), 0u);
+}
+
+TEST_F(TransportFixture, BackoffDoublesAndCapsThenDeclaresDead)
+{
+    rp.rto = 4;
+    rp.rtoMax = 8;
+    rp.maxRetries = 5;
+    attach();
+    std::vector<Tick> dataSendTimes;
+    faults.judge = [&](const Message& m, Tick when, Tick arrive) {
+        FaultModel::Verdict v;
+        v.arrive = arrive;
+        if (m.tkind == TKind::Data) {
+            dataSendTimes.push_back(when);
+            v.drop = true; // black-hole every data copy
+        }
+        return v;
+    };
+    net.send(mkMsg(0, 1, 42), 0);
+    eq.run();
+    EXPECT_TRUE(received.empty());
+    EXPECT_EQ(stats.get("net.retransmits"), 5u);
+    EXPECT_EQ(stats.get("net.dead_links"), 1u);
+    // Original + 5 retransmissions, spaced rto, 2*rto, then capped at
+    // rtoMax: 0, +4, +8, +8, +8, +8.
+    ASSERT_EQ(dataSendTimes.size(), 6u);
+    const std::vector<Tick> expect{0, 4, 12, 20, 28, 36};
+    EXPECT_EQ(dataSendTimes, expect);
+    // The dead channel still reports its stalled head to the watchdog.
+    EXPECT_EQ(tr->oldestUnackedSince(), 0u);
+}
+
+TEST_F(TransportFixture, FabricDuplicateAfterAckIsSuppressed)
+{
+    rp.rto = 200;
+    attach();
+    bool dupped = false;
+    faults.judge = [&](const Message& m, Tick, Tick arrive) {
+        FaultModel::Verdict v;
+        v.arrive = arrive;
+        if (m.tkind == TKind::Data && !dupped) {
+            dupped = true;
+            v.dupArrive = arrive + 30; // well after the first copy acks
+        }
+        return v;
+    };
+    net.send(mkMsg(0, 1, 42), 0);
+    eq.run();
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(stats.get("net.dup_dropped"), 1u);
+    EXPECT_EQ(stats.get("net.retransmits"), 0u);
+    // The duplicate was re-acked (duplicate ack is harmless).
+    EXPECT_EQ(stats.get("net.acks"), 2u);
+}
+
+TEST_F(TransportFixture, ReorderedChannelIsRestoredToFifo)
+{
+    rp.rto = 100;
+    attach();
+    bool delayedFirst = false;
+    faults.judge = [&](const Message& m, Tick, Tick arrive) {
+        FaultModel::Verdict v;
+        v.arrive = arrive;
+        if (m.tkind == TKind::Data && m.seq == 1 && !delayedFirst) {
+            delayedFirst = true;
+            v.arrive = arrive + 40; // overtaken by seq 2
+        }
+        return v;
+    };
+    net.send(mkMsg(0, 1, 100), 0); // seq 1, delayed
+    net.send(mkMsg(0, 1, 200), 0); // seq 2, arrives first
+    eq.run();
+    // seq 2 arrived early -> dropped out-of-order; seq 1 delivered on
+    // its delayed arrival; seq 2 re-delivered by retransmission. The
+    // protocol above sees strict FIFO: handler 100 then handler 200.
+    ASSERT_EQ(received.size(), 2u);
+    EXPECT_EQ(received[0].second.handler, 100u);
+    EXPECT_EQ(received[1].second.handler, 200u);
+    EXPECT_EQ(stats.get("net.ooo_dropped"), 1u);
+    EXPECT_EQ(stats.get("net.retransmits"), 1u);
+    EXPECT_EQ(tr->oldestUnackedSince(), kTickMax);
+}
+
+TEST_F(TransportFixture, WatchdogTripsOnPermanentlyCutLink)
+{
+    rp.rto = 4;
+    rp.rtoMax = 8;
+    rp.maxRetries = 3;
+    attach();
+    faults.judge = [&](const Message& m, Tick, Tick arrive) {
+        FaultModel::Verdict v;
+        v.arrive = arrive;
+        v.drop = m.src == 0 && m.dst == 1; // one-way permanent cut
+        return v;
+    };
+    Tick tripOldest = kTickMax;
+    Watchdog wd(
+        eq, /*horizon=*/1000, [&] { return tr->oldestUnackedSince(); },
+        [&](Tick oldest, Tick) { tripOldest = oldest; });
+    wd.arm();
+    net.send(mkMsg(0, 1, 42), 0);
+    EXPECT_THROW(eq.run(), WatchdogTimeout);
+    EXPECT_TRUE(received.empty());
+    EXPECT_EQ(stats.get("net.dead_links"), 1u);
+    EXPECT_EQ(tripOldest, 0u);
+    EXPECT_EQ(wd.trips(), 1u);
+}
+
+TEST_F(TransportFixture, WatchdogDrainsSilentlyOnCleanRun)
+{
+    rp.rto = 50;
+    attach();
+    Watchdog wd(eq, 1000, [&] { return tr->oldestUnackedSince(); });
+    wd.arm();
+    net.send(mkMsg(0, 1, 42), 0);
+    net.send(mkMsg(1, 2, 43), 5);
+    EXPECT_NO_THROW(eq.run());
+    EXPECT_EQ(received.size(), 2u);
+    EXPECT_EQ(wd.trips(), 0u);
+}
+
+TEST_F(TransportFixture, ChannelsSequenceIndependently)
+{
+    rp.rto = 50;
+    attach();
+    net.send(mkMsg(0, 1, 1), 0);
+    net.send(mkMsg(0, 2, 2), 0);
+    net.send(mkMsg(0, 1, 3), 0);
+    net.send(mkMsg(3, 1, 4), 0);
+    eq.run();
+    ASSERT_EQ(received.size(), 4u);
+    // Per-(src,dst) sequence spaces: 0->1 used 1,2; 0->2 and 3->1
+    // each started fresh at 1.
+    int seq1count = 0;
+    for (const auto& [tick, m] : received)
+        seq1count += m.seq == 1;
+    EXPECT_EQ(seq1count, 3);
+    EXPECT_EQ(stats.get("net.acks"), 4u);
+}
+
+TEST_F(TransportFixture, LocalMessagesBypassTransport)
+{
+    rp.rto = 50;
+    attach();
+    net.send(mkMsg(2, 2, 9), 0);
+    eq.run();
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].second.tkind, TKind::None);
+    EXPECT_EQ(received[0].second.seq, 0u);
+    EXPECT_EQ(stats.get("net.acks"), 0u);
+}
+
+} // namespace
+} // namespace tt

@@ -14,6 +14,11 @@
 #      and a JSON stats dump; both must parse as JSON
 #      (python3 -m json.tool) and every delivered message id must
 #      pair with a sent id.
+#   6. A --faults smoke grid: a small fault campaign per protocol over
+#      a lossy fabric (drop+dup+reorder) with the sanitizer on must
+#      come back all-ok with real faults injected and repaired, and
+#      the --no-reliable negative control must fail — proving both
+#      that the transport works and that the injection has teeth.
 #
 # Usage: tools/check.sh [--skip-asan] [--skip-tidy]
 set -euo pipefail
@@ -100,6 +105,34 @@ assert delivers == sends, (
     f"unpaired causal ids: {len(delivers ^ sends)}")
 EOF
 done
+
+# --- 6. Fault-injection smoke grid ------------------------------------------
+step "fault campaign: --faults --campaign smoke grid"
+FAULTMIX='drop=0.02,dup=0.02,reorder=0.05,seed=1'
+"$TTSIM" --app=em3d --dataset=tiny --nodes=8 --scale=2 \
+    --faults="$FAULTMIX" --campaign=2 \
+    --campaign-json="$TRACEDIR/campaign.json" >/dev/null
+python3 - "$TRACEDIR/campaign.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+t = rep["totals"]
+assert t["ok"] == t["runs"], f"campaign not clean: {t}"
+assert t["faults_injected"] > 0, "fabric was not actually lossy"
+assert t["retransmits"] > 0, "transport never had to repair anything"
+EOF
+echo "--- campaign clean: report validated"
+# Negative control: the same fabric without the reliable transport
+# must NOT come back clean (watchdog trip / deadlock / violation →
+# ttsim exits 3 or 4; anything else, including 0, fails the gate).
+rc=0
+"$TTSIM" --app=em3d --dataset=tiny --nodes=8 --scale=2 \
+    --faults="$FAULTMIX" --no-reliable --horizon=20000 \
+    --campaign=1 --systems=stache >/dev/null 2>&1 || rc=$?
+if [ "$rc" != 3 ] && [ "$rc" != 4 ]; then
+    echo "negative control: expected exit 3/4, got $rc" >&2
+    exit 1
+fi
+echo "--- negative control failed as required (exit $rc)"
 
 echo
 echo "check.sh: all gates passed"

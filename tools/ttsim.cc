@@ -14,6 +14,7 @@
  * Systems: dirnnb | stache | migratory | update (EM3D only).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 #include "apps/workloads.hh"
 #include "config/bench_harness.hh"
 #include "config/builders.hh"
+#include "config/campaign.hh"
 
 using namespace tt;
 
@@ -56,6 +58,17 @@ struct Options
     bool perturb = false;        ///< randomize schedules (implies check)
     std::uint64_t perturbSeed = 0;
     int jitter = 3;              ///< max extra net latency under perturb
+    bool jitterSet = false;      ///< --jitter given explicitly
+
+    // Unreliable-network fault injection (DESIGN.md §10).
+    std::string faults;          ///< --faults=SPEC (fault_model.hh)
+    bool noReliable = false;     ///< face the raw lossy fabric
+    Tick horizon = 0;            ///< watchdog horizon (0 = default)
+    Tick rto = 0;                ///< transport initial RTO (0 = default)
+    int retries = 0;             ///< transport retry cap (0 = default)
+    int campaign = 0;            ///< seeds per system (0 = single run)
+    std::string campaignJson;    ///< campaign report path
+    std::string systems;         ///< campaign system list (csv)
 };
 
 void
@@ -94,6 +107,21 @@ usage()
         " (implies --check)\n"
         "  --jitter=N        max perturbation latency jitter"
         " (default 3)\n"
+        "  --faults=SPEC     unreliable fabric: drop=P,dup=P,"
+        "reorder=P[:MAX],\n"
+        "                    partition=P[:LEN],pause=P[:LEN],cut=A-B,"
+        "seed=N\n"
+        "                    (needs a seed: seed= in SPEC or --seed)\n"
+        "  --no-reliable     disable the reliable transport (negative"
+        " control)\n"
+        "  --horizon=N       watchdog horizon in ticks (default"
+        " 100000)\n"
+        "  --rto=N           transport initial retransmit timeout\n"
+        "  --retries=N       transport retry cap before dead-link\n"
+        "  --campaign=N      sweep N derived fault seeds per system"
+        " (needs --faults)\n"
+        "  --campaign-json=F write the campaign report to F\n"
+        "  --systems=A,B     campaign targets (default all four)\n"
         "  --stats           dump all statistics after the run\n"
         "  --table2          print the Table 2 configuration\n"
         "  --list            list workloads and exit\n");
@@ -151,6 +179,23 @@ parseArg(Options& o, const std::string& arg)
         o.perturbSeed = std::strtoull(v.c_str(), nullptr, 0);
     } else if (eat("--jitter=", &v)) {
         o.jitter = std::atoi(v.c_str());
+        o.jitterSet = true;
+    } else if (eat("--faults=", &v)) {
+        o.faults = v;
+    } else if (eat("--horizon=", &v)) {
+        o.horizon = std::strtoull(v.c_str(), nullptr, 0);
+    } else if (eat("--rto=", &v)) {
+        o.rto = std::strtoull(v.c_str(), nullptr, 0);
+    } else if (eat("--retries=", &v)) {
+        o.retries = std::atoi(v.c_str());
+    } else if (eat("--campaign=", &v)) {
+        o.campaign = std::atoi(v.c_str());
+    } else if (eat("--campaign-json=", &v)) {
+        o.campaignJson = v;
+    } else if (eat("--systems=", &v)) {
+        o.systems = v;
+    } else if (arg == "--no-reliable") {
+        o.noReliable = true;
     } else if (arg == "--check") {
         o.check = true;
     } else if (arg == "--stats") {
@@ -175,6 +220,57 @@ parseDataSet(const std::string& s)
     if (s == "large")
         return DataSet::Large;
     tt_fatal("unknown dataset: ", s);
+}
+
+/** Reject contradictory flag combinations with a clear usage error. */
+void
+validateOptions(const Options& o)
+{
+    auto die = [](const char* msg) {
+        std::fprintf(stderr, "ttsim: %s\n", msg);
+        std::exit(2);
+    };
+    if (o.faults.empty()) {
+        // The robustness knobs only mean something on a lossy fabric.
+        if (o.noReliable)
+            die("--no-reliable requires --faults");
+        if (o.horizon)
+            die("--horizon requires --faults");
+        if (o.rto)
+            die("--rto requires --faults");
+        if (o.retries)
+            die("--retries requires --faults");
+        if (o.campaign)
+            die("--campaign requires --faults");
+    } else if (o.faults.find("seed=") == std::string::npos && !o.seed) {
+        // An unseeded fault run is unreproducible by construction.
+        die("--faults needs a seeded run: put seed=N in the spec or "
+            "pass --seed=N");
+    }
+    if (o.jitterSet && !o.perturb)
+        die("--jitter only modifies --perturb runs");
+    if (!o.campaignJson.empty() && !o.campaign)
+        die("--campaign-json requires --campaign");
+    if (o.campaign) {
+        if (o.campaign < 1)
+            die("--campaign wants a positive run count");
+        if (o.perturb)
+            die("--campaign and --perturb are mutually exclusive (a "
+                "campaign already sweeps seeds)");
+        if (!o.traceFile.empty())
+            die("--campaign runs many machines; --trace applies to a "
+                "single run");
+        if (!o.benchJson.empty())
+            die("--campaign and --bench-json are mutually exclusive");
+        if (!o.statsJson.empty())
+            die("--campaign and --stats-json are mutually exclusive "
+                "(the report goes to --campaign-json)");
+        if (!o.fault.empty())
+            die("--campaign and --fault (protocol-bug injection) are "
+                "mutually exclusive");
+    } else if (!o.systems.empty()) {
+        die("--systems requires --campaign");
+    }
 }
 
 } // namespace
@@ -203,6 +299,8 @@ main(int argc, char** argv)
                         w.smallDesc.c_str(), w.largeDesc.c_str());
         return 0;
     }
+
+    validateOptions(o);
 
     MachineConfig cfg;
     cfg.core.nodes = o.nodes;
@@ -241,8 +339,86 @@ main(int argc, char** argv)
         cfg.net.jitterSeed = o.perturbSeed * 0x9e3779b97f4a7c15ULL + 1;
     }
 
+    if (!o.faults.empty()) {
+        cfg.faults = parseFaultSpec(o.faults);
+        if (o.faults.find("seed=") == std::string::npos) {
+            // Derive the fault seed from the machine seed, decorrelated
+            // so the two streams never accidentally alias.
+            cfg.faults.seed = o.seed * 0x9e3779b97f4a7c15ULL + 0x5eed;
+        }
+        cfg.reliable.enable = !o.noReliable;
+        if (o.rto) {
+            cfg.reliable.rto = o.rto;
+            cfg.reliable.rtoMax = std::max(cfg.reliable.rtoMax, o.rto);
+        }
+        if (o.retries)
+            cfg.reliable.maxRetries = o.retries;
+        if (o.horizon)
+            cfg.watchdog.horizon = o.horizon;
+    }
+
     if (o.table2)
         printTable2(std::cout, cfg);
+
+    if (o.campaign) {
+        CampaignConfig cc;
+        cc.base = cfg;
+        cc.runs = o.campaign;
+        cc.app = o.app;
+        cc.dataset = parseDataSet(o.dataset);
+        cc.scale = o.scale;
+        cc.remoteFrac = o.remotePct / 100.0;
+        if (o.systems.empty()) {
+            cc.systems = {"dirnnb", "stache", "migratory"};
+            if (o.app == "em3d")
+                cc.systems.push_back("update");
+        } else {
+            std::size_t pos = 0;
+            while (pos <= o.systems.size()) {
+                std::size_t end = o.systems.find(',', pos);
+                if (end == std::string::npos)
+                    end = o.systems.size();
+                const std::string s = o.systems.substr(pos, end - pos);
+                if (!s.empty())
+                    cc.systems.push_back(s);
+                pos = end + 1;
+            }
+            if (cc.systems.empty())
+                tt_fatal("--systems: no systems named");
+        }
+        for (const auto& s : cc.systems)
+            if (s == "update" && o.app != "em3d")
+                tt_fatal("campaign system 'update' supports only "
+                         "--app=em3d");
+
+        std::printf("campaign: %d seeds x %zu systems, faults=%s%s\n",
+                    cc.runs, cc.systems.size(), o.faults.c_str(),
+                    o.noReliable ? " (reliable transport OFF)" : "");
+        CampaignReport rep = runCampaign(cc);
+        rep.faultSpec = o.faults;
+        std::printf(
+            "campaign: %zu runs: ok=%llu violation=%llu watchdog=%llu "
+            "panic=%llu error=%llu\n",
+            rep.runs.size(),
+            static_cast<unsigned long long>(rep.countOutcome("ok")),
+            static_cast<unsigned long long>(
+                rep.countOutcome("violation")),
+            static_cast<unsigned long long>(
+                rep.countOutcome("watchdog")),
+            static_cast<unsigned long long>(rep.countOutcome("panic")),
+            static_cast<unsigned long long>(rep.countOutcome("error")));
+        if (!o.campaignJson.empty()) {
+            if (!rep.writeJsonFile(o.campaignJson)) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             o.campaignJson.c_str());
+                return 1;
+            }
+            std::printf("campaign json  : %s\n", o.campaignJson.c_str());
+        }
+        if (rep.countOutcome("violation"))
+            return 3;
+        return rep.allOk() ? 0 : 4;
+    }
 
     TargetMachine target;
     std::unique_ptr<BenchApp> app;
@@ -281,7 +457,17 @@ main(int argc, char** argv)
                 o.cacheKb, o.blockSize, o.dataset.c_str(), o.scale);
 
     const auto t0 = std::chrono::steady_clock::now();
-    const RunResult r = target.run(*app);
+    RunResult r;
+    try {
+        r = target.run(*app);
+    } catch (const WatchdogTimeout& e) {
+        // The on-trip hook already dumped the flight-recorder tail.
+        std::fprintf(stderr, "ttsim: %s\n", e.what());
+        if (!o.statsJson.empty() &&
+            target.m().stats().writeJsonFile(o.statsJson))
+            std::printf("stats json     : %s\n", o.statsJson.c_str());
+        return 4;
+    }
     const auto t1 = std::chrono::steady_clock::now();
     const double wallMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
