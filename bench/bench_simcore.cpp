@@ -131,6 +131,37 @@ main()
         std::remove("bench_trace_scratch.json");
     }
 
+    // The same grid with the sharing analyzer folding every access
+    // (--analyze, DESIGN.md §11): measures the analyzer-on cost.
+    // Simulated results must again be bit-identical — the analyzer
+    // only observes.
+    std::printf("\nanalyze-on pass:\n");
+    {
+        MachineConfig acfg = cfg;
+        acfg.obs.analyze = true;
+        std::size_t i = 0;
+        for (const char* system : {"dirnnb", "stache"}) {
+            for (const auto& app : apps) {
+                const BenchCase c = runBenchCase(
+                    system, app, DataSet::Small, scale, acfg);
+                const BenchCase& base = rep.cases[i++];
+                if (c.cycles != base.cycles ||
+                    c.checksum != base.checksum) {
+                    std::fprintf(stderr,
+                                 "analyzer changed simulated results "
+                                 "for %s/%s\n",
+                                 system, app.c_str());
+                    return 1;
+                }
+                rep.analyzeOnEvents += c.events;
+                rep.analyzeOnWallMs += c.wallMs;
+                std::printf("%-8s %-8s %9.1f ms\n", system,
+                            app.c_str(), c.wallMs);
+                std::fflush(stdout);
+            }
+        }
+    }
+
     // The same grid over a lossy fabric with the user-level reliable
     // transport repairing it (DESIGN.md §10). Cycle counts
     // legitimately change — retransmission traffic is real simulated

@@ -51,6 +51,14 @@ BenchReport::traceOnEventsPerSec() const
 }
 
 double
+BenchReport::analyzeOnEventsPerSec() const
+{
+    return analyzeOnWallMs > 0
+               ? analyzeOnEvents / (analyzeOnWallMs / 1000.0)
+               : 0;
+}
+
+double
 BenchReport::transportOnEventsPerSec() const
 {
     return transportOnWallMs > 0
@@ -102,6 +110,14 @@ BenchReport::printTable(std::ostream& os) const
                       "than trace off)\n",
                       traceOnEventsPerSec(),
                       eventsPerSec() / traceOnEventsPerSec());
+        os << line;
+    }
+    if (analyzeOnWallMs > 0) {
+        std::snprintf(line, sizeof line,
+                      "analyze on: %.0f events/sec (%.2fx slower "
+                      "than analyze off)\n",
+                      analyzeOnEventsPerSec(),
+                      eventsPerSec() / analyzeOnEventsPerSec());
         os << line;
     }
     if (transportOnWallMs > 0) {
@@ -198,6 +214,16 @@ BenchReport::writeJson(std::ostream& os) const
         jsonNumber(os, traceOnEventsPerSec());
         os << ", \"slowdown_vs_trace_off\": ";
         jsonNumber(os, eventsPerSec() / traceOnEventsPerSec());
+        os << "}";
+    }
+    if (analyzeOnWallMs > 0) {
+        os << ",\n  \"analyze_overhead\": {\"events\": "
+           << analyzeOnEvents << ", \"wall_ms\": ";
+        jsonNumber(os, analyzeOnWallMs);
+        os << ", \"events_per_sec_analyze_on\": ";
+        jsonNumber(os, analyzeOnEventsPerSec());
+        os << ", \"slowdown_vs_analyze_off\": ";
+        jsonNumber(os, eventsPerSec() / analyzeOnEventsPerSec());
         os << "}";
     }
     if (transportOnWallMs > 0) {

@@ -72,6 +72,14 @@ struct BenchReport
     std::uint64_t traceOnEvents = 0;
 
     /**
+     * Sharing-analyzer overhead: the same grid re-run with the
+     * recorder attached and the analyzer folding every access
+     * (--analyze, DESIGN.md §11). Same "0 = not measured" convention.
+     */
+    double analyzeOnWallMs = 0;
+    std::uint64_t analyzeOnEvents = 0;
+
+    /**
      * Reliable-transport-over-lossy-fabric overhead: the same grid
      * re-run with a fault mix injected and the user-level transport
      * repairing it (DESIGN.md §10). Unlike the checker/trace passes
@@ -89,6 +97,7 @@ struct BenchReport
     double eventsPerSec() const;
     double checkerOnEventsPerSec() const;
     double traceOnEventsPerSec() const;
+    double analyzeOnEventsPerSec() const;
     double transportOnEventsPerSec() const;
 
     /** Pretty per-case table for humans. */

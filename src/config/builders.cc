@@ -45,8 +45,10 @@ attachObserver(TargetMachine& t, const MachineConfig& cfg)
     // watchdog trip or fault-induced panic comes with the crash-ring
     // tail (DESIGN.md §10).
     const ObsConfig& oc = cfg.obs;
-    if (!oc.enable && !cfg.check.enable && !cfg.faults.any())
+    if (!oc.enable && !oc.analyze && !cfg.check.enable &&
+        !cfg.faults.any()) {
         return;
+    }
     t.obs = std::make_unique<FlightRecorder>(cfg.core.nodes,
                                              oc.ringCapacity);
     t.network->setRecorder(t.obs.get());
@@ -62,6 +64,8 @@ attachObserver(TargetMachine& t, const MachineConfig& cfg)
         t.obs->enableProfiler(t.machine->stats());
     if (oc.samplePeriod > 0)
         t.obs->enableSampler(t.machine->stats(), oc.samplePeriod);
+    if (oc.analyze)
+        t.obs->enableSharing(cfg.core.blockSize, cfg.core.pageSize);
     t.obs->installCrashDump();
 }
 

@@ -56,6 +56,7 @@ struct ObsConfig
     std::string traceFile;      ///< Perfetto JSON path ("" = no trace)
     Tick samplePeriod = 0;      ///< counter-snapshot period (0 = off)
     bool profile = true;        ///< fold miss-latency histograms
+    bool analyze = false;       ///< fold the online sharing analyzer
 };
 
 /**

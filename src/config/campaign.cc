@@ -1,8 +1,10 @@
 #include "config/campaign.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
+#include "obs/recorder.hh"
 #include "sim/logging.hh"
 #include "sim/watchdog.hh"
 
@@ -45,6 +47,7 @@ runOne(const CampaignConfig& cc, const std::string& system,
     MachineConfig cfg = cc.base;
     cfg.faults.seed = seed;
     cfg.check.enable = true; // campaigns always sanitize
+    cfg.obs.analyze = true;  // ...and always classify sharing
 
     CampaignRun run;
     run.system = system;
@@ -104,6 +107,16 @@ runOne(const CampaignConfig& cc, const std::string& system,
     run.oooDropped = stats.get("net.ooo_dropped");
     run.deadLinks = stats.get("net.dead_links");
     run.watchdogTrips = stats.get("obs.watchdog.trips");
+    if (target.obs && target.obs->sharing()) {
+        const SharingAnalyzer::Summary s =
+            target.obs->sharing()->summarize();
+        for (int p = 0; p < kSharePatterns; ++p) {
+            run.patternBlocks[static_cast<std::size_t>(p)] =
+                s.blocksByPattern[static_cast<std::size_t>(p)];
+        }
+        run.falseSharingBlocks = s.falseSharingBlocks;
+        run.dominantPattern = sharePatternKey(s.dominant());
+    }
     return run;
 }
 
@@ -203,6 +216,39 @@ CampaignReport::writeJson(std::ostream& os) const
     os << ", \"dead_links\": " << dead;
     os << ", \"watchdog_trips\": " << trips;
     os << "},\n";
+
+    // Per-system sharing-pattern mix, aggregated over the system's
+    // runs in cc.systems order (the order runs were produced).
+    os << "  \"sharing\": [\n";
+    std::vector<std::string> order;
+    for (const CampaignRun& r : runs) {
+        if (std::find(order.begin(), order.end(), r.system) ==
+            order.end())
+            order.push_back(r.system);
+    }
+    for (std::size_t si = 0; si < order.size(); ++si) {
+        std::array<std::uint64_t, kSharePatterns> mix{};
+        std::uint64_t falseBlocks = 0;
+        for (const CampaignRun& r : runs) {
+            if (r.system != order[si])
+                continue;
+            for (int p = 0; p < kSharePatterns; ++p)
+                mix[static_cast<std::size_t>(p)] +=
+                    r.patternBlocks[static_cast<std::size_t>(p)];
+            falseBlocks += r.falseSharingBlocks;
+        }
+        os << "    {\"system\": ";
+        jsonEscape(os, order[si]);
+        os << ", \"patterns\": {";
+        for (int p = 0; p < kSharePatterns; ++p) {
+            os << (p ? ", " : "") << "\""
+               << sharePatternKey(static_cast<SharePattern>(p))
+               << "\": " << mix[static_cast<std::size_t>(p)];
+        }
+        os << "}, \"false_sharing_blocks\": " << falseBlocks << "}"
+           << (si + 1 < order.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
     os << "  \"runs\": [\n";
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const CampaignRun& r = runs[i];
@@ -223,6 +269,12 @@ CampaignReport::writeJson(std::ostream& os) const
         os << ", \"dead_links\": " << r.deadLinks;
         os << ", \"violations\": " << r.violations;
         os << ", \"watchdog_trips\": " << r.watchdogTrips;
+        if (!r.dominantPattern.empty()) {
+            os << ", \"dominant_pattern\": ";
+            jsonEscape(os, r.dominantPattern);
+            os << ", \"false_sharing_blocks\": "
+               << r.falseSharingBlocks;
+        }
         if (!r.detail.empty()) {
             os << ", \"detail\": ";
             jsonEscape(os, r.detail);

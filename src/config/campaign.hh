@@ -28,12 +28,14 @@
 #ifndef TT_CONFIG_CAMPAIGN_HH
 #define TT_CONFIG_CAMPAIGN_HH
 
+#include <array>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "apps/workloads.hh"
 #include "config/builders.hh"
+#include "obs/sharing.hh"
 
 namespace tt
 {
@@ -68,6 +70,11 @@ struct CampaignRun
     std::uint64_t violations = 0;
     std::uint64_t watchdogTrips = 0;
     std::string detail;         ///< first violation / panic message
+
+    // Sharing-analyzer summary (campaigns always analyze).
+    std::array<std::uint64_t, kSharePatterns> patternBlocks{};
+    std::uint64_t falseSharingBlocks = 0;
+    std::string dominantPattern;
 };
 
 /** The aggregated campaign result. */

@@ -1,6 +1,7 @@
 #include "custom/em3d_protocol.hh"
 
 #include "mem/addr.hh"
+#include "obs/recorder.hh"
 #include "sim/logging.hh"
 
 namespace tt
@@ -212,13 +213,21 @@ Em3dUpdateProtocol::onCFlush(TempestCtx& ctx, const Message& msg)
     const int kind = static_cast<int>(msg.args.at(0));
     ctx.charge(4);
     std::vector<std::uint8_t> buf(_cp.blockSize);
+    FlightRecorder* obs = _ms.recorder();
     for (Addr blk : _flushList[self][kind]) {
         ctx.structAccess(entryKey(blk));
         readBlockHost(self, blk, buf.data());
         Word args[3] = {static_cast<Word>(blk),
                         static_cast<Word>(blk >> 32),
                         static_cast<Word>(kind)};
-        for (NodeId dst : _copies.at(blk / _cp.blockSize).consumers) {
+        const auto& consumers =
+            _copies.at(blk / _cp.blockSize).consumers;
+        if (obs && obs->wantSharing() && !consumers.empty()) {
+            obs->invalSent(self, blk, self,
+                           static_cast<std::uint32_t>(consumers.size()),
+                           InvKind::Update, _m.eq().now());
+        }
+        for (NodeId dst : consumers) {
             ctx.charge(1);
             ctx.send(dst, kCUpdate, std::span<const Word>(args),
                      buf.data(), _cp.blockSize, VNet::Request);

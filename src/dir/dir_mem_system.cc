@@ -213,6 +213,9 @@ DirMemSystem::access(MemRequest* req)
             if (_checker)
                 _checker->onAccess(self, va, req->size, false,
                                    req->buf);
+            if (_obs && _obs->wantSharing())
+                _obs->blockAccess(self, va, req->size, false,
+                                  req->issueTime + cost);
             return {true, cost};
         }
     } else {
@@ -222,6 +225,9 @@ DirMemSystem::access(MemRequest* req)
             if (_checker)
                 _checker->onAccess(self, va, req->size, true,
                                    req->buf);
+            if (_obs && _obs->wantSharing())
+                _obs->blockAccess(self, va, req->size, true,
+                                  req->issueTime + cost);
             return {true, cost};
         }
     }
@@ -254,6 +260,11 @@ DirMemSystem::access(MemRequest* req)
                                        req->buf);
                     _checker->onEventEnd();
                 }
+                if (_obs && _obs->wantSharing()) {
+                    _obs->blockAccess(self, va, req->size, false,
+                                      req->issueTime + cost +
+                                          _cp.localMissLatency);
+                }
                 return {true, cost + _cp.localMissLatency};
             }
             if (req->op == MemOp::Write && st == DirState::Idle) {
@@ -269,6 +280,10 @@ DirMemSystem::access(MemRequest* req)
                                            req->buf);
                         _checker->onEventEnd();
                     }
+                    if (_obs && _obs->wantSharing()) {
+                        _obs->blockAccess(self, va, req->size, true,
+                                          req->issueTime + cost);
+                    }
                     return {true, cost};
                 }
                 CacheResult fres = n.cache->fill(va, LineState::Owned);
@@ -283,6 +298,11 @@ DirMemSystem::access(MemRequest* req)
                     _checker->onAccess(self, va, req->size, true,
                                        req->buf);
                     _checker->onEventEnd();
+                }
+                if (_obs && _obs->wantSharing()) {
+                    _obs->blockAccess(self, va, req->size, true,
+                                      req->issueTime + cost +
+                                          _cp.localMissLatency);
                 }
                 return {true, cost + _cp.localMissLatency};
             }
@@ -555,6 +575,10 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
             const Tick cost = _p.dirOpBase + _p.dirPerMsg;
             hn.ctrlFree = start + cost;
             _cRecallsSent.inc();
+            if (_obs && _obs->wantSharing()) {
+                _obs->invalSent(home, blk, requester, 1,
+                                InvKind::Downgrade, start + cost);
+            }
             sendMsg(home, e.owner, VNet::Request, kRecall, blk,
                     start + cost, /*toInvalid=*/0);
         }
@@ -586,6 +610,11 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
             _p.dirPerMsg * static_cast<Tick>(targets.size());
         hn.ctrlFree = start + cost;
         _cInvSent.inc(targets.size());
+        if (_obs && _obs->wantSharing()) {
+            _obs->invalSent(home, blk, requester,
+                            static_cast<std::uint32_t>(targets.size()),
+                            InvKind::Inval, start + cost);
+        }
         for (NodeId t : targets)
             sendMsg(home, t, VNet::Request, kInv, blk, start + cost);
         break;
@@ -598,6 +627,10 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
         const Tick cost = _p.dirOpBase + _p.dirPerMsg;
         hn.ctrlFree = start + cost;
         _cRecallsSent.inc();
+        if (_obs && _obs->wantSharing()) {
+            _obs->invalSent(home, blk, requester, 1, InvKind::Recall,
+                            start + cost);
+        }
         sendMsg(home, e.owner, VNet::Request, kRecall, blk,
                 start + cost, /*toInvalid=*/1);
         break;
@@ -612,6 +645,7 @@ DirMemSystem::grant(NodeId home, Addr blk, Tick when)
     tt_assert(e.mshr, "grant with no transaction");
     Mshr& m = *e.mshr;
     Node& hn = _nodes[home];
+    const DirState oldState = e.state;
 
     // Final directory state.
     if (m.op == MemOp::Read) {
@@ -641,6 +675,10 @@ DirMemSystem::grant(NodeId home, Addr blk, Tick when)
 
     if (_checker)
         _checker->onBlockEvent(home, blk, "dir:grant");
+    if (_obs && _obs->wantSharing() && e.state != oldState) {
+        _obs->dirTrans(home, blk, static_cast<std::uint8_t>(oldState),
+                       static_cast<std::uint8_t>(e.state), when);
+    }
 
     // Deliver the grant.
     if (m.requester == home) {
@@ -690,6 +728,12 @@ DirMemSystem::applyWriteback(NodeId home, Addr blk, NodeId from,
     e.owner = kNoNode;
     if (_checker)
         _checker->onBlockEvent(home, blk, "dir:writeback");
+    if (_obs && _obs->wantSharing()) {
+        _obs->dirTrans(home, blk,
+                       static_cast<std::uint8_t>(DirState::Excl),
+                       static_cast<std::uint8_t>(DirState::Idle),
+                       start);
+    }
 }
 
 // --------------------------------------------------------------------
@@ -729,8 +773,13 @@ DirMemSystem::completeAtRequester(NodeId node, Addr blk, bool withData,
 
     n.ctrlFree = start + cost;
     const Tick done = start + cost;
-    if (_obs)
+    if (_obs) {
         _obs->missEnd(node, req->vaddr, req->op == MemOp::Write, done);
+        if (_obs->wantSharing()) {
+            _obs->blockAccess(node, req->vaddr, req->size,
+                              req->op == MemOp::Write, done);
+        }
+    }
     _m.eq().schedule(std::max(done, _m.eq().now()), [this, req] {
         transfer(req);
         if (_checker) {
@@ -773,8 +822,13 @@ DirMemSystem::completeLocal(NodeId node, Addr blk, Tick when)
         handleVictim(node, fres, when + cost);
     }
     const Tick done = when + cost;
-    if (_obs)
+    if (_obs) {
         _obs->missEnd(node, req->vaddr, req->op == MemOp::Write, done);
+        if (_obs->wantSharing()) {
+            _obs->blockAccess(node, req->vaddr, req->size,
+                              req->op == MemOp::Write, done);
+        }
+    }
     _m.eq().schedule(std::max(done, _m.eq().now()), [this, req] {
         transfer(req);
         if (_checker) {

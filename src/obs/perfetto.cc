@@ -161,6 +161,23 @@ PerfettoWriter::write(const TraceRecord& r, const FlightRecorder& rec)
             << ", \"dur\": " << (r.t2 > 0 ? r.t2 : 1)
             << ", \"args\": {\"bytes\": " << r.arg << "}}";
         break;
+      // Sharing-analysis kinds (only present when --analyze is on;
+      // BlockAccess is too dense for a useful trace, so only the
+      // coherence rounds are exported).
+      case RecKind::BlockAccess:
+        break;
+      case RecKind::InvalSent:
+        begin("i", r.tick, r.node, "share",
+              r.sub == 3 ? "share.update" : "share.inval")
+            << ", \"s\": \"t\", \"args\": {\"blk\": " << r.addr
+            << ", \"fanout\": " << r.arg << "}}";
+        break;
+      case RecKind::DirTrans:
+        begin("i", r.tick, r.node, "share", "share.dir")
+            << ", \"s\": \"t\", \"args\": {\"blk\": " << r.addr
+            << ", \"from\": " << r.arg
+            << ", \"to\": " << int(r.sub) << "}}";
+        break;
     }
 }
 

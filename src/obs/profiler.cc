@@ -159,6 +159,9 @@ LatencyProfiler::fold(const TraceRecord& r)
       case RecKind::PageMap:
       case RecKind::PageUnmap:
       case RecKind::BulkPacket:
+      case RecKind::BlockAccess:
+      case RecKind::InvalSent:
+      case RecKind::DirTrans:
         break;
     }
 }

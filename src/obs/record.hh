@@ -36,6 +36,22 @@ enum class RecKind : std::uint8_t
     PageMap,     ///< a page was mapped into a node's page table
     PageUnmap,   ///< a page was unmapped
     BulkPacket,  ///< the bulk-transfer engine injected a packet
+
+    // Sharing-analysis kinds (DESIGN.md §11). Only emitted when the
+    // SharingAnalyzer is attached (FlightRecorder::wantSharing()), so
+    // plain --trace runs stay byte-identical to pre-analyzer traces.
+    BlockAccess, ///< a CPU access completed (full va + size + op)
+    InvalSent,   ///< a home sent an invalidation/recall/update round
+    DirTrans,    ///< a directory entry changed state at its home
+};
+
+/** Sub-kind for InvalSent records (what kind of round went out). */
+enum class InvKind : std::uint8_t
+{
+    Inval = 0,     ///< invalidate shared copies
+    Recall = 1,    ///< recall an exclusive copy (to invalid)
+    Downgrade = 2, ///< demote an exclusive copy to read-only
+    Update = 3,    ///< push new data to registered copies (no inval)
 };
 
 /** Sub-kind for HandlerDone records (what kind of activation ran). */
@@ -62,6 +78,13 @@ enum class ActKind : std::uint8_t
  * | PageMap     | tick      | --       | pageVa  | --      | mode  | self | --     |
  * | PageUnmap   | tick      | --       | pageVa  | --      | --    | self | --     |
  * | BulkPacket  | tick      | cost     | --      | --      | bytes | self | --     |
+ * | BlockAccess | complete  | --       | va      | --      | size  | self | write? |
+ * | InvalSent   | tick      | --       | blk     | req nd  | fanout| home | InvKind|
+ * | DirTrans    | tick      | --       | blk     | --      | old st| home | new st |
+ *
+ * DirTrans states use a protocol-independent encoding (0 = Idle,
+ * 1 = Shared, 2 = Excl), matching both StacheDirEntry::State and
+ * DirMemSystem::DirState.
  *
  * `id` is the causal message id: Network::send stamps a fresh id onto
  * every message when tracing is on, and the MsgDeliver / HandlerDone

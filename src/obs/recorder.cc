@@ -4,6 +4,7 @@
 
 #include "obs/perfetto.hh"
 #include "obs/profiler.hh"
+#include "obs/sharing.hh"
 #include "sim/stats.hh"
 
 namespace tt
@@ -52,6 +53,12 @@ recKindName(RecKind k)
         return "unmap";
       case RecKind::BulkPacket:
         return "bulk";
+      case RecKind::BlockAccess:
+        return "access";
+      case RecKind::InvalSent:
+        return "inval";
+      case RecKind::DirTrans:
+        return "dir";
     }
     return "?";
 }
@@ -86,6 +93,17 @@ void
 FlightRecorder::enableProfiler(StatSet& stats)
 {
     _profiler = std::make_unique<LatencyProfiler>(stats, nodes());
+    _haveConsumers = true;
+}
+
+void
+FlightRecorder::enableSharing(std::uint32_t block_size,
+                              std::uint32_t page_size)
+{
+    SharingParams p;
+    p.blockSize = block_size;
+    p.pageSize = page_size;
+    _sharing = std::make_unique<SharingAnalyzer>(nodes(), p);
     _haveConsumers = true;
 }
 
@@ -143,6 +161,8 @@ FlightRecorder::consume(const TraceRecord& r)
         _writer->write(r, *this);
     if (_profiler)
         _profiler->fold(r);
+    if (_sharing)
+        _sharing->fold(r);
 }
 
 void
@@ -152,6 +172,11 @@ FlightRecorder::sampleCounters(Tick boundary)
         return;
     for (const auto& [name, c] : _sampleStats->counters())
         _writer->counter(boundary, name, c.value());
+    // Gauges that are not StatSet counters: the number of misses open
+    // right now (a live queue-depth track in the Perfetto UI).
+    if (_profiler)
+        _writer->counter(boundary, "obs.miss.open",
+                         _profiler->openMisses());
 }
 
 void
@@ -231,6 +256,19 @@ FlightRecorder::formatRecord(std::ostream& os,
         break;
       case RecKind::BulkPacket:
         os << " bytes=" << r.arg << " cost=" << r.t2;
+        break;
+      case RecKind::BlockAccess:
+        os << (r.sub ? " wr" : " rd") << " va=0x" << std::hex << r.addr
+           << std::dec << " size=" << r.arg;
+        break;
+      case RecKind::InvalSent:
+        os << " blk=0x" << std::hex << r.addr << std::dec << " kind="
+           << int(r.sub) << " fanout=" << r.arg << " req=n"
+           << static_cast<NodeId>(r.id);
+        break;
+      case RecKind::DirTrans:
+        os << " blk=0x" << std::hex << r.addr << std::dec << " "
+           << r.arg << "->" << int(r.sub);
         break;
     }
     os << "\n";

@@ -43,6 +43,7 @@ namespace tt
 
 class LatencyProfiler;
 class PerfettoWriter;
+class SharingAnalyzer;
 class StatSet;
 
 class FlightRecorder
@@ -75,9 +76,20 @@ class FlightRecorder
     /**
      * Emit a snapshot of every counter in @p stats into the trace as
      * Perfetto counter tracks whenever sim-time crosses a multiple of
-     * @p period ticks. No-op unless a trace file is open.
+     * @p period ticks, plus the obs.miss.open gauge (profiler open
+     * misses). No-op unless a trace file is open.
      */
     void enableSampler(StatSet& stats, Tick period);
+
+    /**
+     * Attach a SharingAnalyzer (ttsim --analyze, DESIGN.md §11).
+     * Turning it on makes wantSharing() true, which is the switch the
+     * instrumented protocols consult before emitting the sharing-
+     * analysis record kinds — so analyze-off runs (including plain
+     * --trace runs) see a record stream byte-identical to before.
+     */
+    void enableSharing(std::uint32_t block_size,
+                       std::uint32_t page_size);
 
     /**
      * Dump the ring tails to stderr from inside tt_panic, so an
@@ -242,6 +254,56 @@ class FlightRecorder
         record(r);
     }
 
+    // Sharing-analysis records (DESIGN.md §11). Callers must hold
+    // `if (_obs && _obs->wantSharing())` so analyze-off runs keep a
+    // byte-identical record stream.
+
+    /** A CPU access completed at @p node (full va, not aligned). */
+    void
+    blockAccess(NodeId node, Addr va, std::uint32_t size, bool isWrite,
+                Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::BlockAccess;
+        r.tick = when;
+        r.addr = va;
+        r.arg = size;
+        r.node = node;
+        r.sub = isWrite ? 1 : 0;
+        record(r);
+    }
+
+    /** A home sent a coherence round (inval/recall/downgrade/update). */
+    void
+    invalSent(NodeId home, Addr blk, NodeId requester,
+              std::uint32_t fanout, InvKind kind, Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::InvalSent;
+        r.tick = when;
+        r.addr = blk;
+        r.id = static_cast<std::uint32_t>(requester);
+        r.arg = fanout;
+        r.node = home;
+        r.sub = static_cast<std::uint8_t>(kind);
+        record(r);
+    }
+
+    /** A directory entry changed state at its home (0/1/2 encoding). */
+    void
+    dirTrans(NodeId home, Addr blk, std::uint8_t oldState,
+             std::uint8_t newState, Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::DirTrans;
+        r.tick = when;
+        r.addr = blk;
+        r.arg = oldState;
+        r.node = home;
+        r.sub = newState;
+        record(r);
+    }
+
     // --- end of run / failure reporting -------------------------------
 
     /**
@@ -263,6 +325,11 @@ class FlightRecorder
     std::uint64_t recordCount() const { return _recorded; }
     std::uint32_t lastMsgId() const { return _lastMsgId; }
     LatencyProfiler* profiler() { return _profiler.get(); }
+    SharingAnalyzer* sharing() { return _sharing.get(); }
+
+    /** True iff a SharingAnalyzer consumes the stream (gates the
+     *  sharing-analysis record kinds at their emission sites). */
+    bool wantSharing() const { return _sharing != nullptr; }
 
     /** Oldest-first copy of node @p n's retained ring records. */
     std::vector<TraceRecord> ringOf(NodeId n) const;
@@ -301,6 +368,7 @@ class FlightRecorder
 
     std::unique_ptr<PerfettoWriter> _writer;
     std::unique_ptr<LatencyProfiler> _profiler;
+    std::unique_ptr<SharingAnalyzer> _sharing;
 
     StatSet* _sampleStats = nullptr;
     Tick _samplePeriod = 0;

@@ -4,6 +4,7 @@
 
 #include "check/hooks.hh"
 #include "mem/addr.hh"
+#include "obs/recorder.hh"
 #include "sim/logging.hh"
 
 namespace tt
@@ -477,6 +478,12 @@ Stache::homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
         Word args[2] = {static_cast<Word>(blk),
                         static_cast<Word>(blk >> 32)};
         _cInvalsSent.inc(targets.size());
+        if (FlightRecorder* obs = _ms.recorder();
+            obs && obs->wantSharing()) {
+            obs->invalSent(ctx.nodeId(), blk, requester,
+                           static_cast<std::uint32_t>(targets.size()),
+                           InvKind::Inval, _m.eq().now());
+        }
         for (NodeId s : targets)
             ctx.send(s, kInval, std::span<const Word>(args), nullptr,
                      0, VNet::Request);
@@ -499,6 +506,12 @@ Stache::homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
         Word args[2] = {static_cast<Word>(blk),
                         static_cast<Word>(blk >> 32)};
         _cRecalls.inc();
+        if (FlightRecorder* obs = _ms.recorder();
+            obs && obs->wantSharing()) {
+            obs->invalSent(ctx.nodeId(), blk, requester, 1,
+                           wantRW ? InvKind::Recall : InvKind::Downgrade,
+                           _m.eq().now());
+        }
         ctx.send(owner, wantRW ? kRecallRW : kDowngrade,
                  std::span<const Word>(args), nullptr, 0,
                  VNet::Request);
@@ -528,6 +541,17 @@ Stache::grantFromHome(TempestCtx& ctx, Addr blk, NodeId requester,
     HomeDir& hd = homeDirOf(blk);
     StacheDirEntry& e = entryOf(blk);
     const NodeId home = ctx.nodeId();
+    using St = StacheDirEntry::State;
+    const St oldState = e.state();
+    auto dirTrans = [&](St to) {
+        if (FlightRecorder* obs = _ms.recorder();
+            obs && obs->wantSharing() && to != oldState) {
+            obs->dirTrans(home, blk,
+                          static_cast<std::uint8_t>(oldState),
+                          static_cast<std::uint8_t>(to),
+                          _m.eq().now());
+        }
+    };
 
     if (_checker)
         _checker->onBlockEvent(home, blk, "dir:grant");
@@ -535,12 +559,14 @@ Stache::grantFromHome(TempestCtx& ctx, Addr blk, NodeId requester,
     if (wantRW) {
         if (requester == home) {
             e.setIdle(hd.aux);
+            dirTrans(St::Idle);
             ctx.setRW(blk);
             ctx.resume();
         } else if (dataless) {
             // Upgrade grant: the requester's read-only copy is
             // current; skip the block payload entirely.
             e.setExcl(requester, hd.aux);
+            dirTrans(St::Excl);
             ctx.invalidate(blk);
             Word args[3] = {static_cast<Word>(blk),
                             static_cast<Word>(blk >> 32), 1u};
@@ -549,6 +575,7 @@ Stache::grantFromHome(TempestCtx& ctx, Addr blk, NodeId requester,
                      nullptr, 0, VNet::Response);
         } else {
             e.setExcl(requester, hd.aux);
+            dirTrans(St::Excl);
             ctx.invalidate(blk); // home copy (tag + CPU cache) dies
             sendBlockData(ctx, requester, kDataRW, blk);
         }
@@ -570,6 +597,7 @@ Stache::grantFromHome(TempestCtx& ctx, Addr blk, NodeId requester,
         ctx.setRO(blk); // home keeps read access only
         sendBlockData(ctx, requester, kDataRO, blk);
     }
+    dirTrans(e.state());
 }
 
 void
@@ -700,7 +728,18 @@ Stache::onPutData(TempestCtx& ctx, const Message& msg)
     ctx.forceWrite(blk, msg.data.data(),
                    static_cast<std::uint32_t>(msg.data.size()));
     HomeDir& hd = homeDirOf(blk);
-    entryOf(blk).setIdle(hd.aux);
+    StacheDirEntry& e = entryOf(blk);
+    const auto oldState = e.state();
+    e.setIdle(hd.aux);
+    if (FlightRecorder* obs = _ms.recorder();
+        obs && obs->wantSharing() &&
+        oldState != StacheDirEntry::State::Idle) {
+        obs->dirTrans(ctx.nodeId(), blk,
+                      static_cast<std::uint8_t>(oldState),
+                      static_cast<std::uint8_t>(
+                          StacheDirEntry::State::Idle),
+                      _m.eq().now());
+    }
     const NodeId keep = tr->wasDowngrade ? tr->owner : kNoNode;
     finishTransient(ctx, blk, keep);
 }
@@ -852,7 +891,17 @@ Stache::onWriteback(TempestCtx& ctx, const Message& msg)
         // Crossed with our recall; the PutNack will finish the
         // transaction.
         tr->sawWb = true;
+        const auto oldState = e.state();
         e.setIdle(hd.aux);
+        if (FlightRecorder* obs = _ms.recorder();
+            obs && obs->wantSharing() &&
+            oldState != StacheDirEntry::State::Idle) {
+            obs->dirTrans(ctx.nodeId(), blk,
+                          static_cast<std::uint8_t>(oldState),
+                          static_cast<std::uint8_t>(
+                              StacheDirEntry::State::Idle),
+                          _m.eq().now());
+        }
         ctx.setRW(blk);
         return;
     }
@@ -860,6 +909,15 @@ Stache::onWriteback(TempestCtx& ctx, const Message& msg)
                   e.owner() == msg.src,
               "stale writeback for block ", blk, " from ", msg.src);
     e.setIdle(hd.aux);
+    if (FlightRecorder* obs = _ms.recorder();
+        obs && obs->wantSharing()) {
+        obs->dirTrans(ctx.nodeId(), blk,
+                      static_cast<std::uint8_t>(
+                          StacheDirEntry::State::Excl),
+                      static_cast<std::uint8_t>(
+                          StacheDirEntry::State::Idle),
+                      _m.eq().now());
+    }
     ctx.setRW(blk); // home regains the writable copy
 }
 

@@ -342,6 +342,10 @@ TyphoonMemSystem::access(MemRequest* req)
         if (_checker)
             _checker->onAccess(id, req->vaddr, req->size,
                                req->op == MemOp::Write, req->buf);
+        if (_obs && _obs->wantSharing())
+            _obs->blockAccess(id, req->vaddr, req->size,
+                              req->op == MemOp::Write,
+                              req->issueTime + pr.cost);
         return {true, pr.cost};
       case PipeResult::Kind::PageFault:
         tt_assert(!n.suspended, "second fault while suspended at ", id);
@@ -413,9 +417,14 @@ TyphoonMemSystem::retryAccess(NodeId id, Tick when)
             if (_checker)
                 _checker->onAccess(id, req->vaddr, req->size,
                                    req->op == MemOp::Write, req->buf);
-            if (_obs)
+            if (_obs) {
                 _obs->missEnd(id, req->vaddr,
                               req->op == MemOp::Write, now + pr.cost);
+                if (_obs->wantSharing())
+                    _obs->blockAccess(id, req->vaddr, req->size,
+                                      req->op == MemOp::Write,
+                                      now + pr.cost);
+            }
             _m.eq().schedule(now + pr.cost, [req] {
                 req->cpu->completeAccess(*req);
             });

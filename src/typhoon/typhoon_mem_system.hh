@@ -143,6 +143,9 @@ class TyphoonMemSystem : public MemorySystem
             r->nameHandler(kBulkDataHandler, "bulk_data");
     }
 
+    /** The attached recorder (protocols emit sharing records via it). */
+    FlightRecorder* recorder() const { return _obs; }
+
   private:
     friend class NpCtx;
     friend class TyphoonTempest;

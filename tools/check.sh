@@ -19,6 +19,11 @@
 #      come back all-ok with real faults injected and repaired, and
 #      the --no-reliable negative control must fail — proving both
 #      that the transport works and that the injection has teeth.
+#   7. An --analyze smoke: the sharing analyzer must classify the
+#      canonical workloads correctly (mp3d migratory, em3d
+#      producer-consumer), its JSON must parse, a rerun must be
+#      byte-identical, and an analyze-off run must be bit-identical
+#      to the analyzer-on run's simulated results (zero probe effect).
 #
 # Usage: tools/check.sh [--skip-asan] [--skip-tidy]
 set -euo pipefail
@@ -133,6 +138,40 @@ if [ "$rc" != 3 ] && [ "$rc" != 4 ]; then
     exit 1
 fi
 echo "--- negative control failed as required (exit $rc)"
+
+# --- 7. Sharing-analyzer smoke ----------------------------------------------
+step "sharing analyzer: --analyze smoke"
+echo "--- migratory/mp3d --analyze"
+"$TTSIM" --system=migratory --app=mp3d --dataset=tiny --nodes=8 \
+    --analyze="$TRACEDIR/mp3d.analyze.json" \
+    > "$TRACEDIR/mp3d.analyze.txt"
+grep -q "dominant sharing pattern: migratory" "$TRACEDIR/mp3d.analyze.txt"
+echo "--- stache/em3d --analyze"
+"$TTSIM" --system=stache --app=em3d --dataset=tiny --nodes=8 \
+    --analyze="$TRACEDIR/em3d.analyze.json" \
+    > "$TRACEDIR/em3d.analyze.txt"
+grep -q "dominant sharing pattern: producer-consumer" \
+    "$TRACEDIR/em3d.analyze.txt"
+python3 -m json.tool "$TRACEDIR/mp3d.analyze.json" >/dev/null
+python3 -m json.tool "$TRACEDIR/em3d.analyze.json" >/dev/null
+# Rerun byte-identity: the analyzer is deterministic end to end
+# (same command again, stdout and JSON must match byte for byte).
+cp "$TRACEDIR/em3d.analyze.json" "$TRACEDIR/em3d.analyze.json.first"
+"$TTSIM" --system=stache --app=em3d --dataset=tiny --nodes=8 \
+    --analyze="$TRACEDIR/em3d.analyze.json" \
+    > "$TRACEDIR/em3d.analyze2.txt"
+diff "$TRACEDIR/em3d.analyze.txt" "$TRACEDIR/em3d.analyze2.txt"
+diff "$TRACEDIR/em3d.analyze.json.first" "$TRACEDIR/em3d.analyze.json"
+# Zero probe effect: the simulated results (execution time, checksum,
+# stats) of an analyze-off run must be bit-identical to analyze-on.
+"$TTSIM" --system=stache --app=em3d --dataset=tiny --nodes=8 \
+    > "$TRACEDIR/em3d.plain.txt"
+grep -E 'execution time|checksum' "$TRACEDIR/em3d.plain.txt" \
+    > "$TRACEDIR/em3d.plain.key"
+grep -E 'execution time|checksum' "$TRACEDIR/em3d.analyze.txt" \
+    > "$TRACEDIR/em3d.analyze.key"
+diff "$TRACEDIR/em3d.plain.key" "$TRACEDIR/em3d.analyze.key"
+echo "--- analyzer deterministic, classification correct, no probe effect"
 
 echo
 echo "check.sh: all gates passed"

@@ -26,6 +26,7 @@
 #include "config/bench_harness.hh"
 #include "config/builders.hh"
 #include "config/campaign.hh"
+#include "obs/sharing.hh"
 
 using namespace tt;
 
@@ -48,6 +49,8 @@ struct Options
     std::string benchJson; ///< write a wall-clock JSON report here
     std::string traceFile; ///< Perfetto/Chrome-trace JSON output
     std::string statsJson; ///< machine-readable StatSet dump
+    bool analyze = false;    ///< run the online sharing analyzer
+    std::string analyzeJson; ///< sharing-analysis JSON path ("" = none)
     std::string fault;     ///< protocol fault to inject (demo/testing)
     Tick traceSample = 0;  ///< counter-sampling period (ticks)
     int traceRing = 256;   ///< crash-ring capacity per node
@@ -99,6 +102,9 @@ usage()
         " (default 256)\n"
         "  --stats-json=F    write the full statistics set to F as"
         " JSON\n"
+        "  --analyze[=F]     classify per-block sharing patterns and"
+        " print the\n"
+        "                    protocol-advisor report (JSON to F)\n"
         "  --fault=NAME      inject a protocol bug (skip-invalidate |"
         " skip-downgrade)\n"
         "  --check           run the coherence sanitizer (exit 3 on"
@@ -171,6 +177,11 @@ parseArg(Options& o, const std::string& arg)
         o.traceRing = std::atoi(v.c_str());
     } else if (eat("--stats-json=", &v)) {
         o.statsJson = v;
+    } else if (eat("--analyze=", &v)) {
+        o.analyze = true;
+        o.analyzeJson = v;
+    } else if (arg == "--analyze") {
+        o.analyze = true;
     } else if (eat("--fault=", &v)) {
         o.fault = v;
     } else if (eat("--perturb=", &v)) {
@@ -249,6 +260,11 @@ validateOptions(const Options& o)
     }
     if (o.jitterSet && !o.perturb)
         die("--jitter only modifies --perturb runs");
+    if (o.analyze && !o.benchJson.empty()) {
+        die("--analyze and --bench-json are mutually exclusive (the "
+            "analyzer folds every access and would skew the "
+            "wall-clock measurement)");
+    }
     if (!o.campaignJson.empty() && !o.campaign)
         die("--campaign-json requires --campaign");
     if (o.campaign) {
@@ -268,6 +284,9 @@ validateOptions(const Options& o)
         if (!o.fault.empty())
             die("--campaign and --fault (protocol-bug injection) are "
                 "mutually exclusive");
+        if (o.analyze)
+            die("--campaign already runs the sharing analyzer; its "
+                "summary lands in the campaign report");
     } else if (!o.systems.empty()) {
         die("--systems requires --campaign");
     }
@@ -315,6 +334,12 @@ main(int argc, char** argv)
     cfg.obs.enable = !o.traceFile.empty() || o.traceSample > 0;
     cfg.obs.traceFile = o.traceFile;
     cfg.obs.samplePeriod = o.traceSample;
+    cfg.obs.analyze = o.analyze;
+    // A trace without an explicit sampling period still gets live
+    // counter tracks (events/sec, net traffic, open misses) at a
+    // coarse default.
+    if (!o.traceFile.empty() && o.traceSample == 0)
+        cfg.obs.samplePeriod = 1024;
     if (o.traceRing > 0)
         cfg.obs.ringCapacity = static_cast<std::size_t>(o.traceRing);
 
@@ -494,6 +519,19 @@ main(int argc, char** argv)
                         o.traceFile.c_str(),
                         static_cast<unsigned long long>(
                             target.obs->recordCount()));
+        if (o.analyze && target.obs->sharing()) {
+            const SharingAnalyzer& sa = *target.obs->sharing();
+            sa.writeReport(std::cout);
+            if (!o.analyzeJson.empty()) {
+                if (!sa.writeJsonFile(o.analyzeJson)) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 o.analyzeJson.c_str());
+                    return 1;
+                }
+                std::printf("analysis json  : %s\n",
+                            o.analyzeJson.c_str());
+            }
+        }
     }
 
     if (o.stats) {
