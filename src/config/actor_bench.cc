@@ -1,0 +1,163 @@
+#include "config/actor_bench.hh"
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.hh"
+#include "obs/recorder.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/parallel_engine.hh"
+#include "sim/stats.hh"
+
+namespace tt
+{
+
+namespace
+{
+
+constexpr HandlerId kActorHandler = 0xAC70'0001u;
+
+/** splitmix64 finalizer — the per-event "CPU work" primitive. */
+inline std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e37'79b9'7f4a'7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d0'49bb'1331'11ebULL;
+    return x ^ (x >> 31);
+}
+
+struct Actor
+{
+    std::uint64_t state = 0;
+    /**
+     * XOR-accumulated arrival payloads, folded into state at the next
+     * self event. XOR commutes, so same-tick arrival order can never
+     * leak into the result — the property that makes the workload an
+     * exact serial-vs-parallel equivalence oracle.
+     */
+    std::uint64_t inbox = 0;
+};
+
+} // namespace
+
+ActorBenchResult
+runActorBench(const ActorBenchParams& p)
+{
+    tt_assert(p.nodes > 1, "actor bench needs at least two nodes");
+    tt_assert(p.netLatency % 2 == 1,
+              "actor bench needs an odd net latency (self events run "
+              "on even ticks, arrivals must stay on odd ticks)");
+    tt_assert(p.horizon % 2 == 0, "horizon must be even");
+
+    EventQueue eq;
+    StatSet stats;
+    NetworkParams np;
+    np.latency = p.netLatency;
+    np.injectPerPacket = 0; // departures stay on the (even) send tick
+    Network net(eq, p.nodes, np, stats);
+
+    std::unique_ptr<ParallelEngine> engine;
+    if (p.threads > 0) {
+        engine = std::make_unique<ParallelEngine>(
+            eq, p.nodes, p.netLatency, p.threads);
+        net.setEngine(engine.get());
+    }
+
+    std::unique_ptr<FlightRecorder> rec;
+    if (p.record) {
+        rec = std::make_unique<FlightRecorder>(p.nodes);
+        if (engine)
+            rec->enableSharded();
+        rec->nameHandler(kActorHandler, "actor.msg");
+        net.setRecorder(rec.get());
+    }
+
+    std::vector<Actor> actors(p.nodes);
+    for (int n = 0; n < p.nodes; ++n)
+        actors[n].state =
+            mix(p.seed ^ (static_cast<std::uint64_t>(n) + 1));
+
+    for (int n = 0; n < p.nodes; ++n) {
+        net.setReceiver(
+            n,
+            [&actors](Message&& m) {
+                const std::uint64_t pay =
+                    static_cast<std::uint64_t>(m.args[0]) |
+                    (static_cast<std::uint64_t>(m.args[1]) << 32);
+                actors[m.dst].inbox ^=
+                    mix(pay ^ static_cast<std::uint64_t>(m.src));
+            },
+            /*parallelSafe=*/engine != nullptr);
+    }
+
+    // Self-scheduling actor loop. In engine mode every event lives on
+    // its node's lane; in serial mode everything goes through the
+    // plain queue — identical simulated behavior either way.
+    std::function<void(int, Tick)> selfEvent;
+    auto scheduleSelf = [&](int n, Tick t) {
+        auto cb = [&selfEvent, n, t] { selfEvent(n, t); };
+        if (engine)
+            engine->scheduleLane(n, t, std::move(cb));
+        else
+            eq.schedule(t, std::move(cb));
+    };
+    selfEvent = [&](int n, Tick t) {
+        Actor& a = actors[n];
+        a.state ^= a.inbox; // fold arrivals received so far
+        for (int k = 0; k < p.workRounds; ++k)
+            a.state = mix(a.state);
+        if ((a.state & 3) == 0) {
+            const std::uint64_t pay = mix(a.state ^ t);
+            const int dst = static_cast<int>(
+                (static_cast<std::uint64_t>(n) + 1 +
+                 (a.state >> 8) % (p.nodes - 1)) %
+                p.nodes);
+            Message m;
+            m.src = n;
+            m.dst = dst;
+            m.vnet = VNet::Request;
+            m.handler = kActorHandler;
+            m.args.push_back(
+                static_cast<Word>(pay & 0xffff'ffffULL));
+            m.args.push_back(static_cast<Word>(pay >> 32));
+            net.send(std::move(m), t);
+        }
+        const Tick next = t + 2 + 2 * ((a.state >> 16) & 3);
+        if (next <= p.horizon)
+            scheduleSelf(n, next);
+    };
+
+    // Staggered even start ticks so lanes never begin in lockstep.
+    for (int n = 0; n < p.nodes; ++n)
+        scheduleSelf(n, 2 * (n % 8));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (engine)
+        engine->run();
+    else
+        eq.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ActorBenchResult r;
+    r.events = engine ? engine->executed() : eq.executed();
+    r.messages = stats.counter("net.messages").value();
+    r.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::uint64_t h = 0xcbf2'9ce4'8422'2325ULL;
+    for (const Actor& a : actors) {
+        h = mix(h ^ a.state);
+        h = mix(h ^ a.inbox);
+    }
+    r.stateHash = h;
+    if (rec)
+        r.ringRecords = rec->recordCount();
+    if (engine)
+        r.parallelWindows = engine->parallelWindows();
+    return r;
+}
+
+} // namespace tt

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Order-insensitive actor workload for benchmarking and cross-checking
+ * the parallel engine (DESIGN.md §12).
+ *
+ * Each simulated node runs a self-scheduling actor: a private-state
+ * event every other (even) tick that mixes the node's PRNG state and
+ * occasionally fires a one-packet message at another node; arrivals
+ * land on odd ticks (fixed network latency 11, no injection occupancy)
+ * and fold the payload into the destination's inbox with XOR — a
+ * commutative operation. Self events and arrivals therefore never
+ * share a tick, and same-tick arrival order cannot affect any node's
+ * state, so the workload's final state hash is identical whether it is
+ * run through the plain serial EventQueue or through the ParallelEngine
+ * at any thread count. That makes it both the apples-to-apples
+ * events/sec benchmark (BENCH_simcore.json "parallel_engine") and the
+ * serial-vs-parallel equivalence oracle the tests assert.
+ */
+
+#ifndef TT_CONFIG_ACTOR_BENCH_HH
+#define TT_CONFIG_ACTOR_BENCH_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tt
+{
+
+struct ActorBenchParams
+{
+    int nodes = 64;
+    /**
+     * 0 = plain serial EventQueue (no engine at all — the baseline);
+     * N >= 1 = ParallelEngine with N workers.
+     */
+    int threads = 0;
+    Tick horizon = 100'000;  ///< last tick actors schedule work at
+    Tick netLatency = 11;    ///< odd, so arrivals stay off even ticks
+    int workRounds = 24;     ///< PRNG mixing rounds per event (CPU cost)
+    std::uint64_t seed = 0x5eedULL;
+    bool record = false;     ///< attach a sharded FlightRecorder
+};
+
+struct ActorBenchResult
+{
+    std::uint64_t events = 0;   ///< total events executed
+    std::uint64_t messages = 0; ///< net.messages after the run
+    std::uint64_t stateHash = 0;
+    double wallMs = 0;          ///< run() wall-clock (setup excluded)
+    std::uint64_t ringRecords = 0; ///< recorder records (record mode)
+    std::uint64_t parallelWindows = 0; ///< 0 in serial-queue mode
+};
+
+/** Run the workload once with the given engine configuration. */
+ActorBenchResult runActorBench(const ActorBenchParams& p);
+
+} // namespace tt
+
+#endif // TT_CONFIG_ACTOR_BENCH_HH

@@ -1,5 +1,6 @@
 #include "config/builders.hh"
 
+#include <algorithm>
 #include <iomanip>
 #include <iostream>
 
@@ -8,6 +9,22 @@ namespace tt
 
 namespace
 {
+
+/**
+ * Build the sharded parallel engine when the config asks for more
+ * than one worker (DESIGN.md §12). The lookahead window is the
+ * minimum network latency — the smallest distance any cross-node
+ * event can travel, which is what makes a window causally closed.
+ */
+void
+attachEngine(TargetMachine& t, const MachineConfig& cfg)
+{
+    if (cfg.core.threads <= 1)
+        return;
+    t.machine->enableParallel(cfg.core.threads,
+                              std::max<Tick>(1, cfg.net.latency));
+    t.network->setEngine(t.machine->engine());
+}
 
 /**
  * Wire the sanitizer into a freshly built Typhoon/Stache-family
@@ -130,6 +147,7 @@ buildDirNNB(const MachineConfig& cfg)
     t.machine = std::make_unique<Machine>(cfg.core);
     t.network = std::make_unique<Network>(
         t.machine->eq(), cfg.core.nodes, cfg.net, t.machine->stats());
+    attachEngine(t, cfg);
     t.dir = std::make_unique<DirMemSystem>(*t.machine, *t.network,
                                            cfg.dir);
     t.machine->setMemSystem(t.dir.get());
@@ -155,6 +173,7 @@ buildTyphoonStache(const MachineConfig& cfg)
     t.machine = std::make_unique<Machine>(cfg.core);
     t.network = std::make_unique<Network>(
         t.machine->eq(), cfg.core.nodes, cfg.net, t.machine->stats());
+    attachEngine(t, cfg);
     t.typhoon = std::make_unique<TyphoonMemSystem>(
         *t.machine, *t.network, cfg.typhoon);
     t.protocol =
@@ -173,6 +192,7 @@ buildTyphoonEm3dUpdate(const MachineConfig& cfg)
     t.machine = std::make_unique<Machine>(cfg.core);
     t.network = std::make_unique<Network>(
         t.machine->eq(), cfg.core.nodes, cfg.net, t.machine->stats());
+    attachEngine(t, cfg);
     t.typhoon = std::make_unique<TyphoonMemSystem>(
         *t.machine, *t.network, cfg.typhoon);
     auto proto = std::make_unique<Em3dUpdateProtocol>(
@@ -193,6 +213,7 @@ buildTyphoonMigratory(const MachineConfig& cfg)
     t.machine = std::make_unique<Machine>(cfg.core);
     t.network = std::make_unique<Network>(
         t.machine->eq(), cfg.core.nodes, cfg.net, t.machine->stats());
+    attachEngine(t, cfg);
     t.typhoon = std::make_unique<TyphoonMemSystem>(
         *t.machine, *t.network, cfg.typhoon);
     auto proto = std::make_unique<MigratoryProtocol>(

@@ -35,7 +35,14 @@ Machine::run(App& app)
         });
     }
 
-    _eq.run();
+    // With the parallel engine attached the run is window-driven;
+    // application events stay on the global queue either way (they
+    // touch cross-node state — see DESIGN.md §12), so the simulated
+    // schedule is identical in both modes.
+    if (_engine)
+        _engine->run();
+    else
+        _eq.run();
 
     if (firstError)
         std::rethrow_exception(firstError);
@@ -53,7 +60,8 @@ Machine::run(App& app)
     for (Tick t : result.cpuFinish)
         if (t > result.execTime)
             result.execTime = t;
-    result.events = _eq.executed();
+    result.events =
+        _engine ? _engine->executed() : _eq.executed();
 
     app.finish(*this);
     return result;

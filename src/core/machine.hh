@@ -17,6 +17,7 @@
 #include "core/params.hh"
 #include "core/sync.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
@@ -87,6 +88,24 @@ class Machine
     MemorySystem& memsys() { return *_memsys; }
 
     /**
+     * Build the sharded parallel engine (DESIGN.md §12): one lane per
+     * node, @p threads workers, windows of @p lookahead ticks (the
+     * minimum network latency). Call once, before run(). With the
+     * engine attached, run() drives it instead of the bare queue;
+     * simulated results stay byte-identical to the serial engine.
+     */
+    void
+    enableParallel(int threads, Tick lookahead)
+    {
+        tt_assert(!_engine, "parallel engine already enabled");
+        _engine = std::make_unique<ParallelEngine>(
+            _eq, _params.nodes, lookahead, threads);
+    }
+
+    /** The parallel engine, or nullptr in serial mode. */
+    ParallelEngine* engine() { return _engine.get(); }
+
+    /**
      * Run @p app to completion on all nodes. Throws if any node's
      * coroutine threw, or panics if the event queue drains with
      * unfinished processors (a protocol deadlock).
@@ -101,6 +120,7 @@ class Machine
     std::vector<std::unique_ptr<Cpu>> _cpus;
     Barrier _barrier;
     MemorySystem* _memsys = nullptr;
+    std::unique_ptr<ParallelEngine> _engine;
 };
 
 } // namespace tt

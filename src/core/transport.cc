@@ -58,8 +58,8 @@ ReliableTransport::oldestUnackedSince() const
     // that outlives the retry cap surfaces as a watchdog trip.
     Tick oldest = kTickMax;
     for (const Channel& c : _chans)
-        if (!c.window.empty())
-            oldest = std::min(oldest, c.window.front().sentAt);
+        oldest = std::min(
+            oldest, c.headSentAt.load(std::memory_order_relaxed));
     return oldest;
 }
 
@@ -74,6 +74,8 @@ ReliableTransport::onSend(Message& m, Tick when)
     // recorder stamps each physical copy's obsId separately).
     const bool wasIdle = c.window.empty();
     c.window.push_back({m, when});
+    if (wasIdle)
+        c.headSentAt.store(when, std::memory_order_relaxed);
     if (wasIdle && !c.dead) {
         c.rto = _p.rto;
         c.retries = 0;
@@ -182,6 +184,9 @@ ReliableTransport::handleAck(NodeId src, NodeId dst,
     if (!advanced)
         return; // stale cumulative ack; nothing new
 
+    c.headSentAt.store(c.window.empty() ? kTickMax
+                                        : c.window.front().sentAt,
+                       std::memory_order_relaxed);
     c.retries = 0;
     c.rto = _p.rto;
     // A late ack can revive a link declared dead (e.g. a partition

@@ -19,6 +19,7 @@
 #include "net/transport_hooks.hh"
 #include "obs/recorder.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -96,11 +97,51 @@ class Network
     /** Attach the reliable transport (nullptr = raw fabric). */
     void setTransport(TransportHooks* t) { _transport = t; }
 
-    /** Install the message receiver for @p node. */
+    /**
+     * Attach the sharded engine (DESIGN.md §12). Delivery to
+     * parallel-safe receivers is then routed to the destination
+     * node's lane instead of the global queue, and the per-message
+     * counters switch to per-source shards folded back into the
+     * StatSet by an engine finalizer (sums commute, so the totals are
+     * thread-count invariant). nullptr keeps the serial path.
+     */
     void
-    setReceiver(NodeId node, Receiver r)
+    setEngine(ParallelEngine* e)
+    {
+        _engine = e;
+        if (_engine) {
+            tt_assert(_engine->lanes() >= nodes(),
+                      "engine has fewer lanes than network nodes");
+            _laneSafe.assign(_receivers.size(), 0);
+            _laneStats.resize(_receivers.size());
+            _engine->addFinalizer([this] { flushLaneStats(); });
+        }
+    }
+
+    /**
+     * Install the message receiver for @p node. A receiver registered
+     * @p parallelSafe promises to touch only node-local state (plus
+     * the network's own sharded send path), so with an engine attached
+     * its deliveries execute on the node's lane. Sharded mode is
+     * incompatible with the serializing/observing hooks — transport,
+     * faults, checker, jitter, ejection — which all mutate shared
+     * state per message.
+     */
+    void
+    setReceiver(NodeId node, Receiver r, bool parallelSafe = false)
     {
         _receivers.at(node) = std::move(r);
+        if (parallelSafe && _engine) {
+            tt_assert(!_transport && !_faults && !_checker &&
+                          !_params.jitterMax && !_params.ejectPerPacket,
+                      "parallel-safe receivers are incompatible with "
+                      "transport/faults/checker/jitter/ejection");
+            tt_assert(!_obs || _obs->sharded(),
+                      "flight recorder must be in sharded mode under "
+                      "the parallel engine");
+            _laneSafe.at(node) = 1;
+            _sharded = true;
+        }
     }
 
     /**
@@ -149,10 +190,24 @@ class Network
         tt_assert(_receivers[msg.dst], "no receiver at node ", msg.dst);
 
         const std::uint32_t pkts = msg.packets();
-        _msgs.inc();
-        _packets.inc(pkts);
-        _words.inc(msg.sizeWords());
-        (msg.vnet == VNet::Request ? _reqMsgs : _respMsgs).inc();
+        if (_sharded) {
+            // A lane may only send as itself: the injection port state
+            // and the stat shard below are owned by the source lane.
+            tt_assert(!_engine->inLaneContext() ||
+                          _engine->currentLane() == msg.src,
+                      "lane ", _engine->currentLane(),
+                      " sending as node ", msg.src);
+            LaneNetStats& ls = _laneStats[msg.src];
+            ++ls.msgs;
+            ls.packets += pkts;
+            ls.words += msg.sizeWords();
+            ++(msg.vnet == VNet::Request ? ls.reqMsgs : ls.respMsgs);
+        } else {
+            _msgs.inc();
+            _packets.inc(pkts);
+            _words.inc(msg.sizeWords());
+            (msg.vnet == VNet::Request ? _reqMsgs : _respMsgs).inc();
+        }
 
         // Injection serialization at the source.
         Tick& free = _linkFree[msg.src];
@@ -220,7 +275,22 @@ class Network
         if (dropped)
             return;
 
-        // The closure owns the message.
+        // The closure owns the message. Under the sharded engine a
+        // parallel-safe destination's delivery runs on its own lane;
+        // everything else stays on the global queue (a lane-context
+        // sender can never reach a non-lane destination — asserted —
+        // because scheduling into the global queue from a worker
+        // thread would race).
+        if (_sharded && _laneSafe[msg.dst]) {
+            const NodeId dst = msg.dst;
+            _engine->scheduleLane(dst, arrive,
+                                  [this, m = std::move(msg)]() mutable {
+                                      deliver(std::move(m));
+                                  });
+            return;
+        }
+        tt_assert(!_engine || !_engine->inLaneContext(),
+                  "lane-context send to non-lane receiver ", msg.dst);
         _eq.schedule(arrive,
                      [this, m = std::move(msg)]() mutable {
                          deliver(std::move(m));
@@ -236,11 +306,39 @@ class Network
             return;
         _receivers[m.dst](std::move(m));
     }
+    /** Per-source-node counter shard (sharded mode; no false sharing). */
+    struct alignas(64) LaneNetStats
+    {
+        std::uint64_t msgs = 0;
+        std::uint64_t packets = 0;
+        std::uint64_t words = 0;
+        std::uint64_t reqMsgs = 0;
+        std::uint64_t respMsgs = 0;
+    };
+
+    /** Fold the lane shards into the StatSet (engine finalizer). */
+    void
+    flushLaneStats()
+    {
+        for (LaneNetStats& ls : _laneStats) {
+            _msgs.inc(ls.msgs);
+            _packets.inc(ls.packets);
+            _words.inc(ls.words);
+            _reqMsgs.inc(ls.reqMsgs);
+            _respMsgs.inc(ls.respMsgs);
+            ls = LaneNetStats{};
+        }
+    }
+
     EventQueue& _eq;
     NetworkParams _params;
     std::vector<Receiver> _receivers;
     std::vector<Tick> _linkFree;
     std::vector<Tick> _ejectFree;
+    ParallelEngine* _engine = nullptr;      ///< sharded engine, opt-in
+    std::vector<std::uint8_t> _laneSafe;    ///< per-node lane delivery
+    std::vector<LaneNetStats> _laneStats;   ///< per-src counter shards
+    bool _sharded = false; ///< any parallel-safe receiver registered
     CheckHooks* _checker = nullptr; ///< coherence sanitizer, opt-in
     FlightRecorder* _obs = nullptr; ///< flight recorder, opt-in
     FaultModel* _faults = nullptr;  ///< unreliable fabric, opt-in

@@ -1,0 +1,392 @@
+#include "sim/parallel_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+namespace
+{
+
+/**
+ * Per-thread execution context. `engine` and `worker` identify the
+ * engine a thread belongs to while a run is active; `lane` is >= 0
+ * only while a lane event executes (and `when` is that event's tick).
+ */
+struct TlsCtx
+{
+    ParallelEngine* engine = nullptr;
+    int worker = -1;
+    int lane = -1;
+    Tick when = 0;
+};
+
+thread_local TlsCtx t_ctx;
+
+} // namespace
+
+ParallelEngine::ParallelEngine(EventQueue& gq, int lanes,
+                               Tick lookahead, int threads)
+    : _gq(gq), _lookahead(lookahead), _nthreads(threads), _lanes(lanes)
+{
+    tt_assert(lanes > 0, "engine needs at least one lane");
+    tt_assert(lookahead > 0, "lookahead window must be > 0");
+    tt_assert(threads > 0, "thread count must be > 0");
+    // More workers than lanes would only park idle threads at every
+    // barrier.
+    if (_nthreads > lanes)
+        _nthreads = lanes;
+    _workers.reserve(_nthreads);
+    for (int w = 0; w < _nthreads; ++w)
+        _workers.push_back(std::make_unique<Worker>());
+    for (int w = 1; w < _nthreads; ++w)
+        _workers[w]->th = std::thread([this, w] { workerLoop(w); });
+}
+
+ParallelEngine::~ParallelEngine()
+{
+    _shutdown.store(true, std::memory_order_relaxed);
+    _epoch.fetch_add(1, std::memory_order_release);
+    _epoch.notify_all();
+    for (auto& w : _workers) {
+        if (w->th.joinable())
+            w->th.join();
+    }
+}
+
+Tick
+ParallelEngine::now() const
+{
+    if (t_ctx.engine == this && t_ctx.lane >= 0)
+        return t_ctx.when;
+    return _gq.now();
+}
+
+bool
+ParallelEngine::inLaneContext() const
+{
+    return t_ctx.engine == this && t_ctx.lane >= 0;
+}
+
+int
+ParallelEngine::currentLane() const
+{
+    return t_ctx.engine == this ? t_ctx.lane : -1;
+}
+
+std::uint64_t
+ParallelEngine::laneExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const Lane& l : _lanes)
+        n += l.executed;
+    return n;
+}
+
+bool
+ParallelEngine::empty() const
+{
+    return _gq.empty() && _staged.empty() && !anyLanePending();
+}
+
+void
+ParallelEngine::pushLane(Lane& lane, Tick when, Callback cb)
+{
+    lane.heap.push_back(LaneEvent{when, lane.nextSeq++, std::move(cb)});
+    std::push_heap(lane.heap.begin(), lane.heap.end(), LaneAfter{});
+}
+
+void
+ParallelEngine::scheduleLane(int lane, Tick when, Callback cb)
+{
+    tt_assert(lane >= 0 && lane < lanes(), "bad lane ", lane);
+    if (t_ctx.engine == this && t_ctx.lane >= 0) {
+        if (t_ctx.lane == lane) {
+            // Same-lane: direct insert, ordered by the lane's own
+            // sequence counter.
+            Lane& l = _lanes[lane];
+            tt_assert(when >= l.now, "lane ", lane,
+                      " scheduling in the past: ", when, " < ", l.now);
+            pushLane(l, when, std::move(cb));
+            return;
+        }
+        // Cross-lane: the lookahead contract — the target tick must
+        // lie at or beyond the window's end so the destination lane
+        // cannot have advanced past it. Staged until the barrier.
+        tt_assert(when >= _windowEnd, "cross-lane schedule from lane ",
+                  t_ctx.lane, " to lane ", lane, " at tick ", when,
+                  " inside the lookahead window ending at ",
+                  _windowEnd);
+        Lane& src = _lanes[t_ctx.lane];
+        _workers[t_ctx.worker]->outbox.push(CrossEvent{
+            when, t_ctx.lane, lane, src.outSeq++, std::move(cb)});
+        return;
+    }
+    // Coordinator/global context: before the run, between windows, or
+    // from an event on the global queue. Merged at the next barrier.
+    tt_assert(t_ctx.engine == this || !_running,
+              "scheduleLane from a thread outside the engine");
+    tt_assert(when >= _gq.now(), "scheduling lane event in the past: ",
+              when, " < ", _gq.now());
+    tt_assert(!_running || when >= _windowEnd,
+              "global-context lane schedule at tick ", when,
+              " inside the window ending at ", _windowEnd);
+    _staged.push_back(
+        CrossEvent{when, kGlobalSrc, lane, _globalOutSeq++,
+                   std::move(cb)});
+    if (_inFastRun) {
+        // Interrupt the pure-global fast path: lane work exists again,
+        // so the run loop must go back to windowed execution.
+        _laneWake = true;
+        _gq.stop();
+    }
+}
+
+void
+ParallelEngine::drainCross()
+{
+    _crossBuf.clear();
+    for (auto& w : _workers) {
+        CrossEvent e;
+        while (w->outbox.tryPop(&e))
+            _crossBuf.push_back(std::move(e));
+    }
+    for (auto& e : _staged)
+        _crossBuf.push_back(std::move(e));
+    _staged.clear();
+    if (_crossBuf.empty())
+        return;
+    // (when, srcLane, srcSeq) is a total order independent of which
+    // worker carried which lane, so destination sequence numbers come
+    // out identical for every thread count.
+    std::sort(_crossBuf.begin(), _crossBuf.end(),
+              [](const CrossEvent& a, const CrossEvent& b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.srcLane != b.srcLane)
+                      return a.srcLane < b.srcLane;
+                  return a.srcSeq < b.srcSeq;
+              });
+    for (auto& e : _crossBuf) {
+        Lane& l = _lanes[e.dstLane];
+        tt_assert(e.when >= l.now, "cross-lane event for lane ",
+                  e.dstLane, " arrived in its past: ", e.when, " < ",
+                  l.now);
+        pushLane(l, e.when, std::move(e.cb));
+    }
+    _crossBuf.clear();
+}
+
+bool
+ParallelEngine::anyLanePending() const
+{
+    for (const Lane& l : _lanes)
+        if (!l.heap.empty())
+            return true;
+    return false;
+}
+
+Tick
+ParallelEngine::minLaneTick(int* lane) const
+{
+    Tick best = kTickMax;
+    int bestLane = -1;
+    for (int i = 0; i < lanes(); ++i) {
+        const Lane& l = _lanes[i];
+        if (!l.heap.empty() && l.heap.front().when < best) {
+            best = l.heap.front().when;
+            bestLane = i;
+        }
+    }
+    if (lane)
+        *lane = bestLane;
+    return best;
+}
+
+void
+ParallelEngine::drainLane(int lane, Tick windowEnd)
+{
+    Lane& l = _lanes[lane];
+    if (l.heap.empty() || l.heap.front().when >= windowEnd)
+        return;
+    t_ctx.lane = lane;
+    do {
+        std::pop_heap(l.heap.begin(), l.heap.end(), LaneAfter{});
+        LaneEvent ev = std::move(l.heap.back());
+        l.heap.pop_back();
+        l.now = ev.when;
+        t_ctx.when = ev.when;
+        ++l.executed;
+        ev.cb();
+    } while (!l.heap.empty() && l.heap.front().when < windowEnd);
+    t_ctx.lane = -1;
+}
+
+void
+ParallelEngine::execOneLaneEvent(int lane)
+{
+    Lane& l = _lanes[lane];
+    std::pop_heap(l.heap.begin(), l.heap.end(), LaneAfter{});
+    LaneEvent ev = std::move(l.heap.back());
+    l.heap.pop_back();
+    l.now = ev.when;
+    t_ctx.lane = lane;
+    t_ctx.when = ev.when;
+    ++l.executed;
+    ev.cb();
+    t_ctx.lane = -1;
+}
+
+void
+ParallelEngine::runLanes(int w, Tick windowEnd)
+{
+    for (int lane = w; lane < lanes(); lane += _nthreads)
+        drainLane(lane, windowEnd);
+}
+
+void
+ParallelEngine::workerLoop(int w)
+{
+    t_ctx.engine = this;
+    t_ctx.worker = w;
+    std::uint64_t seen = 0;
+    for (;;) {
+        _epoch.wait(seen, std::memory_order_acquire);
+        const std::uint64_t e = _epoch.load(std::memory_order_acquire);
+        if (e == seen)
+            continue; // spurious wake
+        seen = e;
+        if (_shutdown.load(std::memory_order_relaxed))
+            return;
+        try {
+            runLanes(w, _windowEnd);
+        } catch (...) {
+            t_ctx.lane = -1;
+            _workers[w]->error = std::current_exception();
+        }
+        if (_arrivals.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            _arrivals.notify_one();
+    }
+}
+
+void
+ParallelEngine::runSerialWindow(Tick windowEnd)
+{
+    // Windows containing global-queue work run entirely on the
+    // coordinator, merging the global queue and the lanes in
+    // (tick, global-first, lane-ascending) order — exactly the serial
+    // engine's semantics for non-node-local events.
+    for (;;) {
+        const Tick gt = _gq.nextEventTick();
+        int lane = -1;
+        const Tick lt = minLaneTick(&lane);
+        const Tick next = std::min(gt, lt);
+        if (next >= windowEnd)
+            return;
+        if (gt <= lt)
+            _gq.step();
+        else
+            execOneLaneEvent(lane);
+    }
+}
+
+void
+ParallelEngine::runParallelWindow(Tick windowEnd)
+{
+    const int spawned = _nthreads - 1;
+    if (spawned > 0) {
+        _arrivals.store(spawned, std::memory_order_relaxed);
+        _epoch.fetch_add(1, std::memory_order_release);
+        _epoch.notify_all();
+    }
+    std::exception_ptr myError;
+    try {
+        runLanes(0, windowEnd);
+    } catch (...) {
+        t_ctx.lane = -1;
+        myError = std::current_exception();
+    }
+    // Barrier: wait until every spawned worker has drained its lanes.
+    for (;;) {
+        const int left = _arrivals.load(std::memory_order_acquire);
+        if (left == 0)
+            break;
+        _arrivals.wait(left, std::memory_order_acquire);
+    }
+    if (myError)
+        std::rethrow_exception(myError);
+    for (auto& w : _workers) {
+        if (w->error) {
+            std::exception_ptr e = w->error;
+            w->error = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+Tick
+ParallelEngine::run()
+{
+    tt_assert(!_running, "engine run() is not reentrant");
+    const TlsCtx saved = t_ctx;
+    t_ctx = TlsCtx{this, 0, -1, 0};
+    _running = true;
+    Tick lastGlobal = _gq.now();
+    auto finish = [&] {
+        _inFastRun = false;
+        _running = false;
+        for (auto& f : _finalizers)
+            f();
+        t_ctx = saved;
+    };
+    try {
+        drainCross(); // pre-run staged lane events
+        for (;;) {
+            if (!anyLanePending()) {
+                if (_gq.empty())
+                    break;
+                // Pure-global fast path: no lane work anywhere, so the
+                // serial queue runs flat out (this is the whole-app
+                // path when no subsystem uses lanes). scheduleLane
+                // interrupts it via stop() if lane work appears.
+                _laneWake = false;
+                _inFastRun = true;
+                lastGlobal = _gq.run();
+                _inFastRun = false;
+                if (!_laneWake)
+                    break;
+                drainCross();
+                continue;
+            }
+            const Tick gt = _gq.nextEventTick();
+            const Tick lt = minLaneTick();
+            const Tick next = std::min(gt, lt);
+            const Tick windowEnd = next >= kTickMax - _lookahead
+                                       ? kTickMax
+                                       : next + _lookahead;
+            _windowEnd = windowEnd;
+            ++_windows;
+            if (gt < windowEnd) {
+                ++_serialWindows;
+                runSerialWindow(windowEnd);
+                lastGlobal = _gq.now();
+            } else {
+                runParallelWindow(windowEnd);
+            }
+            drainCross();
+        }
+    } catch (...) {
+        finish();
+        throw;
+    }
+    Tick last = lastGlobal;
+    for (const Lane& l : _lanes)
+        if (l.executed && l.now > last)
+            last = l.now;
+    finish();
+    return last;
+}
+
+} // namespace tt

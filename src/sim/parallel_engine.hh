@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Sharded discrete-event engine with conservative lookahead
+ * (DESIGN.md §12). The simulation is decomposed into per-node event
+ * *lanes* plus the original global EventQueue; lanes advance together
+ * through lockstep tick-windows sized by the minimum network latency
+ * (the classic null-message/window PDES lookahead argument: a lane
+ * event at tick t can only affect another lane at t + latency or
+ * later, so a window of `lookahead` ticks is causally closed). Within
+ * a window each worker thread drains its lanes independently;
+ * cross-lane events travel through single-producer/single-consumer
+ * mailboxes and are merged at the window barrier.
+ *
+ * Determinism is thread-count invariant by construction:
+ *  - the decomposition is per *lane* (a fixed property of the model),
+ *    never per worker, and each lane carries its own enqueue sequence
+ *    counter, so (tick, lane, laneSeq) totally orders all lane events;
+ *  - cross-lane events are never inserted mid-window: they are staged
+ *    in mailboxes, collected at the barrier, sorted by the
+ *    thread-independent key (when, srcLane, srcSeq), and only then
+ *    assigned destination-lane sequence numbers in that sorted order;
+ *  - events that are not provably single-lane (application coroutines,
+ *    barriers, locks, transport timers, the watchdog — anything
+ *    scheduled on the global EventQueue) retain the serial engine's
+ *    exact semantics: any window containing global work is executed
+ *    serially on the coordinating thread, merging the global queue and
+ *    the lanes in (tick, global-first, lane-ascending) order.
+ *
+ * The plain EventQueue remains the serial cross-check mode (analogous
+ * to EventQueue::Mode::ReferenceHeap): the same workload run through
+ * it and through this engine at any thread count must produce
+ * identical simulated results, which the tests assert.
+ */
+
+#ifndef TT_SIM_PARALLEL_ENGINE_HH
+#define TT_SIM_PARALLEL_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/small_function.hh"
+#include "sim/spsc.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class ParallelEngine
+{
+  public:
+    using Callback = SmallFunction;
+
+    /**
+     * @param gq        the machine's global EventQueue (not owned);
+     *                  events scheduled there stay serially ordered
+     * @param lanes     number of event lanes (one per simulated node)
+     * @param lookahead window size in ticks; must not exceed the
+     *                  minimum cross-lane scheduling distance (the
+     *                  minimum network latency)
+     * @param threads   worker count; the calling thread is worker 0,
+     *                  threads-1 additional threads are spawned
+     */
+    ParallelEngine(EventQueue& gq, int lanes, Tick lookahead,
+                   int threads);
+
+    ParallelEngine(const ParallelEngine&) = delete;
+    ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+    ~ParallelEngine();
+
+    int lanes() const { return static_cast<int>(_lanes.size()); }
+    int threads() const { return _nthreads; }
+    Tick lookahead() const { return _lookahead; }
+
+    /**
+     * Schedule @p cb at absolute tick @p when on @p lane. Legal from
+     * three contexts with different constraints:
+     *  - same-lane (a lane event scheduling on its own lane): any
+     *    when >= the lane's current tick;
+     *  - cross-lane (a lane event scheduling on another lane): must
+     *    land at or beyond the current window's end — the lookahead
+     *    contract; staged in the worker's mailbox until the barrier;
+     *  - global/coordinator context (before run(), or from an event on
+     *    the global queue): staged and merged at the next barrier.
+     */
+    void scheduleLane(int lane, Tick when, Callback cb);
+
+    /**
+     * Drive the simulation until both the global queue and every lane
+     * drain. @return the tick of the last executed event.
+     */
+    Tick run();
+
+    /**
+     * Current simulated time in the calling context: the executing
+     * lane event's tick on a worker, the global queue's tick
+     * otherwise.
+     */
+    Tick now() const;
+
+    /** True while the calling thread is executing a lane event. */
+    bool inLaneContext() const;
+
+    /** Lane of the currently executing lane event, or -1. */
+    int currentLane() const;
+
+    /** Events executed by lanes (the global queue counts its own). */
+    std::uint64_t laneExecuted() const;
+
+    /** Total events executed: global queue + lanes. */
+    std::uint64_t
+    executed() const
+    {
+        return _gq.executed() + laneExecuted();
+    }
+
+    /** True when neither the lanes nor the global queue hold events. */
+    bool empty() const;
+
+    /**
+     * Register a callback invoked (on the coordinating thread, lanes
+     * quiesced) at the end of every run() — even one that ended in an
+     * exception. Used to fold per-lane stat shards into the shared
+     * StatSet.
+     */
+    void
+    addFinalizer(std::function<void()> f)
+    {
+        _finalizers.push_back(std::move(f));
+    }
+
+    // Introspection for tests and the bench harness.
+    std::uint64_t windows() const { return _windows; }
+    std::uint64_t serialWindows() const { return _serialWindows; }
+    std::uint64_t
+    parallelWindows() const
+    {
+        return _windows - _serialWindows;
+    }
+
+  private:
+    struct LaneEvent
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    /** Min-heap comparator on (when, seq). */
+    struct LaneAfter
+    {
+        bool
+        operator()(const LaneEvent& a, const LaneEvent& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /**
+     * One event lane. Everything here is touched only by the lane's
+     * owning worker inside a window and only by the coordinator at
+     * barriers (synchronized through the epoch/arrival atomics);
+     * alignment keeps adjacent lanes off each other's cache lines.
+     */
+    struct alignas(64) Lane
+    {
+        std::vector<LaneEvent> heap;
+        Tick now = 0;
+        std::uint64_t nextSeq = 0; ///< enqueue order within the lane
+        std::uint64_t outSeq = 0;  ///< order of cross-lane emissions
+        std::uint64_t executed = 0;
+    };
+
+    /** A staged cross-lane (or global-context) schedule request. */
+    struct CrossEvent
+    {
+        Tick when = 0;
+        std::int32_t srcLane = 0; ///< kGlobalSrc for coordinator ctx
+        std::int32_t dstLane = 0;
+        std::uint64_t srcSeq = 0;
+        Callback cb;
+    };
+
+    static constexpr std::int32_t kGlobalSrc = -1;
+
+    struct Worker
+    {
+        SpscChannel<CrossEvent> outbox;
+        std::exception_ptr error;
+        std::thread th; ///< empty for worker 0 (the coordinator)
+    };
+
+    void workerLoop(int w);
+    void runLanes(int w, Tick windowEnd);
+    void drainLane(int lane, Tick windowEnd);
+    void execOneLaneEvent(int lane);
+    void runSerialWindow(Tick windowEnd);
+    void runParallelWindow(Tick windowEnd);
+    void drainCross();
+    void pushLane(Lane& lane, Tick when, Callback cb);
+    bool anyLanePending() const;
+    Tick minLaneTick(int* lane = nullptr) const;
+
+    EventQueue& _gq;
+    const Tick _lookahead;
+    int _nthreads;
+    std::vector<Lane> _lanes;
+    std::vector<std::unique_ptr<Worker>> _workers;
+
+    // Coordinator-only state.
+    std::vector<CrossEvent> _staged;   ///< global-context schedules
+    std::vector<CrossEvent> _crossBuf; ///< barrier merge scratch
+    std::uint64_t _globalOutSeq = 0;
+    std::vector<std::function<void()>> _finalizers;
+    bool _running = false;
+    bool _inFastRun = false; ///< inside the pure-global _gq.run() path
+    bool _laneWake = false;  ///< lane work appeared during fast run
+    std::uint64_t _windows = 0;
+    std::uint64_t _serialWindows = 0;
+
+    // Written by the coordinator before it publishes an epoch (the
+    // epoch release/acquire pair orders it), read by workers.
+    Tick _windowEnd = 0;
+
+    // Window hand-off: the coordinator bumps _epoch to release the
+    // workers, each worker decrements _arrivals when its lanes are
+    // drained, and the coordinator waits for zero.
+    std::atomic<std::uint64_t> _epoch{0};
+    std::atomic<int> _arrivals{0};
+    std::atomic<bool> _shutdown{false};
+};
+
+} // namespace tt
+
+#endif // TT_SIM_PARALLEL_ENGINE_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unbounded single-producer/single-consumer channel (DESIGN.md §12).
+ * The parallel engine's cross-shard mailboxes: one worker thread
+ * appends staged cross-lane events, the coordinating thread drains
+ * them at the window barrier. The hot path is lock-free — a chunked
+ * linked list where the producer publishes with one release store per
+ * push and the consumer acquires it; no CAS, no shared indices.
+ *
+ * Memory reclamation is safe without hazard pointers because of the
+ * SPSC discipline: the producer only abandons a chunk after linking
+ * its successor (release), and the consumer only frees a chunk after
+ * observing that successor (acquire) and fully draining the chunk —
+ * at which point the producer can never touch it again.
+ */
+
+#ifndef TT_SIM_SPSC_HH
+#define TT_SIM_SPSC_HH
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace tt
+{
+
+template <typename T>
+class SpscChannel
+{
+  public:
+    SpscChannel() : _head(new Chunk), _tail(_head) {}
+
+    SpscChannel(const SpscChannel&) = delete;
+    SpscChannel& operator=(const SpscChannel&) = delete;
+
+    /** Destruction requires both sides quiesced (no concurrent access). */
+    ~SpscChannel()
+    {
+        Chunk* c = _head;
+        std::uint32_t i = _consumed;
+        while (c) {
+            const std::uint32_t pub =
+                c->published.load(std::memory_order_relaxed);
+            for (; i < pub; ++i)
+                c->slot(i)->~T();
+            Chunk* n = c->next.load(std::memory_order_relaxed);
+            delete c;
+            c = n;
+            i = 0;
+        }
+    }
+
+    /** Producer side only. */
+    void
+    push(T v)
+    {
+        if (_written == kChunkCap) {
+            Chunk* fresh = new Chunk;
+            // Publish the link before moving off the old chunk; the
+            // consumer frees the old chunk only after seeing this.
+            _tail->next.store(fresh, std::memory_order_release);
+            _tail = fresh;
+            _written = 0;
+        }
+        new (_tail->slot(_written)) T(std::move(v));
+        _tail->published.store(_written + 1, std::memory_order_release);
+        ++_written;
+    }
+
+    /**
+     * Consumer side only. @return false when no published element is
+     * visible (the producer may still be mid-push).
+     */
+    bool
+    tryPop(T* out)
+    {
+        for (;;) {
+            Chunk* c = _head;
+            const std::uint32_t pub =
+                c->published.load(std::memory_order_acquire);
+            if (_consumed < pub) {
+                T* s = c->slot(_consumed);
+                *out = std::move(*s);
+                s->~T();
+                ++_consumed;
+                return true;
+            }
+            if (_consumed < kChunkCap)
+                return false; // current chunk not yet full: truly empty
+            Chunk* n = c->next.load(std::memory_order_acquire);
+            if (!n)
+                return false; // producer has not linked the next chunk
+            _head = n;
+            _consumed = 0;
+            delete c;
+        }
+    }
+
+  private:
+    static constexpr std::uint32_t kChunkCap = 128;
+
+    struct Chunk
+    {
+        alignas(T) unsigned char storage[kChunkCap * sizeof(T)];
+        /** Producer-release count of constructed slots (0..kChunkCap). */
+        std::atomic<std::uint32_t> published{0};
+        std::atomic<Chunk*> next{nullptr};
+
+        T* slot(std::uint32_t i)
+        {
+            return std::launder(
+                reinterpret_cast<T*>(storage + i * sizeof(T)));
+        }
+    };
+
+    // Consumer-owned cursor.
+    Chunk* _head;
+    std::uint32_t _consumed = 0;
+    // Producer-owned cursor.
+    Chunk* _tail;
+    std::uint32_t _written = 0;
+};
+
+} // namespace tt
+
+#endif // TT_SIM_SPSC_HH

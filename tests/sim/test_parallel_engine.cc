@@ -1,0 +1,280 @@
+/**
+ * @file
+ * ParallelEngine unit tests (DESIGN.md §12): the pure-global fast path
+ * matches a plain EventQueue run, lane workloads are deterministic
+ * across thread counts, the cross-lane lookahead contract is enforced,
+ * mixed global+lane windows serialize correctly, and event accounting
+ * adds up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/parallel_engine.hh"
+
+namespace tt
+{
+namespace
+{
+
+/** One observed lane-event execution. */
+struct Obs
+{
+    int lane;
+    Tick when;
+    int tag;
+
+    bool
+    operator==(const Obs& o) const
+    {
+        return lane == o.lane && when == o.when && tag == o.tag;
+    }
+};
+
+/**
+ * A deterministic multi-lane workload: each lane runs a chain of
+ * events that log themselves and occasionally fire a cross-lane event
+ * exactly `lookahead` ticks ahead (always legal under the window
+ * contract). Per-lane logs are lane-owned, so no synchronization is
+ * needed; the concatenated logs are the run's observable behavior.
+ */
+std::vector<Obs>
+runLaneWorkload(int lanes, int threads, Tick lookahead, Tick horizon)
+{
+    EventQueue eq;
+    ParallelEngine eng(eq, lanes, lookahead, threads);
+    std::vector<std::vector<Obs>> logs(lanes);
+
+    struct Ctx
+    {
+        ParallelEngine& eng;
+        std::vector<std::vector<Obs>>& logs;
+        int lanes;
+        Tick lookahead;
+        Tick horizon;
+    } ctx{eng, logs, lanes, lookahead, horizon};
+
+    // A cross-lane "hop" event: logs itself and relays to the next
+    // lane while hops remain. Bounded — each relay decrements hops.
+    std::function<void(int, Tick, int)> hop = [&ctx, &hop](int lane,
+                                                           Tick t,
+                                                           int hops) {
+        ctx.logs[lane].push_back({lane, t, 1000 + hops});
+        if (hops <= 0)
+            return;
+        const int dst = (lane + 1) % ctx.lanes;
+        const Tick at = t + ctx.lookahead;
+        ctx.eng.scheduleLane(dst, at, [&hop, dst, at, hops] {
+            hop(dst, at, hops - 1);
+        });
+    };
+
+    // Each lane's self chain: one event per stride until the horizon;
+    // every third step launches a 3-hop cross-lane relay exactly one
+    // window ahead — the tightest legal cross-lane distance.
+    std::function<void(int, Tick, int)> self =
+        [&ctx, &self, &hop](int lane, Tick t, int step) {
+            ctx.logs[lane].push_back({lane, t, step});
+            if (step % 3 == 0) {
+                const int dst = (lane + 1) % ctx.lanes;
+                const Tick at = t + ctx.lookahead;
+                ctx.eng.scheduleLane(dst, at, [&hop, dst, at] {
+                    hop(dst, at, 3);
+                });
+            }
+            const Tick next = t + 1 + (lane % 3);
+            if (next >= ctx.horizon)
+                return;
+            ctx.eng.scheduleLane(lane, next, [&self, lane, next, step] {
+                self(lane, next, step + 1);
+            });
+        };
+
+    for (int lane = 0; lane < lanes; ++lane) {
+        const Tick t0 = lane % 5;
+        eng.scheduleLane(lane, t0,
+                         [&self, lane, t0] { self(lane, t0, 0); });
+    }
+    eng.run();
+
+    std::vector<Obs> all;
+    for (const auto& l : logs)
+        all.insert(all.end(), l.begin(), l.end());
+    return all;
+}
+
+TEST(ParallelEngine, GlobalOnlyFastPathMatchesPlainQueue)
+{
+    // A workload scheduled entirely on the global queue must execute
+    // in exactly the order the plain EventQueue would use, with no
+    // windows at all.
+    std::vector<int> plainOrder;
+    {
+        EventQueue eq;
+        std::vector<int> order;
+        for (int i = 0; i < 64; ++i) {
+            eq.schedule((i * 7) % 13, [i, &order, &eq] {
+                order.push_back(i);
+                if (i % 4 == 0)
+                    eq.schedule(eq.now() + 5,
+                                [i, &order] { order.push_back(100 + i); });
+            });
+        }
+        eq.run();
+        plainOrder = order;
+    }
+
+    EventQueue eq;
+    ParallelEngine eng(eq, 4, 10, 2);
+    std::vector<int> engineOrder;
+    for (int i = 0; i < 64; ++i) {
+        eq.schedule((i * 7) % 13, [i, &engineOrder, &eq] {
+            engineOrder.push_back(i);
+            if (i % 4 == 0)
+                eq.schedule(eq.now() + 5, [i, &engineOrder] {
+                    engineOrder.push_back(100 + i);
+                });
+        });
+    }
+    eng.run();
+
+    EXPECT_EQ(engineOrder, plainOrder);
+    EXPECT_EQ(eng.windows(), 0u); // never left the fast path
+    EXPECT_EQ(eng.laneExecuted(), 0u);
+    EXPECT_EQ(eng.executed(), eq.executed());
+}
+
+TEST(ParallelEngine, LaneWorkloadDeterministicAcrossThreadCounts)
+{
+    const auto t1 = runLaneWorkload(8, 1, 7, 400);
+    const auto t2 = runLaneWorkload(8, 2, 7, 400);
+    const auto t4 = runLaneWorkload(8, 4, 7, 400);
+    ASSERT_FALSE(t1.empty());
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t1, t4);
+}
+
+TEST(ParallelEngine, MoreThreadsThanLanesIsClamped)
+{
+    EventQueue eq;
+    ParallelEngine eng(eq, 3, 5, 16);
+    EXPECT_EQ(eng.threads(), 3);
+    const auto a = runLaneWorkload(3, 16, 5, 200);
+    const auto b = runLaneWorkload(3, 1, 5, 200);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ParallelEngine, CrossLaneInsideWindowThrows)
+{
+    EventQueue eq;
+    ParallelEngine eng(eq, 2, 10, 2);
+    // A lane event scheduling another lane at its own tick violates
+    // the lookahead contract; the engine must fail loudly, not
+    // silently corrupt causality.
+    eng.scheduleLane(0, 5, [&eng] {
+        eng.scheduleLane(1, 5, [] {});
+    });
+    EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(ParallelEngine, SameLanePastSchedulingThrows)
+{
+    EventQueue eq;
+    ParallelEngine eng(eq, 2, 10, 1);
+    eng.scheduleLane(0, 8, [&eng] {
+        eng.scheduleLane(0, 3, [] {}); // own past
+    });
+    EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(ParallelEngine, GlobalEventWakesLanesFromFastPath)
+{
+    // Lane work appearing *during* the pure-global fast path must
+    // interrupt it and fall back to windowed execution.
+    EventQueue eq;
+    ParallelEngine eng(eq, 4, 10, 2);
+    std::vector<Obs> log;
+    eq.schedule(3, [&eng, &log] {
+        eng.scheduleLane(2, 50, [&log] { log.push_back({2, 50, 1}); });
+    });
+    eq.schedule(4, [] {});
+    const Tick last = eng.run();
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0], (Obs{2, 50, 1}));
+    EXPECT_EQ(last, 50u);
+    EXPECT_GE(eng.windows(), 1u);
+    EXPECT_EQ(eng.laneExecuted(), 1u);
+    EXPECT_EQ(eng.executed(), eq.executed() + 1);
+}
+
+TEST(ParallelEngine, MixedGlobalAndLaneWindowsRunSerially)
+{
+    // Global events interleaved in time with lane events: every window
+    // containing global work must be executed serially, and at equal
+    // ticks the global queue goes first.
+    EventQueue eq;
+    ParallelEngine eng(eq, 2, 4, 2);
+    std::vector<std::pair<char, Tick>> order; // coordinator-only
+
+    for (Tick t = 2; t <= 20; t += 4)
+        eq.schedule(t, [&order, t] { order.push_back({'g', t}); });
+    for (Tick t = 2; t <= 20; t += 2)
+        eng.scheduleLane(0, t, [&order, t] {
+            order.push_back({'l', t});
+        });
+
+    eng.run();
+
+    ASSERT_FALSE(order.empty());
+    EXPECT_GT(eng.serialWindows(), 0u);
+    // Non-decreasing ticks; global before lane at the same tick.
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        EXPECT_LE(order[i - 1].second, order[i].second);
+        if (order[i - 1].second == order[i].second) {
+            EXPECT_FALSE(order[i - 1].first == 'l' &&
+                         order[i].first == 'g')
+                << "lane event ran before a same-tick global event";
+        }
+    }
+}
+
+TEST(ParallelEngine, ExecutedCountsAddUp)
+{
+    EventQueue eq;
+    ParallelEngine eng(eq, 4, 6, 2);
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i * 3, [] {});
+    for (int lane = 0; lane < 4; ++lane)
+        for (int i = 0; i < 5; ++i)
+            eng.scheduleLane(lane, 1 + i * 7, [] {});
+    eng.run();
+    EXPECT_EQ(eq.executed(), 10u);
+    EXPECT_EQ(eng.laneExecuted(), 20u);
+    EXPECT_EQ(eng.executed(), 30u);
+    EXPECT_TRUE(eng.empty());
+}
+
+TEST(ParallelEngine, FinalizersRunAfterEveryRun)
+{
+    EventQueue eq;
+    ParallelEngine eng(eq, 2, 5, 1);
+    int calls = 0;
+    eng.addFinalizer([&calls] { ++calls; });
+    eng.scheduleLane(0, 1, [] {});
+    eng.run();
+    EXPECT_EQ(calls, 1);
+    // Also on a run that ends in an exception.
+    eng.scheduleLane(0, 10, [&eng] {
+        eng.scheduleLane(1, 10, [] {}); // lookahead violation
+    });
+    EXPECT_THROW(eng.run(), std::logic_error);
+    EXPECT_EQ(calls, 2);
+}
+
+} // namespace
+} // namespace tt

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SpscChannel unit tests: FIFO order across chunk boundaries, move-only
+ * payloads, destruction of unconsumed elements, and a two-thread
+ * producer/consumer stress run (the engine's actual usage pattern).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/spsc.hh"
+
+namespace tt
+{
+namespace
+{
+
+TEST(Spsc, FifoAcrossChunkBoundaries)
+{
+    // Well past several 128-slot chunks.
+    SpscChannel<int> ch;
+    constexpr int kN = 1000;
+    for (int i = 0; i < kN; ++i)
+        ch.push(i);
+    int v = -1;
+    for (int i = 0; i < kN; ++i) {
+        ASSERT_TRUE(ch.tryPop(&v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(ch.tryPop(&v));
+}
+
+TEST(Spsc, InterleavedPushPop)
+{
+    SpscChannel<int> ch;
+    int v = -1;
+    int next = 0;
+    for (int round = 0; round < 300; ++round) {
+        // Uneven batches so the read and write cursors cross chunk
+        // edges at different offsets.
+        for (int i = 0; i < 3; ++i)
+            ch.push(round * 3 + i);
+        if (round % 2 == 0) {
+            ASSERT_TRUE(ch.tryPop(&v));
+            EXPECT_EQ(v, next++);
+        }
+    }
+    while (ch.tryPop(&v))
+        EXPECT_EQ(v, next++);
+    EXPECT_EQ(next, 900);
+}
+
+TEST(Spsc, MoveOnlyPayload)
+{
+    SpscChannel<std::unique_ptr<int>> ch;
+    for (int i = 0; i < 200; ++i)
+        ch.push(std::make_unique<int>(i));
+    std::unique_ptr<int> p;
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(ch.tryPop(&p));
+        ASSERT_TRUE(p);
+        EXPECT_EQ(*p, i);
+    }
+    EXPECT_FALSE(ch.tryPop(&p));
+}
+
+TEST(Spsc, DestructorReleasesUnconsumedElements)
+{
+    auto token = std::make_shared<int>(42);
+    {
+        SpscChannel<std::shared_ptr<int>> ch;
+        for (int i = 0; i < 300; ++i) // several chunks, half drained
+            ch.push(token);
+        std::shared_ptr<int> p;
+        for (int i = 0; i < 150; ++i)
+            ASSERT_TRUE(ch.tryPop(&p));
+    }
+    // Every copy the channel still held must have been destroyed.
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(Spsc, TwoThreadStress)
+{
+    SpscChannel<std::uint64_t> ch;
+    constexpr std::uint64_t kN = 200'000;
+    std::thread producer([&ch] {
+        for (std::uint64_t i = 0; i < kN; ++i)
+            ch.push(i);
+    });
+    std::uint64_t expect = 0;
+    std::uint64_t v = 0;
+    while (expect < kN) {
+        if (ch.tryPop(&v)) {
+            ASSERT_EQ(v, expect);
+            ++expect;
+        }
+    }
+    producer.join();
+    EXPECT_FALSE(ch.tryPop(&v));
+}
+
+} // namespace
+} // namespace tt

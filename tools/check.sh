@@ -24,17 +24,23 @@
 #      producer-consumer), its JSON must parse, a rerun must be
 #      byte-identical, and an analyze-off run must be bit-identical
 #      to the analyzer-on run's simulated results (zero probe effect).
+#   8. A TSan (RelWithDebInfo, TT_SANITIZE=thread) build of the
+#      parallel engine's tests plus a small --threads=4 grid: every
+#      protocol runs under ThreadSanitizer with the sharded engine
+#      attached (DESIGN.md §12).
 #
-# Usage: tools/check.sh [--skip-asan] [--skip-tidy]
+# Usage: tools/check.sh [--skip-asan] [--skip-tidy] [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_ASAN=0
 SKIP_TIDY=0
+SKIP_TSAN=0
 for arg in "$@"; do
     case "$arg" in
         --skip-asan) SKIP_ASAN=1 ;;
         --skip-tidy) SKIP_TIDY=1 ;;
+        --skip-tsan) SKIP_TSAN=1 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -43,9 +49,31 @@ JOBS=$(nproc 2>/dev/null || echo 2)
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
+# Fail fast, with a message naming the fix, when a build directory was
+# last configured with cache settings that contradict the preset about
+# to use it. CMake reuses an existing cache as-is, so a mismatched
+# tree (say build/ configured by hand with TT_SANITIZE=thread) would
+# otherwise "pass" the wrong gate or die in confusing link errors.
+# An absent entry is fine — the upcoming configure will set it.
+expect_cache() { # expect_cache <dir> <var> <want>
+    local dir="$1" var="$2" want="$3" cache got
+    cache="$dir/CMakeCache.txt"
+    [ -f "$cache" ] || return 0
+    got=$(sed -n "s/^$var:[A-Za-z]*=//p" "$cache" | head -n 1)
+    if [ -n "$got" ] && [ "$got" != "$want" ]; then
+        echo "check.sh: $dir was configured with $var=$got," \
+             "but this step needs $var=$want." >&2
+        echo "check.sh: remove $dir/ (or re-run 'cmake --preset'" \
+             "for it) and retry." >&2
+        exit 2
+    fi
+}
+
 # --- 1. Debug + ASan/UBSan ------------------------------------------------
 if [ "$SKIP_ASAN" = 0 ]; then
     step "Debug + ASan/UBSan build"
+    expect_cache build-asan CMAKE_BUILD_TYPE Debug
+    expect_cache build-asan TT_SANITIZE ON
     cmake --preset asan >/dev/null
     cmake --build --preset asan -j "$JOBS"
     step "ctest (asan)"
@@ -56,6 +84,8 @@ fi
 
 # --- 2. Release ------------------------------------------------------------
 step "Release build"
+expect_cache build CMAKE_BUILD_TYPE RelWithDebInfo
+expect_cache build TT_SANITIZE OFF
 cmake --preset release >/dev/null
 cmake --build --preset release -j "$JOBS"
 step "ctest (release)"
@@ -172,6 +202,29 @@ grep -E 'execution time|checksum' "$TRACEDIR/em3d.analyze.txt" \
     > "$TRACEDIR/em3d.analyze.key"
 diff "$TRACEDIR/em3d.plain.key" "$TRACEDIR/em3d.analyze.key"
 echo "--- analyzer deterministic, classification correct, no probe effect"
+
+# --- 8. ThreadSanitizer: parallel engine ------------------------------------
+if [ "$SKIP_TSAN" = 0 ]; then
+    step "ThreadSanitizer: parallel engine (--threads=4)"
+    expect_cache build-tsan CMAKE_BUILD_TYPE RelWithDebInfo
+    expect_cache build-tsan TT_SANITIZE thread
+    cmake --preset tsan >/dev/null
+    cmake --build --preset tsan -j "$JOBS" \
+        --target ttsim test_sim test_config
+    export TSAN_OPTIONS=halt_on_error=1
+    build-tsan/tests/test_sim \
+        --gtest_filter='Spsc*:ParallelEngine*'
+    build-tsan/tests/test_config \
+        --gtest_filter='ThreadsIdentity.ActorWorkload*'
+    for sys in dirnnb stache migratory update; do
+        echo "--- $sys/em3d --threads=4 (tsan)"
+        build-tsan/tools/ttsim --system="$sys" --app=em3d \
+            --dataset=tiny --nodes=8 --threads=4 >/dev/null
+    done
+    unset TSAN_OPTIONS
+else
+    step "TSan gate skipped (--skip-tsan)"
+fi
 
 echo
 echo "check.sh: all gates passed"

@@ -44,6 +44,7 @@ struct Options
     int scale = 1;
     int netLatency = 11;
     int quantum = 32;
+    int threads = 1; ///< parallel-engine workers (1 = serial engine)
     double remotePct = 20;
     std::uint64_t seed = 0;
     std::string benchJson; ///< write a wall-clock JSON report here
@@ -90,6 +91,10 @@ usage()
         "  --scale=N         divide problem size by N (default 1)\n"
         "  --net-latency=N   network latency cycles (default 11)\n"
         "  --quantum=N       local-time window (default 32)\n"
+        "  --threads=N       parallel-engine workers (default 1 ="
+        " serial\n"
+        "                    cross-check engine; results byte-identical"
+        " for any N)\n"
         "  --remote=PCT      EM3D remote-edge percent (default 20)\n"
         "  --seed=N          machine RNG seed\n"
         "  --bench-json=F    write a wall-clock benchmark report"
@@ -193,6 +198,8 @@ parseArg(Options& o, const std::string& arg)
         o.jitterSet = true;
     } else if (eat("--faults=", &v)) {
         o.faults = v;
+    } else if (eat("--threads=", &v)) {
+        o.threads = std::atoi(v.c_str());
     } else if (eat("--horizon=", &v)) {
         o.horizon = std::strtoull(v.c_str(), nullptr, 0);
     } else if (eat("--rto=", &v)) {
@@ -241,6 +248,8 @@ validateOptions(const Options& o)
         std::fprintf(stderr, "ttsim: %s\n", msg);
         std::exit(2);
     };
+    if (o.threads < 1 || o.threads > 256)
+        die("--threads must be between 1 and 256");
     if (o.faults.empty()) {
         // The robustness knobs only mean something on a lossy fabric.
         if (o.noReliable)
@@ -327,6 +336,7 @@ main(int argc, char** argv)
     cfg.core.blockSize = o.blockSize;
     cfg.core.quantum = o.quantum;
     cfg.net.latency = o.netLatency;
+    cfg.core.threads = o.threads;
     if (o.seed)
         cfg.core.seed = o.seed;
 
@@ -566,6 +576,7 @@ main(int argc, char** argv)
         BenchCase c;
         c.system = o.system;
         c.app = app->name();
+        c.threads = o.threads;
         c.dataset = o.dataset;
         c.cycles = r.execTime;
         c.events = r.events;
