@@ -76,14 +76,20 @@ main()
         }
     }
 
-    // The same grid with the coherence sanitizer attached: measures
-    // the --check overhead (and, implicitly, that the checker-off
-    // hot path above carries only dead branches). Simulated results
-    // must not change.
-    std::printf("\nchecker-on pass:\n");
-    {
+    // The same grid with the coherence sanitizer attached, once per
+    // checker mode (DESIGN.md §13): `fast` is the default shadow
+    // engine whose always-on ≤4x bound the JSON records, `paranoid`
+    // the byte-granular oracle for reference. Implicitly this also
+    // proves the checker-off hot path above carries only dead
+    // branches. Simulated results must not change in either mode.
+    for (const auto mode : {ProtocolChecker::Mode::Fast,
+                            ProtocolChecker::Mode::Paranoid}) {
+        const bool fast = mode == ProtocolChecker::Mode::Fast;
+        std::printf("\nchecker-on pass (%s):\n",
+                    fast ? "fast" : "paranoid");
         MachineConfig ccfg = cfg;
         ccfg.check.enable = true;
+        ccfg.check.mode = mode;
         std::size_t i = 0;
         for (const char* system : {"dirnnb", "stache"}) {
             for (const auto& app : apps) {
@@ -98,8 +104,10 @@ main()
                                  system, app.c_str());
                     return 1;
                 }
-                rep.checkerOnEvents += c.events;
-                rep.checkerOnWallMs += c.wallMs;
+                (fast ? rep.checkerFastEvents
+                      : rep.checkerParanoidEvents) += c.events;
+                (fast ? rep.checkerFastWallMs
+                      : rep.checkerParanoidWallMs) += c.wallMs;
                 std::printf("%-8s %-8s %9.1f ms\n", system,
                             app.c_str(), c.wallMs);
                 std::fflush(stdout);

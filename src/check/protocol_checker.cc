@@ -17,6 +17,14 @@
 namespace tt
 {
 
+// The packed copy word stores the mirror tag as a direct cast of
+// AccessTag; both enums must stay numerically aligned.
+static_assert(static_cast<int>(AccessTag::Invalid) == 0 &&
+                  static_cast<int>(AccessTag::ReadOnly) == 1 &&
+                  static_cast<int>(AccessTag::ReadWrite) == 2 &&
+                  static_cast<int>(AccessTag::Busy) == 3,
+              "AccessTag numbering must match ProtocolChecker::Copy");
+
 namespace
 {
 
@@ -32,21 +40,39 @@ tagTrace(AccessTag t)
     return "tag:?";
 }
 
+NodeId
+lowestBit(std::uint64_t bits)
+{
+    return static_cast<NodeId>(__builtin_ctzll(bits));
+}
+
 } // namespace
 
-ProtocolChecker::ProtocolChecker(Machine& m)
+ProtocolChecker::ProtocolChecker(Machine& m, Mode mode)
     : _m(m),
+      _mode(mode),
       _nodes(m.params().nodes),
       _blockSize(m.params().blockSize),
-      _pageSize(m.params().pageSize)
+      _pageSize(m.params().pageSize),
+      _blkShift(log2i(m.params().blockSize))
 {
+    tt_assert(_nodes > 0 && _nodes < 0xffff,
+              "checker copy-word writer field needs nodes in [1, 65534]"
+              ", got ",
+              _nodes);
     _trace.reserve(kTraceCap);
+    if (_mode == Mode::Fast) {
+        _copy.resize(static_cast<std::size_t>(_nodes));
+        _epoch.assign(static_cast<std::size_t>(_nodes), 0);
+    }
 }
 
 void
 ProtocolChecker::attachTyphoon(TyphoonMemSystem& ms, Stache& protocol)
 {
-    tt_assert(!_tms && !_dms, "checker already attached");
+    tt_assert(!_tms && !_dms,
+              "checker already attached to a memory system; one "
+              "ProtocolChecker instance validates exactly one target");
     _tms = &ms;
     _stache = &protocol;
 }
@@ -54,7 +80,9 @@ ProtocolChecker::attachTyphoon(TyphoonMemSystem& ms, Stache& protocol)
 void
 ProtocolChecker::attachDirnnb(DirMemSystem& ms)
 {
-    tt_assert(!_tms && !_dms, "checker already attached");
+    tt_assert(!_tms && !_dms,
+              "checker already attached to a memory system; one "
+              "ProtocolChecker instance validates exactly one target");
     _dms = &ms;
 }
 
@@ -112,59 +140,51 @@ ProtocolChecker::report_(const char* invariant, Addr blk, NodeId node,
 }
 
 // --------------------------------------------------------------------
-// Shadow memory
+// Shadow memory (two-level table, both modes)
 // --------------------------------------------------------------------
-
-ProtocolChecker::ShadowPage&
-ProtocolChecker::shadowPage(Addr va)
-{
-    ShadowPage& p = _shadow[va / _pageSize];
-    if (p.data.empty()) {
-        p.data.assign(_pageSize, 0);
-        p.valid.assign(_pageSize, 0);
-    }
-    return p;
-}
 
 void
 ProtocolChecker::shadowWrite(Addr va, const void* bytes, std::size_t len)
 {
     const auto* src = static_cast<const std::uint8_t*>(bytes);
     while (len) {
-        ShadowPage& p = shadowPage(va);
-        const std::size_t off = va % _pageSize;
-        const std::size_t n = std::min<std::size_t>(len, _pageSize - off);
-        std::memcpy(p.data.data() + off, src, n);
-        std::fill_n(p.valid.begin() + static_cast<long>(off), n, 1);
+        shadow::DataLeaf& leaf =
+            _data.getWritable(va >> shadow::DataLeaf::kBytesLog2);
+        const std::uint64_t off = va & (shadow::DataLeaf::kBytes - 1);
+        const std::size_t n = std::min<std::size_t>(
+            len, shadow::DataLeaf::kBytes - off);
+        std::memcpy(leaf.data.data() + off, src, n);
+        for (std::size_t i = 0; i < n; ++i)
+            leaf.setValid(off + i);
         va += n;
         src += n;
         len -= n;
     }
 }
 
-void
+bool
 ProtocolChecker::shadowCheck(NodeId n, Addr va, const void* bytes,
                              std::size_t len)
 {
-    auto it = _shadow.find(va / _pageSize);
-    if (it == _shadow.end() || it->second.data.empty())
-        return;
-    const ShadowPage& p = it->second;
     const auto* got = static_cast<const std::uint8_t*>(bytes);
-    const std::size_t off = va % _pageSize;
-    for (std::size_t i = 0; i < len && off + i < _pageSize; ++i) {
-        if (!p.valid[off + i])
+    for (std::size_t i = 0; i < len; ++i) {
+        const Addr a = va + i;
+        const shadow::DataLeaf& leaf =
+            _data.get(a >> shadow::DataLeaf::kBytesLog2);
+        const std::uint64_t off = a & (shadow::DataLeaf::kBytes - 1);
+        if (!leaf.validAt(off))
             continue;
-        if (got[i] != p.data[off + i]) {
+        if (got[i] != leaf.data[off]) {
             std::ostringstream os;
             os << "read at node " << n << " va 0x" << std::hex << va
                << std::dec << " byte " << i << " returned "
                << int(got[i]) << ", last coherent write was "
-               << int(p.data[off + i]);
+               << int(leaf.data[off]);
             report_("value", blockAlign(va, _blockSize), n, os.str());
-            return;
+            return true;
         }
     }
+    return false;
 }
 
 // --------------------------------------------------------------------
@@ -174,6 +194,10 @@ ProtocolChecker::shadowCheck(NodeId n, Addr va, const void* bytes,
 void
 ProtocolChecker::onTagChange(NodeId n, Addr blk, AccessTag t)
 {
+    if (_mode == Mode::Fast) {
+        fastTag(n, blk, static_cast<Copy>(t), tagTrace(t));
+        return;
+    }
     _seenBlocks.insert(blk);
     trace(n, blk, tagTrace(t));
     markDirty(blk);
@@ -183,6 +207,12 @@ void
 ProtocolChecker::onPageTags(NodeId n, Addr pageVa, AccessTag t)
 {
     trace(n, alignDown(pageVa, _pageSize), tagTrace(t));
+    if (_mode == Mode::Fast) {
+        const Addr base = alignDown(pageVa, _pageSize);
+        for (Addr b = base; b < base + _pageSize; b += _blockSize)
+            fastTag(n, b, static_cast<Copy>(t), nullptr);
+        return;
+    }
     markPageDirty(pageVa);
 }
 
@@ -191,16 +221,34 @@ ProtocolChecker::onPageMap(NodeId n, Addr pageVa, std::uint8_t mode)
 {
     // Custom-protocol pages (mode >= 3, e.g. EM3D delayed update) keep
     // consumer copies stale by design: exempt from coherence checking.
-    if (mode >= 3)
+    const Addr base = alignDown(pageVa, _pageSize);
+    if (mode >= 3) {
         _exemptVpns.insert(pageVa / _pageSize);
-    trace(n, alignDown(pageVa, _pageSize), "page-map");
+        if (_mode == Mode::Fast)
+            for (Addr b = base; b < base + _pageSize; b += _blockSize)
+                metaRef(b >> _blkShift).flags |=
+                    shadow::BlockMeta::kExempt;
+    }
+    trace(n, base, "page-map");
+    if (_mode == Mode::Fast) {
+        // A fresh mapping starts all-Invalid at this node.
+        for (Addr b = base; b < base + _pageSize; b += _blockSize)
+            fastTag(n, b, Copy::None, nullptr);
+        return;
+    }
     markPageDirty(pageVa);
 }
 
 void
 ProtocolChecker::onPageUnmap(NodeId n, Addr pageVa)
 {
-    trace(n, alignDown(pageVa, _pageSize), "page-unmap");
+    const Addr base = alignDown(pageVa, _pageSize);
+    trace(n, base, "page-unmap");
+    if (_mode == Mode::Fast) {
+        for (Addr b = base; b < base + _pageSize; b += _blockSize)
+            fastTag(n, b, Copy::None, nullptr);
+        return;
+    }
     markPageDirty(pageVa);
 }
 
@@ -208,6 +256,10 @@ void
 ProtocolChecker::onAccess(NodeId n, Addr va, unsigned size, bool isWrite,
                           const void* bytes)
 {
+    if (_mode == Mode::Fast) {
+        fastAccess(n, va, size, isWrite, bytes);
+        return;
+    }
     const Addr blk = blockAlign(va, _blockSize);
     if (exempt(blk))
         return;
@@ -240,11 +292,26 @@ ProtocolChecker::onBackdoorWrite(Addr va, const void* bytes,
                                  std::size_t len)
 {
     shadowWrite(va, bytes, len);
+    if (_mode == Mode::Fast) {
+        // Restamp every covered block so previously validated words
+        // go stale and the next read re-verifies against the shadow.
+        const Addr first = blockAlign(va, _blockSize);
+        for (Addr b = first; b < va + len; b += _blockSize)
+            fastBumpStamp(metaRef(b >> _blkShift));
+    }
 }
 
 void
 ProtocolChecker::onBlockEvent(NodeId n, Addr blk, const char* what)
 {
+    if (_mode == Mode::Fast) {
+        shadow::BlockMeta& m = metaRef(blk >> _blkShift);
+        m.flags |= shadow::BlockMeta::kSeen;
+        trace(n, blk, what);
+        fastBumpStamp(m);
+        fastMarkDirty(blk, m);
+        return;
+    }
     _seenBlocks.insert(blk);
     trace(n, blk, what);
     markDirty(blk);
@@ -254,13 +321,21 @@ void
 ProtocolChecker::onMsgSend(const Message& m)
 {
     ++_inflightTotal;
-    if (m.args.size() >= 2) {
-        const Addr blk = blockAlign(m.addrArg(0), _blockSize);
-        ++_inflightByBlk[blk];
-        if (_seenBlocks.count(blk)) {
+    if (m.args.size() < 2)
+        return;
+    const Addr blk = blockAlign(m.addrArg(0), _blockSize);
+    ++_inflightByBlk[blk];
+    if (_mode == Mode::Fast) {
+        const shadow::BlockMeta& bm = metaOf(blk >> _blkShift);
+        if (bm.flags & shadow::BlockMeta::kSeen) {
             trace(m.src, blk, "msg-send");
-            markDirty(blk);
+            fastMarkDirty(blk, metaRef(blk >> _blkShift));
         }
+        return;
+    }
+    if (_seenBlocks.count(blk)) {
+        trace(m.src, blk, "msg-send");
+        markDirty(blk);
     }
 }
 
@@ -268,15 +343,26 @@ void
 ProtocolChecker::onMsgDeliver(const Message& m)
 {
     --_inflightTotal;
-    if (m.args.size() >= 2) {
-        const Addr blk = blockAlign(m.addrArg(0), _blockSize);
-        auto it = _inflightByBlk.find(blk);
-        if (it != _inflightByBlk.end() && --it->second == 0)
-            _inflightByBlk.erase(it);
-        if (_seenBlocks.count(blk)) {
+    if (m.args.size() < 2)
+        return;
+    const Addr blk = blockAlign(m.addrArg(0), _blockSize);
+    auto it = _inflightByBlk.find(blk);
+    if (it != _inflightByBlk.end() && --it->second == 0)
+        _inflightByBlk.erase(it);
+    if (_mode == Mode::Fast) {
+        shadow::BlockMeta& bm = metaRef(blk >> _blkShift);
+        if (bm.flags & shadow::BlockMeta::kSeen) {
             trace(m.dst, blk, "msg-deliver");
-            markDirty(blk);
+            // The handler about to run may move block data around
+            // without a coherent write; invalidate read-freshness.
+            fastBumpStamp(bm);
+            fastMarkDirty(blk, bm);
         }
+        return;
+    }
+    if (_seenBlocks.count(blk)) {
+        trace(m.dst, blk, "msg-deliver");
+        markDirty(blk);
     }
 }
 
@@ -284,6 +370,26 @@ void
 ProtocolChecker::onEventEnd()
 {
     ++_eventsChecked;
+    if (_mode == Mode::Fast) {
+        if (!_lazyCmp.empty()) {
+            for (const auto& [n, blk] : _lazyCmp) {
+                if (!(metaOf(blk >> _blkShift).flags &
+                      shadow::BlockMeta::kExempt))
+                    fastCompareBlock(n, blk);
+            }
+            _lazyCmp.clear();
+        }
+        for (Addr blk : _dirty) {
+            shadow::BlockMeta& m = metaRef(blk >> _blkShift);
+            m.flags &= static_cast<std::uint8_t>(
+                ~shadow::BlockMeta::kDirty);
+            if (m.flags & shadow::BlockMeta::kExempt)
+                continue;
+            fastCheckBlock(blk, m);
+        }
+        _dirty.clear();
+        return;
+    }
     for (Addr blk : _dirty)
         checkBlock(blk);
     _dirty.clear();
@@ -291,7 +397,300 @@ ProtocolChecker::onEventEnd()
 }
 
 // --------------------------------------------------------------------
-// Invariants
+// Fast engine (DESIGN.md §13)
+// --------------------------------------------------------------------
+
+void
+ProtocolChecker::fastMarkDirty(Addr blk, shadow::BlockMeta& m)
+{
+    if (!(m.flags & shadow::BlockMeta::kDirty)) {
+        m.flags |= shadow::BlockMeta::kDirty;
+        _dirty.push_back(blk);
+    }
+}
+
+void
+ProtocolChecker::fastBumpStamp(shadow::BlockMeta& m)
+{
+    ++_auxEpoch;
+    if (shadow::epochWrapped(_auxEpoch))
+        clearAllValidated();
+    m.stamp = shadow::packStamp(shadow::kAuxWriter, _auxEpoch);
+}
+
+void
+ProtocolChecker::clearAllValidated()
+{
+    for (auto& t : _copy)
+        shadow::clearValidated(t);
+}
+
+void
+ProtocolChecker::fastTag(NodeId n, Addr blk, Copy c, const char* what)
+{
+    const std::uint64_t bi = blk >> _blkShift;
+    const std::uint64_t old = copyWord(n, bi);
+    const Copy oc = static_cast<Copy>(shadow::tagOf(old));
+    if (oc == Copy::None && c == Copy::None && !shadow::validated(old))
+        return; // untouched slot stays untouched (page-granular sweeps)
+
+    // Any copy-state transition invalidates the node's read freshness
+    // (the underlying bytes may be about to change hands).
+    copyWordRef(n, bi) = (old & shadow::kStampMask) |
+                         static_cast<std::uint64_t>(c);
+
+    shadow::BlockMeta& m = metaRef(bi);
+    m.flags |= shadow::BlockMeta::kSeen;
+    if (oc != c) {
+        const std::uint64_t bit = n < 64 ? (1ull << n) : 0;
+        switch (oc) {
+        case Copy::Shared:
+            --m.sharedCnt;
+            m.sharedBits &= ~bit;
+            break;
+        case Copy::Excl:
+            --m.exclCnt;
+            m.exclBits &= ~bit;
+            break;
+        default: break;
+        }
+        switch (c) {
+        case Copy::Shared:
+            ++m.sharedCnt;
+            m.sharedBits |= bit;
+            break;
+        case Copy::Excl:
+            ++m.exclCnt;
+            m.exclBits |= bit;
+            break;
+        default: break;
+        }
+    }
+    if (what)
+        trace(n, blk, what);
+    fastMarkDirty(blk, m);
+
+    if (_tms) {
+        // Laziness rule: byte-granular value comparison happens on
+        // copy-state transitions, not per access.  A grant may have
+        // delivered stale bytes; a writable copy being taken away is
+        // the last moment its bytes are authoritative.
+        const bool grant = (oc == Copy::None || oc == Copy::Busy) &&
+                           (c == Copy::Shared || c == Copy::Excl);
+        const bool rwExit = oc == Copy::Excl && c != Copy::Excl;
+        if (grant || rwExit)
+            _lazyCmp.emplace_back(n, blk);
+    }
+}
+
+void
+ProtocolChecker::fastAccess(NodeId n, Addr va, unsigned size,
+                            bool isWrite, const void* bytes)
+{
+    const Addr blk = blockAlign(va, _blockSize);
+    const std::uint64_t bi = blk >> _blkShift;
+    const shadow::BlockMeta& bm = metaOf(bi);
+    if (bm.flags & shadow::BlockMeta::kExempt)
+        return;
+    if (_tms) {
+        // Table 1 semantics, via the mirror (mirror == reality: every
+        // tag-store mutation fires onTagChange before the access
+        // completes).
+        const unsigned c = shadow::tagOf(copyWord(n, bi));
+        const bool ok =
+            isWrite ? c == static_cast<unsigned>(Copy::Excl)
+                    : (c == static_cast<unsigned>(Copy::Excl) ||
+                       c == static_cast<unsigned>(Copy::Shared));
+        if (!ok) {
+            std::ostringstream os;
+            os << (isWrite ? "write" : "read") << " at node " << n
+               << " va 0x" << std::hex << va << std::dec
+               << " completed without a sufficient access tag";
+            report_("table1-tag", blk, n, os.str());
+        }
+    }
+    if (!isWrite) {
+        const std::uint64_t w = copyWord(n, bi);
+        if (shadow::validated(w) && shadow::stampOf(w) == bm.stamp)
+            return; // O(1): this node's view is provably fresh
+        fastValidateBlock(n, blk, bm.stamp, va, bytes, size);
+        return;
+    }
+
+    std::uint64_t& epoch = _epoch[static_cast<std::size_t>(n)];
+    ++epoch;
+    if (shadow::epochWrapped(epoch))
+        clearAllValidated();
+    const std::uint64_t stamp =
+        shadow::packStamp(static_cast<std::uint32_t>(n) + 1, epoch);
+    shadow::BlockMeta& m = metaRef(bi);
+    std::uint64_t& w = copyWordRef(n, bi);
+    // The writer stays validated across its own write iff it was
+    // validated at the previous stamp: memory and shadow receive the
+    // same bytes, so a verified view stays verified.
+    const bool carry =
+        shadow::validated(w) && shadow::stampOf(w) == m.stamp;
+    m.stamp = stamp;
+    w = (w & shadow::kTagMask) | stamp |
+        (carry ? shadow::kValidatedMask : 0);
+    m.flags |= shadow::BlockMeta::kSeen;
+    fastMarkDirty(blk, m);
+    trace(n, blk, "write");
+    shadowWrite(va, bytes, size);
+}
+
+int
+ProtocolChecker::blockVsShadow(NodeId n, Addr blk)
+{
+    std::uint8_t buf[256];
+    if (!_tms || _blockSize > sizeof(buf) ||
+        !readNodeBlock(n, blk, buf))
+        return -1;
+    const shadow::DataLeaf& leaf =
+        _data.get(blk >> shadow::DataLeaf::kBytesLog2);
+    const std::uint64_t off = blk & (shadow::DataLeaf::kBytes - 1);
+    for (std::uint32_t i = 0; i < _blockSize; ++i) {
+        if (!leaf.validAt(off + i))
+            continue;
+        if (buf[i] != leaf.data[off + i]) {
+            std::ostringstream os;
+            os << "copy at node " << n << " block 0x" << std::hex << blk
+               << std::dec << " byte " << i << " holds " << int(buf[i])
+               << ", last coherent write was " << int(leaf.data[off + i]);
+            report_("value", blk, n, os.str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
+void
+ProtocolChecker::fastValidateBlock(NodeId n, Addr blk,
+                                   std::uint64_t stamp, Addr va,
+                                   const void* bytes, unsigned size)
+{
+    // Prefer whole-block verification (Typhoon: the node's memory is
+    // directly readable) so the validated bit means "this node's
+    // entire view matches the shadow", not just the sampled bytes.
+    const int r = blockVsShadow(n, blk);
+    if (r == 1)
+        return; // mismatch reported; do not validate
+    if (r < 0 && shadowCheck(n, va, bytes, size))
+        return; // fallback compared the access bytes only
+    std::uint64_t& w = copyWordRef(n, blk >> _blkShift);
+    w = (w & ~shadow::kStampMask) | stamp | shadow::kValidatedMask;
+}
+
+void
+ProtocolChecker::fastCompareBlock(NodeId n, Addr blk)
+{
+    blockVsShadow(n, blk);
+}
+
+void
+ProtocolChecker::fastCheckBlock(Addr blk, shadow::BlockMeta& m)
+{
+    // SWMR in O(1): mirror population counts. The reality rescan only
+    // runs to name the offending nodes in the report.
+    if (m.exclCnt >= 2 || (m.exclCnt == 1 && m.sharedCnt >= 1))
+        checkSwmr(blk);
+    if (_tms)
+        fastStacheAudit(blk, m);
+    else
+        fastDirnnbAudit(blk, m);
+}
+
+void
+ProtocolChecker::fastStacheAudit(Addr blk, const shadow::BlockMeta& m)
+{
+    const Stache::BlockPeek p = _stache->peekEntry(blk);
+    if (p.busy || inflight(blk))
+        return;
+    if (!p.entry || _nodes > 64) {
+        checkStacheAgreement(blk);
+        return;
+    }
+    const NodeId home = _stache->homeOf(blk);
+    const std::uint64_t hb = 1ull << home;
+    bool clean = false;
+    switch (p.state) {
+    case StacheDirEntry::State::Idle:
+        clean = m.exclBits == hb && m.sharedBits == 0;
+        break;
+    case StacheDirEntry::State::Shared: {
+        clean = (m.sharedBits & hb) != 0 && m.exclBits == 0;
+        std::uint64_t rest = m.sharedBits & ~hb;
+        while (clean && rest) {
+            const NodeId n = lowestBit(rest);
+            rest &= rest - 1;
+            if (!p.entry->contains(n, *p.aux))
+                clean = false;
+        }
+        break;
+    }
+    case StacheDirEntry::State::Excl: {
+        if (p.owner < 0 || p.owner >= _nodes)
+            break;
+        const std::uint64_t bi = blk >> _blkShift;
+        const unsigned ht = shadow::tagOf(copyWord(home, bi));
+        const unsigned ot = shadow::tagOf(copyWord(p.owner, bi));
+        const std::uint64_t ob = 1ull << p.owner;
+        clean = ht == static_cast<unsigned>(Copy::None) &&
+                (ot == static_cast<unsigned>(Copy::Excl) ||
+                 ot == static_cast<unsigned>(Copy::Busy)) &&
+                m.sharedBits == 0 && (m.exclBits & ~ob) == 0;
+        break;
+    }
+    }
+    if (!clean)
+        checkStacheAgreement(blk); // reality rescan names the offender
+}
+
+void
+ProtocolChecker::fastDirnnbAudit(Addr blk, const shadow::BlockMeta& m)
+{
+    const DirMemSystem::EntryPeek p = _dms->peekEntry(blk);
+    if (p.busy || inflight(blk))
+        return;
+    if (_nodes > 64) {
+        checkDirnnbAgreement(blk);
+        return;
+    }
+    const NodeId home = _dms->homeOf(blk);
+    const std::uint64_t hb = 1ull << home;
+    bool clean = false;
+    switch (p.state) {
+    case DirMemSystem::DirState::Idle:
+        // Home copies are not directory-tracked; remotes must be gone.
+        clean = ((m.sharedBits | m.exclBits) & ~hb) == 0;
+        break;
+    case DirMemSystem::DirState::Shared: {
+        clean = m.exclBits == 0;
+        std::uint64_t rest = m.sharedBits & ~hb;
+        while (clean && rest) {
+            const NodeId n = lowestBit(rest);
+            rest &= rest - 1;
+            if (!p.sharers || !p.sharers->contains(n))
+                clean = false;
+        }
+        break;
+    }
+    case DirMemSystem::DirState::Excl: {
+        if (p.owner < 0 || p.owner >= _nodes || p.owner == home)
+            break;
+        const std::uint64_t ob = 1ull << p.owner;
+        clean = ((m.sharedBits | m.exclBits) & hb) == 0 &&
+                m.exclBits == ob && m.sharedBits == 0;
+        break;
+    }
+    }
+    if (!clean)
+        checkDirnnbAgreement(blk);
+}
+
+// --------------------------------------------------------------------
+// Invariants (paranoid engine; also the fast mode's reporting slow
+// path — the mirror only decides *whether* to rescan reality)
 // --------------------------------------------------------------------
 
 ProtocolChecker::Copy

@@ -1,6 +1,6 @@
 /**
  * @file
- * ProtocolChecker — the coherence sanitizer (DESIGN.md §8).
+ * ProtocolChecker — the coherence sanitizer (DESIGN.md §8, §13).
  *
  * A DRD-style runtime verifier that observes every tag transition,
  * directory update, message send/delivery, and completed CPU access
@@ -24,6 +24,22 @@
  *    message outlives the run, every request was paired with its
  *    response (no open transients / MSHRs / pending misses).
  *
+ * The checker runs in one of two modes (DESIGN.md §13):
+ *
+ *  - Mode::Fast (`--check`, the default): a Valgrind-grade shadow
+ *    engine.  Per-node per-block copy words mirror the tag/cache
+ *    state (maintained from the same hooks, so mirror == reality),
+ *    SWMR reduces to O(1) population-count checks, directory audits
+ *    compare the directory entry against mirror bitmaps, and read
+ *    freshness is one packed-word compare — byte-granular value
+ *    comparison only happens on a stamp miss or on copy-state
+ *    transitions (grant / downgrade / invalidate), never per access.
+ *  - Mode::Paranoid (`--check=paranoid`): the original byte-granular
+ *    engine — every read value-checked against the shadow, every
+ *    audit rescans reality (page tables / cache tag arrays) —
+ *    retained as the reference oracle for the differential
+ *    no-false-negative suite (tests/check/test_differential.cc).
+ *
  * Pages mapped with a custom-protocol mode (mode >= 3, e.g. the EM3D
  * delayed-update protocol whose consumer copies are stale by design)
  * are exempt from swmr/dir-agreement/value checking.
@@ -43,9 +59,11 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "check/hooks.hh"
+#include "check/shadow_map.hh"
 #include "core/tempest.hh"
 #include "sim/types.hh"
 
@@ -60,6 +78,9 @@ class DirMemSystem;
 class ProtocolChecker final : public CheckHooks
 {
   public:
+    /// Checking engine selection — see the file comment.
+    enum class Mode : std::uint8_t { Fast, Paranoid };
+
     struct Violation
     {
         std::string invariant; ///< "swmr", "dir-agreement", ...
@@ -69,7 +90,7 @@ class ProtocolChecker final : public CheckHooks
         std::string detail;
     };
 
-    explicit ProtocolChecker(Machine& m);
+    explicit ProtocolChecker(Machine& m, Mode mode = Mode::Fast);
 
     /// Attach to a Typhoon target (Stache or a Stache subclass).
     void attachTyphoon(TyphoonMemSystem& ms, Stache& protocol);
@@ -78,6 +99,8 @@ class ProtocolChecker final : public CheckHooks
 
     /// Record the perturbation seed for the failure report (0 = none).
     void setSeed(std::uint64_t seed) { _seed = seed; }
+
+    Mode mode() const { return _mode; }
 
     // --- CheckHooks ---------------------------------------------------
     void onTagChange(NodeId n, Addr blk, AccessTag t) override;
@@ -111,13 +134,9 @@ class ProtocolChecker final : public CheckHooks
 
   private:
     /// Generic per-node summary of a block copy, protocol-agnostic.
+    /// Numeric values deliberately match AccessTag so the packed copy
+    /// word's 2-bit tag field is a direct cast (asserted in the .cc).
     enum class Copy : std::uint8_t { None, Shared, Excl, Busy };
-
-    struct ShadowPage
-    {
-        std::vector<std::uint8_t> data;
-        std::vector<std::uint8_t> valid; // byte-granular
-    };
 
     struct TraceRec
     {
@@ -138,11 +157,11 @@ class ProtocolChecker final : public CheckHooks
     void report_(const char* invariant, Addr blk, NodeId node,
                  std::string detail);
 
-    ShadowPage& shadowPage(Addr va);
     void shadowWrite(Addr va, const void* bytes, std::size_t len);
     /// Compare bytes against shadow; report a "value" violation on
     /// mismatch. Bytes never coherently written are not checked.
-    void shadowCheck(NodeId n, Addr va, const void* bytes,
+    /// @return true iff a mismatch was reported.
+    bool shadowCheck(NodeId n, Addr va, const void* bytes,
                      std::size_t len);
 
     Copy copyState(NodeId n, Addr blk) const;
@@ -154,7 +173,54 @@ class ProtocolChecker final : public CheckHooks
     /// false if the page is unmapped at that node.
     bool readNodeBlock(NodeId n, Addr blk, std::uint8_t* out) const;
 
+    // --- fast-mode engine (DESIGN.md §13) -----------------------------
+    std::uint64_t copyWord(NodeId n, std::uint64_t bi) const
+    {
+        return _copy[static_cast<std::size_t>(n)]
+            .get(bi >> shadow::CopyLeaf::kBlocksLog2)
+            .word[bi & ((1ull << shadow::CopyLeaf::kBlocksLog2) - 1)];
+    }
+    std::uint64_t& copyWordRef(NodeId n, std::uint64_t bi)
+    {
+        return _copy[static_cast<std::size_t>(n)]
+            .getWritable(bi >> shadow::CopyLeaf::kBlocksLog2)
+            .word[bi & ((1ull << shadow::CopyLeaf::kBlocksLog2) - 1)];
+    }
+    const shadow::BlockMeta& metaOf(std::uint64_t bi) const
+    {
+        return _meta.get(bi >> shadow::MetaLeaf::kBlocksLog2)
+            .meta[bi & ((1ull << shadow::MetaLeaf::kBlocksLog2) - 1)];
+    }
+    shadow::BlockMeta& metaRef(std::uint64_t bi)
+    {
+        return _meta.getWritable(bi >> shadow::MetaLeaf::kBlocksLog2)
+            .meta[bi & ((1ull << shadow::MetaLeaf::kBlocksLog2) - 1)];
+    }
+
+    void fastTag(NodeId n, Addr blk, Copy c, const char* what);
+    void fastAccess(NodeId n, Addr va, unsigned size, bool isWrite,
+                    const void* bytes);
+    void fastMarkDirty(Addr blk, shadow::BlockMeta& m);
+    /// Mint a fresh stamp from non-write protocol activity so every
+    /// validated word for the block goes stale.
+    void fastBumpStamp(shadow::BlockMeta& m);
+    void clearAllValidated();
+    /// Full-block verification of node n's view against the shadow;
+    /// validates the node's copy word at `stamp` on success.
+    void fastValidateBlock(NodeId n, Addr blk, std::uint64_t stamp,
+                           Addr va, const void* bytes, unsigned size);
+    /// Lazy transition compare (grant / leaving-ReadWrite).
+    void fastCompareBlock(NodeId n, Addr blk);
+    /// Compare node n's actual block bytes against the shadow's valid
+    /// bytes. -1: block unreadable (unmapped / oversized / DirNNB);
+    /// 0: match; 1: mismatch (a "value" violation was reported).
+    int blockVsShadow(NodeId n, Addr blk);
+    void fastCheckBlock(Addr blk, shadow::BlockMeta& m);
+    void fastStacheAudit(Addr blk, const shadow::BlockMeta& m);
+    void fastDirnnbAudit(Addr blk, const shadow::BlockMeta& m);
+
     Machine& _m;
+    Mode _mode;
     TyphoonMemSystem* _tms = nullptr;
     Stache* _stache = nullptr;
     DirMemSystem* _dms = nullptr;
@@ -162,18 +228,28 @@ class ProtocolChecker final : public CheckHooks
     int _nodes = 0;
     std::uint32_t _blockSize = 0;
     std::uint32_t _pageSize = 0;
+    unsigned _blkShift = 0;
     std::uint64_t _seed = 0;
 
-    std::unordered_map<std::uint64_t, ShadowPage> _shadow; // by vpn
+    // Byte-granular data shadow (both modes).
+    ShadowTable<shadow::DataLeaf> _data;
+    // Fast mode: per-block metadata + per-node copy-word mirrors.
+    ShadowTable<shadow::MetaLeaf> _meta;
+    std::vector<ShadowTable<shadow::CopyLeaf>> _copy;
+    std::vector<std::uint64_t> _epoch; ///< per-node write counters
+    std::uint64_t _auxEpoch = 0; ///< stamps for non-write activity
+    std::vector<std::pair<NodeId, Addr>> _lazyCmp;
+
     std::unordered_set<std::uint64_t> _exemptVpns;
 
     // Blocks ever touched by a tag/directory event: the universe the
     // checker validates. Message address args outside this set are
-    // ignored (they may not be block addresses at all).
+    // ignored (they may not be block addresses at all).  Fast mode
+    // tracks the same facts in BlockMeta::flags instead.
     std::unordered_set<Addr> _seenBlocks;
 
     std::vector<Addr> _dirty; // blocks touched since last onEventEnd
-    std::unordered_set<Addr> _dirtySet;
+    std::unordered_set<Addr> _dirtySet; // paranoid mode only
 
     std::unordered_map<Addr, int> _inflightByBlk;
     long _inflightTotal = 0;

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * ShadowTable — a Valgrind-style two-level shadow map (DESIGN.md §13).
+ *
+ * The address space is carved into fixed-size leaves; a primary table
+ * of chunks (each chunk holding a small array of leaf pointers) maps a
+ * key to its leaf.  Keys below the primary window index a flat vector
+ * grown on demand; keys above it (message address arguments are not
+ * guaranteed to be block addresses at all) fall into an auxiliary hash
+ * map, exactly like memcheck's aux-primary split for the >32-bit
+ * address space.
+ *
+ * Every slot that has never been written aliases one shared
+ * *distinguished* leaf — the default-constructed, all-"no-access"
+ * state — so an untouched gigabyte costs nothing and reads of
+ * untouched state are a couple of pointer chases.  getWritable()
+ * materializes a private copy of the distinguished leaf on first
+ * write (copy-on-write).
+ *
+ * The packed per-(node,block) copy word and the per-block metadata
+ * record used by the fast checker mode live here too, next to the
+ * container they populate, so the epoch/stamp encoding can be unit
+ * tested without a simulator (tests/check/test_shadow_map.cc).
+ */
+
+#ifndef TT_CHECK_SHADOW_MAP_HH
+#define TT_CHECK_SHADOW_MAP_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+/**
+ * Two-level copy-on-write shadow map.
+ *
+ * @tparam Leaf         default-constructible payload; the
+ *                      default-constructed instance is the
+ *                      distinguished "no state" leaf.
+ * @tparam kChunkBits   log2 of leaves per chunk.
+ * @tparam kPrimaryBits log2 of the chunk count covered by the flat
+ *                      primary vector; chunks beyond it live in the
+ *                      auxiliary hash map.
+ */
+template <typename Leaf, unsigned kChunkBits = 6,
+          unsigned kPrimaryBits = 20>
+class ShadowTable
+{
+  public:
+    /// Read-only lookup. Never materializes; untouched keys alias the
+    /// shared distinguished leaf.
+    const Leaf& get(std::uint64_t key) const
+    {
+        const Chunk* ch = findChunk(key >> kChunkBits);
+        if (!ch)
+            return _distinguished;
+        const Leaf* l = ch->slot[key & kSlotMask].get();
+        return l ? *l : _distinguished;
+    }
+
+    /// Mutable lookup: copy-on-write materializes the leaf (as a copy
+    /// of the distinguished leaf) on first touch.
+    Leaf& getWritable(std::uint64_t key)
+    {
+        Chunk& ch = chunkFor(key >> kChunkBits);
+        std::unique_ptr<Leaf>& slot = ch.slot[key & kSlotMask];
+        if (!slot) {
+            slot = std::make_unique<Leaf>(_distinguished);
+            ++_materialized;
+        }
+        return *slot;
+    }
+
+    /// True iff the key's leaf has been materialized (i.e. get() would
+    /// not return the distinguished leaf).
+    bool materialized(std::uint64_t key) const
+    {
+        const Chunk* ch = findChunk(key >> kChunkBits);
+        return ch && ch->slot[key & kSlotMask] != nullptr;
+    }
+
+    const Leaf& distinguished() const { return _distinguished; }
+    std::size_t leavesMaterialized() const { return _materialized; }
+
+    /// Visit every materialized leaf (mutable) — used for the rare
+    /// epoch-generation clear walk.
+    template <typename F> void forEachLeaf(F&& f)
+    {
+        for (auto& ch : _primary)
+            if (ch)
+                for (auto& l : ch->slot)
+                    if (l)
+                        f(*l);
+        for (auto& [k, ch] : _aux) {
+            (void)k;
+            for (auto& l : ch->slot)
+                if (l)
+                    f(*l);
+        }
+    }
+
+  private:
+    static constexpr std::uint64_t kSlotMask = (1ull << kChunkBits) - 1;
+    static constexpr std::uint64_t kPrimaryChunks = 1ull << kPrimaryBits;
+
+    struct Chunk
+    {
+        std::array<std::unique_ptr<Leaf>, 1ull << kChunkBits> slot;
+    };
+
+    const Chunk* findChunk(std::uint64_t c) const
+    {
+        if (c < _primary.size())
+            return _primary[c].get();
+        if (c < kPrimaryChunks)
+            return nullptr;
+        auto it = _aux.find(c);
+        return it == _aux.end() ? nullptr : it->second.get();
+    }
+
+    Chunk& chunkFor(std::uint64_t c)
+    {
+        if (c < kPrimaryChunks) {
+            if (c >= _primary.size())
+                _primary.resize(c + 1);
+            if (!_primary[c])
+                _primary[c] = std::make_unique<Chunk>();
+            return *_primary[c];
+        }
+        std::unique_ptr<Chunk>& p = _aux[c];
+        if (!p)
+            p = std::make_unique<Chunk>();
+        return *p;
+    }
+
+    std::vector<std::unique_ptr<Chunk>> _primary;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Chunk>> _aux;
+    Leaf _distinguished{};
+    std::size_t _materialized = 0;
+};
+
+namespace shadow
+{
+
+/**
+ * Per-(node, block) packed copy word, 64 bits:
+ *
+ *   [1:0]   tag        mirror of the node's copy state
+ *                      (0 none, 1 shared, 2 exclusive, 3 busy —
+ *                      numerically identical to AccessTag)
+ *   [2]     validated  this node's view of the block's bytes was
+ *                      verified against the shadow at `stamp`
+ *   [31:16] writer+1   last-writer node of the validated stamp
+ *   [47:32] epoch16    low 16 bits of the writer's epoch counter
+ *   [63:48] gen16      next 16 bits of the writer's epoch counter
+ *
+ * A read is provably fresh — and skips all byte work — iff its node's
+ * word is `validated` and its stamp equals the block's current stamp
+ * (one 64-bit compare).  Any write bumps the writer's epoch and
+ * restamps the block, so every stale word mismatches.  The 16-bit
+ * epoch field wraps every 65536 writes; the gen16 field disambiguates
+ * the next 2^16 wraps, and when a node's epoch crosses a 32-bit
+ * boundary the checker clears every validated bit (clearValidated),
+ * so a stamp can never falsely match across a full wrap.
+ */
+constexpr std::uint64_t kTagMask = 0x3;
+constexpr std::uint64_t kValidatedMask = 0x4;
+constexpr std::uint64_t kStampMask = 0xffff'ffff'ffff'0000ull;
+
+/// Sentinel "writer" for stamps minted by non-write protocol activity
+/// (backdoor pokes, handler dispatch, directory transitions).
+constexpr std::uint32_t kAuxWriter = 0xffff;
+
+inline std::uint64_t
+packStamp(std::uint32_t writerPlus1, std::uint64_t epoch)
+{
+    return (static_cast<std::uint64_t>(writerPlus1 & 0xffff) << 16) |
+           ((epoch & 0xffff) << 32) | (((epoch >> 16) & 0xffff) << 48);
+}
+
+inline std::uint64_t stampOf(std::uint64_t word)
+{
+    return word & kStampMask;
+}
+
+inline unsigned tagOf(std::uint64_t word)
+{
+    return static_cast<unsigned>(word & kTagMask);
+}
+
+inline bool validated(std::uint64_t word)
+{
+    return (word & kValidatedMask) != 0;
+}
+
+/// True when `epoch` (just incremented) crossed a 32-bit boundary:
+/// the caller must clearValidated() on every copy table before any
+/// stamp minted from it is compared.
+inline bool epochWrapped(std::uint64_t epoch)
+{
+    return (epoch & 0xffff'ffffull) == 0;
+}
+
+/// Byte-granular data shadow: 4 KiB of address space per leaf plus a
+/// written-bit per byte (bytes never coherently written are never
+/// value-checked).
+struct DataLeaf
+{
+    static constexpr unsigned kBytesLog2 = 12;
+    static constexpr std::uint64_t kBytes = 1ull << kBytesLog2;
+    std::array<std::uint8_t, kBytes> data{};
+    std::array<std::uint64_t, kBytes / 64> valid{};
+
+    bool validAt(std::uint64_t off) const
+    {
+        return (valid[off >> 6] >> (off & 63)) & 1;
+    }
+    void setValid(std::uint64_t off) { valid[off >> 6] |= 1ull << (off & 63); }
+};
+
+/// Per-node copy words for 512 consecutive blocks.
+struct CopyLeaf
+{
+    static constexpr unsigned kBlocksLog2 = 9;
+    std::array<std::uint64_t, 1ull << kBlocksLog2> word{};
+};
+
+/**
+ * Per-block global metadata: the block's current stamp, mirror
+ * sharer/writer population (counts always; bitmaps when the machine
+ * has at most 64 nodes), and the flag bits the fast checker uses
+ * instead of the paranoid mode's hash sets.
+ */
+struct BlockMeta
+{
+    std::uint64_t sharedBits = 0; ///< nodes < 64 holding a shared copy
+    std::uint64_t exclBits = 0;   ///< nodes < 64 holding a writable copy
+    std::uint64_t stamp = 0;      ///< current (writer, epoch) stamp
+    std::uint16_t sharedCnt = 0;
+    std::uint16_t exclCnt = 0;
+    std::uint8_t flags = 0;
+
+    static constexpr std::uint8_t kSeen = 1;   ///< in the checked universe
+    static constexpr std::uint8_t kDirty = 2;  ///< touched since last audit
+    static constexpr std::uint8_t kExempt = 4; ///< custom-protocol page
+};
+
+struct MetaLeaf
+{
+    static constexpr unsigned kBlocksLog2 = 7;
+    std::array<BlockMeta, 1ull << kBlocksLog2> meta{};
+};
+
+/// Clear every validated bit in a per-node copy table (epoch
+/// generation rollover — see the copy-word comment above).
+inline void
+clearValidated(ShadowTable<CopyLeaf>& t)
+{
+    t.forEachLeaf([](CopyLeaf& l) {
+        for (std::uint64_t& w : l.word)
+            w &= ~kValidatedMask;
+    });
+}
+
+} // namespace shadow
+
+} // namespace tt
+
+#endif // TT_CHECK_SHADOW_MAP_HH

@@ -50,10 +50,18 @@ BenchReport::eventsPerSec() const
 }
 
 double
-BenchReport::checkerOnEventsPerSec() const
+BenchReport::checkerFastEventsPerSec() const
 {
-    return checkerOnWallMs > 0
-               ? checkerOnEvents / (checkerOnWallMs / 1000.0)
+    return checkerFastWallMs > 0
+               ? checkerFastEvents / (checkerFastWallMs / 1000.0)
+               : 0;
+}
+
+double
+BenchReport::checkerParanoidEventsPerSec() const
+{
+    return checkerParanoidWallMs > 0
+               ? checkerParanoidEvents / (checkerParanoidWallMs / 1000.0)
                : 0;
 }
 
@@ -110,12 +118,20 @@ BenchReport::printTable(std::ostream& os) const
                       eventsPerSec() / baselineEventsPerSec);
         os << line;
     }
-    if (checkerOnWallMs > 0) {
+    if (checkerFastWallMs > 0) {
         std::snprintf(line, sizeof line,
-                      "checker on: %.0f events/sec (%.2fx slower "
-                      "than checker off)\n",
-                      checkerOnEventsPerSec(),
-                      eventsPerSec() / checkerOnEventsPerSec());
+                      "checker on (fast): %.0f events/sec (%.2fx "
+                      "slower than checker off)\n",
+                      checkerFastEventsPerSec(),
+                      eventsPerSec() / checkerFastEventsPerSec());
+        os << line;
+    }
+    if (checkerParanoidWallMs > 0) {
+        std::snprintf(line, sizeof line,
+                      "checker on (paranoid): %.0f events/sec (%.2fx "
+                      "slower than checker off)\n",
+                      checkerParanoidEventsPerSec(),
+                      eventsPerSec() / checkerParanoidEventsPerSec());
         os << line;
     }
     if (traceOnWallMs > 0) {
@@ -238,15 +254,32 @@ BenchReport::writeJson(std::ostream& os) const
         os << ",\n  \"baseline_note\": ";
         jsonEscape(os, baselineNote);
     }
-    if (checkerOnWallMs > 0) {
-        os << ",\n  \"checker_overhead\": {\"events\": "
-           << checkerOnEvents << ", \"wall_ms\": ";
-        jsonNumber(os, checkerOnWallMs);
-        os << ", \"events_per_sec_check_on\": ";
-        jsonNumber(os, checkerOnEventsPerSec());
-        os << ", \"slowdown_vs_check_off\": ";
-        jsonNumber(os, eventsPerSec() / checkerOnEventsPerSec());
-        os << "}";
+    if (checkerFastWallMs > 0 || checkerParanoidWallMs > 0) {
+        os << ",\n  \"checker_overhead_v2\": {";
+        bool first = true;
+        if (checkerFastWallMs > 0) {
+            os << "\n    \"fast\": {\"events\": " << checkerFastEvents
+               << ", \"wall_ms\": ";
+            jsonNumber(os, checkerFastWallMs);
+            os << ", \"events_per_sec_check_on\": ";
+            jsonNumber(os, checkerFastEventsPerSec());
+            os << ", \"slowdown_vs_check_off\": ";
+            jsonNumber(os, eventsPerSec() / checkerFastEventsPerSec());
+            os << "}";
+            first = false;
+        }
+        if (checkerParanoidWallMs > 0) {
+            os << (first ? "" : ",") << "\n    \"paranoid\": {\"events\": "
+               << checkerParanoidEvents << ", \"wall_ms\": ";
+            jsonNumber(os, checkerParanoidWallMs);
+            os << ", \"events_per_sec_check_on\": ";
+            jsonNumber(os, checkerParanoidEventsPerSec());
+            os << ", \"slowdown_vs_check_off\": ";
+            jsonNumber(os,
+                       eventsPerSec() / checkerParanoidEventsPerSec());
+            os << "}";
+        }
+        os << "\n  }";
     }
     if (traceOnWallMs > 0) {
         os << ",\n  \"trace_overhead\": {\"events\": " << traceOnEvents

@@ -76,11 +76,17 @@ struct BenchReport
 
     /**
      * Coherence-sanitizer overhead (bench_simcore): the same grid
-     * re-run with the checker attached. wall_ms == 0 means "not
-     * measured" and the JSON omits the entry.
+     * re-run with the checker attached, once per mode (DESIGN.md
+     * §13). `fast` is the default shadow engine — the one the ≤4x
+     * always-on bound applies to; `paranoid` is the byte-granular
+     * oracle, recorded for reference. wall_ms == 0 means "not
+     * measured" and the JSON omits that half of the
+     * `checker_overhead_v2` entry.
      */
-    double checkerOnWallMs = 0;
-    std::uint64_t checkerOnEvents = 0;
+    double checkerFastWallMs = 0;
+    std::uint64_t checkerFastEvents = 0;
+    double checkerParanoidWallMs = 0;
+    std::uint64_t checkerParanoidEvents = 0;
 
     /**
      * Flight-recorder overhead: the same grid re-run with a recorder
@@ -133,7 +139,8 @@ struct BenchReport
     std::uint64_t totalEvents() const;
     double totalWallMs() const;
     double eventsPerSec() const;
-    double checkerOnEventsPerSec() const;
+    double checkerFastEventsPerSec() const;
+    double checkerParanoidEventsPerSec() const;
     double traceOnEventsPerSec() const;
     double analyzeOnEventsPerSec() const;
     double transportOnEventsPerSec() const;

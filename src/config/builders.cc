@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <iostream>
 
+#include "sim/logging.hh"
+
 namespace tt
 {
 
@@ -21,6 +23,14 @@ attachEngine(TargetMachine& t, const MachineConfig& cfg)
 {
     if (cfg.core.threads <= 1)
         return;
+    if (cfg.check.enable) {
+        // The sanitizer's shadow state is single-threaded by design
+        // (hooks fire from every shard); checked runs use the serial
+        // cross-check engine. Results are byte-identical either way.
+        tt_warn("--check forces the serial engine (requested ",
+                cfg.core.threads, " threads)");
+        return;
+    }
     t.machine->enableParallel(cfg.core.threads,
                               std::max<Tick>(1, cfg.net.latency));
     t.network->setEngine(t.machine->engine());
@@ -38,7 +48,7 @@ attachCheckerTyphoon(TargetMachine& t, const CheckConfig& cc)
 {
     if (!cc.enable)
         return;
-    t.checker = std::make_unique<ProtocolChecker>(*t.machine);
+    t.checker = std::make_unique<ProtocolChecker>(*t.machine, cc.mode);
     t.checker->attachTyphoon(*t.typhoon, *t.protocol);
     t.typhoon->setChecker(t.checker.get());
     t.protocol->setChecker(t.checker.get());
@@ -152,7 +162,8 @@ buildDirNNB(const MachineConfig& cfg)
                                            cfg.dir);
     t.machine->setMemSystem(t.dir.get());
     if (cfg.check.enable) {
-        t.checker = std::make_unique<ProtocolChecker>(*t.machine);
+        t.checker = std::make_unique<ProtocolChecker>(*t.machine,
+                                                      cfg.check.mode);
         t.checker->attachDirnnb(*t.dir);
         t.dir->setChecker(t.checker.get());
         t.network->setChecker(t.checker.get());

@@ -39,6 +39,9 @@ namespace tt
 struct CheckConfig
 {
     bool enable = false;
+    /// Fast = Valgrind-style shadow engine (default); Paranoid = the
+    /// byte-granular reference oracle (--check=paranoid).
+    ProtocolChecker::Mode mode = ProtocolChecker::Mode::Fast;
     bool perturb = false;
     std::uint64_t perturbSeed = 0;
 };

@@ -1,6 +1,7 @@
 #include "dir/dir_mem_system.hh"
 
 #include "core/cpu.hh"
+#include "core/tempest.hh"
 #include "mem/addr.hh"
 #include "sim/logging.hh"
 
@@ -152,6 +153,45 @@ DirMemSystem::inspect(Addr va) const
     v.owner = e->owner;
     v.busy = e->mshr != nullptr;
     return v;
+}
+
+void
+DirMemSystem::setChecker(CheckHooks* c)
+{
+    _checker = c;
+    // Mirror every cache line-state mutation into the checker's copy
+    // tables; the central CacheModel hook covers fills, victim
+    // evictions, invalidations, downgrades, upgrades and flushes, so
+    // the mirror cannot drift from reality via a missed call site.
+    for (NodeId n = 0; n < static_cast<NodeId>(_nodes.size()); ++n) {
+        if (!c) {
+            _nodes[n].cache->setStateListener(nullptr);
+            continue;
+        }
+        _nodes[n].cache->setStateListener(
+            [c, n](Addr blk, LineState st) {
+                AccessTag t = AccessTag::Invalid;
+                if (st == LineState::Shared)
+                    t = AccessTag::ReadOnly;
+                else if (st == LineState::Owned)
+                    t = AccessTag::ReadWrite;
+                c->onTagChange(n, blk, t);
+            });
+    }
+}
+
+DirMemSystem::EntryPeek
+DirMemSystem::peekEntry(Addr blk) const
+{
+    EntryPeek p;
+    const DirEntry* e = findEntry(blockAlign(blk, _cp.blockSize));
+    if (!e)
+        return p;
+    p.state = e->state;
+    p.owner = e->owner;
+    p.busy = e->mshr != nullptr;
+    p.sharers = &e->sharers;
+    return p;
 }
 
 bool
@@ -422,7 +462,11 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
         // stale copy (test_mutations.cc).
         const Tick start = ctrlStart(self, now);
         bool dirty = false;
-        const LineState prior = _p.faultSkipInvalidate
+        const bool skipInv =
+            _p.faultSkipInvalidate ||
+            (_p.faultSkipInvalidateNth != 0 &&
+             ++_faultInvalidates == _p.faultSkipInvalidateNth);
+        const LineState prior = skipInv
                                     ? LineState::Invalid
                                     : n.cache->invalidate(blk, &dirty);
         Tick cost = _p.invProcess;
@@ -462,6 +506,12 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
             present =
                 n.cache->invalidate(blk, &dirty) == LineState::Owned;
             cost += _p.replaceExclusive;
+        } else if (_p.faultSkipDowngradeNth != 0 &&
+                   ++_faultDowngrades == _p.faultSkipDowngradeNth) {
+            // Seeded mutation: answer the recall but keep the line
+            // Owned (tests/check/test_differential.cc).
+            present = n.cache->present(blk) &&
+                      !n.cache->presentShared(blk);
         } else {
             present = n.cache->downgrade(blk);
         }

@@ -68,13 +68,33 @@ class DirMemSystem : public MemorySystem
     };
 
     EntryView inspect(Addr va) const;
+
+    /**
+     * Non-allocating directory peek for the fast checker's audit hot
+     * path (DESIGN.md §13): like inspect(), but hands out a pointer
+     * to the sharer set instead of copying it. The pointer is only
+     * valid until the next protocol event.
+     */
+    struct EntryPeek
+    {
+        DirState state = DirState::Idle;
+        NodeId owner = kNoNode;
+        bool busy = false;
+        const NodeSet* sharers = nullptr;
+    };
+    EntryPeek peekEntry(Addr blk) const;
+
     CacheModel& cacheOf(NodeId n) { return *_nodes.at(n).cache; }
     TlbModel& tlbOf(NodeId n) { return *_nodes.at(n).tlb; }
     /** True iff no transaction is in flight anywhere. */
     bool quiescent() const;
 
-    /** Attach the coherence sanitizer (nullptr = disabled). */
-    void setChecker(CheckHooks* c) { _checker = c; }
+    /**
+     * Attach the coherence sanitizer (nullptr = disabled). Also
+     * installs a state listener on every node cache so the checker's
+     * copy mirror tracks line states exactly (DESIGN.md §13).
+     */
+    void setChecker(CheckHooks* c);
 
     /** Attach the flight recorder (nullptr = disabled). */
     void
@@ -209,6 +229,11 @@ class DirMemSystem : public MemorySystem
             t = std::min(t, miss.req->issueTime);
         _openSince[id].store(t, std::memory_order_relaxed);
     }
+
+    // Occurrence counters for the Nth-occurrence mutation knobs
+    // (DirParams::faultSkip*Nth).
+    std::uint32_t _faultInvalidates = 0;
+    std::uint32_t _faultDowngrades = 0;
 
     DenseMap<DirEntry> _dir;      ///< keyed by block number (blk/B)
     DenseMap<NodeId> _pageHome;   ///< vpn -> home

@@ -46,6 +46,15 @@ struct DirParams
      * coherence sanitizer fires; never set outside tests.
      */
     bool faultSkipInvalidate = false;
+
+    /**
+     * Seeded-mutation fault injection for the differential
+     * no-false-negative suite (tests/check/test_differential.cc):
+     * each counter breaks exactly the Nth occurrence (1-based) of its
+     * protocol action; 0 = never. Never set outside tests.
+     */
+    std::uint32_t faultSkipInvalidateNth = 0; ///< skip Nth invalidate
+    std::uint32_t faultSkipDowngradeNth = 0;  ///< skip Nth downgrade
 };
 
 } // namespace tt

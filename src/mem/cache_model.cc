@@ -89,10 +89,13 @@ CacheModel::fill(Addr a, LineState state)
     tt_assert(state != LineState::Invalid, "cannot fill Invalid");
     CacheResult res;
     if (Line* l = find(a)) {
+        const LineState prior = l->state;
         l->state = state;
         if (state == LineState::Shared)
             l->dirty = false;
         res.hit = true;
+        if (prior != state)
+            notify(l->tag, state);
         return res;
     }
 
@@ -113,11 +116,13 @@ CacheModel::fill(Addr a, LineState state)
         res.victimAddr = victim->tag;
         res.victimOwned = victim->state == LineState::Owned;
         res.victimDirty = victim->dirty;
+        notify(victim->tag, LineState::Invalid);
     }
 
     victim->tag = blk;
     victim->state = state;
     victim->dirty = false;
+    notify(blk, state);
     return res;
 }
 
@@ -135,6 +140,7 @@ CacheModel::invalidate(Addr a, bool* was_dirty)
         *was_dirty = l->dirty;
     l->state = LineState::Invalid;
     l->dirty = false;
+    notify(blockAlign(a, _blockSize), LineState::Invalid);
     return prior;
 }
 
@@ -151,6 +157,7 @@ CacheModel::downgrade(Addr a, bool* was_dirty)
         *was_dirty = l->dirty;
     l->state = LineState::Shared;
     l->dirty = false;
+    notify(blockAlign(a, _blockSize), LineState::Shared);
     return true;
 }
 
@@ -160,8 +167,11 @@ CacheModel::upgrade(Addr a, bool dirty)
     Line* l = find(a);
     if (!l)
         return false;
+    const LineState prior = l->state;
     l->state = LineState::Owned;
     l->dirty = dirty;
+    if (prior != LineState::Owned)
+        notify(blockAlign(a, _blockSize), LineState::Owned);
     return true;
 }
 
@@ -169,6 +179,8 @@ void
 CacheModel::flushAll()
 {
     for (auto& l : _lines) {
+        if (l.state != LineState::Invalid)
+            notify(l.tag, LineState::Invalid);
         l.state = LineState::Invalid;
         l.dirty = false;
     }

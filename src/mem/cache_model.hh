@@ -17,6 +17,8 @@
 #define TT_MEM_CACHE_MODEL_HH
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "mem/addr.hh"
@@ -105,7 +107,26 @@ class CacheModel
     /** Count of currently valid lines (for tests). */
     std::size_t validLines() const;
 
+    /**
+     * Observer of line-state changes, fired after every mutation with
+     * the block address and the line's new state (Invalid on eviction
+     * or invalidation). One central hook covers every mutation path —
+     * fill, victim eviction, invalidate, downgrade, upgrade, flushAll
+     * — so a mirror (the coherence sanitizer's copy table, DESIGN.md
+     * §13) cannot drift from reality via a missed call site. Unset
+     * (the default) costs one branch per mutation.
+     */
+    using StateListener = std::function<void(Addr, LineState)>;
+    void setStateListener(StateListener f) { _listener = std::move(f); }
+
   private:
+    void
+    notify(Addr blk, LineState st)
+    {
+        if (_listener)
+            _listener(blk, st);
+    }
+
     struct Line
     {
         Addr tag = 0; // full block address, simplifies victim reporting
@@ -123,6 +144,7 @@ class CacheModel
     std::uint32_t _numSets;
     std::vector<Line> _lines; // numSets x assoc
     Rng _rng;
+    StateListener _listener;
 };
 
 } // namespace tt

@@ -47,6 +47,16 @@ struct StacheParams
      * fires; never set outside tests.
      */
     bool faultSkipDowngrade = false;
+
+    /**
+     * Seeded-mutation fault injection for the differential
+     * no-false-negative suite (tests/check/test_differential.cc):
+     * each counter breaks exactly the Nth occurrence (1-based) of its
+     * protocol action; 0 = never. Never set outside tests.
+     */
+    std::uint32_t faultSkipDowngradeNth = 0; ///< keep RW on Nth recall
+    std::uint32_t faultSkipInvalNth = 0; ///< ack Nth kInval, keep copy
+    std::uint32_t faultCorruptPutNth = 0; ///< flip a byte in Nth PutData
 };
 
 } // namespace tt

@@ -288,6 +288,24 @@ Stache::inspect(Addr va) const
     return v;
 }
 
+Stache::BlockPeek
+Stache::peekEntry(Addr va) const
+{
+    BlockPeek p;
+    p.busy = _transients.contains(blockAlign(va, _cp.blockSize));
+    const HomeDir* hd = findHomeDir(va);
+    if (!hd)
+        return p;
+    const StacheDirEntry& e =
+        hd->entries[blockInPage(va, _cp.pageSize, _cp.blockSize)];
+    p.state = e.state();
+    if (e.state() == StacheDirEntry::State::Excl)
+        p.owner = e.owner();
+    p.entry = &e;
+    p.aux = &hd->aux;
+    return p;
+}
+
 std::size_t
 Stache::stachePagesAt(NodeId node) const
 {
@@ -655,8 +673,14 @@ Stache::onInval(TempestCtx& ctx, const Message& msg)
         const AccessTag tag = ctx.readTag(blk);
         tt_assert(tag != AccessTag::ReadWrite,
                   "sharer holds a writable copy");
-        if (tag == AccessTag::ReadOnly)
-            ctx.invalidate(blk);
+        if (tag == AccessTag::ReadOnly) {
+            // Seeded mutation: ack the Nth invalidation but keep the
+            // readable copy (tests/check/test_differential.cc).
+            const bool skip = _p.faultSkipInvalNth != 0 &&
+                              ++_faultInvals == _p.faultSkipInvalNth;
+            if (!skip)
+                ctx.invalidate(blk);
+        }
         // Busy: an upgrade is in flight; fresh data will arrive.
         // Invalid: stale sharer pointer (silent replacement).
     }
@@ -703,12 +727,22 @@ Stache::onRecall(TempestCtx& ctx, const Message& msg, bool downgrade)
     readBlockHost(ctx.nodeId(), blk, buf.data());
     if (downgrade) {
         // Test-only fault injection: keep the stale writable copy so
-        // the coherence sanitizer must catch it (test_mutations.cc).
-        if (!_p.faultSkipDowngrade)
+        // the coherence sanitizer must catch it (test_mutations.cc,
+        // test_differential.cc).
+        const bool skip =
+            _p.faultSkipDowngrade ||
+            (_p.faultSkipDowngradeNth != 0 &&
+             ++_faultDowngrades == _p.faultSkipDowngradeNth);
+        if (!skip)
             ctx.setRO(blk);
     } else {
         ctx.invalidate(blk);
     }
+    // Seeded mutation: corrupt the Nth returned data payload so the
+    // home's memory diverges from the write history.
+    if (_p.faultCorruptPutNth != 0 &&
+        ++_faultPuts == _p.faultCorruptPutNth)
+        buf[0] ^= 0xff;
     Word args3[3] = {args[0], args[1], modified ? 1u : 0u};
     ctx.send(msg.src, kPutData, std::span<const Word>(args3),
              buf.data(), _cp.blockSize, VNet::Response);

@@ -78,6 +78,24 @@ class Stache : public ShmProtocol
         std::uint64_t raw = 0;    ///< the packed 64-bit entry
     };
     BlockView inspect(Addr va) const;
+
+    /**
+     * Non-allocating directory peek for the fast checker's audit hot
+     * path (DESIGN.md §13): like inspect(), but exposes the entry and
+     * aux-table pointers instead of copying the sharer list into a
+     * vector. The pointers are only valid until the next protocol
+     * event.
+     */
+    struct BlockPeek
+    {
+        StacheDirEntry::State state = StacheDirEntry::State::Idle;
+        NodeId owner = kNoNode;
+        bool busy = false;
+        const StacheDirEntry* entry = nullptr;
+        const StacheAuxTable* aux = nullptr;
+    };
+    BlockPeek peekEntry(Addr va) const;
+
     /** No transient protocol state anywhere. */
     bool quiescent() const { return _transients.empty(); }
 
@@ -209,6 +227,12 @@ class Stache : public ShmProtocol
     std::vector<NodeState> _nodes;
     Addr _nextVa = 0x4000'0000;
     NodeId _rr = 0;
+
+    // Occurrence counters for the Nth-occurrence mutation knobs
+    // (StacheParams::faultSkip*Nth / faultCorruptPutNth).
+    std::uint32_t _faultDowngrades = 0;
+    std::uint32_t _faultInvals = 0;
+    std::uint32_t _faultPuts = 0;
 
     // Hot-path stat handles, resolved once at construction (StatSet
     // hands out stable references).

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the shadow-engine containers (DESIGN.md §13):
+ * distinguished-leaf copy-on-write in the two-level ShadowTable,
+ * chunk-boundary addressing across the primary/aux split, and the
+ * packed copy-word stamp encoding incl. 16-bit epoch wraparound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/shadow_map.hh"
+
+namespace tt
+{
+namespace
+{
+
+struct CounterLeaf
+{
+    int v = 0;
+};
+
+TEST(ShadowTable, UntouchedKeysAliasTheDistinguishedLeaf)
+{
+    ShadowTable<CounterLeaf> t;
+    EXPECT_EQ(t.leavesMaterialized(), 0u);
+    // Reads never materialize: every untouched key is the same leaf.
+    EXPECT_EQ(&t.get(0), &t.distinguished());
+    EXPECT_EQ(&t.get(12345), &t.distinguished());
+    EXPECT_EQ(&t.get(~0ull), &t.distinguished());
+    EXPECT_EQ(t.leavesMaterialized(), 0u);
+    EXPECT_FALSE(t.materialized(12345));
+}
+
+TEST(ShadowTable, GetWritableCopiesTheDistinguishedState)
+{
+    ShadowTable<CounterLeaf> t;
+    // Seed the distinguished leaf indirectly: a default-constructed
+    // CounterLeaf holds 0, so every materialized copy starts at 0.
+    CounterLeaf& a = t.getWritable(7);
+    EXPECT_EQ(a.v, 0);
+    a.v = 42;
+    EXPECT_EQ(t.leavesMaterialized(), 1u);
+    EXPECT_TRUE(t.materialized(7));
+    // The write stayed private: neighbours and the distinguished leaf
+    // are untouched.
+    EXPECT_EQ(t.get(8).v, 0);
+    EXPECT_EQ(t.distinguished().v, 0);
+    EXPECT_EQ(t.get(7).v, 42);
+    // Second getWritable returns the same materialized leaf.
+    EXPECT_EQ(&t.getWritable(7), &a);
+    EXPECT_EQ(t.leavesMaterialized(), 1u);
+}
+
+TEST(ShadowTable, ChunkBoundaryAddressing)
+{
+    // kChunkBits=6: keys 63 and 64 land in different chunks; both
+    // must resolve independently with no aliasing.
+    ShadowTable<CounterLeaf, 6, 20> t;
+    t.getWritable(63).v = 63;
+    t.getWritable(64).v = 64;
+    t.getWritable(0).v = 1;
+    EXPECT_EQ(t.get(63).v, 63);
+    EXPECT_EQ(t.get(64).v, 64);
+    EXPECT_EQ(t.get(0).v, 1);
+    EXPECT_EQ(t.get(62).v, 0);
+    EXPECT_EQ(t.get(65).v, 0);
+}
+
+TEST(ShadowTable, AuxRegionBeyondThePrimaryWindow)
+{
+    // Keys past 2^(kPrimaryBits + kChunkBits) fall into the auxiliary
+    // hash map — junk message address args must neither crash nor
+    // blow up the primary vector.
+    ShadowTable<CounterLeaf, 6, 10> t; // small window: 2^16 keys
+    const std::uint64_t far = 1ull << 40;
+    EXPECT_EQ(&t.get(far), &t.distinguished());
+    t.getWritable(far).v = 9;
+    EXPECT_EQ(t.get(far).v, 9);
+    EXPECT_TRUE(t.materialized(far));
+    // A key in the unmaterialized gap between primary and aux.
+    EXPECT_EQ(&t.get(1ull << 17), &t.distinguished());
+}
+
+TEST(ShadowTable, ForEachLeafVisitsPrimaryAndAux)
+{
+    ShadowTable<CounterLeaf, 6, 10> t;
+    t.getWritable(1).v = 1;
+    t.getWritable(1ull << 40).v = 1;
+    int sum = 0;
+    t.forEachLeaf([&](CounterLeaf& l) { sum += l.v; });
+    EXPECT_EQ(sum, 2);
+}
+
+TEST(ShadowWord, StampPackingRoundTrips)
+{
+    using namespace shadow;
+    const std::uint64_t w =
+        packStamp(/*writerPlus1=*/5, /*epoch=*/0x1234'5678) |
+        kValidatedMask | 0x2 /*tag*/;
+    EXPECT_EQ(tagOf(w), 2u);
+    EXPECT_TRUE(validated(w));
+    // The stamp occupies [63:16] and survives masking.
+    EXPECT_EQ(stampOf(w), packStamp(5, 0x1234'5678));
+    // Distinct writers and epochs give distinct stamps.
+    EXPECT_NE(packStamp(5, 1), packStamp(6, 1));
+    EXPECT_NE(packStamp(5, 1), packStamp(5, 2));
+}
+
+TEST(ShadowWord, EpochWraparoundAt16Bits)
+{
+    using namespace shadow;
+    // The low 16 bits wrap every 65536 writes; the gen16 field keeps
+    // the stamps distinct across the next 2^16 wraps.
+    const std::uint64_t e = 0xffff;
+    EXPECT_NE(packStamp(1, e), packStamp(1, e + 0x10000));
+    EXPECT_NE(packStamp(1, 1), packStamp(1, 1 + 0x10000));
+    // Only at a full 32-bit boundary can stamps alias — exactly the
+    // point where epochWrapped() demands a clearValidated() walk.
+    EXPECT_EQ(packStamp(1, 1), packStamp(1, 1 + (1ull << 32)));
+    EXPECT_FALSE(epochWrapped(1));
+    EXPECT_FALSE(epochWrapped(0x10000));
+    EXPECT_TRUE(epochWrapped(1ull << 32));
+    EXPECT_TRUE(epochWrapped(2ull << 32));
+}
+
+TEST(ShadowWord, ClearValidatedDropsOnlyTheValidatedBit)
+{
+    using namespace shadow;
+    ShadowTable<CopyLeaf> t;
+    CopyLeaf& l = t.getWritable(3);
+    l.word[17] = packStamp(2, 99) | kValidatedMask | 0x1;
+    l.word[18] = packStamp(2, 100) | 0x2;
+    clearValidated(t);
+    EXPECT_FALSE(validated(l.word[17]));
+    EXPECT_EQ(tagOf(l.word[17]), 1u);
+    EXPECT_EQ(stampOf(l.word[17]), packStamp(2, 99));
+    EXPECT_EQ(l.word[18], packStamp(2, 100) | 0x2);
+}
+
+TEST(ShadowData, ValidBitsArePerByte)
+{
+    shadow::DataLeaf leaf;
+    EXPECT_FALSE(leaf.validAt(100));
+    leaf.setValid(100);
+    EXPECT_TRUE(leaf.validAt(100));
+    EXPECT_FALSE(leaf.validAt(99));
+    EXPECT_FALSE(leaf.validAt(101));
+    leaf.setValid(0);
+    leaf.setValid(shadow::DataLeaf::kBytes - 1);
+    EXPECT_TRUE(leaf.validAt(0));
+    EXPECT_TRUE(leaf.validAt(shadow::DataLeaf::kBytes - 1));
+}
+
+} // namespace
+} // namespace tt

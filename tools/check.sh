@@ -9,7 +9,13 @@
 #   4. A --check --perturb smoke grid: every protocol runs a tiny
 #      workload under the coherence sanitizer with randomized
 #      schedules; any invariant violation fails the gate (ttsim
-#      exits 3 and prints the minimized report).
+#      exits 3 and prints the minimized report). One leg of the grid
+#      repeats under the ASan build so the shadow engine itself runs
+#      with memory sanitizers on, in both modes (fast + paranoid).
+#   4b. A 25-seed fault-campaign grid with the sanitizer enforced
+#      (--campaign=25 --check per protocol over a lossy fabric):
+#      always-on checking is cheap enough now (DESIGN.md §13) that
+#      every campaign run validates the full invariant catalog.
 #   5. A --trace smoke grid: every protocol writes a Perfetto trace
 #      and a JSON stats dump; both must parse as JSON
 #      (python3 -m json.tool) and every delivered message id must
@@ -116,6 +122,27 @@ for sys in dirnnb stache migratory update; do
         "$TTSIM" --system="$sys" --app="$app" --dataset=tiny \
             --nodes=8 --check --perturb="$seed" >/dev/null
     done
+done
+# The shadow engine under ASan/UBSan: the fast path's packed words
+# and CoW leaves, and the paranoid oracle's byte loops, both with
+# randomized schedules.
+if [ "$SKIP_ASAN" = 0 ]; then
+    for mode in fast paranoid; do
+        echo "--- stache/em3d --check=$mode --perturb=1 (asan)"
+        build-asan/tools/ttsim --system=stache --app=em3d \
+            --dataset=tiny --nodes=8 --check="$mode" --perturb=1 \
+            >/dev/null
+    done
+fi
+
+# --- 4b. Fault campaigns with the sanitizer enforced ------------------------
+step "coherence sanitizer: --campaign=25 --check fault grid"
+CHECKMIX='drop=0.02,dup=0.02,reorder=0.05,seed=11'
+for sys in dirnnb stache migratory update; do
+    echo "--- $sys/em3d --campaign=25 --check"
+    "$TTSIM" --app=em3d --dataset=tiny --nodes=8 --scale=2 \
+        --faults="$CHECKMIX" --campaign=25 --check \
+        --systems="$sys" >/dev/null
 done
 # --- 5. Flight-recorder smoke grid ------------------------------------------
 step "flight recorder: --trace smoke grid"

@@ -59,6 +59,7 @@ struct Options
     bool table2 = false;
     bool list = false;
     bool check = false;          ///< run the coherence sanitizer
+    std::string checkMode = "fast"; ///< fast | paranoid
     bool perturb = false;        ///< randomize schedules (implies check)
     std::uint64_t perturbSeed = 0;
     int jitter = 3;              ///< max extra net latency under perturb
@@ -112,8 +113,11 @@ usage()
         "                    protocol-advisor report (JSON to F)\n"
         "  --fault=NAME      inject a protocol bug (skip-invalidate |"
         " skip-downgrade)\n"
-        "  --check           run the coherence sanitizer (exit 3 on"
-        " violation)\n"
+        "  --check[=MODE]    run the coherence sanitizer (exit 3 on"
+        " violation);\n"
+        "                    MODE: fast (shadow engine, default) |"
+        " paranoid\n"
+        "                    (byte-granular reference oracle)\n"
         "  --perturb=SEED    randomize same-tick order + net jitter"
         " (implies --check)\n"
         "  --jitter=N        max perturbation latency jitter"
@@ -214,6 +218,9 @@ parseArg(Options& o, const std::string& arg)
         o.systems = v;
     } else if (arg == "--no-reliable") {
         o.noReliable = true;
+    } else if (eat("--check=", &v)) {
+        o.check = true;
+        o.checkMode = v;
     } else if (arg == "--check") {
         o.check = true;
     } else if (arg == "--stats") {
@@ -250,6 +257,8 @@ validateOptions(const Options& o)
     };
     if (o.threads < 1 || o.threads > 256)
         die("--threads must be between 1 and 256");
+    if (o.checkMode != "fast" && o.checkMode != "paranoid")
+        die("--check accepts mode 'fast' or 'paranoid'");
     if (o.faults.empty()) {
         // The robustness knobs only mean something on a lossy fabric.
         if (o.noReliable)
@@ -341,6 +350,9 @@ main(int argc, char** argv)
         cfg.core.seed = o.seed;
 
     cfg.check.enable = o.check;
+    cfg.check.mode = o.checkMode == "paranoid"
+                         ? ProtocolChecker::Mode::Paranoid
+                         : ProtocolChecker::Mode::Fast;
     cfg.obs.enable = !o.traceFile.empty() || o.traceSample > 0;
     cfg.obs.traceFile = o.traceFile;
     cfg.obs.samplePeriod = o.traceSample;
