@@ -179,6 +179,49 @@ main()
         }
     }
 
+    // The same grid with the coherence-transaction tracer folding the
+    // record stream (--trace-critical, DESIGN.md §14; implies the
+    // sharing analyzer). Its slowdown must stay at or below the
+    // flight-recorder pass above — the tracer consumes the same
+    // stream, just with per-transaction folding on top. Simulated
+    // results must be bit-identical to the tracer-off pass.
+    std::printf("\ntxn-tracer-on pass:\n");
+    {
+        MachineConfig xcfg = cfg;
+        xcfg.obs.txn = true;
+        std::size_t i = 0;
+        for (const char* system : {"dirnnb", "stache"}) {
+            for (const auto& app : apps) {
+                const BenchCase c = runBenchCase(
+                    system, app, DataSet::Small, scale, xcfg);
+                const BenchCase& base = rep.cases[i++];
+                if (c.cycles != base.cycles ||
+                    c.checksum != base.checksum) {
+                    std::fprintf(stderr,
+                                 "txn tracer changed simulated "
+                                 "results for %s/%s\n",
+                                 system, app.c_str());
+                    return 1;
+                }
+                rep.txnOnEvents += c.events;
+                rep.txnOnWallMs += c.wallMs;
+                std::printf("%-8s %-8s %9.1f ms\n", system,
+                            app.c_str(), c.wallMs);
+                std::fflush(stdout);
+            }
+        }
+        if (rep.traceOnWallMs > 0 &&
+            rep.txnOnEventsPerSec() < rep.traceOnEventsPerSec()) {
+            std::fprintf(stderr,
+                         "txn tracer slowdown (%.2fx) exceeds the "
+                         "flight-recorder bound (%.2fx)\n",
+                         rep.eventsPerSec() / rep.txnOnEventsPerSec(),
+                         rep.eventsPerSec() /
+                             rep.traceOnEventsPerSec());
+            return 1;
+        }
+    }
+
     // The same grid over a lossy fabric with the user-level reliable
     // transport repairing it (DESIGN.md §10). Cycle counts
     // legitimately change — retransmission traffic is real simulated

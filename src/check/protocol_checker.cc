@@ -11,6 +11,7 @@
 #include "mem/page_table.hh"
 #include "mem/phys_mem.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 #include "stache/stache.hh"
 #include "typhoon/typhoon_mem_system.hh"
 
@@ -54,7 +55,10 @@ ProtocolChecker::ProtocolChecker(Machine& m, Mode mode)
       _nodes(m.params().nodes),
       _blockSize(m.params().blockSize),
       _pageSize(m.params().pageSize),
-      _blkShift(log2i(m.params().blockSize))
+      _blkShift(log2i(m.params().blockSize)),
+      _statAudits(&m.stats().counter("obs.check.audits")),
+      _statLazyCmps(&m.stats().counter("obs.check.lazy_cmps")),
+      _statEpochWraps(&m.stats().counter("obs.check.epoch_wraps"))
 {
     tt_assert(_nodes > 0 && _nodes < 0xffff,
               "checker copy-word writer field needs nodes in [1, 65534]"
@@ -374,8 +378,10 @@ ProtocolChecker::onEventEnd()
         if (!_lazyCmp.empty()) {
             for (const auto& [n, blk] : _lazyCmp) {
                 if (!(metaOf(blk >> _blkShift).flags &
-                      shadow::BlockMeta::kExempt))
+                      shadow::BlockMeta::kExempt)) {
+                    _statLazyCmps->inc();
                     fastCompareBlock(n, blk);
+                }
             }
             _lazyCmp.clear();
         }
@@ -385,13 +391,16 @@ ProtocolChecker::onEventEnd()
                 ~shadow::BlockMeta::kDirty);
             if (m.flags & shadow::BlockMeta::kExempt)
                 continue;
+            _statAudits->inc();
             fastCheckBlock(blk, m);
         }
         _dirty.clear();
         return;
     }
-    for (Addr blk : _dirty)
+    for (Addr blk : _dirty) {
+        _statAudits->inc();
         checkBlock(blk);
+    }
     _dirty.clear();
     _dirtySet.clear();
 }
@@ -421,6 +430,7 @@ ProtocolChecker::fastBumpStamp(shadow::BlockMeta& m)
 void
 ProtocolChecker::clearAllValidated()
 {
+    _statEpochWraps->inc();
     for (auto& t : _copy)
         shadow::clearValidated(t);
 }

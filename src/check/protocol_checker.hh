@@ -70,6 +70,7 @@
 namespace tt
 {
 
+class Counter;
 class Machine;
 class TyphoonMemSystem;
 class Stache;
@@ -239,6 +240,12 @@ class ProtocolChecker final : public CheckHooks
     std::vector<std::uint64_t> _epoch; ///< per-node write counters
     std::uint64_t _auxEpoch = 0; ///< stamps for non-write activity
     std::vector<std::pair<NodeId, Addr>> _lazyCmp;
+
+    // Activity counters surfaced in --stats-json (obs.check.*): how
+    // hard the shadow engine actually worked this run.
+    Counter* _statAudits = nullptr;     ///< block audits performed
+    Counter* _statLazyCmps = nullptr;   ///< lazy transition compares
+    Counter* _statEpochWraps = nullptr; ///< epoch wraps (mass wipes)
 
     std::unordered_set<std::uint64_t> _exemptVpns;
 

@@ -81,6 +81,12 @@ BenchReport::analyzeOnEventsPerSec() const
 }
 
 double
+BenchReport::txnOnEventsPerSec() const
+{
+    return txnOnWallMs > 0 ? txnOnEvents / (txnOnWallMs / 1000.0) : 0;
+}
+
+double
 BenchReport::transportOnEventsPerSec() const
 {
     return transportOnWallMs > 0
@@ -148,6 +154,14 @@ BenchReport::printTable(std::ostream& os) const
                       "than analyze off)\n",
                       analyzeOnEventsPerSec(),
                       eventsPerSec() / analyzeOnEventsPerSec());
+        os << line;
+    }
+    if (txnOnWallMs > 0) {
+        std::snprintf(line, sizeof line,
+                      "txn tracer on: %.0f events/sec (%.2fx slower "
+                      "than tracer off)\n",
+                      txnOnEventsPerSec(),
+                      eventsPerSec() / txnOnEventsPerSec());
         os << line;
     }
     if (transportOnWallMs > 0) {
@@ -299,6 +313,16 @@ BenchReport::writeJson(std::ostream& os) const
         jsonNumber(os, analyzeOnEventsPerSec());
         os << ", \"slowdown_vs_analyze_off\": ";
         jsonNumber(os, eventsPerSec() / analyzeOnEventsPerSec());
+        os << "}";
+    }
+    if (txnOnWallMs > 0) {
+        os << ",\n  \"txn_trace_overhead\": {\"events\": "
+           << txnOnEvents << ", \"wall_ms\": ";
+        jsonNumber(os, txnOnWallMs);
+        os << ", \"events_per_sec_txn_on\": ";
+        jsonNumber(os, txnOnEventsPerSec());
+        os << ", \"slowdown_vs_txn_off\": ";
+        jsonNumber(os, eventsPerSec() / txnOnEventsPerSec());
         os << "}";
     }
     if (transportOnWallMs > 0) {

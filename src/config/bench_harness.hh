@@ -105,6 +105,17 @@ struct BenchReport
     std::uint64_t analyzeOnEvents = 0;
 
     /**
+     * Transaction-tracer overhead: the same grid re-run with the
+     * coherence-transaction tracer folding the record stream
+     * (--trace-critical, DESIGN.md §14; implies the sharing
+     * analyzer). Must stay at or below the flight-recorder
+     * (`trace_overhead`) slowdown. Same "0 = not measured"
+     * convention.
+     */
+    double txnOnWallMs = 0;
+    std::uint64_t txnOnEvents = 0;
+
+    /**
      * Reliable-transport-over-lossy-fabric overhead: the same grid
      * re-run with a fault mix injected and the user-level transport
      * repairing it (DESIGN.md §10). Unlike the checker/trace passes
@@ -143,6 +154,7 @@ struct BenchReport
     double checkerParanoidEventsPerSec() const;
     double traceOnEventsPerSec() const;
     double analyzeOnEventsPerSec() const;
+    double txnOnEventsPerSec() const;
     double transportOnEventsPerSec() const;
 
     /** Pretty per-case table for humans. */

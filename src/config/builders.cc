@@ -31,6 +31,18 @@ attachEngine(TargetMachine& t, const MachineConfig& cfg)
                 cfg.core.threads, " threads)");
         return;
     }
+    const ObsConfig& oc = cfg.obs;
+    if (!oc.traceFile.empty() || oc.samplePeriod > 0 || oc.analyze ||
+        oc.txn || (oc.enable && oc.profile)) {
+        // Stream consumers (trace writer, sampler, analyzers,
+        // profiler) serialize the whole record stream; like --check
+        // they force the serial engine. Results are byte-identical
+        // either way (asserted in tests/config/test_threads_identity).
+        tt_warn("--trace/--analyze/--trace-critical force the serial "
+                "engine (requested ",
+                cfg.core.threads, " threads)");
+        return;
+    }
     t.machine->enableParallel(cfg.core.threads,
                               std::max<Tick>(1, cfg.net.latency));
     t.network->setEngine(t.machine->engine());
@@ -72,7 +84,7 @@ attachObserver(TargetMachine& t, const MachineConfig& cfg)
     // watchdog trip or fault-induced panic comes with the crash-ring
     // tail (DESIGN.md §10).
     const ObsConfig& oc = cfg.obs;
-    if (!oc.enable && !oc.analyze && !cfg.check.enable &&
+    if (!oc.enable && !oc.analyze && !oc.txn && !cfg.check.enable &&
         !cfg.faults.any()) {
         return;
     }
@@ -91,8 +103,15 @@ attachObserver(TargetMachine& t, const MachineConfig& cfg)
         t.obs->enableProfiler(t.machine->stats());
     if (oc.samplePeriod > 0)
         t.obs->enableSampler(t.machine->stats(), oc.samplePeriod);
-    if (oc.analyze)
+    if (oc.analyze || oc.txn) {
+        // --trace-critical implies the sharing analyzer: the
+        // critical-path report joins per-transaction latency against
+        // its per-block pattern classification (DESIGN.md §14).
         t.obs->enableSharing(cfg.core.blockSize, cfg.core.pageSize);
+    }
+    if (oc.txn)
+        t.obs->enableTxn(t.machine->stats(), cfg.core.blockSize,
+                         cfg.core.pageSize);
     t.obs->installCrashDump();
 }
 

@@ -60,6 +60,10 @@ struct ObsConfig
     Tick samplePeriod = 0;      ///< counter-snapshot period (0 = off)
     bool profile = true;        ///< fold miss-latency histograms
     bool analyze = false;       ///< fold the online sharing analyzer
+    /// fold the coherence-transaction tracer (--trace-critical,
+    /// DESIGN.md §14); implies the sharing analyzer, whose per-block
+    /// classification the critical-path report joins against
+    bool txn = false;
 };
 
 /**

@@ -48,6 +48,7 @@ runOne(const CampaignConfig& cc, const std::string& system,
     cfg.faults.seed = seed;
     cfg.check.enable = true; // campaigns always sanitize
     cfg.obs.analyze = true;  // ...and always classify sharing
+    cfg.obs.txn = true;      // ...and always trace transactions
 
     CampaignRun run;
     run.system = system;
@@ -116,6 +117,22 @@ runOne(const CampaignConfig& cc, const std::string& system,
         }
         run.falseSharingBlocks = s.falseSharingBlocks;
         run.dominantPattern = sharePatternKey(s.dominant());
+    }
+    if (target.obs && target.obs->txn()) {
+        // Completed transactions have full span data even when the run
+        // itself aborted, so the critical-path join is always safe.
+        target.obs->finalize();
+        TxnTracer& tx = *target.obs->txn();
+        const TxnTracer::Summary s = tx.summarize();
+        run.txnOpened = s.opened;
+        run.txnCompleted = s.completed;
+        run.txnRetx = s.retxTxns;
+        run.txnWallTicks = s.wallTicks;
+        run.txnCatTicks = s.catTicks;
+        const int dom = tx.dominantPattern();
+        if (dom >= 0)
+            run.txnDominantPattern =
+                sharePatternKey(static_cast<SharePattern>(dom));
     }
     return run;
 }
@@ -249,6 +266,39 @@ CampaignReport::writeJson(std::ostream& os) const
            << (si + 1 < order.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
+
+    // Per-system coherence-transaction critical-path mix, aggregated
+    // the same way (DESIGN.md §14).
+    os << "  \"transactions\": [\n";
+    for (std::size_t si = 0; si < order.size(); ++si) {
+        std::uint64_t opened = 0, completed = 0, retxTxns = 0,
+                      wall = 0;
+        std::array<std::uint64_t, kTxnCats> cat{};
+        for (const CampaignRun& r : runs) {
+            if (r.system != order[si])
+                continue;
+            opened += r.txnOpened;
+            completed += r.txnCompleted;
+            retxTxns += r.txnRetx;
+            wall += r.txnWallTicks;
+            for (int c = 0; c < kTxnCats; ++c)
+                cat[static_cast<std::size_t>(c)] +=
+                    r.txnCatTicks[static_cast<std::size_t>(c)];
+        }
+        os << "    {\"system\": ";
+        jsonEscape(os, order[si]);
+        os << ", \"opened\": " << opened
+           << ", \"completed\": " << completed
+           << ", \"retx_txns\": " << retxTxns
+           << ", \"wall_ticks\": " << wall << ", \"breakdown\": {";
+        for (int c = 0; c < kTxnCats; ++c) {
+            os << (c ? ", " : "") << "\""
+               << txnCatName(static_cast<TxnCat>(c))
+               << "\": " << cat[static_cast<std::size_t>(c)];
+        }
+        os << "}}" << (si + 1 < order.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
     os << "  \"runs\": [\n";
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const CampaignRun& r = runs[i];
@@ -274,6 +324,15 @@ CampaignReport::writeJson(std::ostream& os) const
             jsonEscape(os, r.dominantPattern);
             os << ", \"false_sharing_blocks\": "
                << r.falseSharingBlocks;
+        }
+        if (r.txnOpened) {
+            os << ", \"txn_completed\": " << r.txnCompleted
+               << ", \"txn_retx\": " << r.txnRetx
+               << ", \"txn_wall_ticks\": " << r.txnWallTicks;
+            if (!r.txnDominantPattern.empty()) {
+                os << ", \"txn_dominant_pattern\": ";
+                jsonEscape(os, r.txnDominantPattern);
+            }
         }
         if (!r.detail.empty()) {
             os << ", \"detail\": ";

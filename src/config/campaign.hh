@@ -36,6 +36,7 @@
 #include "apps/workloads.hh"
 #include "config/builders.hh"
 #include "obs/sharing.hh"
+#include "obs/txn.hh"
 
 namespace tt
 {
@@ -75,6 +76,15 @@ struct CampaignRun
     std::array<std::uint64_t, kSharePatterns> patternBlocks{};
     std::uint64_t falseSharingBlocks = 0;
     std::string dominantPattern;
+
+    // Transaction-tracer summary (campaigns always trace; completed
+    // transactions only — an aborted run keeps its partial view).
+    std::uint64_t txnOpened = 0;
+    std::uint64_t txnCompleted = 0;
+    std::uint64_t txnRetx = 0;       ///< retransmit-affected txns
+    std::uint64_t txnWallTicks = 0;
+    std::array<std::uint64_t, kTxnCats> txnCatTicks{};
+    std::string txnDominantPattern;  ///< pattern with most wall time
 };
 
 /** The aggregated campaign result. */

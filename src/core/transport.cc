@@ -100,7 +100,7 @@ ReliableTransport::onArrive(Message& m)
     if (m.seq == c.expectSeq) {
         ++c.expectSeq;
         c.lastAcked = m.seq;
-        sendAck(m.dst, m.src, m.seq);
+        sendAck(m.dst, m.src, m.seq, m.txn);
         return true;
     }
     if (m.seq < c.expectSeq) {
@@ -115,7 +115,7 @@ ReliableTransport::onArrive(Message& m)
         _oooDropped.inc();
     }
     c.lastAcked = c.expectSeq - 1;
-    sendAck(m.dst, m.src, c.expectSeq - 1);
+    sendAck(m.dst, m.src, c.expectSeq - 1, m.txn);
     return false;
 }
 
@@ -154,12 +154,15 @@ ReliableTransport::onTimeout(NodeId src, NodeId dst, std::uint64_t gen)
 }
 
 void
-ReliableTransport::sendAck(NodeId from, NodeId to, std::uint32_t cumSeq)
+ReliableTransport::sendAck(NodeId from, NodeId to, std::uint32_t cumSeq,
+                           std::uint32_t txn)
 {
     // Acks are real one-word response-network messages, charged like
     // any other traffic — but themselves unreliable: never acked and
     // never retransmitted (a lost ack is repaired by the data-side
-    // retransmission it fails to suppress).
+    // retransmission it fails to suppress). They inherit the
+    // transaction id of the data message they acknowledge so ack
+    // traffic stays attributable (DESIGN.md §14).
     Message a;
     a.src = from;
     a.dst = to;
@@ -167,6 +170,7 @@ ReliableTransport::sendAck(NodeId from, NodeId to, std::uint32_t cumSeq)
     a.handler = kAckHandler;
     a.tkind = TKind::Ack;
     a.seq = cumSeq;
+    a.txn = txn;
     _acks.inc();
     _net.sendFromTransport(std::move(a), _eq.now());
 }

@@ -121,7 +121,8 @@ class ReliableTransport final : public TransportHooks
 
     void armTimer(NodeId src, NodeId dst, Channel& c);
     void onTimeout(NodeId src, NodeId dst, std::uint64_t gen);
-    void sendAck(NodeId from, NodeId to, std::uint32_t cumSeq);
+    void sendAck(NodeId from, NodeId to, std::uint32_t cumSeq,
+                 std::uint32_t txn);
     void handleAck(NodeId src, NodeId dst, std::uint32_t cumSeq);
 
     EventQueue& _eq;

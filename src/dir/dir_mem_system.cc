@@ -441,8 +441,12 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
 
     if (_checker)
         _checker->onMsgDeliver(msg);
-    if (_obs)
+    if (_obs) {
         _obs->msgDeliver(self, msg, now);
+        // Handler-activation transaction context: messages sent while
+        // this message is handled inherit its txn (DESIGN.md §14).
+        _obs->beginAct(self, msg.txn);
+    }
 
     switch (msg.handler) {
       case kReadReq:
@@ -577,6 +581,7 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
         _obs->handlerDone(self, ActKind::Msg, msg.handler, msg.obsId,
                           now,
                           n.ctrlFree > now ? n.ctrlFree - now : 0);
+        _obs->endAct(self);
     }
     if (_checker)
         _checker->onEventEnd();
@@ -592,7 +597,11 @@ DirMemSystem::homeRequest(NodeId home, Addr blk, NodeId requester,
 {
     DirEntry& e = entry(blk);
     if (e.mshr) {
-        e.mshr->deferred.push_back(Deferred{requester, op, upgrade});
+        // Capture the requester's transaction context so the replay
+        // (which runs from the event queue, outside any handler
+        // activation) can re-enter it.
+        e.mshr->deferred.push_back(Deferred{
+            requester, op, upgrade, _obs ? _obs->txnFor(home) : 0});
         _cDeferred.inc();
         return;
     }
@@ -634,7 +643,7 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
             const Tick cost = _p.dirOpBase + _p.dirPerMsg;
             hn.ctrlFree = start + cost;
             _cRecallsSent.inc();
-            if (_obs && _obs->wantSharing()) {
+            if (_obs && (_obs->wantSharing() || _obs->wantTxn())) {
                 _obs->invalSent(home, blk, requester, 1,
                                 InvKind::Downgrade, start + cost);
             }
@@ -669,7 +678,7 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
             _p.dirPerMsg * static_cast<Tick>(targets.size());
         hn.ctrlFree = start + cost;
         _cInvSent.inc(targets.size());
-        if (_obs && _obs->wantSharing()) {
+        if (_obs && (_obs->wantSharing() || _obs->wantTxn())) {
             _obs->invalSent(home, blk, requester,
                             static_cast<std::uint32_t>(targets.size()),
                             InvKind::Inval, start + cost);
@@ -686,7 +695,7 @@ DirMemSystem::homeProcess(NodeId home, Addr blk, NodeId requester,
         const Tick cost = _p.dirOpBase + _p.dirPerMsg;
         hn.ctrlFree = start + cost;
         _cRecallsSent.inc();
-        if (_obs && _obs->wantSharing()) {
+        if (_obs && (_obs->wantSharing() || _obs->wantTxn())) {
             _obs->invalSent(home, blk, requester, 1, InvKind::Recall,
                             start + cost);
         }
@@ -755,8 +764,12 @@ DirMemSystem::grant(NodeId home, Addr blk, Tick when)
     for (auto& d : deferred) {
         _m.eq().schedule(std::max(when, _m.eq().now()),
                          [this, home, blk, d] {
+                             if (_obs)
+                                 _obs->beginAct(home, d.txn);
                              homeRequest(home, blk, d.requester, d.op,
                                          d.upgrade, _m.eq().now());
+                             if (_obs)
+                                 _obs->endAct(home);
                              if (_checker)
                                  _checker->onEventEnd();
                          });

@@ -138,6 +138,7 @@ class DirMemSystem : public MemorySystem
         NodeId requester;
         MemOp op;
         bool upgrade;
+        std::uint32_t txn = 0; ///< requester's transaction context
     };
 
     /** Per-block transaction state at the home. */

@@ -89,6 +89,17 @@ struct Message
      * themselves are real one-word messages and are charged.
      */
     std::uint32_t seq = 0;
+    /**
+     * Coherence-transaction id (DESIGN.md §14): stamped by
+     * Network::send from the recorder's per-node transaction context
+     * when transaction tracing is on (0 otherwise). Retransmissions
+     * inherit it through the transport's retained window copy and
+     * acks copy it from the message they acknowledge, so every
+     * derived message links back to its originating miss. Like obsId
+     * and seq it rides in unused packet-header space and is not
+     * charged network words.
+     */
+    std::uint32_t txn = 0;
     TKind tkind = TKind::None;
     Args args;
     Data data;

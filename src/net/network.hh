@@ -153,6 +153,11 @@ class Network
     void
     send(Message msg, Tick when)
     {
+        // The transaction id is stamped before the transport retains
+        // its window copy, so retransmissions inherit it for free
+        // (txnFor returns 0 whenever transaction tracing is off).
+        if (_obs)
+            msg.txn = _obs->txnFor(msg.src);
         // The transport sequences protocol messages once, at their
         // first physical send; retransmissions and acks enter below
         // via sendFromTransport. Local messages short-circuit the
@@ -262,8 +267,20 @@ class Network
         // accepted delivery (the handler-dispatch onMsgDeliver).
         if (_checker && !fromTransport)
             _checker->onMsgSend(msg);
-        if (_obs)
-            _obs->msgSend(msg, depart, dropped ? depart : arrive);
+        if (_obs) {
+            // Flag transport re-injections of Data messages (= go-
+            // back-N retransmissions; acks are fresh sends) and lost
+            // physical copies so the TxnTracer can attribute loss-
+            // repair latency (DESIGN.md §14).
+            const std::uint8_t flags =
+                static_cast<std::uint8_t>(
+                    (fromTransport && msg.tkind == TKind::Data
+                         ? kRecRetransmit
+                         : 0) |
+                    (dropped ? kRecDropped : 0));
+            _obs->msgSend(msg, depart, dropped ? depart : arrive,
+                          flags);
+        }
 
         if (dupArrive) {
             Message copy = msg;
@@ -302,8 +319,14 @@ class Network
     {
         // The transport filters arrivals: acks are consumed, duplicate
         // and out-of-order data suppressed, in-order data released.
-        if (_transport && !_transport->onArrive(m))
+        if (_transport && !_transport->onArrive(m)) {
+            // Suppressed data arrivals (dup / out-of-order) still link
+            // to their transaction in the trace; consumed acks stay
+            // invisible as before.
+            if (_obs && _obs->wantTxn() && m.tkind == TKind::Data)
+                _obs->msgSup(m.dst, m, _eq.now());
             return;
+        }
         _receivers[m.dst](std::move(m));
     }
     /** Per-source-node counter shard (sharded mode; no false sharing). */

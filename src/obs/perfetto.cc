@@ -79,6 +79,16 @@ PerfettoWriter::instant(Tick ts, int tid, const char* cat,
 }
 
 void
+PerfettoWriter::flow(const char* ph, Tick ts, int tid,
+                     std::uint32_t txn)
+{
+    begin(ph, ts, tid, "txn", "txn");
+    if (ph[0] == 'f')
+        _f << ", \"bp\": \"e\"";
+    _f << ", \"id\": " << txn << "}";
+}
+
+void
 PerfettoWriter::write(const TraceRecord& r, const FlightRecorder& rec)
 {
     if (!_f || _closed)
@@ -86,19 +96,32 @@ PerfettoWriter::write(const TraceRecord& r, const FlightRecorder& rec)
     switch (r.kind) {
       case RecKind::MsgSend: {
         // One slice per message on its virtual-network track,
-        // spanning depart..arrive.
+        // spanning depart..arrive. Transaction / retransmission /
+        // drop args only appear when nonzero, so txn-off and
+        // fault-off traces stay byte-identical.
         const Tick dur = r.t2 > r.tick ? r.t2 - r.tick : 1;
         begin("X", r.tick, _nodes + r.sub, "msg",
               rec.handlerName(static_cast<HandlerId>(r.addr)))
             << ", \"dur\": " << dur << ", \"args\": {\"msg\": " << r.id
-            << ", \"src\": " << r.node << ", \"dst\": " << r.arg
-            << "}}";
+            << ", \"src\": " << r.node << ", \"dst\": " << r.arg;
+        if (r.txn)
+            _f << ", \"txn\": " << r.txn;
+        if (r.flags & kRecRetransmit)
+            _f << ", \"retx\": 1";
+        if (r.flags & kRecDropped)
+            _f << ", \"drop\": 1";
+        _f << "}}";
         break;
       }
       case RecKind::MsgDeliver:
         begin("i", r.tick, r.node, "deliver",
               rec.handlerName(static_cast<HandlerId>(r.addr)))
-            << ", \"s\": \"t\", \"args\": {\"msg\": " << r.id << "}}";
+            << ", \"s\": \"t\", \"args\": {\"msg\": " << r.id;
+        if (r.txn)
+            _f << ", \"txn\": " << r.txn;
+        _f << "}}";
+        if (r.txn)
+            flow("t", r.tick, r.node, r.txn);
         break;
       case RecKind::HandlerDone: {
         const Tick dur = r.t2 > 0 ? r.t2 : 1;
@@ -118,8 +141,10 @@ PerfettoWriter::write(const TraceRecord& r, const FlightRecorder& rec)
             break;
         }
         begin("X", r.tick, r.node, cat, name)
-            << ", \"dur\": " << dur << ", \"args\": {\"msg\": " << r.id
-            << "}}";
+            << ", \"dur\": " << dur << ", \"args\": {\"msg\": " << r.id;
+        if (r.txn)
+            _f << ", \"txn\": " << r.txn;
+        _f << "}}";
         break;
       }
       case RecKind::BlockFault:
@@ -127,17 +152,32 @@ PerfettoWriter::write(const TraceRecord& r, const FlightRecorder& rec)
               r.sub ? "fault.write" : "fault.read")
             << ", \"s\": \"t\", \"args\": {\"va\": " << r.addr
             << ", \"tag\": \"" << tagName(static_cast<std::uint8_t>(r.arg))
-            << "\"}}";
+            << "\"";
+        if (r.txn)
+            _f << ", \"txn\": " << r.txn;
+        _f << "}}";
+        if (r.txn && _flowStarted.insert(r.txn).second)
+            flow("s", r.tick, r.node, r.txn);
         break;
       case RecKind::MissStart:
         begin("i", r.tick, r.node, "miss",
               r.sub ? "miss.begin.write" : "miss.begin.read")
-            << ", \"s\": \"t\", \"args\": {\"blk\": " << r.addr << "}}";
+            << ", \"s\": \"t\", \"args\": {\"blk\": " << r.addr;
+        if (r.txn)
+            _f << ", \"txn\": " << r.txn;
+        _f << "}}";
+        if (r.txn && _flowStarted.insert(r.txn).second)
+            flow("s", r.tick, r.node, r.txn);
         break;
       case RecKind::MissEnd:
         begin("i", r.tick, r.node, "miss",
               r.sub ? "miss.end.write" : "miss.end.read")
-            << ", \"s\": \"t\", \"args\": {\"va\": " << r.addr << "}}";
+            << ", \"s\": \"t\", \"args\": {\"va\": " << r.addr;
+        if (r.txn)
+            _f << ", \"txn\": " << r.txn;
+        _f << "}}";
+        if (r.txn)
+            flow("f", r.tick, r.node, r.txn);
         break;
       case RecKind::Resume:
         instant(r.tick, r.node, "cpu", "resume");
@@ -170,13 +210,26 @@ PerfettoWriter::write(const TraceRecord& r, const FlightRecorder& rec)
         begin("i", r.tick, r.node, "share",
               r.sub == 3 ? "share.update" : "share.inval")
             << ", \"s\": \"t\", \"args\": {\"blk\": " << r.addr
-            << ", \"fanout\": " << r.arg << "}}";
+            << ", \"fanout\": " << r.arg;
+        if (r.txn)
+            _f << ", \"txn\": " << r.txn;
+        _f << "}}";
         break;
       case RecKind::DirTrans:
         begin("i", r.tick, r.node, "share", "share.dir")
             << ", \"s\": \"t\", \"args\": {\"blk\": " << r.addr
             << ", \"from\": " << r.arg
             << ", \"to\": " << int(r.sub) << "}}";
+        break;
+      // Transaction-tracing kind (only present when --trace-critical
+      // is on): a suppressed arrival still links to its transaction.
+      case RecKind::MsgSup:
+        begin("i", r.tick, r.node, "txn", "msg.suppressed")
+            << ", \"s\": \"t\", \"args\": {\"msg\": " << r.id
+            << ", \"src\": " << r.arg;
+        if (r.txn)
+            _f << ", \"txn\": " << r.txn;
+        _f << "}}";
         break;
     }
 }

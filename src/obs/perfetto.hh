@@ -20,6 +20,7 @@
 
 #include <fstream>
 #include <string>
+#include <unordered_set>
 
 #include "obs/record.hh"
 #include "sim/types.hh"
@@ -56,10 +57,17 @@ class PerfettoWriter
     std::ofstream& begin(const char* ph, Tick ts, int tid,
                          const char* cat, const std::string& name);
 
+    /** Emit a transaction flow event ("s"/"t"/"f", cat "txn"). */
+    void flow(const char* ph, Tick ts, int tid, std::uint32_t txn);
+
     std::ofstream _f;
     int _nodes;
     bool _closed = false;
     bool _firstEvent = true;
+    /// txn ids whose flow-start has been emitted (a re-fault records
+    /// a second BlockFault for the same transaction; the flow gets
+    /// exactly one "s")
+    std::unordered_set<std::uint32_t> _flowStarted;
 };
 
 } // namespace tt

@@ -43,6 +43,18 @@ enum class RecKind : std::uint8_t
     BlockAccess, ///< a CPU access completed (full va + size + op)
     InvalSent,   ///< a home sent an invalidation/recall/update round
     DirTrans,    ///< a directory entry changed state at its home
+
+    // Transaction-tracing kind (DESIGN.md §14). Only emitted when the
+    // TxnTracer is attached (FlightRecorder::wantTxn()), so plain
+    // --trace runs stay byte-identical to pre-tracer traces.
+    MsgSup,      ///< the transport suppressed an arrival (dup / ooo)
+};
+
+/** TraceRecord::flags bits (MsgSend / MsgSup). */
+enum RecFlags : std::uint8_t
+{
+    kRecRetransmit = 1 << 0, ///< transport retransmission of a Data msg
+    kRecDropped = 1 << 1,    ///< the fabric dropped this physical copy
 };
 
 /** Sub-kind for InvalSent records (what kind of round went out). */
@@ -81,6 +93,7 @@ enum class ActKind : std::uint8_t
  * | BlockAccess | complete  | --       | va      | --      | size  | self | write? |
  * | InvalSent   | tick      | --       | blk     | req nd  | fanout| home | InvKind|
  * | DirTrans    | tick      | --       | blk     | --      | old st| home | new st |
+ * | MsgSup      | arrive    | --       | handler | msg id  | src   | self | vnet   |
  *
  * DirTrans states use a protocol-independent encoding (0 = Idle,
  * 1 = Shared, 2 = Excl), matching both StacheDirEntry::State and
@@ -90,17 +103,26 @@ enum class ActKind : std::uint8_t
  * every message when tracing is on, and the MsgDeliver / HandlerDone
  * records at the destination carry the same id, linking the pair
  * across the trace.
+ *
+ * `txn` is the coherence-transaction id (DESIGN.md §14): nonzero only
+ * when the TxnTracer is attached, stamped at the faulting/missing
+ * origin (BlockFault / MissStart) and piggybacked onto every derived
+ * record — message flights, handler activations, invalidation rounds
+ * — until the MissEnd that closes the transaction. `flags` carries
+ * the RecFlags bits for message records (retransmit / dropped).
  */
 struct TraceRecord
 {
     Tick tick = 0;
     Tick t2 = 0;
     std::uint64_t addr = 0;
-    std::uint32_t id = 0;  ///< causal message id (0 = none)
-    std::uint32_t arg = 0; ///< kind-specific small argument
+    std::uint32_t id = 0;   ///< causal message id (0 = none)
+    std::uint32_t arg = 0;  ///< kind-specific small argument
+    std::uint32_t txn = 0;  ///< coherence-transaction id (0 = none)
     NodeId node = kNoNode;
     RecKind kind = RecKind::MsgSend;
     std::uint8_t sub = 0;
+    std::uint8_t flags = 0; ///< RecFlags bits (message records)
 };
 
 } // namespace tt

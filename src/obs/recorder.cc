@@ -6,6 +6,7 @@
 #include "obs/perfetto.hh"
 #include "obs/profiler.hh"
 #include "obs/sharing.hh"
+#include "obs/txn.hh"
 #include "sim/stats.hh"
 
 namespace tt
@@ -60,6 +61,8 @@ recKindName(RecKind k)
         return "inval";
       case RecKind::DirTrans:
         return "dir";
+      case RecKind::MsgSup:
+        return "sup";
     }
     return "?";
 }
@@ -105,6 +108,20 @@ FlightRecorder::enableSharing(std::uint32_t block_size,
     p.blockSize = block_size;
     p.pageSize = page_size;
     _sharing = std::make_unique<SharingAnalyzer>(nodes(), p);
+    _haveConsumers = true;
+}
+
+void
+FlightRecorder::enableTxn(StatSet& stats, std::uint32_t block_size,
+                          std::uint32_t page_size)
+{
+    TxnParams p;
+    p.blockSize = block_size;
+    p.pageSize = page_size;
+    _txn = std::make_unique<TxnTracer>(nodes(), stats, p);
+    _wantTxn = true;
+    _openTxn.assign(static_cast<std::size_t>(nodes()), 0);
+    _actTxn.assign(static_cast<std::size_t>(nodes()), 0);
     _haveConsumers = true;
 }
 
@@ -164,6 +181,8 @@ FlightRecorder::consume(const TraceRecord& r)
         _profiler->fold(r);
     if (_sharing)
         _sharing->fold(r);
+    if (_txn)
+        _txn->fold(r);
 }
 
 void
@@ -186,6 +205,8 @@ FlightRecorder::finalize()
     if (_finalized)
         return;
     _finalized = true;
+    if (_txn)
+        _txn->finalize(_sharing.get());
     if (_writer)
         _writer->close();
 }
@@ -288,7 +309,18 @@ FlightRecorder::formatRecord(std::ostream& os,
         os << " blk=0x" << std::hex << r.addr << std::dec << " "
            << r.arg << "->" << int(r.sub);
         break;
+      case RecKind::MsgSup:
+        os << " msg=" << r.id << " "
+           << handlerName(static_cast<HandlerId>(r.addr)) << " from=n"
+           << static_cast<NodeId>(r.arg) << " vnet=" << int(r.sub);
+        break;
     }
+    if (r.txn)
+        os << " txn=" << r.txn;
+    if (r.flags & kRecRetransmit)
+        os << " retx";
+    if (r.flags & kRecDropped)
+        os << " drop";
     os << "\n";
 }
 

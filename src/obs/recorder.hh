@@ -45,6 +45,7 @@ class LatencyProfiler;
 class PerfettoWriter;
 class SharingAnalyzer;
 class StatSet;
+class TxnTracer;
 
 class FlightRecorder
 {
@@ -92,6 +93,19 @@ class FlightRecorder
                        std::uint32_t page_size);
 
     /**
+     * Attach the coherence-transaction tracer (ttsim --trace-critical,
+     * DESIGN.md §14). Turning it on makes wantTxn() true: BlockFault /
+     * MissStart records open a per-node transaction id, Network::send
+     * piggybacks the current id onto every outgoing message, and the
+     * derived deliver / handler / invalidation records carry it until
+     * the MissEnd that closes the transaction. Txn-off runs (including
+     * plain --trace) see a record stream byte-identical to before.
+     * @p stats receives the obs.txn.* aggregate counters at finalize.
+     */
+    void enableTxn(StatSet& stats, std::uint32_t block_size,
+                   std::uint32_t page_size);
+
+    /**
      * Dump the ring tails to stderr from inside tt_panic, so an
      * assertion failure comes with the causal event history. One
      * recorder per process is the crash recorder (latest install
@@ -134,7 +148,8 @@ class FlightRecorder
 
     /** Stamp a fresh causal id onto @p m and record its departure. */
     void
-    msgSend(Message& m, Tick depart, Tick arrive)
+    msgSend(Message& m, Tick depart, Tick arrive,
+            std::uint8_t flags = 0)
     {
         if (_sharded) {
             std::uint32_t& id = _laneMsgId[m.src];
@@ -151,8 +166,10 @@ class FlightRecorder
         r.addr = m.handler;
         r.id = m.obsId;
         r.arg = static_cast<std::uint32_t>(m.dst);
+        r.txn = m.txn;
         r.node = m.src;
         r.sub = static_cast<std::uint8_t>(m.vnet);
+        r.flags = flags;
         record(r);
     }
 
@@ -165,6 +182,7 @@ class FlightRecorder
         r.tick = when;
         r.addr = m.handler;
         r.id = m.obsId;
+        r.txn = m.txn;
         r.node = node;
         r.sub = static_cast<std::uint8_t>(m.vnet);
         record(r);
@@ -181,6 +199,7 @@ class FlightRecorder
         r.t2 = charged;
         r.addr = handler;
         r.id = msgId;
+        r.txn = txnFor(node);
         r.node = node;
         r.sub = static_cast<std::uint8_t>(act);
         record(r);
@@ -196,6 +215,7 @@ class FlightRecorder
         r.tick = when;
         r.addr = va;
         r.arg = tag;
+        r.txn = openTxn(node);
         r.node = node;
         r.sub = isWrite ? 1 : 0;
         record(r);
@@ -209,6 +229,7 @@ class FlightRecorder
         r.kind = RecKind::MissStart;
         r.tick = when;
         r.addr = blk;
+        r.txn = openTxn(node);
         r.node = node;
         r.sub = isWrite ? 1 : 0;
         record(r);
@@ -224,6 +245,10 @@ class FlightRecorder
         r.addr = va;
         r.node = node;
         r.sub = isWrite ? 1 : 0;
+        if (_wantTxn) {
+            r.txn = _openTxn[static_cast<std::size_t>(node)];
+            _openTxn[static_cast<std::size_t>(node)] = 0;
+        }
         record(r);
     }
 
@@ -314,9 +339,73 @@ class FlightRecorder
         r.addr = blk;
         r.id = static_cast<std::uint32_t>(requester);
         r.arg = fanout;
+        r.txn = txnFor(home);
         r.node = home;
         r.sub = static_cast<std::uint8_t>(kind);
         record(r);
+    }
+
+    // Transaction-tracing records and context (DESIGN.md §14).
+    // msgSup callers must hold `if (_obs && _obs->wantTxn())` so
+    // txn-off runs keep a byte-identical record stream.
+
+    /** The transport suppressed @p m's arrival at @p node (dup/ooo). */
+    void
+    msgSup(NodeId node, const Message& m, Tick when)
+    {
+        TraceRecord r;
+        r.kind = RecKind::MsgSup;
+        r.tick = when;
+        r.addr = m.handler;
+        r.id = m.obsId;
+        r.arg = static_cast<std::uint32_t>(m.src);
+        r.txn = m.txn;
+        r.node = node;
+        r.sub = static_cast<std::uint8_t>(m.vnet);
+        record(r);
+    }
+
+    /**
+     * The transaction id context at @p node: the handler-activation
+     * context when one is live (beginAct), else the node's open demand
+     * miss, else 0. Always 0 when transaction tracing is off, so
+     * unconditional callers (Network::send) stay byte-identical.
+     */
+    std::uint32_t
+    txnFor(NodeId node) const
+    {
+        if (!_wantTxn)
+            return 0;
+        const auto n = static_cast<std::size_t>(node);
+        return _actTxn[n] ? _actTxn[n] : _openTxn[n];
+    }
+
+    /**
+     * Enter a handler-activation transaction context at @p node:
+     * messages the handler sends inherit @p txn (the context of the
+     * message being handled, or of a deferred request being replayed).
+     * No-op when transaction tracing is off. Pair with endAct().
+     */
+    void
+    beginAct(NodeId node, std::uint32_t txn)
+    {
+        if (_wantTxn)
+            _actTxn[static_cast<std::size_t>(node)] = txn;
+    }
+
+    void
+    endAct(NodeId node)
+    {
+        if (_wantTxn)
+            _actTxn[static_cast<std::size_t>(node)] = 0;
+    }
+
+    /** The raw activation context at @p node (save/restore around
+     *  synchronous deferred-request replays inside a handler). */
+    std::uint32_t
+    actOf(NodeId node) const
+    {
+        return _wantTxn ? _actTxn[static_cast<std::size_t>(node)] : 0;
     }
 
     /** A directory entry changed state at its home (0/1/2 encoding). */
@@ -378,10 +467,15 @@ class FlightRecorder
     std::vector<TraceRecord> mergedRecords() const;
     LatencyProfiler* profiler() { return _profiler.get(); }
     SharingAnalyzer* sharing() { return _sharing.get(); }
+    TxnTracer* txn() { return _txn.get(); }
 
     /** True iff a SharingAnalyzer consumes the stream (gates the
      *  sharing-analysis record kinds at their emission sites). */
     bool wantSharing() const { return _sharing != nullptr; }
+
+    /** True iff the TxnTracer consumes the stream (gates MsgSup and
+     *  the extra invalSent sites at their emission points). */
+    bool wantTxn() const { return _wantTxn; }
 
     /** Oldest-first copy of node @p n's retained ring records. */
     std::vector<TraceRecord> ringOf(NodeId n) const;
@@ -413,6 +507,22 @@ class FlightRecorder
     void sampleCounters(Tick boundary);
     void formatRecord(std::ostream& os, const TraceRecord& r) const;
 
+    /**
+     * The transaction id a BlockFault/MissStart record opens at
+     * @p node: a fresh id when none is open, else the already-open one
+     * (re-faults of the same suspended access stay one transaction).
+     */
+    std::uint32_t
+    openTxn(NodeId node)
+    {
+        if (!_wantTxn)
+            return 0;
+        std::uint32_t& open = _openTxn[static_cast<std::size_t>(node)];
+        if (!open)
+            open = ++_lastTxnId;
+        return open;
+    }
+
     std::vector<Ring> _rings;
     std::uint32_t _lastMsgId = 0;
     bool _sharded = false;
@@ -425,6 +535,14 @@ class FlightRecorder
     std::unique_ptr<PerfettoWriter> _writer;
     std::unique_ptr<LatencyProfiler> _profiler;
     std::unique_ptr<SharingAnalyzer> _sharing;
+    std::unique_ptr<TxnTracer> _txn;
+
+    // Transaction-tracing state (DESIGN.md §14; serial engine only —
+    // enableTxn makes _haveConsumers true, which rejects sharding).
+    bool _wantTxn = false;
+    std::uint32_t _lastTxnId = 0;
+    std::vector<std::uint32_t> _openTxn; ///< per-node open demand miss
+    std::vector<std::uint32_t> _actTxn;  ///< per-node activation ctx
 
     StatSet* _sampleStats = nullptr;
     Tick _samplePeriod = 0;

@@ -452,7 +452,13 @@ Stache::homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
     _cHomeRequests.inc();
 
     if (Transient* tr = _transients.find(blk)) {
-        tr->deferred.push_back(Deferred{requester, wantRW, upgrade});
+        // Capture the requester's transaction context so the replay
+        // inside finishTransient (which runs under the final ack's
+        // activation) can re-enter it.
+        FlightRecorder* obs = _ms.recorder();
+        tr->deferred.push_back(Deferred{
+            requester, wantRW, upgrade,
+            obs ? obs->txnFor(ctx.nodeId()) : 0});
         _cDeferred.inc();
         return;
     }
@@ -497,7 +503,7 @@ Stache::homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
                         static_cast<Word>(blk >> 32)};
         _cInvalsSent.inc(targets.size());
         if (FlightRecorder* obs = _ms.recorder();
-            obs && obs->wantSharing()) {
+            obs && (obs->wantSharing() || obs->wantTxn())) {
             obs->invalSent(ctx.nodeId(), blk, requester,
                            static_cast<std::uint32_t>(targets.size()),
                            InvKind::Inval, _m.eq().now());
@@ -525,7 +531,7 @@ Stache::homeRequest(TempestCtx& ctx, Addr blk, NodeId requester,
                         static_cast<Word>(blk >> 32)};
         _cRecalls.inc();
         if (FlightRecorder* obs = _ms.recorder();
-            obs && obs->wantSharing()) {
+            obs && (obs->wantSharing() || obs->wantTxn())) {
             obs->invalSent(ctx.nodeId(), blk, requester, 1,
                            wantRW ? InvKind::Recall : InvKind::Downgrade,
                            _m.eq().now());
@@ -627,9 +633,21 @@ Stache::finishTransient(TempestCtx& ctx, Addr blk, NodeId keep_sharer)
     _transients.erase(blk);
     grantFromHome(ctx, blk, t.requester, t.wantRW, keep_sharer,
                   t.dataless);
-    // Replay deferred requests in arrival order.
-    for (auto& d : t.deferred)
+    // Replay deferred requests in arrival order, each under its own
+    // captured transaction context (we are inside the final ack's
+    // handler activation, whose context belongs to the transaction
+    // just finished — restore it afterward so the activation's own
+    // records stay correctly stamped).
+    FlightRecorder* obs = _ms.recorder();
+    const std::uint32_t prevAct =
+        obs ? obs->actOf(ctx.nodeId()) : 0;
+    for (auto& d : t.deferred) {
+        if (obs)
+            obs->beginAct(ctx.nodeId(), d.txn);
         homeRequest(ctx, blk, d.requester, d.wantRW, d.upgrade);
+    }
+    if (obs)
+        obs->beginAct(ctx.nodeId(), prevAct);
 }
 
 // ---------------------------------------------------------------------

@@ -141,6 +141,7 @@ class Stache : public ShmProtocol
         NodeId requester;
         bool wantRW;
         bool upgrade;
+        std::uint32_t txn = 0; ///< requester's transaction context
     };
 
     struct Transient

@@ -537,14 +537,22 @@ TyphoonMemSystem::npPump(NodeId id, Tick when)
         _cNpMsgHandled.inc();
         if (_checker)
             _checker->onMsgDeliver(msg);
-        if (_obs)
+        if (_obs) {
             _obs->msgDeliver(id, msg, when);
+            // Handler-activation transaction context: messages this
+            // handler sends inherit the incoming message's txn
+            // (DESIGN.md §14). Ends after handlerDone so the
+            // activation record itself carries the id too.
+            _obs->beginAct(id, msg.txn);
+        }
         it->second(ctx, msg);
         traceEvent(id, TraceEvent::Kind::MsgHandler, msg.handler,
                    ctx.charged());
-        if (_obs)
+        if (_obs) {
             _obs->handlerDone(id, ActKind::Msg, msg.handler, msg.obsId,
                               when, ctx.charged());
+            _obs->endAct(id);
+        }
     } else {
         const auto key = faultKey(baf->fault.mode, baf->fault.op);
         tt_assert(key < n.faultHandlers.size() && n.faultHandlers[key],

@@ -121,6 +121,54 @@ TEST(ThreadsIdentity, TraceFileByteIdenticalOnAllSystems)
     }
 }
 
+TEST(ThreadsIdentity, TraceForcesSerialEngineLikeCheck)
+{
+    // --trace / --analyze / --trace-critical compose with --threads=N
+    // the same way --check does: a stream consumer forces the serial
+    // engine (with a logged notice), so the record stream stays a
+    // single totally-ordered sequence.
+    for (bool viaTxn : {false, true}) {
+        MachineConfig cfg;
+        cfg.core.nodes = 8;
+        cfg.core.threads = 4;
+        if (viaTxn)
+            cfg.obs.txn = true;
+        else {
+            cfg.obs.enable = true;
+            cfg.obs.traceFile = "threads_force_serial.trace.json";
+        }
+        TargetMachine t = buildTyphoonStache(cfg);
+        EXPECT_EQ(t.machine->engine(), nullptr) << "viaTxn=" << viaTxn;
+        if (!viaTxn)
+            std::remove("threads_force_serial.trace.json");
+    }
+
+    // A consumer-free recorder (crash rings riding along under
+    // --faults) does NOT force serial: rings are lane-owned.
+    MachineConfig cfg;
+    cfg.core.nodes = 8;
+    cfg.core.threads = 4;
+    cfg.faults = parseFaultSpec("drop=0.01,seed=7");
+    TargetMachine t = buildTyphoonStache(cfg);
+    ASSERT_NE(t.obs, nullptr);
+    EXPECT_NE(t.machine->engine(), nullptr);
+}
+
+TEST(ThreadsIdentity, TxnStatsByteIdenticalAcrossThreadCounts)
+{
+    // The transaction tracer is a stream consumer, so a --threads=N
+    // request runs serial; its stats (obs.txn.*) must be identical to
+    // an explicit --threads=1 run.
+    MachineConfig cfg;
+    cfg.obs.txn = true;
+    const RunRec a = runSystem("stache", 1, cfg);
+    const RunRec b = runSystem("stache", 4, cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.statsJson, b.statsJson);
+    EXPECT_NE(a.statsJson.find("obs.txn.completed"),
+              std::string::npos);
+}
+
 TEST(ThreadsIdentity, CampaignReportByteIdentical)
 {
     auto runOnce = [](int threads) {

@@ -18,8 +18,9 @@
 #      every campaign run validates the full invariant catalog.
 #   5. A --trace smoke grid: every protocol writes a Perfetto trace
 #      and a JSON stats dump; both must parse as JSON
-#      (python3 -m json.tool) and every delivered message id must
-#      pair with a sent id.
+#      (python3 -m json.tool), every delivered message id must
+#      pair with a sent id, and tools/trace_lint must accept every
+#      exported trace (schema, span balance, flow well-formedness).
 #   6. A --faults smoke grid: a small fault campaign per protocol over
 #      a lossy fabric (drop+dup+reorder) with the sanitizer on must
 #      come back all-ok with real faults injected and repaired, and
@@ -30,6 +31,12 @@
 #      producer-consumer), its JSON must parse, a rerun must be
 #      byte-identical, and an analyze-off run must be bit-identical
 #      to the analyzer-on run's simulated results (zero probe effect).
+#   7b. A --trace-critical smoke: every protocol traces coherence
+#      transactions and prints the critical-path report (the
+#      partition identity is asserted inside the tracer); the em3d
+#      golden pins the per-pattern latency breakdown to
+#      producer-consumer; a faulted txn trace must pass trace_lint
+#      with every retransmit tied to a transaction flow.
 #   8. A TSan (RelWithDebInfo, TT_SANITIZE=thread) build of the
 #      parallel engine's tests plus a small --threads=4 grid: every
 #      protocol runs under ThreadSanitizer with the sharded engine
@@ -167,6 +174,10 @@ assert delivers == sends, (
     f"unpaired causal ids: {len(delivers ^ sends)}")
 EOF
 done
+# The standalone validator over the whole smoke grid's exports.
+TRACE_LINT=build/tools/trace_lint
+"$TRACE_LINT" "$TRACEDIR"/dirnnb.json "$TRACEDIR"/stache.json \
+    "$TRACEDIR"/migratory.json "$TRACEDIR"/update.json
 
 # --- 6. Fault-injection smoke grid ------------------------------------------
 step "fault campaign: --faults --campaign smoke grid"
@@ -229,6 +240,34 @@ grep -E 'execution time|checksum' "$TRACEDIR/em3d.analyze.txt" \
     > "$TRACEDIR/em3d.analyze.key"
 diff "$TRACEDIR/em3d.plain.key" "$TRACEDIR/em3d.analyze.key"
 echo "--- analyzer deterministic, classification correct, no probe effect"
+
+# --- 7b. Transaction tracer smoke -------------------------------------------
+step "transaction tracer: --trace-critical smoke"
+for sys in dirnnb stache migratory update; do
+    echo "--- $sys/em3d --trace-critical"
+    "$TTSIM" --system="$sys" --app=em3d --dataset=tiny --nodes=8 \
+        --scale=4 --trace-critical="$TRACEDIR/$sys.txn.json" \
+        > "$TRACEDIR/$sys.txn.txt"
+    grep -q "coherence-transaction critical path" "$TRACEDIR/$sys.txn.txt"
+    python3 -m json.tool "$TRACEDIR/$sys.txn.json" >/dev/null
+done
+# Golden per-pattern latency breakdown on em3d: wall time concentrates
+# in the producer-consumer class the workload was built around.
+"$TTSIM" --system=stache --app=em3d --dataset=tiny --nodes=8 \
+    --trace-critical > "$TRACEDIR/em3d.txn.txt"
+grep -q "dominant pattern by wall time: producer-consumer" \
+    "$TRACEDIR/em3d.txn.txt"
+grep -q "producer-consumer: .* txns" "$TRACEDIR/em3d.txn.txt"
+# Composition with --faults and --trace: retransmit spans stay tied
+# to their transaction, and the flow graph passes the linter.
+"$TTSIM" --system=stache --app=em3d --dataset=tiny --nodes=8 \
+    --scale=2 --faults='drop=0.02,dup=0.02,reorder=0.05,seed=7' \
+    --trace-critical --trace="$TRACEDIR/txn.faults.json" \
+    > "$TRACEDIR/txn.faults.txt"
+grep -qE "transactions: .* [1-9][0-9]* retransmit-affected" \
+    "$TRACEDIR/txn.faults.txt"
+"$TRACE_LINT" "$TRACEDIR/txn.faults.json"
+echo "--- transaction tracer: all four systems, golden + faults OK"
 
 # --- 8. ThreadSanitizer: parallel engine ------------------------------------
 if [ "$SKIP_TSAN" = 0 ]; then

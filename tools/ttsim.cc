@@ -22,11 +22,14 @@
 #include <iostream>
 #include <string>
 
+#include <fstream>
+
 #include "apps/workloads.hh"
 #include "config/bench_harness.hh"
 #include "config/builders.hh"
 #include "config/campaign.hh"
 #include "obs/sharing.hh"
+#include "obs/txn.hh"
 
 using namespace tt;
 
@@ -52,6 +55,8 @@ struct Options
     std::string statsJson; ///< machine-readable StatSet dump
     bool analyze = false;    ///< run the online sharing analyzer
     std::string analyzeJson; ///< sharing-analysis JSON path ("" = none)
+    bool traceCritical = false; ///< run the transaction tracer
+    std::string txnJson;     ///< critical-path JSON path ("" = none)
     std::string fault;     ///< protocol fault to inject (demo/testing)
     Tick traceSample = 0;  ///< counter-sampling period (ticks)
     int traceRing = 256;   ///< crash-ring capacity per node
@@ -111,6 +116,12 @@ usage()
         "  --analyze[=F]     classify per-block sharing patterns and"
         " print the\n"
         "                    protocol-advisor report (JSON to F)\n"
+        "  --trace-critical[=F]  trace coherence transactions and print"
+        " the\n"
+        "                    critical-path attribution report (JSON to"
+        " F);\n"
+        "                    composes with --trace (flow events) and"
+        " --faults\n"
         "  --fault=NAME      inject a protocol bug (skip-invalidate |"
         " skip-downgrade)\n"
         "  --check[=MODE]    run the coherence sanitizer (exit 3 on"
@@ -191,6 +202,11 @@ parseArg(Options& o, const std::string& arg)
         o.analyzeJson = v;
     } else if (arg == "--analyze") {
         o.analyze = true;
+    } else if (eat("--trace-critical=", &v)) {
+        o.traceCritical = true;
+        o.txnJson = v;
+    } else if (arg == "--trace-critical") {
+        o.traceCritical = true;
     } else if (eat("--fault=", &v)) {
         o.fault = v;
     } else if (eat("--perturb=", &v)) {
@@ -283,6 +299,11 @@ validateOptions(const Options& o)
             "analyzer folds every access and would skew the "
             "wall-clock measurement)");
     }
+    if (o.traceCritical && !o.benchJson.empty()) {
+        die("--trace-critical and --bench-json are mutually exclusive "
+            "(the tracer folds every record and would skew the "
+            "wall-clock measurement)");
+    }
     if (!o.campaignJson.empty() && !o.campaign)
         die("--campaign-json requires --campaign");
     if (o.campaign) {
@@ -304,6 +325,9 @@ validateOptions(const Options& o)
                 "mutually exclusive");
         if (o.analyze)
             die("--campaign already runs the sharing analyzer; its "
+                "summary lands in the campaign report");
+        if (o.traceCritical)
+            die("--campaign already runs the transaction tracer; its "
                 "summary lands in the campaign report");
     } else if (!o.systems.empty()) {
         die("--systems requires --campaign");
@@ -357,6 +381,7 @@ main(int argc, char** argv)
     cfg.obs.traceFile = o.traceFile;
     cfg.obs.samplePeriod = o.traceSample;
     cfg.obs.analyze = o.analyze;
+    cfg.obs.txn = o.traceCritical;
     // A trace without an explicit sampling period still gets live
     // counter tracks (events/sec, net traffic, open misses) at a
     // coarse default.
@@ -552,6 +577,21 @@ main(int argc, char** argv)
                 }
                 std::printf("analysis json  : %s\n",
                             o.analyzeJson.c_str());
+            }
+        }
+        if (o.traceCritical && target.obs->txn()) {
+            const TxnTracer& tx = *target.obs->txn();
+            tx.writeReport(std::cout);
+            if (!o.txnJson.empty()) {
+                std::ofstream jf(o.txnJson);
+                if (jf)
+                    tx.writeJson(jf);
+                if (!jf) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 o.txnJson.c_str());
+                    return 1;
+                }
+                std::printf("critical json  : %s\n", o.txnJson.c_str());
             }
         }
     }
