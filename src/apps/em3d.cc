@@ -116,8 +116,9 @@ Em3dApp::halfStep(Cpu& cpu, bool e_phase)
 Task<void>
 Em3dApp::body(Cpu& cpu)
 {
-    for (int it = 0; it < _p.iterations; ++it) {
-        co_await halfStep(cpu, /*e_phase=*/true);
+    for (int it = _startIt; it < _p.iterations; ++it) {
+        if (!(_skipE && it == _startIt))
+            co_await halfStep(cpu, /*e_phase=*/true);
         co_await halfStep(cpu, /*e_phase=*/false);
     }
 }

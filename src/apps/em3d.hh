@@ -58,6 +58,17 @@ class Em3dApp : public BenchApp
     Task<void> body(Cpu& cpu) override;
     void finish(Machine& m) override;
 
+    // Epoch restart (checkpoint/restore + crash recovery): the body
+    // is a loop of two barrier episodes per iteration, so any episode
+    // count maps onto (iteration, half-step) exactly.
+    bool supportsEpochRestart() const override { return true; }
+    void
+    setStartEpoch(std::uint64_t episodes) override
+    {
+        _startIt = static_cast<int>(episodes / 2);
+        _skipE = (episodes % 2) != 0;
+    }
+
     double checksum() const override { return _checksum; }
 
     /** Result extraction: value of E node / H node @p i. */
@@ -102,6 +113,11 @@ class Em3dApp : public BenchApp
     std::vector<std::uint32_t> _eAdj, _hAdj; // node x degree
     Machine* _machine = nullptr;
     double _checksum = 0;
+
+    // Restart position (setStartEpoch): first iteration to run, and
+    // whether its E half-step already completed before the snapshot.
+    int _startIt = 0;
+    bool _skipE = false;
 };
 
 } // namespace tt

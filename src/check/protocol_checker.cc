@@ -985,6 +985,64 @@ ProtocolChecker::finalize()
                 "paired with its response");
 }
 
+void
+ProtocolChecker::canonicalize()
+{
+    // Drop every shadow table and every piece of transient
+    // bookkeeping. Violations and their dedup keys survive: a crash
+    // recovery must not launder an already-detected bug.
+    _data = {};
+    _meta = {};
+    for (ShadowTable<shadow::CopyLeaf>& t : _copy)
+        t = {};
+    std::fill(_epoch.begin(), _epoch.end(), 0);
+    _auxEpoch = 0;
+    _lazyCmp.clear();
+    _seenBlocks.clear();
+    _dirty.clear();
+    _dirtySet.clear();
+    _inflightByBlk.clear();
+    _inflightTotal = 0;
+    _trace.clear();
+    _traceHead = 0;
+
+    // Custom pages stay mapped across a canonicalize, so no fresh
+    // onPageMap will re-announce their exemption: re-mark it here.
+    if (_mode == Mode::Fast) {
+        for (std::uint64_t vpn : _exemptVpns) {
+            const Addr base = static_cast<Addr>(vpn) * _pageSize;
+            for (Addr b = base; b < base + _pageSize; b += _blockSize)
+                metaRef(b >> _blkShift).flags |=
+                    shadow::BlockMeta::kExempt;
+        }
+    }
+
+    // Canonical ownership picture. On Typhoon targets the memory
+    // system leaves every non-exempt shared page ReadWrite at its
+    // home — exactly what setup's tag announcements produced — so the
+    // mirror shows the home holding each block exclusively. The
+    // grants queued here compare against an all-invalid shadow and
+    // are therefore silent until the caller's pokes refill it. On
+    // DirNNB the caches are empty and the directory idle: the mirror
+    // stays empty.
+    if (_tms) {
+        for (const MemorySystem::SharedRange& r : _tms->sharedAllocs()) {
+            for (Addr p = alignDown(r.va, _pageSize);
+                 p < r.va + r.bytes; p += _pageSize) {
+                if (_exemptVpns.count(p / _pageSize) != 0)
+                    continue;
+                const NodeId home = _stache->homeOf(p);
+                for (Addr b = p; b < p + _pageSize; b += _blockSize) {
+                    if (_mode == Mode::Fast)
+                        fastTag(home, b, Copy::Excl, nullptr);
+                    else
+                        _seenBlocks.insert(b);
+                }
+            }
+        }
+    }
+}
+
 std::string
 ProtocolChecker::report() const
 {

@@ -120,6 +120,21 @@ class ProtocolChecker final : public CheckHooks
     /// End-of-run checks (conservation, quiescence). Call after run().
     void finalize();
 
+    /**
+     * Reset the shadow engine to the canonical post-setup view
+     * (DESIGN.md §15): shadow data/metadata wiped, in-flight and
+     * dirty bookkeeping cleared, custom-page exemptions re-marked
+     * (those pages stay mapped across a canonicalize, so no
+     * onPageMap re-announces them), and the copy mirror re-seeded
+     * with the canonical ownership picture — home holds every
+     * non-exempt shared block exclusively on Typhoon targets, no
+     * copies anywhere on DirNNB. The caller pokes every shared byte
+     * right afterwards, rebuilding the data shadow identically on
+     * both sides of a checkpoint/restore or crash-recovery pair.
+     * Recorded violations are kept: recovery must not launder them.
+     */
+    void canonicalize();
+
     const std::vector<Violation>& violations() const
     {
         return _violations;

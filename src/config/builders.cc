@@ -31,6 +31,16 @@ attachEngine(TargetMachine& t, const MachineConfig& cfg)
                 cfg.core.threads, " threads)");
         return;
     }
+    if (cfg.recovery.checkpointEpoch > 0 ||
+        !cfg.faults.crashes.empty()) {
+        // Checkpoint/restart and crash rollback are defined on the
+        // serial calendar queue (jumpTo/clearPending have no sharded
+        // equivalent); both force the serial engine.
+        tt_warn("--checkpoint/crash faults force the serial engine "
+                "(requested ",
+                cfg.core.threads, " threads)");
+        return;
+    }
     const ObsConfig& oc = cfg.obs;
     if (!oc.traceFile.empty() || oc.samplePeriod > 0 || oc.analyze ||
         oc.txn || (oc.enable && oc.profile)) {
@@ -139,12 +149,29 @@ attachRobustness(TargetMachine& t, const MachineConfig& cfg)
             t.machine->eq(), *t.network, cfg.reliable, stats);
         t.network->setTransport(t.transport.get());
     }
+    MemorySystem* ms = t.typhoon
+                           ? static_cast<MemorySystem*>(t.typhoon.get())
+                           : static_cast<MemorySystem*>(t.dir.get());
+    if (!cfg.faults.crashes.empty()) {
+        // Crash-stop failures need the reliable transport: survivors
+        // observe a crash through its dead-link declaration, and the
+        // recovery quiesce/ack handshake rides the retried path.
+        tt_assert(t.transport,
+                  "crash faults require the reliable transport "
+                  "(drop --no-reliable)");
+        t.recovery = std::make_unique<RecoveryCoordinator>(
+            *t.machine, *t.network, *ms, *t.transport, t.faults.get(),
+            t.checker.get(), cfg.faults.crashes);
+        if (t.typhoon)
+            t.recovery->attachTyphoon(*t.typhoon);
+        else
+            t.recovery->attachDirnnb(*t.dir);
+        t.recovery->arm();
+    }
     if (cfg.watchdog.enable) {
-        MemorySystem* ms = t.typhoon
-                               ? static_cast<MemorySystem*>(t.typhoon.get())
-                               : static_cast<MemorySystem*>(t.dir.get());
         ReliableTransport* tr = t.transport.get();
         FlightRecorder* obs = t.obs.get();
+        RecoveryCoordinator* rec = t.recovery.get();
         Counter& trips = stats.counter("obs.watchdog.trips");
         t.watchdog = std::make_unique<Watchdog>(
             t.machine->eq(), cfg.watchdog.horizon,
@@ -155,16 +182,54 @@ attachRobustness(TargetMachine& t, const MachineConfig& cfg)
                         std::min(oldest, tr->oldestUnackedSince());
                 return oldest;
             },
-            [obs, &trips](Tick oldest, Tick now) {
+            [obs, tr, rec, &trips](Tick oldest, Tick now) {
                 trips.inc();
                 std::cerr << "watchdog: operation open since tick "
-                          << oldest << ", now " << now
-                          << "; flight-recorder tail:\n";
+                          << oldest << ", now " << now << "\n";
+                if (tr) {
+                    // Name the stalled work: the oldest unacked
+                    // transport entries with their transaction ids,
+                    // so a hang report joins directly against the
+                    // --trace-critical transaction log.
+                    std::cerr << "watchdog: oldest unacked messages:\n";
+                    tr->describeOldest(std::cerr);
+                }
+                if (rec)
+                    rec->describeRecovery(std::cerr);
+                std::cerr << "watchdog: flight-recorder tail:\n";
                 if (obs)
                     obs->dumpTail(std::cerr);
             });
         t.watchdog->arm();
+        if (t.recovery)
+            t.recovery->setWatchdog(t.watchdog.get());
     }
+}
+
+/**
+ * Arm the checkpoint manager (ttsim --checkpoint, DESIGN.md §15).
+ * Fault-free runs only — it shares the barrier epoch-hook slot with
+ * the recovery coordinator, and a checkpoint of a faulted run would
+ * bake transient fault state into the file. Must run after
+ * attachRobustness so the exclusivity assert sees the coordinator.
+ */
+void
+attachCheckpoint(TargetMachine& t, const MachineConfig& cfg)
+{
+    if (cfg.recovery.checkpointEpoch == 0)
+        return;
+    tt_assert(!cfg.faults.any(),
+              "--checkpoint requires a fault-free run");
+    tt_assert(!t.recovery, "checkpoint and crash recovery both want "
+                           "the barrier epoch hook");
+    MemorySystem* ms = t.typhoon
+                           ? static_cast<MemorySystem*>(t.typhoon.get())
+                           : static_cast<MemorySystem*>(t.dir.get());
+    t.checkpoint = std::make_unique<CheckpointManager>(
+        *t.machine, *t.network, *ms, t.checker.get(),
+        t.transport.get(), cfg.recovery.checkpointEpoch,
+        cfg.recovery.checkpointFile, cfg.recovery.fingerprint);
+    t.checkpoint->arm();
 }
 
 } // namespace
@@ -193,6 +258,7 @@ buildDirNNB(const MachineConfig& cfg)
     }
     attachObserver(t, cfg);
     attachRobustness(t, cfg);
+    attachCheckpoint(t, cfg);
     return t;
 }
 
@@ -212,6 +278,7 @@ buildTyphoonStache(const MachineConfig& cfg)
     attachCheckerTyphoon(t, cfg.check);
     attachObserver(t, cfg);
     attachRobustness(t, cfg);
+    attachCheckpoint(t, cfg);
     return t;
 }
 
@@ -233,6 +300,7 @@ buildTyphoonEm3dUpdate(const MachineConfig& cfg)
     attachCheckerTyphoon(t, cfg.check);
     attachObserver(t, cfg);
     attachRobustness(t, cfg);
+    attachCheckpoint(t, cfg);
     return t;
 }
 
@@ -254,6 +322,7 @@ buildTyphoonMigratory(const MachineConfig& cfg)
     attachCheckerTyphoon(t, cfg.check);
     attachObserver(t, cfg);
     attachRobustness(t, cfg);
+    attachCheckpoint(t, cfg);
     return t;
 }
 

@@ -21,6 +21,8 @@
 #include "dir/dir_mem_system.hh"
 #include "net/fault_model.hh"
 #include "net/network.hh"
+#include "recovery/checkpoint.hh"
+#include "recovery/coordinator.hh"
 #include "sim/watchdog.hh"
 #include "stache/stache.hh"
 #include "typhoon/typhoon_mem_system.hh"
@@ -80,6 +82,19 @@ struct WatchdogConfig
     Tick horizon = 100'000; ///< max age of an open operation (ticks)
 };
 
+/**
+ * Checkpoint/restart configuration (ttsim --checkpoint, DESIGN.md
+ * §15). Fault-free, serial-engine runs only; the fingerprint pins the
+ * snapshot file to one exact configuration so a restore under a
+ * different machine is refused instead of silently diverging.
+ */
+struct RecoveryConfig
+{
+    std::uint64_t checkpointEpoch = 0; ///< 0 = no checkpoint
+    std::string checkpointFile = "ttsim.ckpt";
+    std::uint64_t fingerprint = 0;     ///< configFingerprint(key)
+};
+
 /** Everything Table 2 configures, in one bag. */
 struct MachineConfig
 {
@@ -93,6 +108,7 @@ struct MachineConfig
     FaultParams faults;       ///< unreliable fabric (off by default)
     ReliableParams reliable;  ///< user-level reliable delivery
     WatchdogConfig watchdog;  ///< progress watchdog (faults only)
+    RecoveryConfig recovery;  ///< checkpoint/restart (off by default)
 };
 
 /** Print the active configuration in the shape of Table 2. */
@@ -127,8 +143,18 @@ struct TargetMachine
     /** Set iff faults were on and watchdog.enable was true. */
     std::unique_ptr<Watchdog> watchdog;
 
+    /** Set iff the fault spec scheduled crash-stop failures. */
+    std::unique_ptr<RecoveryCoordinator> recovery;
+
+    /** Set iff recovery.checkpointEpoch was > 0 at build time. */
+    std::unique_ptr<CheckpointManager> checkpoint;
+
     Machine& m() { return *machine; }
     RunResult run(App& app) { return machine->run(app); }
+    RunResult run(App& app, const Machine::RestartPlan& plan)
+    {
+        return machine->run(app, &plan);
+    }
 };
 
 /** The all-hardware DirNNB baseline. */

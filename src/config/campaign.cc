@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "obs/recorder.hh"
+#include "recovery/coordinator.hh"
 #include "sim/logging.hh"
 #include "sim/watchdog.hh"
 
@@ -42,7 +43,7 @@ buildSystem(const std::string& system, const MachineConfig& cfg)
 
 CampaignRun
 runOne(const CampaignConfig& cc, const std::string& system,
-       std::uint64_t seed)
+       std::uint64_t seed, int index)
 {
     MachineConfig cfg = cc.base;
     cfg.faults.seed = seed;
@@ -53,6 +54,7 @@ runOne(const CampaignConfig& cc, const std::string& system,
     CampaignRun run;
     run.system = system;
     run.seed = seed;
+    run.index = index;
 
     TargetMachine target = buildSystem(system, cfg);
     std::unique_ptr<BenchApp> app;
@@ -69,6 +71,11 @@ runOne(const CampaignConfig& cc, const std::string& system,
         run.cycles = r.execTime;
         run.checksum = app->checksum();
         run.outcome = "ok";
+    } catch (const UnrecoverableCrash& e) {
+        // A crash the coordinator could not absorb (double failure,
+        // single-node machine, crash mid-recovery) — ttsim exit 5.
+        run.outcome = "unrecoverable";
+        run.detail = e.what();
     } catch (const WatchdogTimeout& e) {
         run.outcome = "watchdog";
         run.detail = e.what();
@@ -108,6 +115,11 @@ runOne(const CampaignConfig& cc, const std::string& system,
     run.oooDropped = stats.get("net.ooo_dropped");
     run.deadLinks = stats.get("net.dead_links");
     run.watchdogTrips = stats.get("obs.watchdog.trips");
+    if (target.recovery) {
+        target.recovery->finalizeStats();
+        run.crashesInjected = target.recovery->crashesInjected();
+        run.recoveries = target.recovery->recoveriesDone();
+    }
     if (target.obs && target.obs->sharing()) {
         const SharingAnalyzer::Summary s =
             target.obs->sharing()->summarize();
@@ -158,18 +170,29 @@ jsonEscape(std::ostream& os, const std::string& s)
 CampaignReport
 runCampaign(const CampaignConfig& cc)
 {
+    tt_assert(cc.shardCount >= 1 && cc.shardIndex >= 0 &&
+                  cc.shardIndex < cc.shardCount,
+              "campaign shard ", cc.shardIndex, "/", cc.shardCount,
+              " is malformed");
     CampaignReport rep;
     rep.baseSeed = cc.base.faults.seed;
     rep.runsPerSystem = cc.runs;
     rep.reliable = cc.base.reliable.enable;
+    rep.shardIndex = cc.shardIndex;
+    rep.shardCount = cc.shardCount;
     rep.runs.reserve(cc.systems.size() *
                      static_cast<std::size_t>(cc.runs));
 
     for (const std::string& system : cc.systems) {
         for (int i = 0; i < cc.runs; ++i) {
+            // Shard filter: seeds derive from the index alone, so the
+            // runs a shard executes are exactly the runs the unsharded
+            // campaign would have produced at those indices.
+            if (i % cc.shardCount != cc.shardIndex)
+                continue;
             const std::uint64_t seed =
                 campaignSeed(cc.base.faults.seed, i);
-            CampaignRun run = runOne(cc, system, seed);
+            CampaignRun run = runOne(cc, system, seed, i);
             if (cc.progress) {
                 std::fprintf(
                     stderr,
@@ -207,6 +230,8 @@ CampaignReport::writeJson(std::ostream& os) const
     os << ",\n  \"runs_per_system\": " << runsPerSystem;
     os << ",\n  \"reliable_transport\": "
        << (reliable ? "true" : "false");
+    os << ",\n  \"shard\": {\"index\": " << shardIndex
+       << ", \"count\": " << shardCount << "}";
     os << ",\n  \"totals\": {";
     os << "\"runs\": " << runs.size();
     os << ", \"ok\": " << countOutcome("ok");
@@ -214,8 +239,9 @@ CampaignReport::writeJson(std::ostream& os) const
     os << ", \"watchdog\": " << countOutcome("watchdog");
     os << ", \"panic\": " << countOutcome("panic");
     os << ", \"error\": " << countOutcome("error");
+    os << ", \"unrecoverable\": " << countOutcome("unrecoverable");
     std::uint64_t faults = 0, retx = 0, acks = 0, dups = 0, ooo = 0,
-                  dead = 0, trips = 0;
+                  dead = 0, trips = 0, crashes = 0, recoveries = 0;
     for (const CampaignRun& r : runs) {
         faults += r.faultsInjected;
         retx += r.retransmits;
@@ -224,6 +250,8 @@ CampaignReport::writeJson(std::ostream& os) const
         ooo += r.oooDropped;
         dead += r.deadLinks;
         trips += r.watchdogTrips;
+        crashes += r.crashesInjected;
+        recoveries += r.recoveries;
     }
     os << ", \"faults_injected\": " << faults;
     os << ", \"retransmits\": " << retx;
@@ -233,6 +261,20 @@ CampaignReport::writeJson(std::ostream& os) const
     os << ", \"dead_links\": " << dead;
     os << ", \"watchdog_trips\": " << trips;
     os << "},\n";
+
+    // Crash-recovery summary (DESIGN.md §15): how many crash-stop
+    // failures the sweep injected, how many recoveries completed, and
+    // how many runs still finished clean. Present only when the fault
+    // mix scheduled crashes, so crash-free reports are unchanged.
+    if (crashes || recoveries || countOutcome("unrecoverable")) {
+        os << "  \"recovery\": {";
+        os << "\"crashes_injected\": " << crashes;
+        os << ", \"recoveries\": " << recoveries;
+        os << ", \"crashes_survived\": "
+           << countOutcome("ok") + countOutcome("violation");
+        os << ", \"unrecoverable\": " << countOutcome("unrecoverable");
+        os << "},\n";
+    }
 
     // Per-system sharing-pattern mix, aggregated over the system's
     // runs in cc.systems order (the order runs were produced).
@@ -308,6 +350,7 @@ CampaignReport::writeJson(std::ostream& os) const
         os << "    {\"system\": ";
         jsonEscape(os, r.system);
         os << ", \"seed\": \"" << seedHex << '"';
+        os << ", \"index\": " << r.index;
         os << ", \"outcome\": ";
         jsonEscape(os, r.outcome);
         os << ", \"cycles\": " << r.cycles;
@@ -319,6 +362,10 @@ CampaignReport::writeJson(std::ostream& os) const
         os << ", \"dead_links\": " << r.deadLinks;
         os << ", \"violations\": " << r.violations;
         os << ", \"watchdog_trips\": " << r.watchdogTrips;
+        if (r.crashesInjected || r.recoveries) {
+            os << ", \"crashes_injected\": " << r.crashesInjected
+               << ", \"recoveries\": " << r.recoveries;
+        }
         if (!r.dominantPattern.empty()) {
             os << ", \"dominant_pattern\": ";
             jsonEscape(os, r.dominantPattern);

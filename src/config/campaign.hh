@@ -52,6 +52,17 @@ struct CampaignConfig
     int scale = 1;
     double remoteFrac = 0.2; ///< EM3D remote-edge fraction
     bool progress = true;    ///< print one line per run to stderr
+
+    /**
+     * Campaign sharding (ttsim --campaign-shard=I/N): this invocation
+     * runs only the seeds with index % shardCount == shardIndex, so N
+     * processes cover a campaign in parallel. Seeds derive from the
+     * index (never the shard), so the union of the N shard reports is
+     * exactly the unsharded report (asserted in
+     * tests/config/test_campaign).
+     */
+    int shardIndex = 0;
+    int shardCount = 1;
 };
 
 /** Outcome of one (system, seed) run. */
@@ -59,7 +70,9 @@ struct CampaignRun
 {
     std::string system;
     std::uint64_t seed = 0;     ///< derived fault seed
-    std::string outcome;        ///< ok|violation|watchdog|panic|error
+    int index = 0;              ///< seed index within the system sweep
+    /// ok|violation|watchdog|panic|error|unrecoverable
+    std::string outcome;
     Tick cycles = 0;            ///< 0 unless the app completed
     double checksum = 0;        ///< 0 unless the app completed
     std::uint64_t faultsInjected = 0;
@@ -71,6 +84,10 @@ struct CampaignRun
     std::uint64_t violations = 0;
     std::uint64_t watchdogTrips = 0;
     std::string detail;         ///< first violation / panic message
+
+    // Crash-recovery summary (crash@ faults only, DESIGN.md §15).
+    std::uint64_t crashesInjected = 0;
+    std::uint64_t recoveries = 0;
 
     // Sharing-analyzer summary (campaigns always analyze).
     std::array<std::uint64_t, kSharePatterns> patternBlocks{};
@@ -94,6 +111,8 @@ struct CampaignReport
     std::uint64_t baseSeed = 0;
     int runsPerSystem = 0;
     bool reliable = true;
+    int shardIndex = 0;         ///< which shard this report covers
+    int shardCount = 1;         ///< 1 = unsharded
     std::vector<CampaignRun> runs;
 
     std::uint64_t countOutcome(const std::string& outcome) const;

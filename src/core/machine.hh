@@ -7,7 +7,9 @@
 #ifndef TT_CORE_MACHINE_HH
 #define TT_CORE_MACHINE_HH
 
+#include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +42,20 @@ class App
     virtual void setup(Machine& m) { (void)m; }
     virtual Task<void> body(Cpu& cpu) = 0;
     virtual void finish(Machine& m) { (void)m; }
+
+    /**
+     * Epoch restart support (checkpoint/restore and crash recovery,
+     * DESIGN.md §15). An app that structures body() as a loop of
+     * barrier episodes can implement setStartEpoch() so a freshly
+     * spawned body resumes from a given episode count; shared data is
+     * reconstructed by setup() + a memory-snapshot poke, so the body
+     * only needs to skip the already-completed episodes.
+     */
+    virtual bool supportsEpochRestart() const { return false; }
+    virtual void setStartEpoch(std::uint64_t episodes)
+    {
+        (void)episodes;
+    }
 };
 
 /** Outcome of Machine::run(). */
@@ -106,13 +122,64 @@ class Machine
     ParallelEngine* engine() { return _engine.get(); }
 
     /**
+     * Checkpoint-restore plan (src/recovery). When passed to run(),
+     * the initial body spawn is replaced by: jump simulated time to
+     * @p tick, apply the snapshot state (canonicalize + memory poke +
+     * stat restore, packaged in @p applyState), restore the barrier
+     * episode count, and spawn bodies — in the recorded barrier
+     * arrival @p order, so same-tick event order continues exactly as
+     * the checkpointing run's release event would have resumed them.
+     */
+    struct RestartPlan
+    {
+        Tick tick = 0;
+        std::uint64_t episodes = 0;
+        std::vector<int> order;
+        std::function<void()> applyState;
+    };
+
+    /**
      * Run @p app to completion on all nodes. Throws if any node's
      * coroutine threw, or panics if the event queue drains with
-     * unfinished processors (a protocol deadlock).
+     * unfinished processors (a protocol deadlock). With @p plan the
+     * run continues from a checkpoint instead of starting fresh.
      */
-    RunResult run(App& app);
+    RunResult run(App& app, const RestartPlan* plan = nullptr);
+
+    /**
+     * Crash-recovery rollback (src/recovery, DESIGN.md §15): cancel
+     * every body coroutine (destroying the owned Task cascades down
+     * the suspended call tree), drop parked barrier waiters, restore
+     * the episode count, and respawn fresh bodies at the current tick
+     * in @p order. Only legal inside run(), from a scheduled event,
+     * after EventQueue::clearPending() — no pending event may
+     * reference the destroyed frames.
+     */
+    void respawnBodies(std::uint64_t episodes,
+                       const std::vector<int>& order);
+
+    /** The app currently inside run() (nullptr outside). */
+    App* runningApp() { return _app; }
+
+    /**
+     * True once every body coroutine has completed (only meaningful
+     * inside run()). Crash injection consults this: a crash scheduled
+     * past the application's end fires during the final event drain
+     * and must not roll a finished run back (DESIGN.md §15).
+     */
+    bool allFinished() const { return _finished == _params.nodes; }
 
   private:
+    /**
+     * Wrapper coroutine owning one processor's body: records the
+     * finish time and completion count. Owning the wrapper (rather
+     * than detaching it) is what makes bodies cancellable.
+     */
+    Task<void> bodyWrap(Cpu& c, int i);
+
+    /** Schedule one spawn event per CPU at @p when, in @p order. */
+    void spawnBodies(Tick when, const std::vector<int>& order);
+
     CoreParams _params;
     EventQueue _eq;
     StatSet _stats;
@@ -121,6 +188,12 @@ class Machine
     Barrier _barrier;
     MemorySystem* _memsys = nullptr;
     std::unique_ptr<ParallelEngine> _engine;
+
+    // Live only during run().
+    App* _app = nullptr;
+    std::vector<Task<void>> _bodies;
+    std::vector<Tick> _cpuFinish;
+    int _finished = 0;
 };
 
 } // namespace tt

@@ -11,7 +11,9 @@
 #include <coroutine>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace tt
@@ -91,6 +93,75 @@ class MemorySystem
      * Default: a system with no asynchronous state never stalls.
      */
     virtual Tick oldestPendingSince() const { return kTickMax; }
+
+    /**
+     * True iff no protocol transaction is in flight anywhere — the
+     * memory-system leg of the checkpoint quiescence gate (DESIGN.md
+     * §15). Default: derived from the watchdog probe.
+     */
+    virtual bool
+    quiescent() const
+    {
+        return oldestPendingSince() == kTickMax;
+    }
+
+    /**
+     * Called by Machine::run once, right after App::setup returns —
+     * the instant the post-shmalloc canonical state exists. Systems
+     * supporting canonicalize() record their allocator watermarks
+     * here. Default: nothing to record.
+     */
+    virtual void setupComplete() {}
+
+    /** One shmalloc'd shared segment (checkpoint enumeration). */
+    struct SharedRange
+    {
+        Addr va = 0;
+        std::size_t bytes = 0;
+    };
+
+    /**
+     * Every shared segment ever allocated, in allocation order — the
+     * universe a checkpoint snapshots and a restore pokes back
+     * (DESIGN.md §15). Default: none (no checkpoint support).
+     */
+    virtual std::vector<SharedRange> sharedAllocs() const
+    {
+        return {};
+    }
+
+    /**
+     * Like peek(), but coherent: reads through the protocol's current
+     * owner of each block instead of the home frame, so a snapshot
+     * taken while a remote node holds a block dirty still sees the
+     * latest coherent bytes. Zero simulated cost, zero state change.
+     * Default: peek() (systems whose home copy is always current).
+     */
+    virtual void
+    coherentPeek(Addr va, void* buf, std::size_t len)
+    {
+        peek(va, buf, len);
+    }
+
+    /**
+     * Reset all protocol state to the deterministic post-shmalloc
+     * canonical form: caches and TLBs flushed, directory entries
+     * rebuilt fresh (home owns every block), per-component RNGs
+     * reseeded from @p epochSeed, in-flight bookkeeping cleared
+     * *without dereferencing* any suspended MemRequest (the frames may
+     * already be destroyed by a crash rollback). Memory bytes are NOT
+     * touched — the caller pokes snapshot bytes afterwards. Applied
+     * identically by the checkpointing run at the snapshot instant and
+     * by the restoring run, so both continue from the same state
+     * (DESIGN.md §15). Default: unsupported.
+     */
+    virtual void
+    canonicalize(std::uint64_t epochSeed)
+    {
+        (void)epochSeed;
+        tt_panic("memory system '", name(),
+                 "' does not support canonicalize");
+    }
 
     virtual std::string name() const = 0;
 };

@@ -11,7 +11,9 @@
 #define TT_CORE_SYNC_HH
 
 #include <coroutine>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -57,6 +59,35 @@ class Barrier
     /** Number of completed barrier episodes. */
     std::uint64_t episodes() const { return _episodes; }
 
+    /**
+     * Hook invoked at every barrier release, inside the release event
+     * *before* any waiter resumes: (episode number just completed,
+     * release tick, CPU ids in arrival order). The checkpoint manager
+     * snapshots here — a release point is the natural quiescent epoch
+     * boundary, and the arrival order is recorded so a restored run
+     * respawns bodies in exactly the order the original run resumed
+     * them (same-tick event order is insertion order).
+     */
+    using EpochHook = std::function<void(
+        std::uint64_t, Tick, const std::vector<int>&)>;
+
+    void setEpochHook(EpochHook h) { _epochHook = std::move(h); }
+
+    /** Restore the episode count (checkpoint restore / rollback). */
+    void setEpisodes(std::uint64_t e) { _episodes = e; }
+
+    /**
+     * Drop parked waiters without resuming them (crash rollback: the
+     * coroutine frames holding those continuations are about to be
+     * destroyed, so the handles must never fire).
+     */
+    void
+    clearWaiters()
+    {
+        _waiters.clear();
+        _maxArrive = 0;
+    }
+
   private:
     void
     arrive(Cpu& cpu, std::coroutine_handle<> h)
@@ -73,8 +104,15 @@ class Barrier
         auto batch = std::move(_waiters);
         _waiters.clear();
         _maxArrive = 0;
-        ++_episodes;
-        _eq.schedule(release, [batch = std::move(batch)] {
+        const std::uint64_t ep = ++_episodes;
+        _eq.schedule(release, [this, ep, batch = std::move(batch)] {
+            if (_epochHook) {
+                std::vector<int> order;
+                order.reserve(batch.size());
+                for (auto& [cpu, handle] : batch)
+                    order.push_back(cpu->id());
+                _epochHook(ep, _eq.now(), order);
+            }
             for (auto& [cpu, handle] : batch) {
                 cpu->syncTo(cpu->eq().now());
                 handle.resume();
@@ -88,6 +126,7 @@ class Barrier
     Tick _maxArrive = 0;
     std::uint64_t _episodes = 0;
     std::vector<std::pair<Cpu*, std::coroutine_handle<>>> _waiters;
+    EpochHook _epochHook;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "core/transport.hh"
 
 #include <algorithm>
+#include <ostream>
 
 #include "sim/logging.hh"
 
@@ -61,6 +62,70 @@ ReliableTransport::oldestUnackedSince() const
         oldest = std::min(
             oldest, c.headSentAt.load(std::memory_order_relaxed));
     return oldest;
+}
+
+void
+ReliableTransport::describeOldest(std::ostream& os, int maxLines) const
+{
+    // Stalled channels sorted oldest-head-first; each line names the
+    // exact message the channel is waiting to get acked.
+    struct Stall
+    {
+        Tick sentAt;
+        NodeId src, dst;
+        std::uint32_t seq, txn;
+        int retries;
+        bool dead;
+    };
+    std::vector<Stall> stalls;
+    for (int s = 0; s < _nodes; ++s) {
+        for (int d = 0; d < _nodes; ++d) {
+            const Channel& c = chan(s, d);
+            if (c.window.empty())
+                continue;
+            const Channel::Unacked& head = c.window.front();
+            stalls.push_back({head.sentAt, s, d, head.msg.seq,
+                              head.msg.txn, c.retries, c.dead});
+        }
+    }
+    std::sort(stalls.begin(), stalls.end(),
+              [](const Stall& a, const Stall& b) {
+                  return a.sentAt < b.sentAt;
+              });
+    if (stalls.empty()) {
+        os << "  transport: all channels idle\n";
+        return;
+    }
+    os << "  transport: " << stalls.size()
+       << " channel(s) with unacked messages, oldest first:\n";
+    int shown = 0;
+    for (const Stall& s : stalls) {
+        if (shown++ >= maxLines) {
+            os << "    ... " << (stalls.size() - maxLines)
+               << " more channel(s)\n";
+            break;
+        }
+        os << "    " << s.src << "->" << s.dst << " seq=" << s.seq
+           << " txn=" << s.txn << " sentAt=" << s.sentAt
+           << " retries=" << s.retries << (s.dead ? " DEAD" : "")
+           << "\n";
+    }
+}
+
+void
+ReliableTransport::reset()
+{
+    for (Channel& c : _chans) {
+        c.window.clear();
+        c.headSentAt.store(kTickMax, std::memory_order_relaxed);
+        c.nextSeq = 1;
+        c.rto = 0;
+        c.retries = 0;
+        ++c.timerGen; // dismiss any outstanding retransmission timer
+        c.dead = false;
+        c.expectSeq = 1;
+        c.lastAcked = 0;
+    }
 }
 
 void
@@ -144,6 +209,8 @@ ReliableTransport::onTimeout(NodeId src, NodeId dst, std::uint64_t gen)
         // watchdog probe sees the stall and fails the run fast.
         c.dead = true;
         _deadLinks.inc();
+        if (_onDeadLink)
+            _onDeadLink(src, dst);
         return;
     }
 

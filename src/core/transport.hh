@@ -43,6 +43,8 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <iosfwd>
 #include <vector>
 
 #include "net/message.hh"
@@ -79,6 +81,39 @@ class ReliableTransport final : public TransportHooks
      * partition that outlives maxRetries becomes a watchdog trip.
      */
     Tick oldestUnackedSince() const;
+
+    /**
+     * Watchdog tail dump: one line per stalled channel (oldest first,
+     * capped), with the head message's sequence number, transaction id
+     * (PR 8 tracing — 0 when --trace-txn is off), original send tick,
+     * retry count, and dead-link status. Gives a hung run's post-
+     * mortem the exact message the machine is waiting on.
+     */
+    void describeOldest(std::ostream& os, int maxLines = 8) const;
+
+    /**
+     * Fired when a channel hits the retry cap and is declared dead
+     * (src, dst of the data channel). The recovery coordinator uses
+     * this as its crash-detection signal (DESIGN.md §15); unset, a
+     * dead link surfaces only as a watchdog trip. Fired every time a
+     * channel dies, including again after a revival.
+     */
+    using DeadLinkListener = std::function<void(NodeId, NodeId)>;
+    void
+    setDeadLinkListener(DeadLinkListener f)
+    {
+        _onDeadLink = std::move(f);
+    }
+
+    /**
+     * Recovery reset (DESIGN.md §15): every channel returns to its
+     * initial state — windows emptied, sequence numbers rewound to 1,
+     * timers cancelled, dead flags cleared. Stale acks arriving
+     * against a reset channel are no-ops (empty-window early return in
+     * handleAck); stale retransmission timers are dismissed by the
+     * generation bump.
+     */
+    void reset();
 
     // TransportHooks
     void onSend(Message& m, Tick when) override;
@@ -130,6 +165,8 @@ class ReliableTransport final : public TransportHooks
     ReliableParams _p;
     int _nodes;
     std::vector<Channel> _chans; ///< dense (src * nodes + dst)
+
+    DeadLinkListener _onDeadLink; ///< recovery crash detection
 
     Counter& _retransmits; ///< net.retransmits
     Counter& _acks;        ///< net.acks (ack messages sent)

@@ -100,7 +100,42 @@ Em3dUpdateProtocol::allocCustom(std::size_t bytes, NodeId home,
         ctx.setPageTags(va, AccessTag::ReadWrite);
     }
     _nextCustomVa = base + npages * ps;
+    _allocs.push_back({base, bytes});
     return base;
+}
+
+void
+Em3dUpdateProtocol::onCanonicalize(std::uint64_t epochSeed)
+{
+    (void)epochSeed;
+    const std::uint32_t ps = _cp.pageSize;
+    // Unwind the lazily-mapped consumer copies of custom pages: they
+    // are pinned (never join the replacement FIFO), so the base-class
+    // stache unwind does not see them.
+    _customKind.forEach([&](std::uint64_t vpn, int) {
+        const Addr va = static_cast<Addr>(vpn) * ps;
+        const NodeId home = _pageHome.at(vpn);
+        for (int n = 0; n < _cp.nodes; ++n) {
+            if (n == home)
+                continue;
+            const PageMapping* pm = _ms.pageTableOf(n).lookup(va);
+            if (!pm)
+                continue;
+            const PAddr pa = pm->ppage;
+            _ms.recUnmapPage(n, va);
+            _ms.recFreePhysPage(n, pa);
+        }
+    });
+    // Registration / flush / update-counting state back to its
+    // post-setup (empty) form. Any end-step waiter frame was already
+    // destroyed by the rollback respawn — drop the handles cold.
+    _copies.clear();
+    for (auto& perKind : _flushList) {
+        perKind[0].clear();
+        perKind[1].clear();
+    }
+    for (NodeUpd& u : _upd)
+        u = NodeUpd{};
 }
 
 void

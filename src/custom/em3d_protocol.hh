@@ -78,6 +78,7 @@ class Em3dUpdateProtocol : public Stache
     std::size_t copyListSize(Addr blk) const;
 
   private:
+    void onCanonicalize(std::uint64_t epochSeed) override;
     void onCustomPageFault(TempestCtx& ctx, Addr va, MemOp op);
     void onCustomReadFault(TempestCtx& ctx, const BlockFault& f);
     void onCGet(TempestCtx& ctx, const Message& msg);

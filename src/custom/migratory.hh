@@ -54,6 +54,15 @@ class MigratoryProtocol : public Stache
     void onOwnerDataReturned(Addr blk, NodeId from,
                              bool modified) override;
 
+    /** Canonicalize: the learned classifications reset with the rest
+     *  of the directory state (post-setup has no history). */
+    void
+    onCanonicalize(std::uint64_t epochSeed) override
+    {
+        (void)epochSeed;
+        _pattern.clear();
+    }
+
   private:
     struct Pattern
     {

@@ -77,7 +77,34 @@ DirMemSystem::shmalloc(std::size_t bytes, NodeId home)
         // first-touch with no pin: left unassigned until first access
     }
     _nextVa = base + npages * ps;
+    _allocs.push_back({base, bytes});
     return base;
+}
+
+void
+DirMemSystem::canonicalize(std::uint64_t epochSeed)
+{
+    // Deterministic reset to the post-shmalloc canonical form
+    // (DESIGN.md §15). The global store is written eagerly, so no
+    // dirty cache data needs flushing home first; dropping every tag
+    // and directory entry leaves the home owning every block, which
+    // is exactly the state right after allocation.
+    const Tick now = _m.eq().now();
+    for (int i = 0; i < _cp.nodes; ++i) {
+        Node& n = _nodes[i];
+        n.cache->flushAll();
+        n.cache->reseed(epochSeed * 7919 + i);
+        n.tlb->flush();
+        n.ctrlFree = now;
+        // Pending misses are dropped WITHOUT touching miss.req: after
+        // a crash rollback the awaiting coroutine frames are already
+        // destroyed and the pointers dangle.
+        n.pending.clear();
+        _openSince[i].store(kTickMax, std::memory_order_relaxed);
+    }
+    _dir.clear();
+    _faultInvalidates = 0;
+    _faultDowngrades = 0;
 }
 
 NodeId
@@ -572,6 +599,14 @@ DirMemSystem::onMessage(NodeId self, Message&& msg)
         break;
 
       default:
+        // Recovery coordinator traffic (DESIGN.md §15) rides the same
+        // checked, reliable path as protocol messages; its handler ids
+        // sit far above the hardware protocol's. The messages carry a
+        // dummy addr + extra arg so the decode above stays in bounds.
+        if (_extra) {
+            _extra(self, std::move(msg));
+            break;
+        }
         tt_panic("unknown DirNNB message kind ", msg.handler);
     }
 

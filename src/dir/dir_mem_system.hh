@@ -56,7 +56,23 @@ class DirMemSystem : public MemorySystem
     void peek(Addr va, void* buf, std::size_t len) override;
     void poke(Addr va, const void* buf, std::size_t len) override;
     Tick oldestPendingSince() const override;
+    std::vector<SharedRange> sharedAllocs() const override
+    {
+        return _allocs;
+    }
+    // coherentPeek: default (= peek). The DirNNB store is written
+    // eagerly by every sanctioned write, so the home copy is always
+    // the latest coherent bytes; caches are timing-only.
+    void canonicalize(std::uint64_t epochSeed) override;
     std::string name() const override { return "DirNNB"; }
+
+    /**
+     * Fallback for message handler ids outside the hardware protocol
+     * (the recovery coordinator's quiesce/ack traffic, DESIGN.md §15).
+     * Unset, an unknown handler id stays a protocol bug (tt_panic).
+     */
+    using ExtraHandler = std::function<void(NodeId, Message&&)>;
+    void setExtraHandler(ExtraHandler h) { _extra = std::move(h); }
 
     // --- introspection (tests / benches) -------------------------------
     struct EntryView
@@ -87,7 +103,7 @@ class DirMemSystem : public MemorySystem
     CacheModel& cacheOf(NodeId n) { return *_nodes.at(n).cache; }
     TlbModel& tlbOf(NodeId n) { return *_nodes.at(n).tlb; }
     /** True iff no transaction is in flight anywhere. */
-    bool quiescent() const;
+    bool quiescent() const override;
 
     /**
      * Attach the coherence sanitizer (nullptr = disabled). Also
@@ -241,6 +257,8 @@ class DirMemSystem : public MemorySystem
     PhysMem _store; // va-keyed global memory
     Addr _nextVa;
     NodeId _rrNext = 0;
+    std::vector<SharedRange> _allocs; ///< shmalloc log (checkpointing)
+    ExtraHandler _extra; ///< recovery-message fallback, opt-in
 
     // Hot-path stat handles, resolved once at construction (StatSet
     // hands out stable references).

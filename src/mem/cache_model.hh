@@ -99,6 +99,13 @@ class CacheModel
     /** Drop every line (e.g. page remap under Stache replacement). */
     void flushAll();
 
+    /**
+     * Reseed the replacement RNG (checkpoint canonicalize, DESIGN.md
+     * §15). Both sides of a checkpoint apply the same epoch-derived
+     * seed, so post-restore victim choices match the original run's.
+     */
+    void reseed(std::uint64_t seed) { _rng = Rng(seed); }
+
     std::uint32_t blockSize() const { return _blockSize; }
     std::uint64_t sizeBytes() const { return _sizeBytes; }
     std::uint32_t assoc() const { return _assoc; }

@@ -127,6 +127,35 @@ class PhysMem
     /** Number of currently allocated pages. */
     std::size_t allocatedPages() const { return _allocated; }
 
+    /** Bump-allocator watermark: the ppn the next fresh page gets. */
+    std::uint64_t nextPpn() const { return _nextPpn; }
+
+    /**
+     * Rewind the bump allocator to a recorded watermark and discard
+     * the free list, so the next allocations replay the exact ppn
+     * sequence a fresh instance would produce (DESIGN.md §15). Every
+     * page at or above the watermark must already have been freed;
+     * their empty slots are trimmed so the dense vector's extent also
+     * matches a never-allocated-past-the-watermark instance.
+     */
+    void
+    canonicalizeAllocator(std::uint64_t nextPpn)
+    {
+        tt_assert(nextPpn >= 1 && nextPpn <= _nextPpn,
+                  "allocator watermark moved backwards");
+        for (std::uint64_t ppn = nextPpn; ppn < _nextPpn; ++ppn) {
+            const std::uint64_t idx = ppn - _basePpn;
+            tt_assert(idx >= _pages.size() || !_pages[idx],
+                      "canonicalizeAllocator: page ", ppn,
+                      " above the watermark is still allocated");
+        }
+        _freeList.clear();
+        _nextPpn = nextPpn;
+        while (!_pages.empty() && !_pages.back() &&
+               _basePpn + _pages.size() > nextPpn)
+            _pages.pop_back();
+    }
+
   private:
     /** Backing store for @p ppn, or nullptr if unallocated. */
     std::uint8_t*

@@ -51,13 +51,22 @@ struct FaultParams
     Tick pauseMax = 300; ///< max node-pause window length (ticks)
     /** Permanently cut (one-way) links: every message on one is lost. */
     std::vector<std::pair<NodeId, NodeId>> cuts;
+    /**
+     * Crash-stop node failures (`crash@TICK:NODE`, DESIGN.md §15):
+     * at TICK the node's caches, in-flight handlers, and transport
+     * sessions vanish; survivors observe it through dead-link
+     * declaration and the recovery coordinator rolls the machine back
+     * to the last checkpoint. Injected by the recovery subsystem, not
+     * by the per-message verdict path.
+     */
+    std::vector<std::pair<Tick, NodeId>> crashes;
     std::uint64_t seed = 0; ///< RNG seed; replay needs (seed, params)
 
     bool
     any() const
     {
         return drop > 0 || dup > 0 || reorder > 0 || partition > 0 ||
-               pause > 0 || !cuts.empty();
+               pause > 0 || !cuts.empty() || !crashes.empty();
     }
 };
 
@@ -114,6 +123,20 @@ class SeededFaultModel final : public FaultModel
     }
 
     const FaultParams& params() const { return _p; }
+
+    /**
+     * Canonicalize transient state (checkpoint/rollback, DESIGN.md
+     * §15): reseed the verdict RNG from the epoch-derived seed and
+     * heal open partition/pause windows. Permanent cuts and the
+     * configured crash schedule are construction facts and stay.
+     */
+    void
+    resetTransient(std::uint64_t epochSeed)
+    {
+        _rng = Rng(epochSeed);
+        std::fill(_partUntil.begin(), _partUntil.end(), 0);
+        std::fill(_pauseUntil.begin(), _pauseUntil.end(), 0);
+    }
 
     /** Total faults injected so far (campaign reporting). */
     std::uint64_t
@@ -212,8 +235,9 @@ class SeededFaultModel final : public FaultModel
 /**
  * Parse a ttsim --faults=SPEC string into FaultParams. Keys:
  *   drop=P | dup=P | reorder=P[:MAX] | partition=P[:MAXLEN]
- *   | pause=P[:MAXLEN] | cut=A-B | seed=N
- * separated by commas; cut= may repeat and cuts both directions.
+ *   | pause=P[:MAXLEN] | cut=A-B | crash@TICK:NODE | seed=N
+ * separated by commas; cut= may repeat and cuts both directions;
+ * crash@ may repeat to schedule several crash-stop failures.
  * Unknown keys are a usage error (tt_fatal).
  */
 inline FaultParams
@@ -229,6 +253,23 @@ parseFaultSpec(const std::string& spec)
         pos = end + 1;
         if (item.empty())
             continue;
+        // crash@TICK:NODE — the one key using @, not = (a crash is a
+        // point event, not a rate).
+        if (item.rfind("crash@", 0) == 0) {
+            const std::string v = item.substr(6);
+            const std::size_t colon = v.find(':');
+            if (colon == std::string::npos || colon == 0)
+                tt_fatal("--faults: crash wants crash@TICK:NODE, got '",
+                         item, "'");
+            const Tick t = static_cast<Tick>(
+                std::strtoull(v.c_str(), nullptr, 0));
+            const NodeId n =
+                static_cast<NodeId>(std::atoi(v.c_str() + colon + 1));
+            if (t == 0)
+                tt_fatal("--faults: crash tick must be > 0");
+            p.crashes.emplace_back(t, n);
+            continue;
+        }
         const std::size_t eq = item.find('=');
         if (eq == std::string::npos)
             tt_fatal("--faults: expected key=value, got '", item, "'");
@@ -273,8 +314,9 @@ parseFaultSpec(const std::string& spec)
         } else if (key == "seed") {
             p.seed = std::strtoull(val.c_str(), nullptr, 0);
         } else {
-            tt_fatal("--faults: unknown key '", key,
-                     "' (drop|dup|reorder|partition|pause|cut|seed)");
+            tt_fatal(
+                "--faults: unknown key '", key,
+                "' (drop|dup|reorder|partition|pause|cut|crash@|seed)");
         }
     }
     if (!p.any())

@@ -144,6 +144,82 @@ class Network
         }
     }
 
+    // --- crash-stop support (src/recovery, DESIGN.md §15) -------------
+    // Gated behind armRecovery() so crash-free runs never touch the
+    // dead-node vector (null-opt-in: seed outputs stay bit-identical).
+
+    /** Allocate the dead-node set; required before markDead(). */
+    void
+    armRecovery()
+    {
+        _dead.assign(_receivers.size(), 0);
+        _recoveryArmed = true;
+    }
+
+    /**
+     * Crash-stop @p n: from this instant every message from or to the
+     * node is dropped at the fabric boundary — its in-flight traffic,
+     * handler invocations, and future sends all vanish. (The node's
+     * simulated compute between the crash and the rollback is dead
+     * work: the recovery coordinator discards it wholesale.)
+     */
+    void
+    markDead(NodeId n)
+    {
+        tt_assert(_recoveryArmed, "markDead before armRecovery");
+        _dead.at(n) = 1;
+    }
+
+    /** Rollback complete: the node rejoins the fabric. */
+    void
+    revive(NodeId n)
+    {
+        tt_assert(_recoveryArmed, "revive before armRecovery");
+        _dead.at(n) = 0;
+    }
+
+    bool
+    nodeDead(NodeId n) const
+    {
+        return _recoveryArmed && _dead[static_cast<std::size_t>(n)];
+    }
+
+    /**
+     * Messages currently in flight (deliver events scheduled but not
+     * yet executed). The checkpoint manager requires this to be zero
+     * at a snapshot epoch: a peeked block whose latest bytes ride in a
+     * transit writeback would snapshot stale. Serial engine only (the
+     * sharded lanes never coexist with checkpointing).
+     */
+    long inflight() const { return _inflight; }
+
+    /**
+     * Messages swallowed by the dead-node gate ("declared-lost" in
+     * PROTOCOLS.md's conservation terms). A plain member, not a
+     * StatSet counter: registering one would add a stats-json line to
+     * every crash-free run and break bit-identity with the seed. The
+     * recovery coordinator publishes it under rec.* when armed.
+     */
+    std::uint64_t crashDrops() const { return _crashDrops; }
+
+    /**
+     * Canonicalize fabric timing state (checkpoint/rollback): both
+     * sides of a checkpoint set the injection/ejection occupancies to
+     * the epoch tick, so a just-departed burst in the original run
+     * cannot leave it ahead of the restored run.
+     */
+    void
+    resetForRecovery()
+    {
+        const Tick now = _eq.now();
+        std::fill(_linkFree.begin(), _linkFree.end(), now);
+        std::fill(_ejectFree.begin(), _ejectFree.end(), now);
+        std::fill(_lastArrive.begin(), _lastArrive.end(), 0);
+        // A crash rollback clears the event queue wholesale, killing
+        // scheduled deliver closures before they can decrement.
+        _inflight = 0;
+    }
+
     /**
      * Send @p msg, departing the source at absolute tick @p when
      * (callers inside events pass the current charged time). Local
@@ -193,6 +269,17 @@ class Network
         tt_assert(msg.dst >= 0 && msg.dst < nodes(),
                   "message to bad node ", msg.dst);
         tt_assert(_receivers[msg.dst], "no receiver at node ", msg.dst);
+
+        // Crash-stop gate: traffic touching a dead node vanishes at
+        // the fabric boundary, before any stats/checker/recorder side
+        // effect — the message was never "really sent". (The
+        // transport's window copy, retained in send() before this
+        // point, is what eventually times out and declares the link
+        // dead.)
+        if (_recoveryArmed && (_dead[msg.src] || _dead[msg.dst])) {
+            ++_crashDrops;
+            return;
+        }
 
         const std::uint32_t pkts = msg.packets();
         if (_sharded) {
@@ -284,6 +371,8 @@ class Network
 
         if (dupArrive) {
             Message copy = msg;
+            if (!_sharded)
+                ++_inflight;
             _eq.schedule(dupArrive,
                          [this, m = std::move(copy)]() mutable {
                              deliver(std::move(m));
@@ -308,6 +397,8 @@ class Network
         }
         tt_assert(!_engine || !_engine->inLaneContext(),
                   "lane-context send to non-lane receiver ", msg.dst);
+        if (!_sharded)
+            ++_inflight;
         _eq.schedule(arrive,
                      [this, m = std::move(msg)]() mutable {
                          deliver(std::move(m));
@@ -317,6 +408,16 @@ class Network
     void
     deliver(Message&& m)
     {
+        // Lane deliveries never incremented (sharded mode has no
+        // checkpointing), so the counter is serial-path only.
+        if (!_sharded)
+            --_inflight;
+        // Traffic already in flight when the crash struck: the
+        // victim's outstanding sends and its inbound traffic vanish.
+        if (_recoveryArmed && (_dead[m.src] || _dead[m.dst])) {
+            ++_crashDrops;
+            return;
+        }
         // The transport filters arrivals: acks are consumed, duplicate
         // and out-of-order data suppressed, in-order data released.
         if (_transport && !_transport->onArrive(m)) {
@@ -368,6 +469,10 @@ class Network
     TransportHooks* _transport = nullptr; ///< reliable delivery, opt-in
     Rng _jitter;                    ///< perturbation jitter stream
     std::vector<Tick> _lastArrive;  ///< per-(src,dst) FIFO clamp
+    std::vector<std::uint8_t> _dead; ///< crash-stopped nodes, opt-in
+    bool _recoveryArmed = false;     ///< armRecovery() called
+    long _inflight = 0;              ///< scheduled deliveries (serial)
+    std::uint64_t _crashDrops = 0;   ///< dead-node gate drops
 
     // Stat handles resolved once at construction (Counter& from a
     // StatSet is reference-stable) — send() is per-message hot.

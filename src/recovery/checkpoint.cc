@@ -1,0 +1,103 @@
+#include "recovery/checkpoint.hh"
+
+#include "check/protocol_checker.hh"
+#include "core/transport.hh"
+#include "net/network.hh"
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+CheckpointManager::CheckpointManager(
+    Machine& m, Network& net, MemorySystem& ms,
+    ProtocolChecker* checker, ReliableTransport* tr,
+    std::uint64_t epoch, std::string path, std::uint64_t fingerprint)
+    : _m(m),
+      _net(net),
+      _ms(ms),
+      _checker(checker),
+      _tr(tr),
+      _epoch(epoch),
+      _path(std::move(path)),
+      _fingerprint(fingerprint)
+{
+    tt_assert(_epoch > 0, "checkpoint epoch must be >= 1");
+    tt_assert(!_path.empty(), "checkpoint with no file path");
+}
+
+void
+CheckpointManager::arm()
+{
+    _m.barrier().setEpochHook(
+        [this](std::uint64_t ep, Tick tick,
+               const std::vector<int>& order) {
+            onEpoch(ep, tick, order);
+        });
+}
+
+void
+CheckpointManager::onEpoch(std::uint64_t ep, Tick tick,
+                           const std::vector<int>& order)
+{
+    if (_written || ep < _epoch)
+        return;
+    const bool quiet =
+        _net.inflight() == 0 && _ms.quiescent() &&
+        (!_tr || _tr->oldestUnackedSince() == kTickMax);
+    if (!quiet) {
+        if (!_deferred) {
+            tt_warn("checkpoint: epoch ", ep,
+                    " is not quiescent (", _net.inflight(),
+                    " in flight, memsys ",
+                    _ms.quiescent() ? "idle" : "busy",
+                    "); deferring to the next quiescent barrier "
+                    "release");
+            _deferred = true;
+        }
+        return;
+    }
+
+    // The order below is the identity argument (file header comment):
+    // canonicalize, then capture, then poke the captured bytes back
+    // so the shadow checker's data oracle is rebuilt through the same
+    // onBackdoorWrite path the restored run will use, then record
+    // stats *after* the pokes so both sides agree on every counter.
+    _ms.canonicalize(ep);
+    if (_checker)
+        _checker->canonicalize();
+
+    Snapshot snap;
+    snap.fingerprint = _fingerprint;
+    snap.episodes = ep;
+    snap.tick = tick;
+    snap.order = order;
+    captureMem(_ms, snap, /*coherent=*/false);
+    pokeMem(_ms, snap);
+    _net.resetForRecovery();
+    captureStats(_m.stats(), snap);
+    saveSnapshot(snap, _path);
+    _written = true;
+    tt_inform("checkpoint: epoch ", ep, " at tick ", tick,
+           " written to '", _path, "'");
+}
+
+Machine::RestartPlan
+restorePlan(const Snapshot& snap, Machine& m, Network& net,
+            MemorySystem& ms, ProtocolChecker* checker)
+{
+    Machine::RestartPlan plan;
+    plan.tick = snap.tick;
+    plan.episodes = snap.episodes;
+    plan.order = snap.order;
+    plan.applyState = [&snap, &m, &net, &ms, checker] {
+        ms.canonicalize(snap.episodes);
+        if (checker)
+            checker->canonicalize();
+        pokeMem(ms, snap);
+        net.resetForRecovery();
+        restoreStats(m.stats(), snap);
+    };
+    return plan;
+}
+
+} // namespace tt

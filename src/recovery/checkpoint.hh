@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Epoch-based checkpoint/restart (DESIGN.md §15). The manager hooks
+ * the global barrier: at the first fully quiescent release epoch at
+ * or after the requested one, it (1) canonicalizes the memory system
+ * and the shadow checker to the post-setup picture, (2) peeks every
+ * shared byte into a Snapshot, (3) pokes the same bytes straight
+ * back — a no-op for memory, but it rebuilds the checker's data
+ * shadow through onBackdoorWrite exactly the way the restored run's
+ * pokes will — (4) records the statistics registry and writes the
+ * file, and then lets the run continue from the canonical state.
+ *
+ * A restore (restorePlan) performs the same canonicalize + poke +
+ * stats-restore on a freshly built machine after setup, jumps
+ * simulated time to the snapshot tick, and respawns bodies in the
+ * recorded barrier arrival order. Because both runs pass through the
+ * *same* canonical state at the *same* tick with the *same* event
+ * order, everything downstream — timing, statistics, traces — is
+ * byte-identical; the checkpointing run vs. its restored continuation
+ * is compared in tests/recovery/test_checkpoint.cc.
+ *
+ * Requested on a non-quiescent epoch (a message still in flight, an
+ * operation still open), the checkpoint defers — deterministically —
+ * to the next quiescent release, with a warning.
+ */
+
+#ifndef TT_RECOVERY_CHECKPOINT_HH
+#define TT_RECOVERY_CHECKPOINT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+#include "recovery/snapshot.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class Network;
+class ProtocolChecker;
+class ReliableTransport;
+
+class CheckpointManager
+{
+  public:
+    CheckpointManager(Machine& m, Network& net, MemorySystem& ms,
+                      ProtocolChecker* checker, ReliableTransport* tr,
+                      std::uint64_t epoch, std::string path,
+                      std::uint64_t fingerprint);
+
+    /** Install the barrier epoch hook. Call once, before run(). */
+    void arm();
+
+    bool written() const { return _written; }
+    const std::string& path() const { return _path; }
+
+  private:
+    void onEpoch(std::uint64_t ep, Tick tick,
+                 const std::vector<int>& order);
+
+    Machine& _m;
+    Network& _net;
+    MemorySystem& _ms;
+    ProtocolChecker* _checker;
+    ReliableTransport* _tr;
+    std::uint64_t _epoch;
+    std::string _path;
+    std::uint64_t _fingerprint;
+    bool _written = false;
+    bool _deferred = false;
+};
+
+/**
+ * Build the Machine::run() plan continuing @p snap on a freshly
+ * built, same-configuration machine. @p snap must outlive the run.
+ */
+Machine::RestartPlan restorePlan(const Snapshot& snap, Machine& m,
+                                 Network& net, MemorySystem& ms,
+                                 ProtocolChecker* checker);
+
+} // namespace tt
+
+#endif // TT_RECOVERY_CHECKPOINT_HH

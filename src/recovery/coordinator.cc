@@ -1,0 +1,344 @@
+#include "recovery/coordinator.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "check/protocol_checker.hh"
+#include "core/machine.hh"
+#include "core/transport.hh"
+#include "dir/dir_mem_system.hh"
+#include "net/fault_model.hh"
+#include "net/network.hh"
+#include "sim/logging.hh"
+#include "sim/watchdog.hh"
+#include "typhoon/typhoon_mem_system.hh"
+
+namespace tt
+{
+
+namespace
+{
+
+/**
+ * Deterministic crash-detection backstop: if no survivor happens to
+ * be retrying into the dead node (so the transport never declares a
+ * dead link — e.g. everyone is parked at a barrier the victim will
+ * never reach), the coordinator notices the crash this many ticks
+ * after injection. A fixed constant keeps replay deterministic.
+ */
+constexpr Tick kDetectDelay = 2000;
+
+} // namespace
+
+RecoveryCoordinator::RecoveryCoordinator(
+    Machine& m, Network& net, MemorySystem& ms, ReliableTransport& tr,
+    SeededFaultModel* faults, ProtocolChecker* checker,
+    std::vector<std::pair<Tick, NodeId>> crashes)
+    : _m(m),
+      _net(net),
+      _ms(ms),
+      _tr(tr),
+      _faults(faults),
+      _checker(checker),
+      _crashes(std::move(crashes)),
+      _cCrashes(m.stats().counter("rec.crashes")),
+      _cRecoveries(m.stats().counter("rec.recoveries")),
+      _cSnapshots(m.stats().counter("rec.snapshots")),
+      _cSnapshotsSkipped(m.stats().counter("rec.snapshots_skipped")),
+      _cCrashDrops(m.stats().counter("rec.crash_drops"))
+{
+    tt_assert(!_crashes.empty(),
+              "RecoveryCoordinator without a crash schedule");
+    for (const auto& [tick, node] : _crashes) {
+        (void)tick;
+        tt_assert(node >= 0 && node < _m.nodes(),
+                  "crash schedule names node ", node, " on a ",
+                  _m.nodes(), "-node machine");
+    }
+}
+
+void
+RecoveryCoordinator::attachTyphoon(TyphoonMemSystem& tms)
+{
+    tt_assert(!_tms && !_dms, "recovery coordinator already attached");
+    _tms = &tms;
+    for (int n = 0; n < _m.nodes(); ++n) {
+        Tempest& t = tms.tempest(n);
+        t.registerMsgHandler(
+            kRecQuiesce, [this, n](TempestCtx&, const Message& msg) {
+                onRecMessage(n, msg);
+            });
+        t.registerMsgHandler(
+            kRecAck, [this, n](TempestCtx&, const Message& msg) {
+                onRecMessage(n, msg);
+            });
+    }
+}
+
+void
+RecoveryCoordinator::attachDirnnb(DirMemSystem& dms)
+{
+    tt_assert(!_tms && !_dms, "recovery coordinator already attached");
+    _dms = &dms;
+    dms.setExtraHandler([this](NodeId self, Message&& msg) {
+        onRecMessage(self, msg);
+    });
+}
+
+void
+RecoveryCoordinator::arm()
+{
+    tt_assert(_tms || _dms,
+              "arm() before attaching a memory system");
+    _net.armRecovery();
+    _tr.setDeadLinkListener([this](NodeId, NodeId dst) {
+        onDeadLink(dst);
+    });
+    _m.barrier().setEpochHook(
+        [this](std::uint64_t ep, Tick, const std::vector<int>& order) {
+            takeSnapshot(ep, order);
+        });
+    // Snapshot #0, the post-setup state: scheduled before run() spawns
+    // any body, so it executes first in the tick-0 drain and a crash
+    // before the first barrier still has a rollback target.
+    EventQueue& eq = _m.eq();
+    eq.schedule(eq.now(), [this] {
+        std::vector<int> identity(
+            static_cast<std::size_t>(_m.nodes()));
+        for (int i = 0; i < _m.nodes(); ++i)
+            identity[static_cast<std::size_t>(i)] = i;
+        takeSnapshot(0, identity);
+    });
+    for (const auto& [tick, node] : _crashes)
+        scheduleCrash(tick, node);
+}
+
+void
+RecoveryCoordinator::takeSnapshot(std::uint64_t episodes,
+                                  const std::vector<int>& order)
+{
+    if (_recovering || _victim != kNoNode)
+        return;
+    // Only a fully quiescent epoch snapshots: with a message in
+    // flight, a block's latest bytes may be riding the fabric and a
+    // peek would capture stale data. A busy epoch simply keeps the
+    // previous snapshot — rollback reaches further back, correctness
+    // is unaffected.
+    if (_net.inflight() != 0 || !_ms.quiescent()) {
+        _cSnapshotsSkipped.inc();
+        return;
+    }
+    _snap.episodes = episodes;
+    _snap.order = order;
+    captureMem(_ms, _snap, /*coherent=*/true);
+    _haveSnap = true;
+    _cSnapshots.inc();
+}
+
+void
+RecoveryCoordinator::scheduleCrash(Tick tick, NodeId victim)
+{
+    EventQueue& eq = _m.eq();
+    eq.schedule(tick, [this, victim] { doCrash(victim); });
+}
+
+void
+RecoveryCoordinator::doCrash(NodeId victim)
+{
+    const Tick now = _m.eq().now();
+    if (_m.allFinished()) {
+        // The crash tick landed past the application's end; the event
+        // fires in the final queue drain. A finished run has nothing
+        // to roll back — ignore the crash rather than respawn bodies
+        // into a completed computation.
+        tt_warn("crash: ignoring crash of node ", victim, " at tick ",
+                now, " (application already finished)");
+        return;
+    }
+    if (_m.nodes() < 2)
+        throw UnrecoverableCrash(now, victim,
+                                 "no surviving node remains");
+    if (_recovering)
+        throw UnrecoverableCrash(
+            now, victim, "crashed while a recovery was in progress");
+    if (_victim != kNoNode)
+        throw UnrecoverableCrash(
+            now, victim,
+            "node " + std::to_string(_victim) +
+                " is already down and not yet recovered");
+    tt_warn("crash: node ", victim, " fails at tick ", now);
+    _victim = victim;
+    _net.markDead(victim);
+    _cCrashes.inc();
+    _m.eq().schedule(now + kDetectDelay, [this, victim] {
+        if (!_recovering && _victim == victim)
+            startRecovery(victim);
+    });
+}
+
+void
+RecoveryCoordinator::onDeadLink(NodeId dst)
+{
+    // The transport also declares dead links for long partitions and
+    // pre-recovery stragglers; only a known crash starts a recovery
+    // (late-ack revival handles the rest).
+    if (!_recovering && dst == _victim)
+        startRecovery(dst);
+}
+
+void
+RecoveryCoordinator::startRecovery(NodeId victim)
+{
+    tt_assert(_haveSnap, "recovery with no snapshot taken");
+    _recovering = true;
+    _recoveryStart = _m.eq().now();
+    _coord = kNoNode;
+    for (int n = 0; n < _m.nodes(); ++n) {
+        if (n != victim) {
+            _coord = n;
+            break;
+        }
+    }
+    _acksLeft = 0;
+    for (int n = 0; n < _m.nodes(); ++n) {
+        if (n == victim || n == _coord)
+            continue;
+        sendRec(_coord, n, kRecQuiesce);
+        ++_acksLeft;
+    }
+    tt_warn("recovery: node ", _coord, " coordinates recovery of node ",
+            victim, " at tick ", _recoveryStart, " (", _acksLeft,
+            " survivor(s) to quiesce, rollback to episode ",
+            _snap.episodes, ")");
+    if (_acksLeft == 0) {
+        _m.eq().schedule(_m.eq().now() + 1, [this] { rollback(); });
+    }
+}
+
+void
+RecoveryCoordinator::onRecMessage(NodeId self, const Message& msg)
+{
+    switch (msg.handler) {
+    case kRecQuiesce:
+        // A survivor acknowledges the quiesce request. Channels are
+        // FIFO (go-back-N), so the ack's arrival bounds everything
+        // the survivor sent to the coordinator before it quiesced.
+        sendRec(self, msg.src, kRecAck);
+        break;
+    case kRecAck:
+        tt_assert(_recovering && self == _coord,
+                  "stray recovery ack at node ", self);
+        if (--_acksLeft == 0) {
+            _m.eq().schedule(_m.eq().now() + 1,
+                             [this] { rollback(); });
+        }
+        break;
+    default:
+        tt_panic("unknown recovery message handler ", msg.handler,
+                 " at node ", self);
+    }
+}
+
+void
+RecoveryCoordinator::sendRec(NodeId src, NodeId dst,
+                             std::uint32_t handler)
+{
+    // An ordinary active message on the normal checked, reliable
+    // path. The dummy address + extra argument keep every decode
+    // prologue (checker conservation keying, DirNNB's addr/extra
+    // reads) in bounds.
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.vnet = handler == kRecAck ? VNet::Response : VNet::Request;
+    m.handler = handler;
+    m.args = {0, 0, 0};
+    _net.send(std::move(m), _m.eq().now());
+}
+
+void
+RecoveryCoordinator::rollback()
+{
+    const NodeId victim = _victim;
+    EventQueue& eq = _m.eq();
+    const Tick now = eq.now();
+
+    // 1. Every pending event dies: in-flight deliveries, retry
+    //    timers, watchdog checks, body continuations. Nothing may
+    //    reference the coroutine frames about to be destroyed.
+    eq.clearPending();
+
+    // 2. Fresh bodies at the snapshot's episode count, spawned in the
+    //    recorded barrier arrival order.
+    _m.respawnBodies(_snap.episodes, _snap.order);
+
+    // 3. Mechanism state back to the canonical post-setup picture;
+    //    the shadow checker resets its oracle the same way (before
+    //    the pokes, so the pokes rebuild its data shadow).
+    _ms.canonicalize(_snap.episodes);
+    if (_checker)
+        _checker->canonicalize();
+    pokeMem(_ms, _snap);
+
+    // 4. The victim rejoins; fabric occupancies, transport windows,
+    //    and transient fault state reset.
+    _net.revive(victim);
+    _net.resetForRecovery();
+    _tr.reset();
+    if (_faults)
+        _faults->resetTransient(_snap.episodes);
+
+    // 5. Re-arm what clearPending killed: later scheduled crashes and
+    //    the watchdog's periodic check.
+    for (const auto& [tick, node] : _crashes) {
+        if (tick > now)
+            scheduleCrash(tick, node);
+    }
+    if (_watchdog)
+        _watchdog->arm();
+
+    _victim = kNoNode;
+    _recovering = false;
+    _cRecoveries.inc();
+    tt_warn("recovery: node ", victim, " recovered at tick ", now,
+            " (", now - _recoveryStart,
+            " ticks after detection); resuming from episode ",
+            _snap.episodes);
+}
+
+void
+RecoveryCoordinator::finalizeStats()
+{
+    _cCrashDrops.set(_net.crashDrops());
+}
+
+std::uint64_t
+RecoveryCoordinator::crashesInjected() const
+{
+    return _cCrashes.value();
+}
+
+std::uint64_t
+RecoveryCoordinator::recoveriesDone() const
+{
+    return _cRecoveries.value();
+}
+
+void
+RecoveryCoordinator::describeRecovery(std::ostream& os) const
+{
+    if (!_recovering && _victim == kNoNode) {
+        os << "recovery: idle\n";
+        return;
+    }
+    if (!_recovering) {
+        os << "recovery: node " << _victim
+           << " is down, crash not yet detected\n";
+        return;
+    }
+    os << "recovery: recovering node " << _victim << " since tick "
+       << _recoveryStart << " (coordinator " << _coord << ", "
+       << _acksLeft << " ack(s) outstanding)\n";
+}
+
+} // namespace tt

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Crash-stop failure injection and user-level recovery (DESIGN.md
+ * §15). The paper's thesis — coherence policy belongs in user-level
+ * software — extends to failure policy: everything here is built from
+ * the same Tempest primitives the protocols use, not engine magic.
+ *
+ * Failure model: `crash@TICK:NODE` in the --faults grammar. At TICK
+ * the victim's caches, in-flight handlers, and transport sessions
+ * vanish; the simulator models this by gating the victim off the
+ * network (Network::markDead — every message to or from it is
+ * dropped), which makes the victim a harmless zombie until rollback
+ * reclaims it. Survivors observe the crash through the reliable
+ * transport's dead-link declaration (retry cap), backstopped by a
+ * deterministic detection probe.
+ *
+ * Recovery protocol, run by the lowest surviving node:
+ *
+ *   1. Quiesce: the coordinator sends kRecQuiesce to every other
+ *      survivor as an ordinary charged Tempest active message (the
+ *      same checked, reliable path protocol traffic rides); each
+ *      replies kRecAck.
+ *   2. Rollback, one tick after the last ack: pending events are
+ *      dropped, bodies are respawned at the last snapshot's episode
+ *      count, the memory system canonicalizes to the post-setup
+ *      state, the shadow checker resets its oracle, snapshot bytes
+ *      are poked back, the victim is revived, and the transport
+ *      windows reset. Survivor copies that were ahead of the
+ *      snapshot are invalidated wholesale by the canonicalize — the
+ *      "roll back and invalidate stale copies" recovery scheme.
+ *
+ * Snapshots are taken in memory at every fully quiescent barrier
+ * release (no message in flight anywhere, memory system idle) via
+ * coherentPeek — a pure read, so a run that never crashes is
+ * bit-identical to one without the subsystem. The post-setup state
+ * is snapshot #0, so a crash before the first barrier still
+ * recovers. A second crash before a recovery completes is an
+ * UnrecoverableCrash (ttsim exit code 5).
+ */
+
+#ifndef TT_RECOVERY_COORDINATOR_HH
+#define TT_RECOVERY_COORDINATOR_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "recovery/snapshot.hh"
+#include "sim/types.hh"
+
+namespace tt
+{
+
+class DirMemSystem;
+class Machine;
+class MemorySystem;
+class Message;
+class Network;
+class ProtocolChecker;
+class ReliableTransport;
+class SeededFaultModel;
+class TyphoonMemSystem;
+class Watchdog;
+
+/** Thrown when a crash cannot be recovered from (ttsim exit 5). */
+struct UnrecoverableCrash : std::runtime_error
+{
+    UnrecoverableCrash(Tick tick_, NodeId node_, const std::string& why)
+        : std::runtime_error("unrecoverable crash of node " +
+                             std::to_string(node_) + " at tick " +
+                             std::to_string(tick_) + ": " + why),
+          tick(tick_),
+          node(node_)
+    {
+    }
+
+    Tick tick;
+    NodeId node;
+};
+
+class RecoveryCoordinator
+{
+  public:
+    /** Recovery-protocol active-message handler ids, far above every
+     *  protocol's own id space. */
+    enum Handlers : std::uint32_t
+    {
+        kRecQuiesce = 0x300, ///< coordinator -> survivor: stop + ack
+        kRecAck,             ///< survivor -> coordinator
+    };
+
+    RecoveryCoordinator(
+        Machine& m, Network& net, MemorySystem& ms,
+        ReliableTransport& tr, SeededFaultModel* faults,
+        ProtocolChecker* checker,
+        std::vector<std::pair<Tick, NodeId>> crashes);
+
+    /** The watchdog is built after the coordinator (its trip dump
+     *  wants the coordinator's status); wire it back in here so
+     *  rollback can re-arm the periodic check clearPending killed. */
+    void setWatchdog(Watchdog* w) { _watchdog = w; }
+
+    // Exactly one attach is called, matching the built target.
+    void attachTyphoon(TyphoonMemSystem& tms);
+    void attachDirnnb(DirMemSystem& dms);
+
+    /** Arm the subsystem: dead-node gating, snapshot hooks, crash
+     *  events, dead-link detection. Call once, before run(). */
+    void arm();
+
+    /** Publish end-of-run recovery stats (rec.crash_drops). */
+    void finalizeStats();
+
+    bool recovering() const { return _recovering; }
+    std::uint64_t crashesInjected() const;
+    std::uint64_t recoveriesDone() const;
+
+    /** One-line recovery status for the watchdog trip dump. */
+    void describeRecovery(std::ostream& os) const;
+
+  private:
+    void takeSnapshot(std::uint64_t episodes,
+                      const std::vector<int>& order);
+    void scheduleCrash(Tick tick, NodeId victim);
+    void doCrash(NodeId victim);
+    void onDeadLink(NodeId dst);
+    void startRecovery(NodeId victim);
+    void onRecMessage(NodeId self, const Message& msg);
+    void sendRec(NodeId src, NodeId dst, std::uint32_t handler);
+    void rollback();
+
+    Machine& _m;
+    Network& _net;
+    MemorySystem& _ms;
+    ReliableTransport& _tr;
+    SeededFaultModel* _faults;
+    ProtocolChecker* _checker;
+    Watchdog* _watchdog = nullptr;
+    TyphoonMemSystem* _tms = nullptr;
+    DirMemSystem* _dms = nullptr;
+
+    std::vector<std::pair<Tick, NodeId>> _crashes;
+    Snapshot _snap;        ///< last quiescent-epoch snapshot
+    bool _haveSnap = false;
+    bool _recovering = false;
+    NodeId _victim = kNoNode;
+    NodeId _coord = kNoNode;
+    int _acksLeft = 0;
+    Tick _recoveryStart = 0;
+
+    // Stat handles; these names exist only when crashes are
+    // configured, keeping crash-free runs bit-identical to seed.
+    Counter& _cCrashes;
+    Counter& _cRecoveries;
+    Counter& _cSnapshots;
+    Counter& _cSnapshotsSkipped;
+    Counter& _cCrashDrops;
+};
+
+} // namespace tt
+
+#endif // TT_RECOVERY_COORDINATOR_HH

@@ -1,0 +1,252 @@
+#include "recovery/snapshot.hh"
+
+#include <fstream>
+
+#include "core/memsys.hh"
+#include "sim/logging.hh"
+
+namespace tt
+{
+
+std::uint64_t
+configFingerprint(const std::string& key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+captureMem(MemorySystem& ms, Snapshot& s, bool coherent)
+{
+    s.mem.clear();
+    for (const MemorySystem::SharedRange& r : ms.sharedAllocs()) {
+        Snapshot::MemRange mr;
+        mr.va = r.va;
+        mr.bytes.resize(r.bytes);
+        if (coherent)
+            ms.coherentPeek(r.va, mr.bytes.data(), r.bytes);
+        else
+            ms.peek(r.va, mr.bytes.data(), r.bytes);
+        s.mem.push_back(std::move(mr));
+    }
+}
+
+void
+pokeMem(MemorySystem& ms, const Snapshot& s)
+{
+    for (const Snapshot::MemRange& mr : s.mem)
+        ms.poke(mr.va, mr.bytes.data(), mr.bytes.size());
+}
+
+void
+captureStats(const StatSet& stats, Snapshot& s)
+{
+    s.counters.clear();
+    s.averages.clear();
+    s.histograms.clear();
+    for (const auto& [name, c] : stats.counters())
+        s.counters.emplace_back(name, c.value());
+    for (const auto& [name, a] : stats.averages())
+        s.averages.emplace_back(name, a.state());
+    for (const auto& [name, h] : stats.histograms())
+        s.histograms.push_back({name, h.buckets(), h.underflow(),
+                                h.overflow(), h.summary().state()});
+}
+
+void
+restoreStats(StatSet& stats, const Snapshot& s)
+{
+    // Counters and averages are created on first use, so the restored
+    // run may not have materialized all of them yet (per-handler
+    // occupancy averages, for instance); operator[] inserts those.
+    for (const auto& [name, v] : s.counters)
+        stats.mutableCounters()[name].set(v);
+    for (const auto& [name, st] : s.averages)
+        stats.mutableAverages()[name].setState(st);
+    for (const Snapshot::HistState& hs : s.histograms) {
+        auto it = stats.mutableHistograms().find(hs.name);
+        tt_assert(it != stats.mutableHistograms().end(),
+                  "checkpoint restores histogram '", hs.name,
+                  "' that this run never created");
+        it->second.setState(hs.buckets, hs.underflow, hs.overflow,
+                            hs.summary);
+    }
+}
+
+// --------------------------------------------------------------------
+// File format
+// --------------------------------------------------------------------
+
+namespace
+{
+
+constexpr char kMagic[8] = {'T', 'T', 'C', 'K', 'P', 'T', '1', '\0'};
+
+void
+putU64(std::ostream& os, std::uint64_t v)
+{
+    os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint64_t
+getU64(std::istream& is)
+{
+    std::uint64_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof v);
+    return v;
+}
+
+void
+putF64(std::ostream& os, double v)
+{
+    os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+double
+getF64(std::istream& is)
+{
+    double v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof v);
+    return v;
+}
+
+void
+putStr(std::ostream& os, const std::string& s)
+{
+    putU64(os, s.size());
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+getStr(std::istream& is)
+{
+    std::string s(getU64(is), '\0');
+    is.read(s.data(), static_cast<std::streamsize>(s.size()));
+    return s;
+}
+
+void
+putAvg(std::ostream& os, const Average::State& a)
+{
+    putF64(os, a.sum);
+    putU64(os, a.count);
+    putF64(os, a.min);
+    putF64(os, a.max);
+    putF64(os, a.wmean);
+    putF64(os, a.m2);
+}
+
+Average::State
+getAvg(std::istream& is)
+{
+    Average::State a;
+    a.sum = getF64(is);
+    a.count = getU64(is);
+    a.min = getF64(is);
+    a.max = getF64(is);
+    a.wmean = getF64(is);
+    a.m2 = getF64(is);
+    return a;
+}
+
+} // namespace
+
+void
+saveSnapshot(const Snapshot& s, const std::string& path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        tt_fatal("cannot write checkpoint file '", path, "'");
+    os.write(kMagic, sizeof kMagic);
+    putU64(os, s.fingerprint);
+    putU64(os, s.episodes);
+    putU64(os, s.tick);
+    putU64(os, s.order.size());
+    for (const int id : s.order)
+        putU64(os, static_cast<std::uint64_t>(id));
+    putU64(os, s.mem.size());
+    for (const Snapshot::MemRange& mr : s.mem) {
+        putU64(os, mr.va);
+        putU64(os, mr.bytes.size());
+        os.write(reinterpret_cast<const char*>(mr.bytes.data()),
+                 static_cast<std::streamsize>(mr.bytes.size()));
+    }
+    putU64(os, s.counters.size());
+    for (const auto& [name, v] : s.counters) {
+        putStr(os, name);
+        putU64(os, v);
+    }
+    putU64(os, s.averages.size());
+    for (const auto& [name, a] : s.averages) {
+        putStr(os, name);
+        putAvg(os, a);
+    }
+    putU64(os, s.histograms.size());
+    for (const Snapshot::HistState& hs : s.histograms) {
+        putStr(os, hs.name);
+        putU64(os, hs.buckets.size());
+        for (const std::uint64_t b : hs.buckets)
+            putU64(os, b);
+        putU64(os, hs.underflow);
+        putU64(os, hs.overflow);
+        putAvg(os, hs.summary);
+    }
+    if (!os)
+        tt_fatal("short write to checkpoint file '", path, "'");
+}
+
+Snapshot
+loadSnapshot(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        tt_fatal("cannot read checkpoint file '", path, "'");
+    char magic[sizeof kMagic] = {};
+    is.read(magic, sizeof magic);
+    if (!is || std::string(magic, sizeof magic) !=
+                   std::string(kMagic, sizeof kMagic))
+        tt_fatal("'", path, "' is not a TTCKPT1 checkpoint");
+    Snapshot s;
+    s.fingerprint = getU64(is);
+    s.episodes = getU64(is);
+    s.tick = getU64(is);
+    s.order.resize(getU64(is));
+    for (int& id : s.order)
+        id = static_cast<int>(getU64(is));
+    s.mem.resize(getU64(is));
+    for (Snapshot::MemRange& mr : s.mem) {
+        mr.va = getU64(is);
+        mr.bytes.resize(getU64(is));
+        is.read(reinterpret_cast<char*>(mr.bytes.data()),
+                static_cast<std::streamsize>(mr.bytes.size()));
+    }
+    s.counters.resize(getU64(is));
+    for (auto& [name, v] : s.counters) {
+        name = getStr(is);
+        v = getU64(is);
+    }
+    s.averages.resize(getU64(is));
+    for (auto& [name, a] : s.averages) {
+        name = getStr(is);
+        a = getAvg(is);
+    }
+    s.histograms.resize(getU64(is));
+    for (Snapshot::HistState& hs : s.histograms) {
+        hs.name = getStr(is);
+        hs.buckets.resize(getU64(is));
+        for (std::uint64_t& b : hs.buckets)
+            b = getU64(is);
+        hs.underflow = getU64(is);
+        hs.overflow = getU64(is);
+        hs.summary = getAvg(is);
+    }
+    if (!is)
+        tt_fatal("truncated checkpoint file '", path, "'");
+    return s;
+}
+
+} // namespace tt

@@ -122,6 +122,27 @@ class DenseMap
         }
     }
 
+    /** Mutable visit (canonicalize walks that rewrite entries). */
+    template <typename F>
+    void
+    forEachMut(F&& f)
+    {
+        for (Bank& b : _banks) {
+            for (std::size_t i = 0; i < b.slots.size(); ++i) {
+                if (b.slots[i].present)
+                    f(b.base + i, b.slots[i].val);
+            }
+        }
+    }
+
+    /** Drop every entry (and the banks: allocation bases re-form). */
+    void
+    clear()
+    {
+        _banks.clear();
+        _size = 0;
+    }
+
   private:
     struct Slot
     {
@@ -292,6 +313,28 @@ class OpenMap
 
     std::size_t size() const { return _size; }
     bool empty() const { return _size == 0; }
+
+    /**
+     * Destroy every entry and release the table, returning the map to
+     * its freshly-constructed state. Full release (not capacity
+     * retention) keeps a canonicalized map bit-identical to one that
+     * never held the dropped entries (DESIGN.md §15).
+     */
+    void
+    clear()
+    {
+        for (Slot& s : _slots) {
+            if (s.full) {
+                s.value()->~V();
+                s.full = false;
+            }
+        }
+        _slots.clear();
+        _slots.shrink_to_fit();
+        _size = 0;
+        _mask = 0;
+        _shift = 64;
+    }
 
     /** Visit (key, value) for every entry, in table order. */
     template <typename F>

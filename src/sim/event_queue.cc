@@ -165,6 +165,28 @@ EventQueue::runUntil(Tick limit)
 }
 
 void
+EventQueue::clearPending()
+{
+    for (std::size_t w = 0; w < _occ.size(); ++w) {
+        std::uint64_t bits = _occ[w];
+        while (bits) {
+            const int b = __builtin_ctzll(bits);
+            _buckets[(w << 6) + b].clear();
+            bits &= bits - 1;
+        }
+        _occ[w] = 0;
+    }
+    _heap.clear();
+    // Keep _now/_nextSeq/_executed: time continues forward across a
+    // rollback; only the pending work is discarded.
+    _windowBase = _now;
+    _cursor = 0;
+    _bucketPos = 0;
+    _inBucket = false;
+    _pending = 0;
+}
+
+void
 EventQueue::reset()
 {
     // Clear containers wholesale instead of popping entry by entry.

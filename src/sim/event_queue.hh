@@ -165,6 +165,37 @@ class EventQueue
     void reset();
 
     /**
+     * Drop every pending event while keeping simulated time, sequence
+     * numbering, and the executed count. This is the crash-recovery
+     * rollback primitive (DESIGN.md §15): after a crash-stop failure
+     * the coordinator discards all in-flight work — message
+     * deliveries, retransmit timers, suspended-coroutine resumes —
+     * wholesale, then reconstructs machine state from the last
+     * checkpoint and respawns the computation. Dropping the events
+     * (rather than guarding every closure with a generation check) is
+     * what makes the rollback safe: no stale closure can ever run
+     * against rolled-back state or a destroyed coroutine frame.
+     */
+    void clearPending();
+
+    /**
+     * Jump simulated time forward to @p t (checkpoint restore). The
+     * queue must be empty; the restore event is then scheduled at the
+     * checkpoint tick so everything resumes exactly there.
+     */
+    void
+    jumpTo(Tick t)
+    {
+        tt_assert(_pending == 0, "jumpTo with pending events");
+        tt_assert(t >= _now, "jumpTo into the past: ", t, " < ", _now);
+        _now = t;
+        _windowBase = t;
+        _cursor = 0;
+        _bucketPos = 0;
+        _inBucket = false;
+    }
+
+    /**
      * Schedule-perturbation mode (the --perturb harness): same-tick
      * events execute in a pseudo-random permutation drawn from
      * @p seed instead of insertion order. Any legal interleaving a

@@ -29,6 +29,8 @@ class Counter
     void inc(std::uint64_t delta = 1) { _value += delta; }
     std::uint64_t value() const { return _value; }
     void reset() { _value = 0; }
+    /** Restore a checkpointed value (recovery only). */
+    void set(std::uint64_t v) { _value = v; }
 
   private:
     std::uint64_t _value = 0;
@@ -78,6 +80,39 @@ class Average
         _max = 0;
         _wmean = 0;
         _m2 = 0;
+    }
+
+    /**
+     * Full internal state, at native precision, for checkpointing.
+     * mean()/variance() are derived quantities; restoring anything
+     * less than (_sum, _count, _min, _max, _wmean, _m2) would break
+     * the bit-identical-continuation guarantee.
+     */
+    struct State
+    {
+        double sum = 0;
+        std::uint64_t count = 0;
+        double min = 0;
+        double max = 0;
+        double wmean = 0;
+        double m2 = 0;
+    };
+
+    State
+    state() const
+    {
+        return {_sum, _count, _min, _max, _wmean, _m2};
+    }
+
+    void
+    setState(const State& s)
+    {
+        _sum = s.sum;
+        _count = s.count;
+        _min = s.min;
+        _max = s.max;
+        _wmean = s.wmean;
+        _m2 = s.m2;
     }
 
   private:
@@ -149,6 +184,20 @@ class Histogram
         _avg.reset();
     }
 
+    /** Checkpoint restore: bucket counts + summary state. */
+    void
+    setState(const std::vector<std::uint64_t>& buckets,
+             std::uint64_t underflow, std::uint64_t overflow,
+             const Average::State& summary)
+    {
+        tt_assert(buckets.size() == _buckets.size(),
+                  "histogram restore shape mismatch");
+        _buckets = buckets;
+        _underflow = underflow;
+        _overflow = overflow;
+        _avg.setState(summary);
+    }
+
   private:
     double _width;
     std::vector<std::uint64_t> _buckets;
@@ -216,6 +265,22 @@ class StatSet
         return _averages;
     }
     const std::map<std::string, Histogram>& histograms() const
+    {
+        return _histograms;
+    }
+
+    // Mutable views for checkpoint restore (src/recovery). Restoring
+    // matches stats by name; both sides of a restore assemble the
+    // identical machine, so the key sets agree (asserted there).
+    std::map<std::string, Counter>& mutableCounters()
+    {
+        return _counters;
+    }
+    std::map<std::string, Average>& mutableAverages()
+    {
+        return _averages;
+    }
+    std::map<std::string, Histogram>& mutableHistograms()
     {
         return _histograms;
     }

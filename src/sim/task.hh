@@ -118,6 +118,29 @@ class [[nodiscard]] Task
     bool valid() const { return _h != nullptr; }
     bool done() const { return _h && _h.done(); }
 
+    /**
+     * Start a lazy task from its initial suspend point without
+     * awaiting it: the continuation stays the noop coroutine, so when
+     * the task completes (or suspends) control simply returns to the
+     * resumer. The owner observes completion via done() and a captured
+     * exception via error(). Unlike spawnDetached(), the frame stays
+     * owned by this Task, so destroying the Task cancels the whole
+     * suspended call tree — the recovery rollback relies on this.
+     */
+    void
+    start()
+    {
+        tt_assert(_h && !_h.done(), "Task::start of finished task");
+        _h.resume();
+    }
+
+    /** Exception captured by the task body, if any (else nullptr). */
+    std::exception_ptr
+    error() const
+    {
+        return _h ? _h.promise().exception : nullptr;
+    }
+
     /** Awaiter implementing symmetric transfer into the child task. */
     struct Awaiter
     {

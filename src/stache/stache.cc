@@ -168,7 +168,68 @@ Stache::shmalloc(std::size_t bytes, NodeId home)
         ctx.setPageUserWord(va, pageNum(va, ps));
     }
     _nextVa = base + npages * ps;
+    _allocs.push_back({base, bytes});
     return base;
+}
+
+void
+Stache::canonicalize(std::uint64_t epochSeed)
+{
+    const std::uint32_t ps = _cp.pageSize;
+    std::vector<std::uint8_t> blockBuf(_cp.blockSize);
+
+    // 1. Flush dirty-remote bytes to the home frame and rebuild every
+    //    directory entry fresh (home owns every block again), with
+    //    the home tags back at the post-setup canonical ReadWrite.
+    _homeDirs.forEachMut([&](std::uint64_t vpn, HomeDir& hd) {
+        const NodeId home = _pageHome.at(vpn);
+        const Addr pageVa = static_cast<Addr>(vpn) * ps;
+        for (std::uint32_t b = 0; b < blocksPerPage(); ++b) {
+            const Addr blk = pageVa + b * _cp.blockSize;
+            StacheDirEntry& e = hd.entries[b];
+            if (e.state() == StacheDirEntry::State::Excl &&
+                e.owner() != home &&
+                _ms.pageTableOf(e.owner()).lookup(blk)) {
+                readBlockHost(e.owner(), blk, blockBuf.data());
+                _ms.physOf(home).write(
+                    _ms.pageTableOf(home).translate(blk),
+                    blockBuf.data(), _cp.blockSize);
+            }
+            e = StacheDirEntry{};
+        }
+        hd.aux = StacheAuxTable{};
+        _ms.recSetPageTags(home, pageVa, AccessTag::ReadWrite);
+    });
+
+    // 2. Unwind every stache page mapping and free its frame. The
+    //    unordered iteration order is irrelevant: the physical-page
+    //    allocator is rewound to its setup watermark right after
+    //    (TyphoonMemSystem::canonicalize), so no allocation decision
+    //    can observe the free order.
+    for (int i = 0; i < _cp.nodes; ++i) {
+        NodeState& ns = _nodes[i];
+        for (std::uint64_t vpn : ns.stacheVpns) {
+            const Addr va = static_cast<Addr>(vpn) * ps;
+            const PageMapping* pm = _ms.pageTableOf(i).lookup(va);
+            tt_assert(pm, "stache page vanished before unwind at ", va);
+            const PAddr pa = pm->ppage;
+            _ms.recUnmapPage(i, va);
+            _ms.recFreePhysPage(i, pa);
+        }
+        ns.stacheVpns.clear();
+        ns.stacheFifo.clear();
+        ns.homeCache.clear();
+    }
+
+    // 3. In-flight transactions die without dereferencing anything (a
+    //    crash rollback already destroyed the waiting frames), and the
+    //    fault-mutation occurrence counters rewind.
+    _transients.clear();
+    _faultDowngrades = 0;
+    _faultInvals = 0;
+    _faultPuts = 0;
+
+    onCanonicalize(epochSeed);
 }
 
 NodeId

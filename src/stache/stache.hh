@@ -67,6 +67,13 @@ class Stache : public ShmProtocol
     void poke(Addr va, const void* buf, std::size_t len) override;
     std::string protocolName() const override { return "Stache"; }
     void describeHandlers(FlightRecorder& rec) const override;
+    std::vector<MemorySystem::SharedRange> sharedAllocs() const override
+    {
+        return _allocs;
+    }
+    // coherentPeek: default (= peek). Stache::peek already reads the
+    // exclusive owner's frame when a block is dirty-remote.
+    void canonicalize(std::uint64_t epochSeed) override;
 
     // --- introspection -----------------------------------------------------
     struct BlockView
@@ -207,6 +214,16 @@ class Stache : public ShmProtocol
     void sendBlockData(TempestCtx& ctx, NodeId dst, HandlerId kind,
                        Addr blk);
 
+    /**
+     * Subclass extension point for canonicalize (DESIGN.md §15):
+     * called at the end of Stache::canonicalize so custom protocols
+     * (EM3D update, Migratory) reset their own state the same way.
+     */
+    virtual void onCanonicalize(std::uint64_t epochSeed)
+    {
+        (void)epochSeed;
+    }
+
     // Helpers.
     HomeDir& homeDirOf(Addr va);
     const HomeDir* findHomeDir(Addr va) const;
@@ -228,6 +245,7 @@ class Stache : public ShmProtocol
     std::vector<NodeState> _nodes;
     Addr _nextVa = 0x4000'0000;
     NodeId _rr = 0;
+    std::vector<MemorySystem::SharedRange> _allocs; ///< shmalloc log
 
     // Occurrence counters for the Nth-occurrence mutation knobs
     // (StacheParams::faultSkip*Nth / faultCorruptPutNth).

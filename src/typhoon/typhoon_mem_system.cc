@@ -158,8 +158,17 @@ TyphoonMemSystem::npIdle(NodeId n) const
 bool
 TyphoonMemSystem::quiescent() const
 {
+    // npBusy alone is NOT disqualifying: with every queue empty, a
+    // set busy flag is just the charged-cycles tail of a handler that
+    // already ran — the only pending effect is the busy-clear timer,
+    // which canonicalize() neutralizes via the npGen generation. The
+    // update protocol's producers routinely carry such a tail into
+    // the barrier, and requiring it to drain would make its epochs
+    // never checkpointable.
     for (int i = 0; i < _cp.nodes; ++i) {
-        if (!npIdle(i) || _nodes[i].suspended)
+        const Node& n = _nodes[i];
+        if (!n.respQ.empty() || !n.reqQ.empty() || n.baf ||
+            !n.bulkQ.empty() || n.suspended)
             return false;
     }
     return true;
@@ -189,6 +198,68 @@ TyphoonMemSystem::name() const
 {
     return "Typhoon/" +
            (_protocol ? _protocol->protocolName() : std::string("none"));
+}
+
+std::vector<MemorySystem::SharedRange>
+TyphoonMemSystem::sharedAllocs() const
+{
+    tt_assert(_protocol, "no protocol installed on Typhoon");
+    return _protocol->sharedAllocs();
+}
+
+void
+TyphoonMemSystem::coherentPeek(Addr va, void* buf, std::size_t len)
+{
+    tt_assert(_protocol, "no protocol installed on Typhoon");
+    _protocol->coherentPeek(va, buf, len);
+}
+
+void
+TyphoonMemSystem::setupComplete()
+{
+    // Record the post-shmalloc canonical extents canonicalize()
+    // rewinds to (DESIGN.md §15).
+    _setupPpn.clear();
+    _setupTags.clear();
+    for (int i = 0; i < _cp.nodes; ++i) {
+        _setupPpn.push_back(_nodes[i].phys->nextPpn());
+        _setupTags.push_back(_nodes[i].tags.size());
+    }
+}
+
+void
+TyphoonMemSystem::canonicalize(std::uint64_t epochSeed)
+{
+    tt_assert(_protocol, "no protocol installed on Typhoon");
+    tt_assert(!_setupPpn.empty(),
+              "canonicalize before setupComplete recorded watermarks");
+    // Protocol first: it flushes dirty remote bytes home and unwinds
+    // every runtime page mapping (via the rec* backdoors) while the
+    // page tables still describe them.
+    _protocol->canonicalize(epochSeed);
+    for (int i = 0; i < _cp.nodes; ++i) {
+        Node& n = _nodes[i];
+        n.cpuCache->flushAll();
+        n.cpuCache->reseed(epochSeed * 7919 + i);
+        n.cpuTlb->flush();
+        n.npDcache->flushAll();
+        n.npDcache->reseed(epochSeed * 104729 + i);
+        n.npTlb->flush();
+        n.rtlb->flush();
+        // A crash rollback has already destroyed the suspended
+        // coroutine frames: clear without dereferencing.
+        n.suspended = nullptr;
+        n.baf.reset();
+        n.respQ.clear();
+        n.reqQ.clear();
+        n.bulkQ.clear();
+        n.npBusy = false;
+        ++n.npGen; // neutralize any pending busy-clear timer
+        n.tags.resize(_setupTags[static_cast<std::size_t>(i)]);
+        n.phys->canonicalizeAllocator(
+            _setupPpn[static_cast<std::size_t>(i)]);
+        noteOpenSince(i);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -255,6 +326,47 @@ TyphoonMemSystem::setBlockTag(NodeId node, PAddr pa, AccessTag t)
 {
     pageTags(node, pageNum(pa, _cp.pageSize))
         .tags[blockInPage(pa, _cp.pageSize, _cp.blockSize)] = t;
+}
+
+// ---------------------------------------------------------------------
+// Canonicalize backdoors (DESIGN.md §15)
+// ---------------------------------------------------------------------
+//
+// Host-level equivalents of the NpCtx page operations for the
+// protocol canonicalize walks: no charging, no checker/observer
+// hooks (the checker canonicalizes on its own), no per-block cache
+// invalidation (the mechanism-level wholesale flush follows).
+
+void
+TyphoonMemSystem::recUnmapPage(NodeId node, Addr va)
+{
+    Node& n = _nodes[node];
+    const PageMapping* pm = n.pt->lookup(va);
+    tt_assert(pm, "recUnmapPage of unmapped va ", va);
+    const std::uint64_t ppn = pageNum(pm->ppage, _cp.pageSize);
+    n.cpuTlb->invalidate(pageNum(va, _cp.pageSize));
+    n.npTlb->invalidate(pageNum(va, _cp.pageSize));
+    n.rtlb->invalidate(ppn);
+    if (ppn < n.tags.size())
+        n.tags[ppn] = PageTags{};
+    n.pt->unmap(va);
+}
+
+void
+TyphoonMemSystem::recSetPageTags(NodeId node, Addr va, AccessTag t)
+{
+    const PageMapping* pm = _nodes[node].pt->lookup(va);
+    tt_assert(pm, "recSetPageTags of unmapped va ", va);
+    auto& tags =
+        pageTags(node, pageNum(pm->ppage, _cp.pageSize)).tags;
+    for (auto& tag : tags)
+        tag = t;
+}
+
+void
+TyphoonMemSystem::recFreePhysPage(NodeId node, PAddr pa)
+{
+    _nodes[node].phys->freePage(pa);
 }
 
 // ---------------------------------------------------------------------
@@ -578,7 +690,10 @@ TyphoonMemSystem::npPump(NodeId id, Tick when)
     }
     const Tick end = when + ctx.charged();
     n.npBusy = true;
-    _m.eq().schedule(end, [this, id] {
+    const std::uint64_t gen = ++n.npGen;
+    _m.eq().schedule(end, [this, id, gen] {
+        if (_nodes[id].npGen != gen)
+            return; // canonicalized away (checkpoint busy tail)
         _nodes[id].npBusy = false;
         npPump(id, _m.eq().now());
     });
@@ -625,7 +740,10 @@ TyphoonMemSystem::npRunBulkStep(NodeId id, Tick start)
         n.bulkQ.pop_front();
 
     n.npBusy = true;
-    _m.eq().schedule(start + _p.bulkPacketCost, [this, id] {
+    const std::uint64_t gen = ++n.npGen;
+    _m.eq().schedule(start + _p.bulkPacketCost, [this, id, gen] {
+        if (_nodes[id].npGen != gen)
+            return; // canonicalized away (checkpoint busy tail)
         _nodes[id].npBusy = false;
         npPump(id, _m.eq().now());
     });

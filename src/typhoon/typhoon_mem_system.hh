@@ -62,6 +62,43 @@ class ShmProtocol
     virtual std::string protocolName() const = 0;
 
     /**
+     * Every shared segment ever allocated, in allocation order — the
+     * checkpoint universe (DESIGN.md §15). Default: none (the
+     * protocol does not support checkpointing).
+     */
+    virtual std::vector<MemorySystem::SharedRange>
+    sharedAllocs() const
+    {
+        return {};
+    }
+
+    /**
+     * Like coherentPeek on MemorySystem: read the latest coherent
+     * bytes even while a remote copy is dirty. Default: peek (the
+     * home copy is authoritative).
+     */
+    virtual void
+    coherentPeek(Addr va, void* buf, std::size_t len)
+    {
+        peek(va, buf, len);
+    }
+
+    /**
+     * Protocol-side canonicalize (DESIGN.md §15): rebuild directory /
+     * pattern state to the post-shmalloc canonical form and undo every
+     * runtime page mapping via the host backdoors. Called by
+     * TyphoonMemSystem::canonicalize before the mechanism-level reset.
+     * Default: unsupported.
+     */
+    virtual void
+    canonicalize(std::uint64_t epochSeed)
+    {
+        (void)epochSeed;
+        tt_panic("protocol '", protocolName(),
+                 "' does not support canonicalize");
+    }
+
+    /**
      * Register this protocol's handler-id -> name table with a flight
      * recorder (names show up in Perfetto slices and ring dumps).
      */
@@ -84,6 +121,10 @@ class TyphoonMemSystem : public MemorySystem
     void peek(Addr va, void* buf, std::size_t len) override;
     void poke(Addr va, const void* buf, std::size_t len) override;
     Tick oldestPendingSince() const override;
+    std::vector<SharedRange> sharedAllocs() const override;
+    void coherentPeek(Addr va, void* buf, std::size_t len) override;
+    void setupComplete() override;
+    void canonicalize(std::uint64_t epochSeed) override;
     std::string name() const override;
 
     /** Install the user-level protocol (Stache etc.); not owned. */
@@ -130,8 +171,19 @@ class TyphoonMemSystem : public MemorySystem
     const std::deque<TraceEvent>& trace() const { return _trace; }
     void clearTrace() { _trace.clear(); }
     /** True iff all NPs are idle with empty queues and no BAF. */
-    bool quiescent() const;
+    bool quiescent() const override;
     const TyphoonParams& params() const { return _p; }
+
+    /**
+     * Canonicalize backdoors (DESIGN.md §15): host-level page
+     * operations for the protocol-side canonicalize walks. Unlike the
+     * NpCtx equivalents they charge nothing, fire no checker/observer
+     * hooks (the checker canonicalizes separately), and skip
+     * per-block cache invalidation (a wholesale flush follows).
+     */
+    void recUnmapPage(NodeId n, Addr va);
+    void recSetPageTags(NodeId n, Addr va, AccessTag t);
+    void recFreePhysPage(NodeId n, PAddr pa);
 
     /** Attach the coherence sanitizer (nullptr = disabled). */
     void setChecker(CheckHooks* c) { _checker = c; }
@@ -189,6 +241,14 @@ class TyphoonMemSystem : public MemorySystem
         std::deque<Message> reqQ;
         std::optional<Baf> baf;
         bool npBusy = false;
+        /**
+         * Busy-clear event generation (DESIGN.md §15): each scheduled
+         * npBusy-clear captures the generation at schedule time and
+         * becomes a no-op if canonicalize() bumped it meanwhile — a
+         * checkpoint taken during a handler's charged-cycles tail
+         * must not let the stale timer clear a fresh activation.
+         */
+        std::uint64_t npGen = 0;
         std::unordered_map<HandlerId, MsgHandler> msgHandlers;
         /** Indexed by faultKey(); modes are small (<= 15). */
         std::array<FaultHandler, 32> faultHandlers;
@@ -253,6 +313,14 @@ class TyphoonMemSystem : public MemorySystem
     std::vector<Node> _nodes;
     std::vector<std::unique_ptr<Tempest>> _tempest;
     std::deque<TraceEvent> _trace;
+
+    /**
+     * Post-setup canonical extents, recorded by setupComplete(): the
+     * per-node physical-page allocator watermark and tags-vector size
+     * canonicalize() rewinds to (DESIGN.md §15).
+     */
+    std::vector<std::uint64_t> _setupPpn;
+    std::vector<std::size_t> _setupTags;
 
     /**
      * Per-node open-operation snapshot for the watchdog probe:

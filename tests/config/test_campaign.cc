@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "config/campaign.hh"
 
@@ -87,6 +89,69 @@ TEST(Campaign, SameSeedCampaignIsByteIdentical)
     CampaignReport b = runCampaign(cc);
     a.faultSpec = b.faultSpec = "test-mix";
     EXPECT_EQ(serialize(a), serialize(b));
+}
+
+TEST(Campaign, ShardUnionEqualsUnshardedCampaign)
+{
+    // --campaign-shard=I/N: seeds derive from the run index, never
+    // the shard, so the union of the N shard reports must be exactly
+    // the unsharded report, run for run.
+    CampaignConfig cc = smallCampaign();
+    cc.runs = 4;
+    const CampaignReport whole = runCampaign(cc);
+    ASSERT_EQ(whole.runs.size(), 4u);
+
+    std::vector<CampaignRun> merged;
+    for (int shard = 0; shard < 2; ++shard) {
+        CampaignConfig part = cc;
+        part.shardIndex = shard;
+        part.shardCount = 2;
+        const CampaignReport rep = runCampaign(part);
+        EXPECT_EQ(rep.shardIndex, shard);
+        EXPECT_EQ(rep.shardCount, 2);
+        EXPECT_EQ(rep.runs.size(), 2u);
+        for (const CampaignRun& r : rep.runs) {
+            EXPECT_EQ(r.index % 2, shard);
+            merged.push_back(r);
+        }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const CampaignRun& a, const CampaignRun& b) {
+                  return a.index < b.index;
+              });
+    ASSERT_EQ(merged.size(), whole.runs.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        const CampaignRun& m = merged[i];
+        const CampaignRun& w = whole.runs[i];
+        EXPECT_EQ(m.index, w.index);
+        EXPECT_EQ(m.system, w.system);
+        EXPECT_EQ(m.seed, w.seed);
+        EXPECT_EQ(m.outcome, w.outcome);
+        EXPECT_EQ(m.cycles, w.cycles);
+        EXPECT_EQ(m.checksum, w.checksum);
+        EXPECT_EQ(m.faultsInjected, w.faultsInjected);
+        EXPECT_EQ(m.retransmits, w.retransmits);
+        EXPECT_EQ(m.violations, w.violations);
+    }
+}
+
+TEST(Campaign, CrashCampaignSurvivesAndCountsRecoveries)
+{
+    // A crash-stop failure in every run of a lossy campaign: all runs
+    // must still come back ok, with the recovery tally in the report.
+    CampaignConfig cc = smallCampaign();
+    cc.base.faults.crashes.emplace_back(30'000, 3);
+    const CampaignReport rep = runCampaign(cc);
+    ASSERT_EQ(rep.runs.size(), 2u);
+    EXPECT_TRUE(rep.allOk()) << serialize(rep);
+    for (const auto& r : rep.runs) {
+        EXPECT_EQ(r.crashesInjected, 1u);
+        EXPECT_EQ(r.recoveries, 1u);
+        EXPECT_EQ(r.violations, 0u);
+    }
+    const std::string json = serialize(rep);
+    EXPECT_NE(json.find("\"recovery\""), std::string::npos);
+    EXPECT_NE(json.find("\"crashes_survived\""), std::string::npos);
 }
 
 TEST(Campaign, NegativeControlFailsWithoutReliableTransport)

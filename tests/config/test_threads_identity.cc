@@ -35,6 +35,7 @@ struct RunRec
     Tick cycles = 0;
     std::uint64_t events = 0;
     double checksum = 0;
+    std::uint64_t deadLinks = 0;
     std::string statsJson;
     std::string trace;
 };
@@ -86,6 +87,8 @@ runSystem(const std::string& system, int threads,
     rec.cycles = r.execTime;
     rec.events = r.events;
     rec.checksum = app->checksum();
+    if (t.m().stats().hasCounter("net.dead_links"))
+        rec.deadLinks = t.m().stats().get("net.dead_links");
     std::ostringstream os;
     t.m().stats().writeJson(os);
     rec.statsJson = os.str();
@@ -189,6 +192,28 @@ TEST(ThreadsIdentity, CampaignReportByteIdentical)
     const std::string b = runOnce(4);
     ASSERT_FALSE(a.empty());
     EXPECT_EQ(a, b);
+}
+
+TEST(ThreadsIdentity, DeadLinkRevivalChurnByteIdenticalAcrossThreads)
+{
+    // A hair-trigger retry cap over a reordering, duplicating fabric:
+    // the ack for a message routinely arrives after its channel was
+    // declared dead, so links die and are revived by late acks all
+    // run long (transport.cc handleAck). Nothing is ever lost (no
+    // drop faults), so the run completes clean — and the dead/revive
+    // churn must replay byte-identically under the parallel engine.
+    MachineConfig cfg;
+    cfg.faults = parseFaultSpec("reorder=0.05:64,dup=0.02,seed=11");
+    cfg.reliable.rto = 2;
+    cfg.reliable.rtoMax = 2;
+    cfg.reliable.maxRetries = 1;
+    const RunRec a = runSystem("stache", 1, cfg);
+    const RunRec b = runSystem("stache", 4, cfg);
+    EXPECT_GT(a.deadLinks, 0u); // links really did die mid-run
+    EXPECT_EQ(a.deadLinks, b.deadLinks);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.statsJson, b.statsJson);
 }
 
 TEST(ThreadsIdentity, SeededPerturbEquivalentAcrossThreadCounts)

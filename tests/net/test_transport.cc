@@ -188,6 +188,74 @@ TEST_F(TransportFixture, BackoffDoublesAndCapsThenDeclaresDead)
     EXPECT_EQ(tr->oldestUnackedSince(), 0u);
 }
 
+TEST_F(TransportFixture, DeadLinkListenerFiresAtRetryCap)
+{
+    rp.rto = 4;
+    rp.rtoMax = 8;
+    rp.maxRetries = 3;
+    attach();
+    faults.judge = [&](const Message& m, Tick, Tick arrive) {
+        FaultModel::Verdict v;
+        v.arrive = arrive;
+        v.drop = m.tkind == TKind::Data; // black-hole every data copy
+        return v;
+    };
+    std::vector<std::pair<NodeId, NodeId>> died;
+    tr->setDeadLinkListener([&](NodeId s, NodeId d) {
+        died.emplace_back(s, d);
+    });
+    net.send(mkMsg(0, 1, 42), 0);
+    eq.run();
+    // The listener names the exact data channel that hit the cap —
+    // this is the recovery coordinator's crash-detection signal.
+    ASSERT_EQ(died.size(), 1u);
+    EXPECT_EQ(died[0].first, 0);
+    EXPECT_EQ(died[0].second, 1);
+    EXPECT_EQ(stats.get("net.dead_links"), 1u);
+}
+
+TEST_F(TransportFixture, LateAckRevivesDeadLink)
+{
+    rp.rto = 4;
+    rp.rtoMax = 8;
+    rp.maxRetries = 3;
+    attach();
+    // The first data copy is delivered but its ack is delayed far past
+    // the retry cap; every retransmitted copy is black-holed. The
+    // channel is declared dead, then the late ack arrives and revives
+    // it (transport.cc handleAck).
+    int seq1Copies = 0;
+    faults.judge = [&](const Message& m, Tick, Tick arrive) {
+        FaultModel::Verdict v;
+        v.arrive = arrive;
+        if (m.tkind == TKind::Data && m.seq == 1 && ++seq1Copies > 1)
+            v.drop = true;
+        if (m.tkind == TKind::Ack && m.seq == 1)
+            v.arrive = arrive + 500;
+        return v;
+    };
+    std::vector<std::pair<NodeId, NodeId>> died;
+    tr->setDeadLinkListener([&](NodeId s, NodeId d) {
+        died.emplace_back(s, d);
+    });
+    net.send(mkMsg(0, 1, 42), 0);
+    eq.run();
+    ASSERT_EQ(died.size(), 1u);
+    EXPECT_EQ(stats.get("net.dead_links"), 1u);
+    ASSERT_EQ(received.size(), 1u);
+    // The late ack emptied the window: revived and idle again.
+    EXPECT_EQ(tr->oldestUnackedSince(), kTickMax);
+
+    // Post-revival traffic flows normally, with no second death.
+    net.send(mkMsg(0, 1, 43), eq.now());
+    eq.run();
+    ASSERT_EQ(received.size(), 2u);
+    EXPECT_EQ(received[1].second.handler, 43u);
+    EXPECT_EQ(stats.get("net.dead_links"), 1u);
+    EXPECT_EQ(died.size(), 1u);
+    EXPECT_EQ(tr->oldestUnackedSince(), kTickMax);
+}
+
 TEST_F(TransportFixture, FabricDuplicateAfterAckIsSuppressed)
 {
     rp.rto = 200;

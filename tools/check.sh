@@ -41,6 +41,12 @@
 #      parallel engine's tests plus a small --threads=4 grid: every
 #      protocol runs under ThreadSanitizer with the sharded engine
 #      attached (DESIGN.md §12).
+#   9. A crash-recovery + checkpoint/restart smoke (DESIGN.md §15):
+#      every protocol survives a mid-run crash-stop node failure with
+#      the sanitizer on and reproduces the crash-free checksum; a
+#      checkpointing run and its restored continuation must produce
+#      byte-identical stats JSON per protocol; and a sharded crash
+#      campaign's shard union must equal the unsharded report.
 #
 # Usage: tools/check.sh [--skip-asan] [--skip-tidy] [--skip-tsan]
 set -euo pipefail
@@ -291,6 +297,67 @@ if [ "$SKIP_TSAN" = 0 ]; then
 else
     step "TSan gate skipped (--skip-tsan)"
 fi
+
+# --- 9. Crash recovery + checkpoint/restart ---------------------------------
+step "crash recovery: crash@ --check smoke grid"
+for sys in dirnnb stache migratory update; do
+    echo "--- $sys/em3d crash@30000:3 --check"
+    "$TTSIM" --system="$sys" --app=em3d --dataset=tiny --nodes=8 \
+        --faults='crash@30000:3,seed=5' --check=fast \
+        > "$TRACEDIR/$sys.crash.txt"
+    grep -q "1 crash(es) injected, 1 recovery(ies) completed" \
+        "$TRACEDIR/$sys.crash.txt"
+    # The recovered run recomputes the crash-free result exactly.
+    "$TTSIM" --system="$sys" --app=em3d --dataset=tiny --nodes=8 \
+        --check=fast > "$TRACEDIR/$sys.nocrash.txt"
+    grep 'checksum' "$TRACEDIR/$sys.crash.txt" > "$TRACEDIR/$sys.crash.key"
+    grep 'checksum' "$TRACEDIR/$sys.nocrash.txt" > "$TRACEDIR/$sys.nocrash.key"
+    diff "$TRACEDIR/$sys.crash.key" "$TRACEDIR/$sys.nocrash.key"
+done
+echo "--- all four systems recover to the crash-free checksum"
+
+step "checkpoint/restart: byte-identity grid"
+for sys in dirnnb stache migratory update; do
+    echo "--- $sys/em3d --checkpoint=2 / --restore"
+    "$TTSIM" --system="$sys" --app=em3d --dataset=tiny --nodes=8 \
+        --check --checkpoint=2,"$TRACEDIR/$sys.ckpt" \
+        --stats-json="$TRACEDIR/$sys.ckpt.a.json" >/dev/null
+    "$TTSIM" --system="$sys" --app=em3d --dataset=tiny --nodes=8 \
+        --check --restore="$TRACEDIR/$sys.ckpt" \
+        --stats-json="$TRACEDIR/$sys.ckpt.b.json" >/dev/null
+    diff "$TRACEDIR/$sys.ckpt.a.json" "$TRACEDIR/$sys.ckpt.b.json"
+done
+echo "--- checkpoint/restore stats byte-identical on all four systems"
+
+step "crash campaign: shard union identity"
+CRASHMIX='drop=0.005,crash@30000:3,seed=5'
+"$TTSIM" --app=em3d --dataset=tiny --nodes=8 --scale=4 \
+    --faults="$CRASHMIX" --campaign=4 --systems=stache \
+    --campaign-json="$TRACEDIR/camp.whole.json" >/dev/null
+for shard in 0 1; do
+    "$TTSIM" --app=em3d --dataset=tiny --nodes=8 --scale=4 \
+        --faults="$CRASHMIX" --campaign=4 --systems=stache \
+        --campaign-shard=$shard/2 \
+        --campaign-json="$TRACEDIR/camp.s$shard.json" >/dev/null
+done
+python3 - "$TRACEDIR" <<'EOF'
+import json, sys
+d = sys.argv[1]
+whole = json.load(open(f"{d}/camp.whole.json"))
+merged = []
+for s in (0, 1):
+    rep = json.load(open(f"{d}/camp.s{s}.json"))
+    assert rep["shard"] == {"index": s, "count": 2}, rep["shard"]
+    merged += rep["runs"]
+merged.sort(key=lambda r: r["index"])
+key = lambda r: {k: r[k] for k in
+                 ("index", "system", "seed", "outcome", "cycles")}
+assert [key(r) for r in merged] == [key(r) for r in whole["runs"]], \
+    "shard union != unsharded campaign"
+rec = whole["recovery"]
+assert rec["crashes_injected"] == 4 and rec["crashes_survived"] == 4, rec
+EOF
+echo "--- shard union equals unsharded; 4/4 crashes survived"
 
 echo
 echo "check.sh: all gates passed"

@@ -79,6 +79,13 @@ struct Options
     int campaign = 0;            ///< seeds per system (0 = single run)
     std::string campaignJson;    ///< campaign report path
     std::string systems;         ///< campaign system list (csv)
+    int shardIndex = 0;          ///< --campaign-shard=I/N
+    int shardCount = 1;
+
+    // Checkpoint/restart (DESIGN.md §15).
+    std::uint64_t checkpointEpoch = 0; ///< write at this barrier epoch
+    std::string checkpointFile = "ttsim.ckpt";
+    std::string restoreFile;     ///< continue from this snapshot
 };
 
 void
@@ -135,9 +142,12 @@ usage()
         " (default 3)\n"
         "  --faults=SPEC     unreliable fabric: drop=P,dup=P,"
         "reorder=P[:MAX],\n"
-        "                    partition=P[:LEN],pause=P[:LEN],cut=A-B,"
-        "seed=N\n"
-        "                    (needs a seed: seed= in SPEC or --seed)\n"
+        "                    partition=P[:LEN],pause=P[:LEN],cut=A-B,\n"
+        "                    crash@TICK:NODE,seed=N\n"
+        "                    (needs a seed: seed= in SPEC or --seed;\n"
+        "                    crash@ injects a crash-stop failure that\n"
+        "                    the recovery protocol rolls back — exit 5\n"
+        "                    if unrecoverable)\n"
         "  --no-reliable     disable the reliable transport (negative"
         " control)\n"
         "  --horizon=N       watchdog horizon in ticks (default"
@@ -147,7 +157,19 @@ usage()
         "  --campaign=N      sweep N derived fault seeds per system"
         " (needs --faults)\n"
         "  --campaign-json=F write the campaign report to F\n"
+        "  --campaign-shard=I/N  run only seed indices with"
+        " i%N==I; the\n"
+        "                    union of the N shards equals the unsharded"
+        " campaign\n"
         "  --systems=A,B     campaign targets (default all four)\n"
+        "  --checkpoint=E[,F]  write a checkpoint at barrier epoch E"
+        " (default\n"
+        "                    file ttsim.ckpt); fault-free serial runs"
+        " only\n"
+        "  --restore=F       continue a run from checkpoint F; the"
+        " continuation\n"
+        "                    is byte-identical to the checkpointing"
+        " run\n"
         "  --stats           dump all statistics after the run\n"
         "  --table2          print the Table 2 configuration\n"
         "  --list            list workloads and exit\n");
@@ -230,8 +252,33 @@ parseArg(Options& o, const std::string& arg)
         o.campaign = std::atoi(v.c_str());
     } else if (eat("--campaign-json=", &v)) {
         o.campaignJson = v;
+    } else if (eat("--campaign-shard=", &v)) {
+        const std::size_t slash = v.find('/');
+        if (slash == std::string::npos) {
+            std::fprintf(stderr,
+                         "--campaign-shard wants I/N, got '%s'\n",
+                         v.c_str());
+            std::exit(2);
+        }
+        o.shardIndex = std::atoi(v.c_str());
+        o.shardCount = std::atoi(v.c_str() + slash + 1);
     } else if (eat("--systems=", &v)) {
         o.systems = v;
+    } else if (eat("--checkpoint=", &v)) {
+        const std::size_t comma = v.find(',');
+        o.checkpointEpoch =
+            std::strtoull(v.c_str(), nullptr, 0);
+        if (!o.checkpointEpoch) {
+            std::fprintf(stderr,
+                         "--checkpoint wants EPOCH[,FILE] with "
+                         "EPOCH >= 1, got '%s'\n",
+                         v.c_str());
+            std::exit(2);
+        }
+        if (comma != std::string::npos)
+            o.checkpointFile = v.substr(comma + 1);
+    } else if (eat("--restore=", &v)) {
+        o.restoreFile = v;
     } else if (arg == "--no-reliable") {
         o.noReliable = true;
     } else if (eat("--check=", &v)) {
@@ -332,6 +379,73 @@ validateOptions(const Options& o)
     } else if (!o.systems.empty()) {
         die("--systems requires --campaign");
     }
+    if (o.shardCount != 1 || o.shardIndex != 0) {
+        if (!o.campaign)
+            die("--campaign-shard requires --campaign");
+        if (o.shardCount < 1 || o.shardIndex < 0 ||
+            o.shardIndex >= o.shardCount)
+            die("--campaign-shard=I/N wants 0 <= I < N");
+    }
+    const bool crashes = o.faults.find("crash@") != std::string::npos;
+    if (crashes) {
+        if (o.noReliable)
+            die("crash recovery requires the reliable transport "
+                "(drop --no-reliable)");
+        if (o.perturb)
+            die("crash rollback replay is defined on the calendar "
+                "queue; --perturb is mutually exclusive");
+    }
+    if (o.checkpointEpoch || !o.restoreFile.empty()) {
+        if (o.checkpointEpoch && !o.restoreFile.empty())
+            die("--checkpoint and --restore are mutually exclusive "
+                "(restore first, then checkpoint in a later run)");
+        if (!o.faults.empty())
+            die("--checkpoint/--restore require a fault-free run "
+                "(crash recovery snapshots in memory instead)");
+        if (o.campaign)
+            die("--checkpoint/--restore apply to a single run, not a "
+                "campaign");
+        if (o.perturb)
+            die("--checkpoint/--restore and --perturb are mutually "
+                "exclusive");
+    }
+}
+
+/**
+ * The config-identity key behind the checkpoint fingerprint: every
+ * option that shapes the simulated schedule or the statistics registry
+ * is folded in, so a restore under any differing configuration is
+ * refused instead of silently diverging. --checkpoint/--restore
+ * themselves are deliberately excluded (the restoring command line
+ * drops the former and adds the latter).
+ */
+std::string
+configKey(const Options& o)
+{
+    std::string k;
+    auto add = [&k](const std::string& s) {
+        k += s;
+        k += '|';
+    };
+    add(o.system);
+    add(o.app);
+    add(o.dataset);
+    add(std::to_string(o.nodes));
+    add(std::to_string(o.cacheKb));
+    add(std::to_string(o.blockSize));
+    add(std::to_string(o.scale));
+    add(std::to_string(o.netLatency));
+    add(std::to_string(o.quantum));
+    add(std::to_string(o.remotePct));
+    add(std::to_string(o.seed));
+    add(o.check ? o.checkMode : "nocheck");
+    add(o.analyze ? "analyze" : "-");
+    add(o.traceCritical ? "txn" : "-");
+    add(o.traceFile.empty() ? "-" : "trace");
+    add(std::to_string(o.traceSample));
+    add(std::to_string(o.traceRing));
+    add(o.fault.empty() ? "-" : o.fault);
+    return k;
 }
 
 } // namespace
@@ -427,7 +541,21 @@ main(int argc, char** argv)
             cfg.reliable.maxRetries = o.retries;
         if (o.horizon)
             cfg.watchdog.horizon = o.horizon;
+        if (!cfg.faults.crashes.empty() && o.app != "em3d") {
+            // Crash rollback respawns bodies at a barrier epoch; only
+            // epoch-restartable apps (App::supportsEpochRestart) can
+            // resume there.
+            tt_fatal("crash recovery requires an epoch-restartable "
+                     "app (em3d)");
+        }
     }
+
+    if (o.checkpointEpoch) {
+        cfg.recovery.checkpointEpoch = o.checkpointEpoch;
+        cfg.recovery.checkpointFile = o.checkpointFile;
+    }
+    if (o.checkpointEpoch || !o.restoreFile.empty())
+        cfg.recovery.fingerprint = configFingerprint(configKey(o));
 
     if (o.table2)
         printTable2(std::cout, cfg);
@@ -440,6 +568,8 @@ main(int argc, char** argv)
         cc.dataset = parseDataSet(o.dataset);
         cc.scale = o.scale;
         cc.remoteFrac = o.remotePct / 100.0;
+        cc.shardIndex = o.shardIndex;
+        cc.shardCount = o.shardCount;
         if (o.systems.empty()) {
             cc.systems = {"dirnnb", "stache", "migratory"};
             if (o.app == "em3d")
@@ -463,14 +593,18 @@ main(int argc, char** argv)
                 tt_fatal("campaign system 'update' supports only "
                          "--app=em3d");
 
-        std::printf("campaign: %d seeds x %zu systems, faults=%s%s\n",
+        std::printf("campaign: %d seeds x %zu systems, faults=%s%s",
                     cc.runs, cc.systems.size(), o.faults.c_str(),
                     o.noReliable ? " (reliable transport OFF)" : "");
+        if (cc.shardCount > 1)
+            std::printf(" [shard %d/%d]", cc.shardIndex,
+                        cc.shardCount);
+        std::printf("\n");
         CampaignReport rep = runCampaign(cc);
         rep.faultSpec = o.faults;
         std::printf(
             "campaign: %zu runs: ok=%llu violation=%llu watchdog=%llu "
-            "panic=%llu error=%llu\n",
+            "panic=%llu error=%llu unrecoverable=%llu\n",
             rep.runs.size(),
             static_cast<unsigned long long>(rep.countOutcome("ok")),
             static_cast<unsigned long long>(
@@ -478,7 +612,9 @@ main(int argc, char** argv)
             static_cast<unsigned long long>(
                 rep.countOutcome("watchdog")),
             static_cast<unsigned long long>(rep.countOutcome("panic")),
-            static_cast<unsigned long long>(rep.countOutcome("error")));
+            static_cast<unsigned long long>(rep.countOutcome("error")),
+            static_cast<unsigned long long>(
+                rep.countOutcome("unrecoverable")));
         if (!o.campaignJson.empty()) {
             if (!rep.writeJsonFile(o.campaignJson)) {
                 std::fprintf(stderr, "cannot write %s\n",
@@ -489,6 +625,8 @@ main(int argc, char** argv)
         }
         if (rep.countOutcome("violation"))
             return 3;
+        if (rep.countOutcome("unrecoverable"))
+            return 5;
         return rep.allOk() ? 0 : 4;
     }
 
@@ -528,10 +666,50 @@ main(int argc, char** argv)
                 target.m().memsys().name().c_str(), o.nodes,
                 o.cacheKb, o.blockSize, o.dataset.c_str(), o.scale);
 
+    // --restore: the snapshot must outlive the run (the plan's
+    // applyState lambda reads it at the restored tick).
+    Snapshot snap;
+    Machine::RestartPlan plan;
+    bool restored = false;
+    if (!o.restoreFile.empty()) {
+        if (!app->supportsEpochRestart())
+            tt_fatal("--restore requires an epoch-restartable app "
+                     "(em3d)");
+        snap = loadSnapshot(o.restoreFile);
+        if (snap.fingerprint != cfg.recovery.fingerprint) {
+            tt_fatal("--restore: '", o.restoreFile,
+                     "' was checkpointed under a different "
+                     "configuration; rerun with the checkpointing "
+                     "run's flags");
+        }
+        MemorySystem* ms =
+            target.typhoon
+                ? static_cast<MemorySystem*>(target.typhoon.get())
+                : static_cast<MemorySystem*>(target.dir.get());
+        plan = restorePlan(snap, *target.machine, *target.network,
+                           *ms, target.checker.get());
+        restored = true;
+        std::printf("restore        : %s (epoch %llu, tick %llu)\n",
+                    o.restoreFile.c_str(),
+                    static_cast<unsigned long long>(snap.episodes),
+                    static_cast<unsigned long long>(snap.tick));
+    }
+    if (o.checkpointEpoch && !app->supportsEpochRestart())
+        tt_fatal("--checkpoint requires an epoch-restartable app "
+                 "(em3d)");
+
     const auto t0 = std::chrono::steady_clock::now();
     RunResult r;
     try {
-        r = target.run(*app);
+        r = restored ? target.run(*app, plan) : target.run(*app);
+    } catch (const UnrecoverableCrash& e) {
+        std::fprintf(stderr, "ttsim: %s\n", e.what());
+        if (target.recovery)
+            target.recovery->finalizeStats();
+        if (!o.statsJson.empty() &&
+            target.m().stats().writeJsonFile(o.statsJson))
+            std::printf("stats json     : %s\n", o.statsJson.c_str());
+        return 5;
     } catch (const WatchdogTimeout& e) {
         // The on-trip hook already dumped the flight-recorder tail.
         std::fprintf(stderr, "ttsim: %s\n", e.what());
@@ -558,6 +736,28 @@ main(int argc, char** argv)
                     target.m().stats().get("net.messages")),
                 static_cast<unsigned long long>(
                     target.m().stats().get("net.words")));
+
+    if (target.recovery) {
+        target.recovery->finalizeStats();
+        std::printf(
+            "recovery       : %llu crash(es) injected, %llu "
+            "recovery(ies) completed\n",
+            static_cast<unsigned long long>(
+                target.recovery->crashesInjected()),
+            static_cast<unsigned long long>(
+                target.recovery->recoveriesDone()));
+    }
+    if (target.checkpoint) {
+        if (target.checkpoint->written())
+            std::printf("checkpoint     : %s\n",
+                        target.checkpoint->path().c_str());
+        else
+            std::fprintf(stderr,
+                         "ttsim: warning: the run finished before "
+                         "barrier epoch %llu; no checkpoint written\n",
+                         static_cast<unsigned long long>(
+                             o.checkpointEpoch));
+    }
 
     if (target.obs) {
         target.obs->finalize();
