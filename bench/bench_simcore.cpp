@@ -255,6 +255,50 @@ main()
         }
     }
 
+    // The same grid with self-telemetry attached (--telemetry,
+    // DESIGN.md §16): memory probes + sampled host timer + counter
+    // refresh. Simulated results must be bit-identical — telemetry
+    // only observes — and the slowdown must stay within
+    // TT_TELEMETRY_BOUND (default 1.05x): cheap enough to leave on
+    // in any measurement run.
+    std::printf("\ntelemetry-on pass:\n");
+    {
+        MachineConfig mcfg = cfg;
+        mcfg.obs.telemetry = true;
+        std::size_t i = 0;
+        for (const char* system : {"dirnnb", "stache"}) {
+            for (const auto& app : apps) {
+                const BenchCase c = runBenchCase(
+                    system, app, DataSet::Small, scale, mcfg);
+                const BenchCase& base = rep.cases[i++];
+                if (c.cycles != base.cycles ||
+                    c.checksum != base.checksum) {
+                    std::fprintf(stderr,
+                                 "telemetry changed simulated "
+                                 "results for %s/%s\n",
+                                 system, app.c_str());
+                    return 1;
+                }
+                rep.telemetryOnEvents += c.events;
+                rep.telemetryOnWallMs += c.wallMs;
+                std::printf("%-8s %-8s %9.1f ms\n", system,
+                            app.c_str(), c.wallMs);
+                std::fflush(stdout);
+            }
+        }
+        const char* boundEnv = std::getenv("TT_TELEMETRY_BOUND");
+        const double bound = boundEnv ? std::atof(boundEnv) : 1.05;
+        const double slow =
+            rep.eventsPerSec() / rep.telemetryOnEventsPerSec();
+        if (slow > bound) {
+            std::fprintf(stderr,
+                         "telemetry slowdown (%.3fx) exceeds the "
+                         "bound (%.2fx)\n",
+                         slow, bound);
+            return 1;
+        }
+    }
+
     // Parallel-engine scaling sweep (DESIGN.md §12): the
     // order-insensitive actor workload through the plain serial queue
     // and the sharded engine at increasing worker counts. The state
@@ -307,6 +351,42 @@ main()
                              "serial queue at threads=%d\n",
                              t);
                 return 1;
+            }
+        }
+    }
+
+    // Per-subsystem resident-memory sweep (DESIGN.md §16): em3d/small
+    // on both systems at increasing node counts, with the telemetry
+    // probes recording where the bytes live. This is a capacity
+    // check, not a throughput one — the JSON records peak bytes by
+    // subsystem and bytes per simulated node so footprint regressions
+    // show up in bench_diff like throughput ones do.
+    std::printf("\nmem-footprint sweep:\n");
+    {
+        for (const auto& ns :
+             envList("TT_FOOTPRINT_NODES", {"32", "128", "256"})) {
+            const int n = std::atoi(ns.c_str());
+            for (const char* system : {"dirnnb", "stache"}) {
+                MachineConfig scfg;
+                scfg.core.nodes = n;
+                scfg.obs.telemetry = true;
+                BenchTelemetry bt;
+                runBenchCase(system, "em3d", DataSet::Small, scale,
+                             scfg, &bt);
+                BenchReport::MemFootprintEntry e;
+                e.system = system;
+                e.nodes = n;
+                e.totalPeakBytes = bt.totalPeakBytes;
+                e.peakBytesPerNode = bt.peakBytesPerNode;
+                e.subsystems = bt.subsystems;
+                rep.memFootprint.push_back(e);
+                std::printf("  %-8s nodes=%-4d peak %12llu bytes "
+                            "(%.0f B/node)\n",
+                            system, n,
+                            static_cast<unsigned long long>(
+                                bt.totalPeakBytes),
+                            bt.peakBytesPerNode);
+                std::fflush(stdout);
             }
         }
     }

@@ -198,6 +198,7 @@ ProtocolChecker::shadowCheck(NodeId n, Addr va, const void* bytes,
 void
 ProtocolChecker::onTagChange(NodeId n, Addr blk, AccessTag t)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Checker);
     if (_mode == Mode::Fast) {
         fastTag(n, blk, static_cast<Copy>(t), tagTrace(t));
         return;
@@ -210,6 +211,7 @@ ProtocolChecker::onTagChange(NodeId n, Addr blk, AccessTag t)
 void
 ProtocolChecker::onPageTags(NodeId n, Addr pageVa, AccessTag t)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Checker);
     trace(n, alignDown(pageVa, _pageSize), tagTrace(t));
     if (_mode == Mode::Fast) {
         const Addr base = alignDown(pageVa, _pageSize);
@@ -223,6 +225,7 @@ ProtocolChecker::onPageTags(NodeId n, Addr pageVa, AccessTag t)
 void
 ProtocolChecker::onPageMap(NodeId n, Addr pageVa, std::uint8_t mode)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Checker);
     // Custom-protocol pages (mode >= 3, e.g. EM3D delayed update) keep
     // consumer copies stale by design: exempt from coherence checking.
     const Addr base = alignDown(pageVa, _pageSize);
@@ -246,6 +249,7 @@ ProtocolChecker::onPageMap(NodeId n, Addr pageVa, std::uint8_t mode)
 void
 ProtocolChecker::onPageUnmap(NodeId n, Addr pageVa)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Checker);
     const Addr base = alignDown(pageVa, _pageSize);
     trace(n, base, "page-unmap");
     if (_mode == Mode::Fast) {
@@ -260,6 +264,7 @@ void
 ProtocolChecker::onAccess(NodeId n, Addr va, unsigned size, bool isWrite,
                           const void* bytes)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Checker);
     if (_mode == Mode::Fast) {
         fastAccess(n, va, size, isWrite, bytes);
         return;
@@ -295,6 +300,7 @@ void
 ProtocolChecker::onBackdoorWrite(Addr va, const void* bytes,
                                  std::size_t len)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Checker);
     shadowWrite(va, bytes, len);
     if (_mode == Mode::Fast) {
         // Restamp every covered block so previously validated words
@@ -308,6 +314,7 @@ ProtocolChecker::onBackdoorWrite(Addr va, const void* bytes,
 void
 ProtocolChecker::onBlockEvent(NodeId n, Addr blk, const char* what)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Checker);
     if (_mode == Mode::Fast) {
         shadow::BlockMeta& m = metaRef(blk >> _blkShift);
         m.flags |= shadow::BlockMeta::kSeen;
@@ -324,6 +331,7 @@ ProtocolChecker::onBlockEvent(NodeId n, Addr blk, const char* what)
 void
 ProtocolChecker::onMsgSend(const Message& m)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Checker);
     ++_inflightTotal;
     if (m.args.size() < 2)
         return;
@@ -346,6 +354,7 @@ ProtocolChecker::onMsgSend(const Message& m)
 void
 ProtocolChecker::onMsgDeliver(const Message& m)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Checker);
     --_inflightTotal;
     if (m.args.size() < 2)
         return;
@@ -373,6 +382,7 @@ ProtocolChecker::onMsgDeliver(const Message& m)
 void
 ProtocolChecker::onEventEnd()
 {
+    TelemScope ts(_telem, HostTimer::Cat::Checker);
     ++_eventsChecked;
     if (_mode == Mode::Fast) {
         if (!_lazyCmp.empty()) {
@@ -1041,6 +1051,26 @@ ProtocolChecker::canonicalize()
             }
         }
     }
+}
+
+std::size_t
+ProtocolChecker::footprintBytes() const
+{
+    std::size_t b = 0;
+    b += _data.leavesMaterialized() * sizeof(shadow::DataLeaf);
+    b += _meta.leavesMaterialized() * sizeof(shadow::MetaLeaf);
+    for (const auto& t : _copy)
+        b += t.leavesMaterialized() * sizeof(shadow::CopyLeaf);
+    b += _copy.capacity() * sizeof(ShadowTable<shadow::CopyLeaf>);
+    b += _epoch.capacity() * sizeof(std::uint64_t);
+    b += _lazyCmp.capacity() * sizeof(std::pair<NodeId, Addr>);
+    b += _trace.capacity() * sizeof(TraceRec);
+    b += _dirty.capacity() * sizeof(Addr);
+    b += _dirtySet.size() * sizeof(Addr);
+    b += _seenBlocks.size() * sizeof(Addr);
+    b += _exemptVpns.size() * sizeof(std::uint64_t);
+    b += _inflightByBlk.size() * (sizeof(Addr) + sizeof(int));
+    return b;
 }
 
 std::string

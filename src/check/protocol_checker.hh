@@ -65,6 +65,7 @@
 #include "check/hooks.hh"
 #include "check/shadow_map.hh"
 #include "core/tempest.hh"
+#include "sim/host_timer.hh"
 #include "sim/types.hh"
 
 namespace tt
@@ -147,6 +148,18 @@ class ProtocolChecker final : public CheckHooks
      * failure report the perturbation harness promises).
      */
     std::string report() const;
+
+    /** Attach the self-telemetry timer (nullptr = off, DESIGN.md §16). */
+    void setTelemetry(HostTimer* t) { _telem = t; }
+
+    /**
+     * Resident bytes of the shadow engine (telemetry memory probe):
+     * materialized shadow leaves (the dominant cost — data shadow plus
+     * per-node copy mirrors), the event-trace ring, and the dirty /
+     * in-flight bookkeeping. Hash-set footprints are approximated as
+     * element-payload bytes; bucket-array overhead is not modeled.
+     */
+    std::size_t footprintBytes() const;
 
   private:
     /// Generic per-node summary of a block copy, protocol-agnostic.
@@ -283,6 +296,8 @@ class ProtocolChecker final : public CheckHooks
     std::vector<Violation> _violations;
     std::unordered_set<std::string> _violationKeys;
     static constexpr std::size_t kMaxViolations = 64;
+
+    HostTimer* _telem = nullptr; ///< self-telemetry timer, opt-in
 
     std::uint64_t _eventsChecked = 0;
 };

@@ -94,6 +94,14 @@ BenchReport::transportOnEventsPerSec() const
                : 0;
 }
 
+double
+BenchReport::telemetryOnEventsPerSec() const
+{
+    return telemetryOnWallMs > 0
+               ? telemetryOnEvents / (telemetryOnWallMs / 1000.0)
+               : 0;
+}
+
 void
 BenchReport::printTable(std::ostream& os) const
 {
@@ -173,6 +181,27 @@ BenchReport::printTable(std::ostream& os) const
                       static_cast<unsigned long long>(
                           transportOnRetransmits));
         os << line;
+    }
+    if (telemetryOnWallMs > 0) {
+        std::snprintf(line, sizeof line,
+                      "telemetry on: %.0f events/sec (%.2fx slower "
+                      "than telemetry off)\n",
+                      telemetryOnEventsPerSec(),
+                      eventsPerSec() / telemetryOnEventsPerSec());
+        os << line;
+    }
+    if (!memFootprint.empty()) {
+        os << "memory footprint (em3d/small, telemetry probes):\n";
+        for (const auto& e : memFootprint) {
+            std::snprintf(line, sizeof line,
+                          "  %-8s nodes=%-4d peak %12llu bytes "
+                          "(%.0f B/node)\n",
+                          e.system.c_str(), e.nodes,
+                          static_cast<unsigned long long>(
+                              e.totalPeakBytes),
+                          e.peakBytesPerNode);
+            os << line;
+        }
     }
     if (!parallelEngine.empty()) {
         std::snprintf(line, sizeof line,
@@ -337,6 +366,39 @@ BenchReport::writeJson(std::ostream& os) const
         jsonNumber(os, eventsPerSec() / transportOnEventsPerSec());
         os << ", \"retransmits\": " << transportOnRetransmits << "}";
     }
+    if (telemetryOnWallMs > 0) {
+        os << ",\n  \"telemetry_overhead\": {\"events\": "
+           << telemetryOnEvents << ", \"wall_ms\": ";
+        jsonNumber(os, telemetryOnWallMs);
+        os << ", \"events_per_sec_telemetry_on\": ";
+        jsonNumber(os, telemetryOnEventsPerSec());
+        os << ", \"slowdown_vs_telemetry_off\": ";
+        jsonNumber(os, eventsPerSec() / telemetryOnEventsPerSec());
+        os << "}";
+    }
+    if (!memFootprint.empty()) {
+        os << ",\n  \"mem_footprint\": {\"app\": \"em3d\", "
+              "\"dataset\": \"small\", \"host_cores\": "
+           << hostCores << ", \"entries\": [\n";
+        for (std::size_t i = 0; i < memFootprint.size(); ++i) {
+            const MemFootprintEntry& e = memFootprint[i];
+            os << "    {\"system\": ";
+            jsonEscape(os, e.system);
+            os << ", \"nodes\": " << e.nodes
+               << ", \"total_peak_bytes\": " << e.totalPeakBytes
+               << ", \"peak_bytes_per_node\": ";
+            jsonNumber(os, e.peakBytesPerNode);
+            os << ", \"subsystems\": {";
+            for (std::size_t j = 0; j < e.subsystems.size(); ++j) {
+                os << (j ? ", " : "");
+                jsonEscape(os, e.subsystems[j].name);
+                os << ": " << e.subsystems[j].peakBytes;
+            }
+            os << "}}" << (i + 1 < memFootprint.size() ? "," : "")
+               << "\n";
+        }
+        os << "  ]}";
+    }
     if (!parallelEngine.empty()) {
         char hex[32];
         os << ",\n  \"parallel_engine\": {\"nodes\": "
@@ -379,7 +441,8 @@ BenchReport::writeJsonFile(const std::string& path) const
 
 BenchCase
 runBenchCase(const std::string& system, const std::string& appName,
-             DataSet ds, int scale, const MachineConfig& cfg)
+             DataSet ds, int scale, const MachineConfig& cfg,
+             BenchTelemetry* telem)
 {
     TargetMachine target;
     std::unique_ptr<BenchApp> app;
@@ -406,9 +469,22 @@ runBenchCase(const std::string& system, const std::string& appName,
         app = makeWorkload(appName, ds, scale);
     }
 
+    if (target.telemetry)
+        target.telemetry->runBegin();
     const auto t0 = std::chrono::steady_clock::now();
     const RunResult r = target.run(*app);
     const auto t1 = std::chrono::steady_clock::now();
+    if (target.telemetry) {
+        target.telemetry->runEnd();
+        target.telemetry->finalize();
+        if (telem) {
+            telem->present = true;
+            telem->totalPeakBytes = target.telemetry->totalPeakBytes();
+            telem->peakBytesPerNode =
+                target.telemetry->peakBytesPerNode();
+            telem->subsystems = target.telemetry->probeResults();
+        }
+    }
 
     BenchCase c;
     c.system = system;

@@ -129,6 +129,32 @@ struct BenchReport
     std::string transportFaultSpec;
 
     /**
+     * Self-telemetry overhead (--telemetry, DESIGN.md §16): the same
+     * grid re-run with the telemetry module attached (memory probes +
+     * sampled host timer + counter refresh). The ISSUE bound is
+     * ≤1.05x — telemetry must be cheap enough to leave on in any
+     * measurement run. Same "0 = not measured" convention.
+     */
+    double telemetryOnWallMs = 0;
+    std::uint64_t telemetryOnEvents = 0;
+
+    /**
+     * Per-subsystem resident-memory sweep (DESIGN.md §16): em3d/small
+     * at increasing node counts on both systems, with the telemetry
+     * memory probes recording peak bytes by subsystem. An empty
+     * vector means "not measured" and the JSON omits the section.
+     */
+    struct MemFootprintEntry
+    {
+        std::string system;
+        int nodes = 0;
+        std::uint64_t totalPeakBytes = 0;
+        double peakBytesPerNode = 0;
+        std::vector<Telemetry::ProbeResult> subsystems;
+    };
+    std::vector<MemFootprintEntry> memFootprint;
+
+    /**
      * Parallel-engine scaling sweep (DESIGN.md §12): the
      * order-insensitive actor workload run through the plain serial
      * queue (threads == 0) and the ParallelEngine at increasing
@@ -156,6 +182,7 @@ struct BenchReport
     double analyzeOnEventsPerSec() const;
     double txnOnEventsPerSec() const;
     double transportOnEventsPerSec() const;
+    double telemetryOnEventsPerSec() const;
 
     /** Pretty per-case table for humans. */
     void printTable(std::ostream& os) const;
@@ -166,12 +193,28 @@ struct BenchReport
 };
 
 /**
+ * Telemetry read-out of one bench run (the TargetMachine is torn down
+ * inside runBenchCase, so the probe results are copied out here).
+ * present stays false unless cfg.obs.telemetry was set.
+ */
+struct BenchTelemetry
+{
+    bool present = false;
+    std::uint64_t totalPeakBytes = 0;
+    double peakBytesPerNode = 0;
+    std::vector<Telemetry::ProbeResult> subsystems;
+};
+
+/**
  * Build the named target system, run @p app name on it, and wall-clock
  * the run. Systems follow the ttsim names; "update" requires em3d.
+ * When @p telem is non-null and cfg.obs.telemetry is on, the memory
+ * probe results are copied into it before the machine is destroyed.
  */
 BenchCase runBenchCase(const std::string& system,
                        const std::string& appName, DataSet ds,
-                       int scale, const MachineConfig& cfg);
+                       int scale, const MachineConfig& cfg,
+                       BenchTelemetry* telem = nullptr);
 
 } // namespace tt
 

@@ -232,6 +232,80 @@ attachCheckpoint(TargetMachine& t, const MachineConfig& cfg)
     t.checkpoint->arm();
 }
 
+/**
+ * Attach the self-telemetry subsystem (ttsim --telemetry, DESIGN.md
+ * §16): one Telemetry owns the HostTimer every hot-path scope charges
+ * into, plus the named memory probes polled at deterministic points.
+ * Must run LAST — it probes whichever optional subsystems the earlier
+ * attach steps built (checker, transport, recorder, engine). Unlike
+ * the stream consumers it does not force the serial engine: per-lane
+ * utilization under --threads is half the point.
+ */
+void
+attachTelemetry(TargetMachine& t, const MachineConfig& cfg)
+{
+    if (!cfg.obs.telemetry)
+        return;
+    t.telemetry = std::make_unique<Telemetry>(t.machine->stats(),
+                                              cfg.core.nodes);
+    HostTimer* ht = &t.telemetry->timer();
+    t.machine->eq().setTelemetry(ht);
+    t.network->setTelemetry(ht);
+    if (t.typhoon)
+        t.typhoon->setTelemetry(ht);
+    if (t.dir)
+        t.dir->setTelemetry(ht);
+    if (t.checker)
+        t.checker->setTelemetry(ht);
+    if (t.transport)
+        t.transport->setTelemetry(ht);
+
+    // Memory probes: raw pointers into unique_ptr targets stay valid
+    // across the TargetMachine move (same pattern as the robustness
+    // lambdas above).
+    EventQueue* eq = &t.machine->eq();
+    t.telemetry->addMemProbe(
+        "event_queue", [eq] { return eq->footprintBytes(); });
+    Network* net = t.network.get();
+    t.telemetry->addMemProbe(
+        "network", [net] { return net->footprintBytes(); });
+    if (t.typhoon) {
+        TyphoonMemSystem* ms = t.typhoon.get();
+        t.telemetry->addMemProbe(
+            "typhoon", [ms] { return ms->footprintBytes(); });
+    }
+    if (t.protocol) {
+        Stache* p = t.protocol.get();
+        t.telemetry->addMemProbe(
+            "protocol", [p] { return p->footprintBytes(); });
+    }
+    if (t.dir) {
+        DirMemSystem* ms = t.dir.get();
+        t.telemetry->addMemProbe(
+            "dirnnb", [ms] { return ms->footprintBytes(); });
+    }
+    if (t.checker) {
+        ProtocolChecker* c = t.checker.get();
+        t.telemetry->addMemProbe(
+            "checker", [c] { return c->footprintBytes(); });
+    }
+    if (t.transport) {
+        ReliableTransport* tr = t.transport.get();
+        t.telemetry->addMemProbe(
+            "transport", [tr] { return tr->footprintBytes(); });
+    }
+    if (t.obs) {
+        FlightRecorder* r = t.obs.get();
+        t.telemetry->addMemProbe(
+            "recorder", [r] { return r->footprintBytes(); });
+    }
+    if (ParallelEngine* eng = t.machine->engine()) {
+        eng->enableTelemetry();
+        t.telemetry->setEngine(eng);
+    }
+    t.telemetry->registerStats();
+}
+
 } // namespace
 
 TargetMachine
@@ -259,6 +333,7 @@ buildDirNNB(const MachineConfig& cfg)
     attachObserver(t, cfg);
     attachRobustness(t, cfg);
     attachCheckpoint(t, cfg);
+    attachTelemetry(t, cfg);
     return t;
 }
 
@@ -279,6 +354,7 @@ buildTyphoonStache(const MachineConfig& cfg)
     attachObserver(t, cfg);
     attachRobustness(t, cfg);
     attachCheckpoint(t, cfg);
+    attachTelemetry(t, cfg);
     return t;
 }
 
@@ -301,6 +377,7 @@ buildTyphoonEm3dUpdate(const MachineConfig& cfg)
     attachObserver(t, cfg);
     attachRobustness(t, cfg);
     attachCheckpoint(t, cfg);
+    attachTelemetry(t, cfg);
     return t;
 }
 
@@ -323,6 +400,7 @@ buildTyphoonMigratory(const MachineConfig& cfg)
     attachObserver(t, cfg);
     attachRobustness(t, cfg);
     attachCheckpoint(t, cfg);
+    attachTelemetry(t, cfg);
     return t;
 }
 

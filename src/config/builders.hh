@@ -21,6 +21,7 @@
 #include "dir/dir_mem_system.hh"
 #include "net/fault_model.hh"
 #include "net/network.hh"
+#include "obs/telemetry.hh"
 #include "recovery/checkpoint.hh"
 #include "recovery/coordinator.hh"
 #include "sim/watchdog.hh"
@@ -66,6 +67,10 @@ struct ObsConfig
     /// DESIGN.md §14); implies the sharing analyzer, whose per-block
     /// classification the critical-path report joins against
     bool txn = false;
+    /// simulator self-telemetry (--telemetry, DESIGN.md §16):
+    /// per-subsystem memory accounting, host-time attribution, and
+    /// parallel-lane utilization. Does NOT force the serial engine.
+    bool telemetry = false;
 };
 
 /**
@@ -148,6 +153,9 @@ struct TargetMachine
 
     /** Set iff recovery.checkpointEpoch was > 0 at build time. */
     std::unique_ptr<CheckpointManager> checkpoint;
+
+    /** Set iff MachineConfig::obs.telemetry was true at build time. */
+    std::unique_ptr<Telemetry> telemetry;
 
     Machine& m() { return *machine; }
     RunResult run(App& app) { return machine->run(app); }

@@ -131,6 +131,7 @@ ReliableTransport::reset()
 void
 ReliableTransport::onSend(Message& m, Tick when)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Transport);
     Channel& c = chan(m.src, m.dst);
     m.tkind = TKind::Data;
     m.seq = c.nextSeq++;
@@ -151,6 +152,7 @@ ReliableTransport::onSend(Message& m, Tick when)
 bool
 ReliableTransport::onArrive(Message& m)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Transport);
     // Node-local messages short-circuit the fabric unsequenced.
     if (m.tkind == TKind::None)
         return true;
@@ -196,6 +198,7 @@ ReliableTransport::armTimer(NodeId src, NodeId dst, Channel& c)
 void
 ReliableTransport::onTimeout(NodeId src, NodeId dst, std::uint64_t gen)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Transport);
     Channel& c = chan(src, dst);
     // A superseded generation means the window advanced (or emptied)
     // after this timer was armed; EventQueue has no cancel, so stale

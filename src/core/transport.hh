@@ -51,6 +51,7 @@
 #include "net/network.hh"
 #include "net/transport_hooks.hh"
 #include "sim/event_queue.hh"
+#include "sim/host_timer.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -119,6 +120,24 @@ class ReliableTransport final : public TransportHooks
     void onSend(Message& m, Tick when) override;
     bool onArrive(Message& m) override;
 
+    /** Attach the self-telemetry timer (nullptr = off, DESIGN.md §16). */
+    void setTelemetry(HostTimer* t) { _telem = t; }
+
+    /**
+     * Resident bytes of the channel table and retransmission windows
+     * (telemetry memory probe). The window copies are the transport's
+     * real cost driver: nodes^2 channels each retaining unacked
+     * messages.
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        std::size_t b = _chans.capacity() * sizeof(Channel);
+        for (const Channel& c : _chans)
+            b += c.window.size() * sizeof(Channel::Unacked);
+        return b;
+    }
+
   private:
     /** One ordered (src,dst) half-duplex data channel. */
     struct Channel
@@ -167,6 +186,7 @@ class ReliableTransport final : public TransportHooks
     std::vector<Channel> _chans; ///< dense (src * nodes + dst)
 
     DeadLinkListener _onDeadLink; ///< recovery crash detection
+    HostTimer* _telem = nullptr;  ///< self-telemetry timer, opt-in
 
     Counter& _retransmits; ///< net.retransmits
     Counter& _acks;        ///< net.acks (ack messages sent)

@@ -458,9 +458,32 @@ DirMemSystem::sendMsg(NodeId src, NodeId dst, VNet vnet, MsgKind kind,
     _net.send(std::move(m), when);
 }
 
+std::size_t
+DirMemSystem::footprintBytes() const
+{
+    std::size_t b = _dir.footprintBytes();
+    _dir.forEach([&](std::uint64_t, const DirEntry& e) {
+        if (e.mshr) {
+            b += sizeof(Mshr);
+            b += e.mshr->deferred.size() * sizeof(Deferred);
+        }
+    });
+    b += _pageHome.footprintBytes();
+    b += _store.footprintBytes();
+    b += _nodes.capacity() * sizeof(Node);
+    for (const Node& n : _nodes) {
+        b += n.cache->footprintBytes();
+        b += n.tlb->footprintBytes();
+        b += n.pending.size() * (sizeof(Addr) + sizeof(PendingMiss));
+    }
+    b += _allocs.capacity() * sizeof(SharedRange);
+    return b;
+}
+
 void
 DirMemSystem::onMessage(NodeId self, Message&& msg)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Handler);
     const Addr blk = msg.addrArg(0);
     const Word extra = msg.args.at(2);
     const Tick now = _m.eq().now();

@@ -114,6 +114,13 @@ class CacheModel
     /** Count of currently valid lines (for tests). */
     std::size_t validLines() const;
 
+    /** Resident bytes of the tag array (telemetry memory probes). */
+    std::size_t
+    footprintBytes() const
+    {
+        return _lines.capacity() * sizeof(Line);
+    }
+
     /**
      * Observer of line-state changes, fired after every mutation with
      * the block address and the line's new state (Invalid on eviction

@@ -113,6 +113,18 @@ class PageTable
 
     std::size_t mappedPages() const { return _fwd.size(); }
 
+    /**
+     * Resident bytes (telemetry memory probes): element payloads of
+     * the forward and reverse maps (bucket overhead not modeled).
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        return _fwd.size() *
+                   (sizeof(std::uint64_t) + sizeof(PageMapping)) +
+               _rev.size() * (sizeof(std::uint64_t) + sizeof(Addr));
+    }
+
   private:
     std::uint32_t _pageSize;
     std::unordered_map<std::uint64_t, PageMapping> _fwd; // vpn -> mapping

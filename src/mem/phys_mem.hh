@@ -131,6 +131,19 @@ class PhysMem
     std::uint64_t nextPpn() const { return _nextPpn; }
 
     /**
+     * Resident bytes (telemetry memory probes): allocated page
+     * backing plus the slot vector and free list.
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        return _allocated * std::size_t{_pageSize} +
+               _pages.capacity() *
+                   sizeof(std::unique_ptr<std::uint8_t[]>) +
+               _freeList.capacity() * sizeof(std::uint64_t);
+    }
+
+    /**
      * Rewind the bump allocator to a recorded watermark and discard
      * the free list, so the next allocations replay the exact ppn
      * sequence a fresh instance would produce (DESIGN.md §15). Every

@@ -72,6 +72,17 @@ class TlbModel
     std::uint32_t entries() const { return _entries; }
     std::size_t resident() const { return _present.size(); }
 
+    /**
+     * Resident bytes (telemetry memory probes): FIFO plus the hash
+     * set's element payloads (bucket overhead not modeled).
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        return _fifo.size() * sizeof(std::uint64_t) +
+               _present.size() * sizeof(std::uint64_t);
+    }
+
   private:
     void
     insert(std::uint64_t pn)

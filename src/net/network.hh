@@ -19,6 +19,7 @@
 #include "net/transport_hooks.hh"
 #include "obs/recorder.hh"
 #include "sim/event_queue.hh"
+#include "sim/host_timer.hh"
 #include "sim/parallel_engine.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -96,6 +97,26 @@ class Network
 
     /** Attach the reliable transport (nullptr = raw fabric). */
     void setTransport(TransportHooks* t) { _transport = t; }
+
+    /** Attach the self-telemetry timer (nullptr = off, DESIGN.md §16). */
+    void setTelemetry(HostTimer* t) { _telem = t; }
+
+    /**
+     * Resident bytes of the fabric's own structures (telemetry memory
+     * probe): receiver table, port occupancies, lane shards, jitter
+     * clamps, dead-node set.
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        return _receivers.capacity() * sizeof(Receiver) +
+               _linkFree.capacity() * sizeof(Tick) +
+               _ejectFree.capacity() * sizeof(Tick) +
+               _laneSafe.capacity() +
+               _laneStats.capacity() * sizeof(LaneNetStats) +
+               _lastArrive.capacity() * sizeof(Tick) +
+               _dead.capacity();
+    }
 
     /**
      * Attach the sharded engine (DESIGN.md §12). Delivery to
@@ -408,6 +429,11 @@ class Network
     void
     deliver(Message&& m)
     {
+        // Host-time attribution: delivery filtering plus everything
+        // the receiver does downstream starts as Net; the handler
+        // sites re-scope to Handler (DESIGN.md §16). No-op unless the
+        // current event is a timed sample.
+        TelemScope ts(_telem, HostTimer::Cat::Net);
         // Lane deliveries never incremented (sharded mode has no
         // checkpointing), so the counter is serial-path only.
         if (!_sharded)
@@ -467,6 +493,7 @@ class Network
     FlightRecorder* _obs = nullptr; ///< flight recorder, opt-in
     FaultModel* _faults = nullptr;  ///< unreliable fabric, opt-in
     TransportHooks* _transport = nullptr; ///< reliable delivery, opt-in
+    HostTimer* _telem = nullptr;    ///< self-telemetry timer, opt-in
     Rng _jitter;                    ///< perturbation jitter stream
     std::vector<Tick> _lastArrive;  ///< per-(src,dst) FIFO clamp
     std::vector<std::uint8_t> _dead; ///< crash-stopped nodes, opt-in

@@ -480,6 +480,22 @@ class FlightRecorder
     /** Oldest-first copy of node @p n's retained ring records. */
     std::vector<TraceRecord> ringOf(NodeId n) const;
 
+    /**
+     * Resident bytes of the per-node crash rings and txn-context
+     * vectors (telemetry memory probe, DESIGN.md §16).
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        std::size_t b = _rings.capacity() * sizeof(Ring) +
+                        _laneMsgId.capacity() * sizeof(std::uint32_t) +
+                        _openTxn.capacity() * sizeof(std::uint32_t) +
+                        _actTxn.capacity() * sizeof(std::uint32_t);
+        for (const Ring& r : _rings)
+            b += r.buf.capacity() * sizeof(TraceRecord);
+        return b;
+    }
+
   private:
     struct Ring
     {

@@ -143,6 +143,21 @@ class DenseMap
         _size = 0;
     }
 
+    /**
+     * Resident bytes of the bank structures (slot-vector capacities,
+     * not just present entries) — the telemetry memory-probe view
+     * (DESIGN.md §16). Excludes heap memory owned by the values
+     * themselves; callers add that where it matters.
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        std::size_t b = _banks.capacity() * sizeof(Bank);
+        for (const Bank& bank : _banks)
+            b += bank.slots.capacity() * sizeof(Slot);
+        return b;
+    }
+
   private:
     struct Slot
     {
@@ -345,6 +360,13 @@ class OpenMap
             if (s.full)
                 f(s.key, *s.value());
         }
+    }
+
+    /** Resident bytes of the slot table (telemetry memory probes). */
+    std::size_t
+    footprintBytes() const
+    {
+        return _slots.capacity() * sizeof(Slot);
     }
 
   private:

@@ -131,7 +131,13 @@ EventQueue::step()
             --_pending;
             _now = e.when;
             ++_executed;
-            e.cb();
+            if (_telem) {
+                _telem->eventStart();
+                e.cb();
+                _telem->eventEnd();
+            } else {
+                e.cb();
+            }
             return true;
         }
     }
@@ -141,7 +147,13 @@ EventQueue::step()
     --_pending;
     _now = when;
     ++_executed;
-    cb();
+    if (_telem) {
+        _telem->eventStart();
+        cb();
+        _telem->eventEnd();
+    } else {
+        cb();
+    }
     return true;
 }
 

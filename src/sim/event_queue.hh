@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/host_timer.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/small_function.hh"
@@ -217,6 +218,29 @@ class EventQueue
 
     bool perturbed() const { return _perturb; }
 
+    /**
+     * Attach the self-telemetry timer (DESIGN.md §16). step() then
+     * brackets every callback with eventStart()/eventEnd(); null (the
+     * default) costs one branch per event.
+     */
+    void setTelemetry(HostTimer* t) { _telem = t; }
+
+    /**
+     * Resident bytes of the queue structures themselves (capacities,
+     * not live entries — what the host actually holds). Deterministic
+     * for a fixed workload; feeds the telemetry memory probes.
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        std::size_t b = _buckets.capacity() * sizeof(_buckets[0]) +
+                        _occ.capacity() * sizeof(std::uint64_t) +
+                        _heap.capacity() * sizeof(FarEntry);
+        for (const auto& bucket : _buckets)
+            b += bucket.capacity() * sizeof(Callback);
+        return b;
+    }
+
   private:
     /** Ticks covered by the calendar window; one bucket per tick. */
     static constexpr std::uint32_t kWindow = 4096;
@@ -289,6 +313,9 @@ class EventQueue
     // Perturbation (heap mode only; see setPerturb()).
     bool _perturb = false;
     Rng _prng;
+
+    // Self-telemetry timer; null unless --telemetry (DESIGN.md §16).
+    HostTimer* _telem = nullptr;
 };
 
 } // namespace tt

@@ -1,6 +1,7 @@
 #include "sim/parallel_engine.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sim/logging.hh"
 
@@ -150,8 +151,17 @@ ParallelEngine::drainCross()
     _crossBuf.clear();
     for (auto& w : _workers) {
         CrossEvent e;
-        while (w->outbox.tryPop(&e))
+        std::uint64_t drained = 0;
+        while (w->outbox.tryPop(&e)) {
             _crossBuf.push_back(std::move(e));
+            ++drained;
+        }
+        // Mailbox high-water mark: the most cross-events one worker
+        // staged in a single window. Deterministic (a property of the
+        // event schedule, not of timing), but only tracked when
+        // telemetry asks for it.
+        if (_telem && drained > w->drainHwm)
+            w->drainHwm = drained;
     }
     for (auto& e : _staged)
         _crossBuf.push_back(std::move(e));
@@ -253,7 +263,20 @@ ParallelEngine::workerLoop(int w)
     t_ctx.worker = w;
     std::uint64_t seen = 0;
     for (;;) {
+        // Window-stall attribution: host time parked waiting for the
+        // next window (includes serial windows and coordinator-side
+        // merge work — exactly the serialization the lane-utilization
+        // telemetry is after).
+        std::chrono::steady_clock::time_point ws{};
+        if (_telem)
+            ws = std::chrono::steady_clock::now();
         _epoch.wait(seen, std::memory_order_acquire);
+        if (_telem) {
+            _workers[w]->stallNs += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - ws)
+                    .count());
+        }
         const std::uint64_t e = _epoch.load(std::memory_order_acquire);
         if (e == seen)
             continue; // spurious wake
@@ -309,11 +332,22 @@ ParallelEngine::runParallelWindow(Tick windowEnd)
         myError = std::current_exception();
     }
     // Barrier: wait until every spawned worker has drained its lanes.
+    std::chrono::steady_clock::time_point ws{};
+    if (_telem)
+        ws = std::chrono::steady_clock::now();
     for (;;) {
         const int left = _arrivals.load(std::memory_order_acquire);
         if (left == 0)
             break;
         _arrivals.wait(left, std::memory_order_acquire);
+    }
+    if (_telem) {
+        // Coordinator stall: time spent waiting for the slowest worker
+        // at the window barrier (charged to worker slot 0).
+        _workers[0]->stallNs += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - ws)
+                .count());
     }
     if (myError)
         std::rethrow_exception(myError);

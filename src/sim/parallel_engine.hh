@@ -144,6 +144,41 @@ class ParallelEngine
         return _windows - _serialWindows;
     }
 
+    /**
+     * Enable lane telemetry (DESIGN.md §16): per-worker mailbox
+     * high-water marks and barrier-stall time. Call before run();
+     * the epoch release/acquire pair publishes the flag to workers.
+     * Simulated results are unaffected — only host-side counters are
+     * recorded.
+     */
+    void enableTelemetry() { _telem = true; }
+
+    /** Events executed by one lane (telemetry read-out). */
+    std::uint64_t
+    laneExecutedAt(int lane) const
+    {
+        return _lanes.at(static_cast<std::size_t>(lane)).executed;
+    }
+
+    /** Max cross-events drained from worker @p w at one barrier. */
+    std::uint64_t
+    workerDrainHwm(int w) const
+    {
+        return _workers.at(static_cast<std::size_t>(w))->drainHwm;
+    }
+
+    /**
+     * Host ns worker @p w spent parked: at the epoch wait for spawned
+     * workers, at the arrival barrier for the coordinator (w == 0).
+     * Host-time measurement — nondeterministic, excluded from
+     * determinism comparisons.
+     */
+    std::uint64_t
+    workerStallNs(int w) const
+    {
+        return _workers.at(static_cast<std::size_t>(w))->stallNs;
+    }
+
   private:
     struct LaneEvent
     {
@@ -196,6 +231,12 @@ class ParallelEngine
         SpscChannel<CrossEvent> outbox;
         std::exception_ptr error;
         std::thread th; ///< empty for worker 0 (the coordinator)
+        // Telemetry (DESIGN.md §16). drainHwm is written only by the
+        // coordinator at barriers; stallNs only by the owning thread
+        // between barriers — the epoch/arrival atomics order both
+        // against the post-run read.
+        std::uint64_t drainHwm = 0;
+        std::uint64_t stallNs = 0;
     };
 
     void workerLoop(int w);
@@ -221,6 +262,7 @@ class ParallelEngine
     std::uint64_t _globalOutSeq = 0;
     std::vector<std::function<void()>> _finalizers;
     bool _running = false;
+    bool _telem = false;     ///< lane telemetry on (DESIGN.md §16)
     bool _inFastRun = false; ///< inside the pure-global _gq.run() path
     bool _laneWake = false;  ///< lane work appeared during fast run
     std::uint64_t _windows = 0;

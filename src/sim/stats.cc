@@ -43,6 +43,13 @@ jsonString(std::ostream& os, const std::string& s)
 void
 jsonNumber(std::ostream& os, double v)
 {
+    // JSON has no NaN/Infinity literals; "%.17g" would print "nan" or
+    // "inf" and corrupt the document. Emit null so consumers see a
+    // well-formed value they can test for.
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.17g", v);
     os << buf;

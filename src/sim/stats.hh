@@ -149,6 +149,14 @@ class Histogram
     void
     sample(double v)
     {
+        // Non-finite samples have no bucket, and casting NaN/Inf to an
+        // index below is undefined behaviour. Count them as underflow
+        // and keep them out of the summary so mean/min/max stay
+        // meaningful (a single NaN would otherwise poison all three).
+        if (!std::isfinite(v)) {
+            ++_underflow;
+            return;
+        }
         _avg.sample(v);
         if (v < 0) {
             ++_underflow;

@@ -373,6 +373,29 @@ Stache::stachePagesAt(NodeId node) const
     return _nodes.at(node).stacheFifo.size();
 }
 
+std::size_t
+Stache::footprintBytes() const
+{
+    std::size_t b = _pageHome.footprintBytes();
+    b += _homeDirs.footprintBytes();
+    _homeDirs.forEach([&](std::uint64_t, const HomeDir& hd) {
+        b += hd.entries.capacity() * sizeof(StacheDirEntry);
+        b += hd.aux.sets.size() *
+             (sizeof(std::uint32_t) + sizeof(NodeSet));
+    });
+    b += _transients.footprintBytes();
+    _transients.forEach([&](Addr, const Transient& t) {
+        b += t.deferred.size() * sizeof(Deferred);
+    });
+    for (const NodeState& ns : _nodes) {
+        b += ns.homeCache.footprintBytes();
+        b += ns.stacheFifo.size() * sizeof(Addr);
+        b += ns.stacheVpns.size() * sizeof(std::uint64_t);
+    }
+    b += _allocs.capacity() * sizeof(MemorySystem::SharedRange);
+    return b;
+}
+
 // ---------------------------------------------------------------------
 // CPU-side handlers: page fault and block access faults
 // ---------------------------------------------------------------------

@@ -134,6 +134,14 @@ class Stache : public ShmProtocol
     std::size_t stachePagesAt(NodeId node) const;
     const StacheParams& params() const { return _p; }
 
+    /**
+     * Resident bytes of the protocol state (telemetry memory probe,
+     * DESIGN.md §16): home directories (entry vectors + aux tables),
+     * page-home maps, per-node local tables / FIFO / vpn sets, and
+     * the in-flight transient table.
+     */
+    std::size_t footprintBytes() const;
+
   protected:
     // The custom EM3D protocol (src/custom) subclasses Stache and
     // reuses its home-side machinery for custom page modes.

@@ -591,6 +591,31 @@ TyphoonMemSystem::handlerAverage(bool baf, HandlerId h)
     return *it->second;
 }
 
+std::size_t
+TyphoonMemSystem::footprintBytes() const
+{
+    std::size_t b = _nodes.capacity() * sizeof(Node);
+    for (const Node& n : _nodes) {
+        b += n.cpuCache->footprintBytes();
+        b += n.cpuTlb->footprintBytes();
+        b += n.phys->footprintBytes();
+        b += n.pt->footprintBytes();
+        b += n.npDcache->footprintBytes();
+        b += n.npTlb->footprintBytes();
+        b += n.rtlb->footprintBytes();
+        b += n.tags.capacity() * sizeof(PageTags);
+        for (const PageTags& pt : n.tags)
+            b += pt.tags.capacity() * sizeof(AccessTag);
+        b += n.respQ.size() * sizeof(Message);
+        b += n.reqQ.size() * sizeof(Message);
+        b += n.bulkQ.size() * sizeof(Node::Bulk);
+        b += n.msgHandlers.size() *
+             (sizeof(HandlerId) + sizeof(MsgHandler));
+    }
+    b += _trace.size() * sizeof(TraceEvent);
+    return b;
+}
+
 void
 TyphoonMemSystem::npDeliver(NodeId id, Message&& msg)
 {
@@ -605,6 +630,7 @@ TyphoonMemSystem::npDeliver(NodeId id, Message&& msg)
 void
 TyphoonMemSystem::npPump(NodeId id, Tick when)
 {
+    TelemScope ts(_telem, HostTimer::Cat::Handler);
     Node& n = _nodes[id];
     if (n.npBusy)
         return;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "sim/stats.hh"
@@ -179,6 +180,71 @@ TEST(Stats, WriteJsonIsWellFormedAndComplete)
     std::ostringstream oss2;
     s.writeJson(oss2);
     EXPECT_EQ(out, oss2.str());
+}
+
+TEST(Stats, EmptyAverageAndHistogramJson)
+{
+    // Zero-sample aggregates must still serialize as well-formed
+    // JSON with numeric zeros — no nan, no inf, no garbage.
+    StatSet s;
+    s.average("empty.avg");
+    s.histogram("empty.hist", 2.0, 4);
+    std::ostringstream oss;
+    s.writeJson(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("\"empty.avg\": {\"mean\": 0, \"count\": 0"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"buckets\": [0, 0, 0, 0]"),
+              std::string::npos);
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+    EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
+TEST(Stats, SingleSampleAverageJson)
+{
+    // One sample: variance is undefined; the unbiased estimator
+    // reports 0, never NaN from a 0/0.
+    StatSet s;
+    s.average("one").sample(7.5);
+    EXPECT_DOUBLE_EQ(s.average("one").variance(), 0.0);
+    std::ostringstream oss;
+    s.writeJson(oss);
+    EXPECT_NE(oss.str().find("\"variance\": 0, \"stddev\": 0"),
+              std::string::npos);
+}
+
+TEST(Stats, NonFiniteAverageSamplesEmitNull)
+{
+    // A NaN sample poisons the running sum; the JSON exporter must
+    // write null for the non-finite derived values (JSON has no NaN
+    // literal) so the document stays parseable.
+    StatSet s;
+    s.average("poisoned").sample(
+        std::numeric_limits<double>::quiet_NaN());
+    std::ostringstream oss;
+    s.writeJson(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("\"mean\": null"), std::string::npos);
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+}
+
+TEST(Stats, HistogramNonFiniteSamplesRouteToUnderflow)
+{
+    // NaN/Inf have no bucket (casting them to an index is UB).
+    // They count as underflow and stay out of the summary, so
+    // mean/min/max remain meaningful.
+    Histogram h(10.0, 4);
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(std::numeric_limits<double>::infinity());
+    h.sample(-std::numeric_limits<double>::infinity());
+    h.sample(15);
+    EXPECT_EQ(h.underflow(), 3u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.summary().count(), 1u);
+    EXPECT_DOUBLE_EQ(h.summary().mean(), 15.0);
+    EXPECT_DOUBLE_EQ(h.summary().min(), 15.0);
+    EXPECT_DOUBLE_EQ(h.summary().max(), 15.0);
 }
 
 } // namespace

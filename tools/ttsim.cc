@@ -57,6 +57,8 @@ struct Options
     std::string analyzeJson; ///< sharing-analysis JSON path ("" = none)
     bool traceCritical = false; ///< run the transaction tracer
     std::string txnJson;     ///< critical-path JSON path ("" = none)
+    bool telemetry = false;  ///< simulator self-telemetry (§16)
+    std::string telemetryJson; ///< telemetry JSON path ("" = none)
     std::string fault;     ///< protocol fault to inject (demo/testing)
     Tick traceSample = 0;  ///< counter-sampling period (ticks)
     int traceRing = 256;   ///< crash-ring capacity per node
@@ -129,6 +131,14 @@ usage()
         " F);\n"
         "                    composes with --trace (flow events) and"
         " --faults\n"
+        "  --telemetry[=F]   simulator self-telemetry: per-subsystem"
+        " memory\n"
+        "                    accounting, host-time attribution, lane"
+        " utilization\n"
+        "                    (JSON to F); simulated results are"
+        " byte-identical\n"
+        "                    with or without it, and it composes with"
+        " --threads\n"
         "  --fault=NAME      inject a protocol bug (skip-invalidate |"
         " skip-downgrade)\n"
         "  --check[=MODE]    run the coherence sanitizer (exit 3 on"
@@ -229,6 +239,11 @@ parseArg(Options& o, const std::string& arg)
         o.txnJson = v;
     } else if (arg == "--trace-critical") {
         o.traceCritical = true;
+    } else if (eat("--telemetry=", &v)) {
+        o.telemetry = true;
+        o.telemetryJson = v;
+    } else if (arg == "--telemetry") {
+        o.telemetry = true;
     } else if (eat("--fault=", &v)) {
         o.fault = v;
     } else if (eat("--perturb=", &v)) {
@@ -376,6 +391,9 @@ validateOptions(const Options& o)
         if (o.traceCritical)
             die("--campaign already runs the transaction tracer; its "
                 "summary lands in the campaign report");
+        if (o.telemetry)
+            die("--campaign and --telemetry are mutually exclusive "
+                "(telemetry reports on a single machine)");
     } else if (!o.systems.empty()) {
         die("--systems requires --campaign");
     }
@@ -441,6 +459,7 @@ configKey(const Options& o)
     add(o.check ? o.checkMode : "nocheck");
     add(o.analyze ? "analyze" : "-");
     add(o.traceCritical ? "txn" : "-");
+    add(o.telemetry ? "telemetry" : "-");
     add(o.traceFile.empty() ? "-" : "trace");
     add(std::to_string(o.traceSample));
     add(std::to_string(o.traceRing));
@@ -496,6 +515,7 @@ main(int argc, char** argv)
     cfg.obs.samplePeriod = o.traceSample;
     cfg.obs.analyze = o.analyze;
     cfg.obs.txn = o.traceCritical;
+    cfg.obs.telemetry = o.telemetry;
     // A trace without an explicit sampling period still gets live
     // counter tracks (events/sec, net traffic, open misses) at a
     // coarse default.
@@ -698,6 +718,8 @@ main(int argc, char** argv)
         tt_fatal("--checkpoint requires an epoch-restartable app "
                  "(em3d)");
 
+    if (target.telemetry)
+        target.telemetry->runBegin();
     const auto t0 = std::chrono::steady_clock::now();
     RunResult r;
     try {
@@ -719,6 +741,8 @@ main(int argc, char** argv)
         return 4;
     }
     const auto t1 = std::chrono::steady_clock::now();
+    if (target.telemetry)
+        target.telemetry->runEnd();
     const double wallMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
 
@@ -793,6 +817,22 @@ main(int argc, char** argv)
                 }
                 std::printf("critical json  : %s\n", o.txnJson.c_str());
             }
+        }
+    }
+
+    if (target.telemetry) {
+        // Fold before any --stats-json write so obs.telemetry.* /
+        // obs.host.* land in the dump.
+        target.telemetry->finalize();
+        target.telemetry->printSummary(std::cout);
+        if (!o.telemetryJson.empty()) {
+            if (!target.telemetry->writeReportFile(o.telemetryJson)) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             o.telemetryJson.c_str());
+                return 1;
+            }
+            std::printf("telemetry json : %s\n",
+                        o.telemetryJson.c_str());
         }
     }
 
